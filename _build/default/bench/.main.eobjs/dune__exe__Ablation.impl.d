@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Atomic Baselines Bench_util Int64 Kvstore List Masstree_core Memsim Printf String Unix Workload Xutil

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Int64 Memsim Printf String Workload Xutil

@@ -1,0 +1,1 @@
+bench/ckpt.ml: Array Atomic Bench_util Filename Kvstore List Persist Printf Sys Thread Unix Workload Xutil

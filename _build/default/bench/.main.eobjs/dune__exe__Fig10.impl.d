@@ -1,0 +1,1 @@
+bench/fig10.ml: Array Bench_util List Masstree_core Memsim Printf Xutil

@@ -1,0 +1,1 @@
+bench/fig11.ml: Array Baselines Bench_util List Masstree_core Workload Xutil

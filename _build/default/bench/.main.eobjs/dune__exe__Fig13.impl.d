@@ -1,0 +1,1 @@
+bench/fig13.ml: Array Bench_util Filename Int64 Kvserver Kvstore List Persist Printf Sys Sysmodels Unix Workload Xutil

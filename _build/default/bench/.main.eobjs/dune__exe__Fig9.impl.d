@@ -1,0 +1,1 @@
+bench/fig9.ml: Array Baselines Bench_util List Masstree_core Memsim Printf Workload Xutil

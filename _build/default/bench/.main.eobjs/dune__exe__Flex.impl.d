@@ -1,0 +1,1 @@
+bench/flex.ml: Array Baselines Bench_util Masstree_core Workload Xutil

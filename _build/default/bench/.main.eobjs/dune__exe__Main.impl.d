@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Arg Bench_util Ckpt Cmd Cmdliner Fig10 Fig11 Fig13 Fig8 Fig9 Flex List Micro Printf Retries String Sysrel Term

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Baselines Bechamel Bench_util Benchmark Hashtbl Instance List Masstree_core Measure Staged Test Time Toolkit Workload Xutil

@@ -1,0 +1,1 @@
+bench/retries.ml: Bench_util Float Int64 Masstree_core Xutil

@@ -1,0 +1,1 @@
+bench/sysrel.ml: Array Baselines Bench_util Filename Int64 Masstree_core Persist Sys Unix Workload Xutil

@@ -1,0 +1,191 @@
+(* Design-choice ablations called out in DESIGN.md:
+
+   1. Node size (§4.2): "tree nodes of four cache lines (256 bytes, which
+      allows a fanout of 15) provide the highest total performance" —
+      swept with the cost model: wider nodes cut depth but pay transfer
+      time; narrower nodes fetch fast but descend further.
+
+   2. The permutation word (§4.6.2): with it, plain inserts never
+      invalidate readers; without it (classic in-place key shuffling),
+      every insert to a node forces concurrent readers of that node to
+      retry.  Measured for real: reader throughput against a background
+      writer, B-tree with and without the permuter.
+
+   3. Backoff in retry loops: reader-side validated retries vs writer
+      dirty windows — measured as the local-retry rate with and without
+      a writer running. *)
+
+open Bench_util
+
+let node_size_sweep scale =
+  subheader "node size sweep (modeled, 16 cores, gets; paper optimum: 4 lines)";
+  row "%-8s %10s %14s\n" "lines" "bytes" "get (Mops/s)";
+  let n = scale.model_keys in
+  let best = ref (0, 0.0) in
+  List.iter
+    (fun lines ->
+      let sim =
+        run_model ~n ~ops:scale.model_ops (fun sim ~rank ~key_len:_ ->
+            Memsim.Profiles.masstree_sized_op sim ~n ~rank ~lines Memsim.Profiles.Get)
+      in
+      let tput = Memsim.Model.throughput sim ~cores:16 in
+      if tput > snd !best then best := (lines, tput);
+      row "%-8d %10d %14.2f\n" lines (lines * 64) (mops tput))
+    [ 1; 2; 3; 4; 6; 8; 12; 16 ];
+  row "modeled optimum: %d lines (%d bytes)\n" (fst !best) (fst !best * 64)
+
+let permuter_ablation scale =
+  subheader
+    "version protocol (real): reader throughput under a background writer \
+     (permuter / classic two-counter / OLFIT-style coarse)";
+  let run_one ~permuter ?(coarse = false) () =
+    let t = Baselines.Btree.Str.create ~permuter ~coarse_versions:coarse () in
+    let rng = Xutil.Rng.create 61L in
+    let gen = Workload.Keygen.decimal_1_10 ~range:(1 lsl 30) in
+    let keys = Array.init scale.keys (fun _ -> gen rng) in
+    Array.iter (fun k -> ignore (Baselines.Btree.Str.put t k 1)) keys;
+    let n = Array.length keys in
+    let stop = Atomic.make false in
+    let reads = Atomic.make 0 in
+    let workers =
+      Xutil.Domain_pool.run 2 (fun who ->
+          if who = 0 then begin
+            (* Writer: keep inserting fresh keys. *)
+            let wrng = Xutil.Rng.create 62L in
+            let deadline =
+              Int64.add (Xutil.Clock.now_ns ())
+                (Int64.of_float (min scale.seconds 4.0 *. 1e9))
+            in
+            while Int64.compare (Xutil.Clock.now_ns ()) deadline < 0 do
+              ignore (Baselines.Btree.Str.put t (gen wrng) 2)
+            done;
+            Atomic.set stop true;
+            0.0
+          end
+          else begin
+            let rrng = Xutil.Rng.create 63L in
+            let t0 = Xutil.Clock.now_ns () in
+            let i = ref 0 in
+            while not (Atomic.get stop) do
+              ignore (Baselines.Btree.Str.get t keys.(Xutil.Rng.int rrng n));
+              incr i
+            done;
+            Atomic.set reads !i;
+            float_of_int !i /. Xutil.Clock.elapsed_s t0
+          end)
+    in
+    workers.(1)
+  in
+  let with_perm = run_one ~permuter:true () in
+  let without = run_one ~permuter:false () in
+  let coarse = run_one ~permuter:false ~coarse:true () in
+  row
+    "reads under writer: %.2f Mops/s permuter, %.2f Mops/s classic, %.2f Mops/s \
+     OLFIT-coarse (permuter/coarse = %.2fx)\n"
+    (mops with_perm) (mops without) (mops coarse)
+    (with_perm /. coarse)
+
+let retry_ablation scale =
+  subheader "reader retries with vs without a concurrent writer (real masstree)";
+  let make_tree () =
+    let t = Masstree_core.Tree.create () in
+    let rng = Xutil.Rng.create 64L in
+    let gen = Workload.Keygen.decimal_1_10 ~range:(1 lsl 30) in
+    let keys = Array.init scale.keys (fun _ -> gen rng) in
+    Array.iter (fun k -> ignore (Masstree_core.Tree.put t k 1)) keys;
+    (t, keys, gen)
+  in
+  let run_reads ~with_writer =
+    let t, keys, gen = make_tree () in
+    Masstree_core.Stats.reset (Masstree_core.Tree.stats t);
+    let n = Array.length keys in
+    let stop = Atomic.make false in
+    ignore
+      (Xutil.Domain_pool.run 2 (fun who ->
+           if who = 0 then begin
+             if with_writer then begin
+               let wrng = Xutil.Rng.create 65L in
+               let deadline =
+                 Int64.add (Xutil.Clock.now_ns ())
+                   (Int64.of_float (min scale.seconds 3.0 *. 1e9))
+               in
+               while Int64.compare (Xutil.Clock.now_ns ()) deadline < 0 do
+                 ignore (Masstree_core.Tree.put t (gen wrng) 2)
+               done
+             end
+             else Unix.sleepf (min scale.seconds 3.0);
+             Atomic.set stop true
+           end
+           else begin
+             let rrng = Xutil.Rng.create 66L in
+             while not (Atomic.get stop) do
+               ignore (Masstree_core.Tree.get t keys.(Xutil.Rng.int rrng n))
+             done
+           end));
+    let s = Masstree_core.Tree.stats t in
+    let gets = Masstree_core.Stats.read s Masstree_core.Stats.Gets in
+    let local = Masstree_core.Stats.read s Masstree_core.Stats.Local_retries in
+    let root = Masstree_core.Stats.read s Masstree_core.Stats.Root_retries in
+    (gets, local, root)
+  in
+  let qg, ql, qr = run_reads ~with_writer:false in
+  let wg, wl, wr = run_reads ~with_writer:true in
+  row "quiet:  %d gets, %d local retries, %d root retries\n" qg ql qr;
+  row "writer: %d gets, %d local retries, %d root retries\n" wg wl wr
+
+let sequential_insert_ablation scale =
+  subheader "sequential-insert split optimization (§4.3): node utilization";
+  let build gen =
+    let t = Masstree_core.Tree.create () in
+    let rng = Xutil.Rng.create 67L in
+    let t0 = Xutil.Clock.now_ns () in
+    for _ = 1 to scale.keys do
+      ignore (Masstree_core.Tree.put t (gen rng) 1)
+    done;
+    let dt = Xutil.Clock.elapsed_s t0 in
+    let sh = Masstree_core.Tree.shape t in
+    (dt, sh)
+  in
+  let seq_dt, seq = build (Workload.Keygen.sequential ()) in
+  let rnd_dt, rnd = build (Workload.Keygen.decimal_fixed8) in
+  row
+    "sequential: %.2f Mops/s, border fill %.0f%% (the optimization leaves full nodes \
+     behind)\n"
+    (mops (float_of_int scale.keys /. seq_dt))
+    (seq.Masstree_core.Tree.avg_border_fill *. 100.0);
+  row "random:     %.2f Mops/s, border fill %.0f%% (classic ~75%% expected)\n"
+    (mops (float_of_int scale.keys /. rnd_dt))
+    (rnd.Masstree_core.Tree.avg_border_fill *. 100.0)
+
+let value_layout_ablation scale =
+  subheader
+    "value layout (\xc2\xa74.7): column-update cost, contiguous block vs per-column \
+     blocks";
+  row "%-12s %20s %20s %8s\n" "value bytes" "contiguous (Mops/s)" "columnar (Mops/s)"
+    "ratio";
+  List.iter
+    (fun col_bytes ->
+      let run_layout layout =
+        let s = Kvstore.Store.create ~layout () in
+        let filler = String.make col_bytes 'x' in
+        for i = 0 to 999 do
+          Kvstore.Store.put s (Printf.sprintf "%04d" i) (Array.make 10 filler)
+        done;
+        measure ~scale:{ scale with ops = scale.ops / 4 } ~domains:1 (fun _ rng ->
+            Kvstore.Store.put_columns s
+              (Printf.sprintf "%04d" (Xutil.Rng.int rng 1000))
+              [ (Xutil.Rng.int rng 10, "u") ])
+      in
+      let flat = run_layout Kvstore.Store.Contiguous in
+      let cols = run_layout Kvstore.Store.Columnar in
+      row "%-12d %20.2f %20.2f %8.2f\n" (col_bytes * 10) (mops flat) (mops cols)
+        (cols /. flat))
+    [ 4; 64; 1024; 16384 ]
+
+let run scale =
+  header "Ablations: node size, permutation word, retry behaviour";
+  node_size_sweep scale;
+  value_layout_ablation scale;
+  sequential_insert_ablation scale;
+  permuter_ablation scale;
+  retry_ablation scale

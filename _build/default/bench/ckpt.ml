@@ -1,0 +1,79 @@
+(* §5 persistence costs: checkpoint duration, recovery duration, and put
+   throughput while a checkpoint runs concurrently.
+
+   Paper reference (140M pairs, 9.1 GB, 4 SSDs): 58 s to checkpoint, 38 s
+   to recover, and a put-only workload at 72% of normal throughput during
+   a concurrent checkpoint.  Scaled here to the bench key count; the
+   readout that matters is the ratio and that both paths work. *)
+
+open Bench_util
+
+let run scale =
+  header "§5: checkpoint and recovery";
+  let dir = Filename.temp_file "ckptbench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let log_paths = List.init 2 (fun i -> Filename.concat dir (Printf.sprintf "log%d" i)) in
+  let logs = Array.of_list (List.map Persist.Logger.create log_paths) in
+  let store = Kvstore.Store.create ~logs () in
+  let rng = Xutil.Rng.create 77L in
+  let gen = Workload.Keygen.decimal_1_10 ~range:(1 lsl 30) in
+  let keys = Array.init scale.keys (fun _ -> gen rng) in
+  Array.iteri (fun i k -> Kvstore.Store.put ~worker:(i land 1) store k [| "0123456789" |]) keys;
+  let nkeys = Kvstore.Store.cardinal store in
+
+  (* Checkpoint duration. *)
+  let ck1 = Filename.concat dir "ckpt-1" in
+  let t0 = Xutil.Clock.now_ns () in
+  (match Kvstore.Store.checkpoint store ~dir:ck1 ~writers:2 with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let ckpt_s = Xutil.Clock.elapsed_s t0 in
+  row "checkpoint of %d pairs: %.2f s (%.2f Mpairs/s; paper: 140M pairs in 58 s = 2.4 \
+       Mpairs/s)\n"
+    nkeys ckpt_s
+    (float_of_int nkeys /. ckpt_s /. 1e6);
+
+  (* Put throughput without vs with a concurrent checkpoint. *)
+  let n = Array.length keys in
+  let puts_rate () =
+    measure ~scale:{ scale with ops = scale.ops / 2 } ~domains:scale.domains
+      (fun d rng -> Kvstore.Store.put ~worker:d store keys.(Xutil.Rng.int rng n) [| "x" |])
+  in
+  let base = puts_rate () in
+  let ck_running = Atomic.make true in
+  let ck_thread =
+    Thread.create
+      (fun () ->
+        let i = ref 0 in
+        while Atomic.get ck_running do
+          incr i;
+          match
+            Kvstore.Store.checkpoint store
+              ~dir:(Filename.concat dir (Printf.sprintf "ckpt-bg-%d" !i))
+              ~writers:2
+          with
+          | Ok _ -> ()
+          | Error e -> Printf.eprintf "bg checkpoint failed: %s\n" e
+        done)
+      ()
+  in
+  let during = puts_rate () in
+  Atomic.set ck_running false;
+  Thread.join ck_thread;
+  row "puts: %.2f Mops/s normally, %.2f Mops/s during checkpoint = %.0f%% (paper: 72%%)\n"
+    (mops base) (mops during)
+    (during /. base *. 100.0);
+
+  (* Recovery duration. *)
+  Kvstore.Store.close store;
+  let t0 = Xutil.Clock.now_ns () in
+  (match Kvstore.Store.recover ~log_paths ~checkpoint_dirs:[ ck1 ] () with
+  | Ok (recovered, stats) ->
+      let rec_s = Xutil.Clock.elapsed_s t0 in
+      row "recovery: %.2f s for %d keys (checkpoint entries %d, log records %d; paper: \
+           38 s for 140M)\n"
+        rec_s
+        (Kvstore.Store.cardinal recovered)
+        stats.Persist.Recovery.checkpoint_entries stats.Persist.Recovery.records_applied
+  | Error e -> failwith e)

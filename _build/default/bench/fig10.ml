@@ -1,0 +1,65 @@
+(* Figure 10: per-core scalability, 1..16 cores, get & put.
+
+   Paper reference: near-flat per-core throughput declining gently with
+   core count — 12.7x (get) and 12.5x (put) at 16 cores — limited by
+   growing DRAM stall time (2050 -> 2800 cycles/op from 1 to 16 cores,
+   §6.5).  The model prices exactly that contention curve; the real runs
+   measure whatever parallelism this container offers. *)
+
+open Bench_util
+
+let cores_list = [ 1; 2; 4; 8; 16 ]
+
+let model_side scale =
+  subheader "modeled per-core throughput (Mops/s/core)";
+  row "%-8s %12s %12s\n" "cores" "get" "put";
+  let n = scale.model_keys in
+  let sim_for op =
+    run_model ~n ~ops:scale.model_ops (fun sim ~rank ~key_len ->
+        Memsim.Profiles.masstree_op sim ~n ~rank ~key_len op)
+  in
+  let g = sim_for Memsim.Profiles.Get and p = sim_for Memsim.Profiles.Put in
+  List.iter
+    (fun cores ->
+      let gc = Memsim.Model.throughput g ~cores /. float_of_int cores in
+      let pc = Memsim.Model.throughput p ~cores /. float_of_int cores in
+      row "%-8d %12.3f %12.3f\n" cores (mops gc) (mops pc))
+    cores_list;
+  let speedup op =
+    Memsim.Model.throughput op ~cores:16 /. Memsim.Model.throughput op ~cores:1
+  in
+  row "modeled 16-core speedup: get %.1fx, put %.1fx (paper: 12.7x / 12.5x)\n"
+    (speedup g) (speedup p)
+
+let real_side scale =
+  let avail = Xutil.Domain_pool.recommended_domains () in
+  subheader
+    (Printf.sprintf "measured per-core throughput (this host exposes %d core(s))" avail);
+  row "%-8s %12s %12s\n" "domains" "get" "put";
+  let t = Masstree_core.Tree.create () in
+  let keys =
+    preload_decimal ~keys:scale.keys ~range:(1 lsl 30) (fun k ->
+        ignore (Masstree_core.Tree.put t k 1))
+  in
+  let n = Array.length keys in
+  List.iter
+    (fun domains ->
+      if domains <= max 1 avail then begin
+        let g =
+          measure ~scale ~domains (fun _ rng ->
+              ignore (Masstree_core.Tree.get t keys.(Xutil.Rng.int rng n)))
+        in
+        let p =
+          measure ~scale ~domains (fun _ rng ->
+              ignore (Masstree_core.Tree.put t keys.(Xutil.Rng.int rng n) 2))
+        in
+        row "%-8d %12.3f %12.3f\n" domains
+          (mops (g /. float_of_int domains))
+          (mops (p /. float_of_int domains))
+      end)
+    (List.filter (fun c -> c <= max 1 avail) cores_list)
+
+let run scale =
+  header "Figure 10: scalability (per-core throughput vs core count)";
+  model_side scale;
+  real_side scale

@@ -1,0 +1,113 @@
+(* Figure 8: factor analysis from a binary tree to Masstree, get & put.
+
+   Two readouts:
+   - modeled 16-core throughput from the memory cost model, which can
+     express the allocator / superpage / integer-compare / prefetch steps
+     OCaml cannot toggle natively (DESIGN.md §1);
+   - real measured throughput of the actual OCaml structures on this
+     machine for the steps that exist as code (binary tree, 4-tree,
+     B-tree with and without the permuter, Masstree).
+
+   Paper reference (relative to Binary-get = 1.00×):
+     get: Binary 1.13  +Flow 1.16  +Superpage 1.48  +IntCmp 1.70
+          4-tree 2.40  B-tree 2.11 +Prefetch 2.62  +Permuter 2.72  Masstree 2.93
+     put: 1.00  0.99  1.36  1.68  2.42  2.51  3.18  3.19  3.33 *)
+
+open Bench_util
+module C = Memsim.Model.Config
+
+let model_configs =
+  let base = C.default in
+  let flow = C.with_flow_allocator base in
+  let sp = C.with_superpages flow in
+  let ic = C.with_int_compare sp in
+  [
+    ("Binary", base, `Binary);
+    ("+Flow", flow, `Binary);
+    ("+Superpage", sp, `Binary);
+    ("+IntCmp", ic, `Binary);
+    ("4-tree", ic, `Four);
+    ("B-tree", ic, `Btree (false, false));
+    ("+Prefetch", ic, `Btree (true, false));
+    ("+Permuter", ic, `Btree (true, true));
+    ("Masstree", ic, `Masstree);
+  ]
+
+let profile_of kind op sim ~n ~rank ~key_len =
+  match kind with
+  | `Binary -> Memsim.Profiles.binary_op sim ~n ~rank ~key_len op
+  | `Four -> Memsim.Profiles.four_tree_op sim ~n ~rank ~key_len op
+  | `Btree (prefetch, permuter) ->
+      Memsim.Profiles.btree_op sim ~n ~rank ~key_len ~prefetch ~permuter op
+  | `Masstree -> Memsim.Profiles.masstree_op sim ~n ~rank ~key_len op
+
+let run_model_side scale =
+  subheader "modeled (16 cores, cumulative design changes)";
+  row "%-12s %14s %14s %8s %8s\n" "config" "get (Mops/s)" "put (Mops/s)" "get rel" "put rel";
+  let n = scale.model_keys in
+  let base_get = ref 0.0 in
+  List.iter
+    (fun (name, cfg, kind) ->
+      let tput op =
+        let sim =
+          run_model ~config:cfg ~n ~ops:scale.model_ops (fun sim ~rank ~key_len ->
+              profile_of kind op sim ~n ~rank ~key_len)
+        in
+        Memsim.Model.throughput sim ~cores:16
+      in
+      let g = tput Memsim.Profiles.Get and p = tput Memsim.Profiles.Put in
+      if !base_get = 0.0 then base_get := g;
+      row "%-12s %14.2f %14.2f %8.2f %8.2f\n" name (mops g) (mops p) (g /. !base_get)
+        (p /. !base_get))
+    model_configs
+
+let run_real_side scale =
+  subheader
+    (Printf.sprintf "measured (real structures, %d domain(s), %d keys)" scale.domains
+       scale.keys);
+  row "%-16s %14s %14s\n" "structure" "get (Mops/s)" "put (Mops/s)";
+  let range = 1 lsl 30 in
+  let bench name preload get put =
+    let keys = preload () in
+    let nkeys = Array.length keys in
+    let g =
+      measure ~scale ~domains:scale.domains (fun _ rng ->
+          get keys.(Xutil.Rng.int rng nkeys))
+    in
+    let p =
+      measure ~scale ~domains:scale.domains (fun _ rng ->
+          put keys.(Xutil.Rng.int rng nkeys))
+    in
+    row "%-16s %14.2f %14.2f\n" name (mops g) (mops p)
+  in
+  let gen_keys put = preload_decimal ~keys:scale.keys ~range put in
+  (let t = Baselines.Binary_tree.create () in
+   bench "binary"
+     (fun () -> gen_keys (fun k -> ignore (Baselines.Binary_tree.put t k 1)))
+     (fun k -> ignore (Baselines.Binary_tree.get t k))
+     (fun k -> ignore (Baselines.Binary_tree.put t k 2)));
+  (let t = Baselines.Four_tree.create () in
+   bench "4-tree"
+     (fun () -> gen_keys (fun k -> ignore (Baselines.Four_tree.put t k 1)))
+     (fun k -> ignore (Baselines.Four_tree.get t k))
+     (fun k -> ignore (Baselines.Four_tree.put t k 2)));
+  (let t = Baselines.Btree.Str.create ~permuter:false () in
+   bench "btree"
+     (fun () -> gen_keys (fun k -> ignore (Baselines.Btree.Str.put t k 1)))
+     (fun k -> ignore (Baselines.Btree.Str.get t k))
+     (fun k -> ignore (Baselines.Btree.Str.put t k 2)));
+  (let t = Baselines.Btree.Str.create ~permuter:true () in
+   bench "btree+permuter"
+     (fun () -> gen_keys (fun k -> ignore (Baselines.Btree.Str.put t k 1)))
+     (fun k -> ignore (Baselines.Btree.Str.get t k))
+     (fun k -> ignore (Baselines.Btree.Str.put t k 2)));
+  (let t = Masstree_core.Tree.create () in
+   bench "masstree"
+     (fun () -> gen_keys (fun k -> ignore (Masstree_core.Tree.put t k 1)))
+     (fun k -> ignore (Masstree_core.Tree.get t k))
+     (fun k -> ignore (Masstree_core.Tree.put t k 2)))
+
+let run scale =
+  header "Figure 8: factor analysis (binary tree -> Masstree)";
+  run_model_side scale;
+  run_real_side scale

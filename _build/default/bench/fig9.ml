@@ -1,0 +1,87 @@
+(* Figure 9: performance vs key length when only the final 8 bytes vary.
+
+   The mechanism: "+Permuter" (a full-key B-tree) fetches the stored key's
+   suffix on every comparison once keys exceed its 16 inline bytes, while
+   Masstree walks a chain of hot single-entry trie layers for the constant
+   prefix and compares one 8-byte slice per level after that.
+
+   Paper reference (16-core gets, 80M keys): Masstree flat ~8-9 Mops/s
+   across lengths; +Permuter falls from parity at 8 bytes to ~1/3.4 of
+   Masstree at 40+ bytes (and Masstree is 1.4x even at 16 bytes). *)
+
+open Bench_util
+
+let lengths = [ 8; 16; 24; 32; 40; 48 ]
+
+let model_side scale =
+  subheader "modeled (16 cores)";
+  row "%-8s %18s %18s %8s\n" "keylen" "masstree (Mops/s)" "btree (Mops/s)" "ratio";
+  let n = scale.model_keys in
+  List.iter
+    (fun len ->
+      let masstree =
+        let sim =
+          run_model ~n ~ops:scale.model_ops (fun sim ~rank ~key_len:_ ->
+              Memsim.Profiles.masstree_op sim ~n ~rank ~key_len:len ~layer_frac:0.0
+                ~shared_prefix_layers:((len - 8) / 8) Memsim.Profiles.Get)
+        in
+        Memsim.Model.throughput sim ~cores:16
+      in
+      let btree =
+        let sim =
+          run_model ~n ~ops:scale.model_ops (fun sim ~rank ~key_len:_ ->
+              Memsim.Profiles.btree_op sim ~n ~rank ~key_len:len ~prefetch:true
+                ~permuter:true Memsim.Profiles.Get)
+        in
+        Memsim.Model.throughput sim ~cores:16
+      in
+      row "%-8d %18.2f %18.2f %8.2f\n" len (mops masstree) (mops btree) (masstree /. btree))
+    lengths
+
+let real_side scale =
+  subheader
+    (Printf.sprintf
+       "measured (%d domain(s), %d keys; pkb = partial-key B-tree, with its \
+        full-key fetch count per get)"
+       scale.domains scale.keys);
+  row "%-8s %14s %14s %14s %8s %10s\n" "keylen" "masstree" "btree" "pkb-tree" "mt/bt"
+    "pkb fetch";
+  List.iter
+    (fun len ->
+      let gen = Workload.Keygen.prefixed ~prefix_len:(len - 8) in
+      let rng = Xutil.Rng.create 5L in
+      let keys = Array.init scale.keys (fun _ -> gen rng) in
+      let mt = Masstree_core.Tree.create () in
+      Array.iter (fun k -> ignore (Masstree_core.Tree.put mt k 1)) keys;
+      let bt = Baselines.Btree.Str.create () in
+      Array.iter (fun k -> ignore (Baselines.Btree.Str.put bt k 1)) keys;
+      let pkb = Baselines.Pkb_tree.create () in
+      Array.iter (fun k -> ignore (Baselines.Pkb_tree.put pkb k 1)) keys;
+      let n = Array.length keys in
+      let g_mt =
+        measure ~scale ~domains:scale.domains (fun _ rng ->
+            ignore (Masstree_core.Tree.get mt keys.(Xutil.Rng.int rng n)))
+      in
+      let g_bt =
+        measure ~scale ~domains:scale.domains (fun _ rng ->
+            ignore (Baselines.Btree.Str.get bt keys.(Xutil.Rng.int rng n)))
+      in
+      Baselines.Pkb_tree.reset_counters pkb;
+      let gets_done = ref 0 in
+      let g_pkb =
+        measure ~scale ~domains:1 (fun _ rng ->
+            incr gets_done;
+            ignore (Baselines.Pkb_tree.get pkb keys.(Xutil.Rng.int rng n)))
+      in
+      let fetch_rate =
+        float_of_int (Baselines.Pkb_tree.full_key_fetches pkb)
+        /. float_of_int (max 1 !gets_done)
+      in
+      row "%-8d %14.2f %14.2f %14.2f %8.2f %10.2f\n" len (mops g_mt) (mops g_bt)
+        (mops g_pkb) (g_mt /. g_bt) fetch_rate)
+    lengths
+
+let run scale =
+  header "Figure 9: key length sweep (shared prefixes, last 8 bytes vary)";
+  model_side scale;
+  real_side scale

@@ -1,0 +1,88 @@
+(* §6.4 flexibility experiments: what each Masstree feature costs.
+
+   - variable-length keys: Masstree vs a fixed-8-byte-key B-tree on
+     8-byte decimal keys (paper: 0.8% apart — effectively free);
+   - concurrency: full Masstree vs the no-atomics single-core variant on
+     one core (paper: 13% put penalty);
+   - range queries: Masstree vs a hash table on 8-byte alphabetical gets
+     (paper: the hash table is 2.5x — trees pay O(log n) for ranges). *)
+
+open Bench_util
+
+let varkey scale =
+  subheader "variable-length key support (8-byte decimal keys, gets)";
+  let rng = Xutil.Rng.create 21L in
+  let gen = Workload.Keygen.decimal_fixed8 in
+  let keys = Array.init scale.keys (fun _ -> gen rng) in
+  let mt = Masstree_core.Tree.create () in
+  Array.iter (fun k -> ignore (Masstree_core.Tree.put mt k 1)) keys;
+  let bt = Baselines.Btree.Fixed8.create () in
+  Array.iter (fun k -> ignore (Baselines.Btree.Fixed8.put bt (Masstree_core.Key.slice k ~off:0) 1)) keys;
+  let n = Array.length keys in
+  let g_mt =
+    measure ~scale ~domains:scale.domains (fun _ rng ->
+        ignore (Masstree_core.Tree.get mt keys.(Xutil.Rng.int rng n)))
+  in
+  let g_bt =
+    measure ~scale ~domains:scale.domains (fun _ rng ->
+        ignore (Baselines.Btree.Fixed8.get bt (Masstree_core.Key.slice keys.(Xutil.Rng.int rng n) ~off:0)))
+  in
+  row "masstree %.2f Mops/s vs fixed-8-byte btree %.2f Mops/s: %.1f%% difference \
+       (paper: 0.8%%)\n"
+    (mops g_mt) (mops g_bt)
+    ((g_bt -. g_mt) /. g_mt *. 100.0)
+
+let concurrency scale =
+  subheader "cost of concurrency machinery (1 core, puts)";
+  let rng = Xutil.Rng.create 22L in
+  let gen = Workload.Keygen.decimal_1_10 ~range:(1 lsl 30) in
+  let keys = Array.init scale.keys (fun _ -> gen rng) in
+  let n = Array.length keys in
+  let mt = Masstree_core.Tree.create () in
+  let st = Baselines.St_masstree.create () in
+  let p_mt =
+    measure ~scale ~domains:1 (fun _ rng ->
+        ignore (Masstree_core.Tree.put mt keys.(Xutil.Rng.int rng n) 1))
+  in
+  let p_st =
+    measure ~scale ~domains:1 (fun _ rng ->
+        ignore (Baselines.St_masstree.put st keys.(Xutil.Rng.int rng n) 1))
+  in
+  row "single-core variant %.2f Mops/s vs concurrent %.2f Mops/s: %.0f%% advantage \
+       (paper: 13%%)\n"
+    (mops p_st) (mops p_mt)
+    ((p_st -. p_mt) /. p_mt *. 100.0)
+
+let hash scale =
+  subheader "cost of range-query support (8-byte alphabetical keys, gets)";
+  let rng = Xutil.Rng.create 23L in
+  let gen = Workload.Keygen.alphabetical8 in
+  let keys = Array.init scale.keys (fun _ -> gen rng) in
+  let n = Array.length keys in
+  let mt = Masstree_core.Tree.create () in
+  Array.iter (fun k -> ignore (Masstree_core.Tree.put mt k 1)) keys;
+  let ht = Baselines.Hash_table.create ~initial_capacity:(4 * scale.keys) () in
+  Array.iter (fun k -> ignore (Baselines.Hash_table.put ht k 1)) keys;
+  let g_mt =
+    measure ~scale ~domains:scale.domains (fun _ rng ->
+        ignore (Masstree_core.Tree.get mt keys.(Xutil.Rng.int rng n)))
+  in
+  let g_ht =
+    measure ~scale ~domains:scale.domains (fun _ rng ->
+        ignore (Baselines.Hash_table.get ht keys.(Xutil.Rng.int rng n)))
+  in
+  row "hash table %.2f Mops/s vs masstree %.2f Mops/s: %.2fx (paper: 2.5x; occupancy \
+       %.2f, avg probes %.2f)\n"
+    (mops g_ht) (mops g_mt) (g_ht /. g_mt)
+    (Baselines.Hash_table.occupancy ht)
+    (let total = ref 0 in
+     for i = 0 to 999 do
+       total := !total + Baselines.Hash_table.probe_length ht keys.(i mod n)
+     done;
+     float_of_int !total /. 1000.0)
+
+let run scale =
+  header "§6.4 flexibility: what each feature costs";
+  varkey scale;
+  concurrency scale;
+  hash scale

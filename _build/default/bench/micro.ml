@@ -1,0 +1,61 @@
+(* Bechamel microbenchmarks: per-operation latency of each structure's
+   get/put/scan on a preloaded store.  One Test.make per (structure, op);
+   OLS-estimated ns/op against the monotonic clock. *)
+
+open Bechamel
+open Toolkit
+
+let prepare keys_n =
+  let rng = Xutil.Rng.create 51L in
+  let gen = Workload.Keygen.decimal_1_10 ~range:(1 lsl 30) in
+  Array.init keys_n (fun _ -> gen rng)
+
+let tests scale =
+  let keys = prepare (min 100_000 scale.Bench_util.keys) in
+  let n = Array.length keys in
+  let mt = Masstree_core.Tree.create () in
+  Array.iter (fun k -> ignore (Masstree_core.Tree.put mt k 1)) keys;
+  let bt = Baselines.Btree.Str.create () in
+  Array.iter (fun k -> ignore (Baselines.Btree.Str.put bt k 1)) keys;
+  let ht = Baselines.Hash_table.create ~initial_capacity:(4 * n) () in
+  Array.iter (fun k -> ignore (Baselines.Hash_table.put ht k 1)) keys;
+  let bin = Baselines.Binary_tree.create () in
+  Array.iter (fun k -> ignore (Baselines.Binary_tree.put bin k 1)) keys;
+  let rng = Xutil.Rng.create 99L in
+  let pick () = keys.(Xutil.Rng.int rng n) in
+  [
+    Test.make ~name:"masstree/get" (Staged.stage (fun () -> Masstree_core.Tree.get mt (pick ())));
+    Test.make ~name:"masstree/put" (Staged.stage (fun () -> Masstree_core.Tree.put mt (pick ()) 2));
+    Test.make ~name:"masstree/scan10"
+      (Staged.stage (fun () ->
+           Masstree_core.Tree.scan mt ~start:(pick ()) ~limit:10 (fun _ _ -> ())));
+    Test.make ~name:"btree/get" (Staged.stage (fun () -> Baselines.Btree.Str.get bt (pick ())));
+    Test.make ~name:"btree/put" (Staged.stage (fun () -> Baselines.Btree.Str.put bt (pick ()) 2));
+    Test.make ~name:"hash/get" (Staged.stage (fun () -> Baselines.Hash_table.get ht (pick ())));
+    Test.make ~name:"hash/put" (Staged.stage (fun () -> Baselines.Hash_table.put ht (pick ()) 2));
+    Test.make ~name:"binary/get" (Staged.stage (fun () -> Baselines.Binary_tree.get bin (pick ())));
+    Test.make ~name:"binary/put" (Staged.stage (fun () -> Baselines.Binary_tree.put bin (pick ()) 2));
+  ]
+
+let run scale =
+  Bench_util.header "microbenchmarks (bechamel, ns/op)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    List.map
+      (fun test -> Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]))
+      (tests scale)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun results ->
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Bench_util.row "%-24s %10.1f ns/op\n" name est
+          | _ -> Bench_util.row "%-24s (no estimate)\n" name)
+        analyzed)
+    raw

@@ -1,0 +1,1 @@
+bin/mtclient.ml: Arg Array Cmd Cmdliner Int64 Kvserver List Printf String Term Thread Workload Xutil

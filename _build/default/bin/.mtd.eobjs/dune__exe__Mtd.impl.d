@@ -1,0 +1,1 @@
+bin/mtd.ml: Arg Array Atomic Cmd Cmdliner Filename Int64 Kvserver Kvstore List Persist Printf String Sys Term Thread Unix Xutil

@@ -1,0 +1,1 @@
+bin/soak.ml: Arg Array Atomic Cmd Cmdliner Filename Hashtbl Int64 Kvstore List Persist Printf String Sys Term Thread Unix Xutil

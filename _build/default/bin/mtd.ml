@@ -1,0 +1,189 @@
+(* mtd: the Masstree server daemon.
+
+   Serves the §3 protocol over TCP or a Unix socket, with per-worker
+   update logs, periodic checkpoints, and recovery on restart.
+
+     mtd --listen 127.0.0.1:7171 --data /var/tmp/mtd
+     mtd --unix /tmp/mtd.sock --data /tmp/mtd --logs 4 --checkpoint-secs 60 *)
+
+open Cmdliner
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let find_logs data_dir =
+  if not (Sys.file_exists data_dir) then []
+  else
+    Sys.readdir data_dir |> Array.to_list
+    |> List.filter (fun f -> String.length f > 4 && String.sub f 0 4 = "log-")
+    |> List.sort compare
+    |> List.map (Filename.concat data_dir)
+
+let find_checkpoints data_dir =
+  if not (Sys.file_exists data_dir) then []
+  else
+    Sys.readdir data_dir |> Array.to_list
+    |> List.filter (fun f -> String.length f > 5 && String.sub f 0 5 = "ckpt-")
+    |> List.map (Filename.concat data_dir)
+
+let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports verbose =
+  let log fmt =
+    if verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
+  in
+  (try Unix.mkdir data_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* Recover from any previous incarnation's logs + checkpoints. *)
+  let old_logs = find_logs data_dir in
+  let old_ckpts = find_checkpoints data_dir in
+  let recovered =
+    if old_logs = [] && old_ckpts = [] then None
+    else begin
+      match
+        Kvstore.Store.recover ~log_paths:old_logs ~checkpoint_dirs:old_ckpts ()
+      with
+      | Ok (s, stats) ->
+          log "recovered %d keys (%d log records, %d checkpoint entries)"
+            (Kvstore.Store.cardinal s) stats.Persist.Recovery.records_applied
+            stats.Persist.Recovery.checkpoint_entries;
+          Some s
+      | Error e ->
+          Printf.eprintf "recovery failed: %s\n%!" e;
+          exit 1
+    end
+  in
+  (* Fresh logs for this incarnation (a real deployment would rotate; we
+     checkpoint the recovered state first so the old logs can go). *)
+  let epoch_tag = Int64.to_string (Xutil.Clock.wall_us ()) in
+  let logs =
+    Array.init n_logs (fun i ->
+        Persist.Logger.create
+          (Filename.concat data_dir (Printf.sprintf "log-%s-%d" epoch_tag i)))
+  in
+  let store =
+    match recovered with
+    | None -> Kvstore.Store.create ~logs ()
+    | Some old ->
+        (* Migrate recovered state into the logged store. *)
+        let s = Kvstore.Store.create ~logs () in
+        ignore
+          (Kvstore.Store.getrange old ~start:"" ~limit:max_int (fun k cols ->
+               Kvstore.Store.put s k cols));
+        s
+  in
+  let addr =
+    match (unix_sock, listen) with
+    | Some path, _ -> Kvserver.Tcp.Unix_sock path
+    | None, Some hostport -> (
+        match String.index_opt hostport ':' with
+        | Some i ->
+            Kvserver.Tcp.Tcp
+              ( String.sub hostport 0 i,
+                int_of_string (String.sub hostport (i + 1) (String.length hostport - i - 1)) )
+        | None -> Kvserver.Tcp.Tcp (hostport, 7171))
+    | None, None -> Kvserver.Tcp.Tcp ("127.0.0.1", 7171)
+  in
+  let server = Kvserver.Tcp.serve addr store in
+  (match Kvserver.Tcp.bound_addr server with
+  | Kvserver.Tcp.Tcp (h, p) -> Printf.printf "mtd listening on %s:%d\n%!" h p
+  | Kvserver.Tcp.Unix_sock p -> Printf.printf "mtd listening on %s\n%!" p);
+  (* Optional per-core UDP ports (paper Â§5). *)
+  let udp =
+    if udp_ports <= 0 then None
+    else begin
+      let host, base =
+        match Kvserver.Tcp.bound_addr server with
+        | Kvserver.Tcp.Tcp (h, p) -> (h, p + 1)
+        | Kvserver.Tcp.Unix_sock _ -> ("127.0.0.1", 7172)
+      in
+      let u = Kvserver.Udp.serve ~host ~base_port:base ~workers:udp_ports store in
+      Printf.printf "mtd udp ports: %s\n%!"
+        (String.concat "," (List.map string_of_int (Kvserver.Udp.ports u)));
+      Some u
+    end
+  in
+  (* Periodic checkpoints. *)
+  let stop = Atomic.make false in
+  let ckpt_thread =
+    Thread.create
+      (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          Thread.delay 0.2;
+          let elapsed = float_of_int !i *. 0.2 in
+          if checkpoint_secs > 0.0 && elapsed >= checkpoint_secs then begin
+            i := 0;
+            let dir =
+              Filename.concat data_dir
+                (Printf.sprintf "ckpt-%Ld" (Xutil.Clock.wall_us ()))
+            in
+            match Kvstore.Store.checkpoint store ~dir ~writers:n_logs with
+            | Ok m ->
+                log "checkpoint written: %s" m;
+                (* Reclaim log space (§5): everything before the checkpoint
+                   is now redundant.  Rotate each logger to a fresh file and
+                   delete the superseded logs and older checkpoints. *)
+                let tag = Int64.to_string (Xutil.Clock.wall_us ()) in
+                let old_files = find_logs data_dir in
+                Array.iteri
+                  (fun i l ->
+                    Persist.Logger.rotate l
+                      (Filename.concat data_dir (Printf.sprintf "log-%s-%d" tag i)))
+                  logs;
+                let current = Array.to_list (Array.map Persist.Logger.path logs) in
+                List.iter
+                  (fun f ->
+                    if not (List.mem f current) then
+                      try Sys.remove f with Sys_error _ -> ())
+                  old_files;
+                List.iter
+                  (fun c -> if c <> dir then rm_rf c)
+                  (find_checkpoints data_dir)
+            | Error e -> Printf.eprintf "checkpoint failed: %s\n%!" e
+          end
+          else incr i
+        done)
+      ()
+  in
+  (* Run until SIGINT/SIGTERM. *)
+  let quit = ref false in
+  let handler _ = quit := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+  while not !quit do
+    Unix.sleepf 0.2
+  done;
+  print_endline "shutting down";
+  Atomic.set stop true;
+  Thread.join ckpt_thread;
+  (match udp with Some u -> Kvserver.Udp.shutdown u | None -> ());
+  Kvserver.Tcp.shutdown server;
+  Kvstore.Store.close store
+
+let listen_t =
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc:"TCP listen address.")
+
+let unix_t =
+  Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc:"Unix-domain socket path (overrides --listen).")
+
+let data_t =
+  Arg.(value & opt string "./mtd-data" & info [ "data" ] ~docv:"DIR" ~doc:"Data directory for logs and checkpoints.")
+
+let logs_t = Arg.(value & opt int 2 & info [ "logs" ] ~docv:"N" ~doc:"Number of per-worker log files.")
+
+let ckpt_t =
+  Arg.(value & opt float 0.0 & info [ "checkpoint-secs" ] ~docv:"S" ~doc:"Checkpoint interval; 0 disables.")
+
+let udp_t =
+  Arg.(value & opt int 0 & info [ "udp-ports" ] ~docv:"N" ~doc:"Also serve N per-core UDP ports; 0 disables.")
+
+let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mtd" ~doc:"Masstree key-value server daemon")
+    Term.(const run $ listen_t $ unix_t $ data_t $ logs_t $ ckpt_t $ udp_t $ verbose_t)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,178 @@
+(* soak: randomized multi-domain stress with invariant checking.
+
+   Drives a logged store with a mixed workload (gets, full puts, column
+   updates, removes, range scans) from several domains, optionally
+   checkpointing concurrently, then:
+
+     1. runs the deep structural invariant check on the index;
+     2. verifies every key a per-domain oracle believes it owns;
+     3. crash-recovers from the logs + checkpoints into a fresh store and
+        verifies the recovered state contains every oracle-owned key.
+
+   Exit code 0 = clean; anything else prints what broke.  Useful as a CI
+   soak and when hacking on the concurrency protocol.
+
+     dune exec bin/soak.exe -- --seconds 10 --domains 4 --keys 50000 *)
+
+open Cmdliner
+
+let run seconds domains keyspace checkpoint_every verbose =
+  let dir = Filename.temp_file "soak" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let log_paths = List.init domains (fun i -> Filename.concat dir (Printf.sprintf "log%d" i)) in
+  let logs = Array.of_list (List.map Persist.Logger.create log_paths) in
+  let store = Kvstore.Store.create ~logs () in
+  if verbose then Printf.printf "soak: %d domains, %ds, keyspace %d, data in %s\n%!"
+      domains seconds keyspace dir;
+  (* Each domain owns a disjoint key slice so it can keep an exact oracle
+     of its own keys while everyone also reads/scans the shared space. *)
+  let oracles = Array.init domains (fun _ -> Hashtbl.create 1024) in
+  let op_counts = Array.make domains 0 in
+  let stop = Atomic.make false in
+  let checkpoints = ref [] in
+  let ckpt_thread =
+    Thread.create
+      (fun () ->
+        let n = ref 0 in
+        while not (Atomic.get stop) do
+          Thread.delay 0.1;
+          if checkpoint_every > 0.0 && float_of_int !n *. 0.1 >= checkpoint_every then begin
+            n := 0;
+            let cd = Filename.concat dir (Printf.sprintf "ck%d" (List.length !checkpoints)) in
+            match Kvstore.Store.checkpoint store ~dir:cd ~writers:2 with
+            | Ok _ ->
+                checkpoints := cd :: !checkpoints;
+                if verbose then Printf.printf "  checkpoint %s\n%!" cd
+            | Error e -> Printf.eprintf "checkpoint failed: %s\n%!" e
+          end
+          else incr n
+        done)
+      ()
+  in
+  let failures = Atomic.make 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Atomic.incr failures;
+        Printf.eprintf "SOAK FAILURE: %s\n%!" m)
+      fmt
+  in
+  ignore
+    (Xutil.Domain_pool.run domains (fun d ->
+         let rng = Xutil.Rng.create (Int64.of_int (0xBEEF + d)) in
+         let oracle = oracles.(d) in
+         let my_key i = Printf.sprintf "d%d-%06d" d i in
+         let deadline =
+           Int64.add (Xutil.Clock.now_ns ()) (Int64.of_float (float_of_int seconds *. 1e9))
+         in
+         while Int64.compare (Xutil.Clock.now_ns ()) deadline < 0 do
+           op_counts.(d) <- op_counts.(d) + 1;
+           let i = Xutil.Rng.int rng keyspace in
+           let k = my_key i in
+           match Xutil.Rng.int rng 100 with
+           | p when p < 30 ->
+               (* own-key get checked against the oracle *)
+               let expected = Hashtbl.find_opt oracle k in
+               let got = Kvstore.Store.get store k in
+               let matches =
+                 match (expected, got) with
+                 | None, None -> true
+                 | Some v, Some g -> g = v
+                 | _ -> false
+               in
+               if not matches then fail "domain %d: oracle mismatch on %s" d k
+           | p when p < 55 ->
+               let v = [| string_of_int (Xutil.Rng.int rng 1000); string_of_int d |] in
+               Kvstore.Store.put ~worker:d store k v;
+               Hashtbl.replace oracle k v
+           | p when p < 70 ->
+               let c = Xutil.Rng.int rng 4 in
+               let data = string_of_int (Xutil.Rng.int rng 100) in
+               Kvstore.Store.put_columns ~worker:d store k [ (c, data) ];
+               let base =
+                 match Hashtbl.find_opt oracle k with Some v -> v | None -> [||]
+               in
+               let w = max (Array.length base) (c + 1) in
+               let merged = Array.make w "" in
+               Array.blit base 0 merged 0 (Array.length base);
+               merged.(c) <- data;
+               Hashtbl.replace oracle k merged
+           | p when p < 85 ->
+               ignore (Kvstore.Store.remove ~worker:d store k);
+               Hashtbl.remove oracle k
+           | p when p < 95 ->
+               (* cross-domain read: just must not crash or return junk *)
+               let other = Xutil.Rng.int rng domains in
+               ignore (Kvstore.Store.get store (Printf.sprintf "d%d-%06d" other i))
+           | _ ->
+               (* ordered scan over the shared space *)
+               let prev = ref "" in
+               ignore
+                 (Kvstore.Store.getrange store ~start:k ~limit:20 (fun k' _ ->
+                      if !prev <> "" && String.compare k' !prev <= 0 then
+                        fail "domain %d: scan order violation at %s" d k';
+                      prev := k'))
+         done));
+  Atomic.set stop true;
+  Thread.join ckpt_thread;
+  let total_ops = Array.fold_left ( + ) 0 op_counts in
+  Printf.printf "soak: %d ops across %d domains\n%!" total_ops domains;
+  (* 1. structural invariants *)
+  (match Kvstore.Store.check store with
+  | Ok () -> ()
+  | Error m -> fail "structural check: %s" m);
+  (* 2. final oracle verification *)
+  Array.iteri
+    (fun d oracle ->
+      Hashtbl.iter
+        (fun k v ->
+          if Kvstore.Store.get store k <> Some v then
+            fail "domain %d: final state lost %s" d k)
+        oracle)
+    oracles;
+  (* 3. crash recovery equivalence *)
+  Kvstore.Store.close store;
+  (match
+     Kvstore.Store.recover ~log_paths ~checkpoint_dirs:!checkpoints ()
+   with
+  | Error e -> fail "recovery: %s" e
+  | Ok (s2, stats) ->
+      if verbose then
+        Printf.printf "  recovered %d keys (%d records, %d checkpoint entries)\n%!"
+          (Kvstore.Store.cardinal s2)
+          stats.Persist.Recovery.records_applied stats.Persist.Recovery.checkpoint_entries;
+      Array.iteri
+        (fun d oracle ->
+          Hashtbl.iter
+            (fun k v ->
+              if Kvstore.Store.get s2 k <> Some v then
+                fail "domain %d: recovery lost %s" d k)
+            oracle)
+        oracles);
+  if Atomic.get failures = 0 then begin
+    Printf.printf "soak: all invariants held\n";
+    0
+  end
+  else begin
+    Printf.printf "soak: %d failures\n" (Atomic.get failures);
+    1
+  end
+
+let seconds_t = Arg.(value & opt int 10 & info [ "seconds" ] ~docv:"S" ~doc:"Soak duration.")
+
+let domains_t = Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.")
+
+let keys_t = Arg.(value & opt int 20_000 & info [ "keys" ] ~docv:"N" ~doc:"Keyspace per domain.")
+
+let ckpt_t =
+  Arg.(value & opt float 2.0 & info [ "checkpoint-every" ] ~docv:"S" ~doc:"Concurrent checkpoint interval; 0 disables.")
+
+let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress output.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "soak" ~doc:"Randomized concurrency + persistence soak test")
+    Term.(const run $ seconds_t $ domains_t $ keys_t $ ckpt_t $ verbose_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/persistence_demo.ml: Array Filename Kvstore List Persist Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Kvstore Masstree_core Printf String

@@ -1,0 +1,1 @@
+examples/timeseries.ml: Array Int64 Keycodec Masstree_core Printf Tree Xutil

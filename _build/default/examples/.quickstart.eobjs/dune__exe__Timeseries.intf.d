@@ -1,0 +1,1 @@
+examples/timeseries.mli:

@@ -1,0 +1,1 @@
+examples/url_index.ml: Array Kvstore List Masstree_core Printf String Workload Xutil

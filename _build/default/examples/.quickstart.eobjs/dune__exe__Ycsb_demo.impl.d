@@ -1,0 +1,1 @@
+examples/ycsb_demo.ml: Format Kvstore List Printf Workload Xutil

@@ -1,0 +1,62 @@
+(* Persistence walkthrough (§5): per-worker logs with group commit, a
+   checkpoint, a simulated crash (the process state is simply dropped),
+   and recovery that merges checkpoint + log tails under the timestamp
+   cutoff rule.
+
+   Run with:  dune exec examples/persistence_demo.exe *)
+
+let () =
+  let dir = Filename.temp_file "masstree-demo" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Printf.printf "state lives under %s\n" dir;
+
+  let log_paths = List.init 2 (fun i -> Filename.concat dir (Printf.sprintf "log-%d" i)) in
+  let logs =
+    Array.of_list (List.map (fun p -> Persist.Logger.create ~sync_interval_s:0.05 p) log_paths)
+  in
+  let store = Kvstore.Store.create ~logs () in
+
+  (* Phase 1: load 5000 accounts, updates flowing to two per-worker logs. *)
+  for i = 0 to 4999 do
+    Kvstore.Store.put ~worker:(i mod 2) store
+      (Printf.sprintf "acct:%05d" i)
+      [| Printf.sprintf "balance=%d" (i * 10); "EUR" |]
+  done;
+  Printf.printf "loaded %d accounts\n" (Kvstore.Store.cardinal store);
+
+  (* Phase 2: checkpoint while the store stays writable. *)
+  let ckpt_dir = Filename.concat dir "ckpt-0001" in
+  (match Kvstore.Store.checkpoint store ~dir:ckpt_dir ~writers:2 with
+  | Ok manifest -> Printf.printf "checkpoint complete: %s\n" manifest
+  | Error e -> failwith e);
+
+  (* Phase 3: more updates after the checkpoint — these exist only in the
+     logs and must be replayed on top of the checkpoint. *)
+  Kvstore.Store.put ~worker:0 store "acct:00000" [| "balance=999999"; "EUR" |];
+  ignore (Kvstore.Store.remove ~worker:1 store "acct:04999");
+  Kvstore.Store.put ~worker:0 store "acct:new" [| "balance=1"; "EUR" |];
+
+  (* Group commit: give the 50ms flusher a moment, then seal (a real crash
+     between commits would lose at most the last interval, §5). *)
+  Unix.sleepf 0.2;
+  Kvstore.Store.close store;
+  print_endline "-- simulated crash: in-memory state dropped --";
+
+  (* Phase 4: recovery. *)
+  (match
+     Kvstore.Store.recover ~log_paths ~checkpoint_dirs:[ ckpt_dir ] ()
+   with
+  | Error e -> failwith e
+  | Ok (recovered, stats) ->
+      Printf.printf
+        "recovered: %d keys (checkpoint contributed %d entries, %d log records \
+         applied, cutoff=%Ld)\n"
+        (Kvstore.Store.cardinal recovered)
+        stats.Persist.Recovery.checkpoint_entries stats.Persist.Recovery.records_applied
+        stats.Persist.Recovery.cutoff;
+      assert (Kvstore.Store.get recovered "acct:00000" = Some [| "balance=999999"; "EUR" |]);
+      assert (Kvstore.Store.get recovered "acct:04999" = None);
+      assert (Kvstore.Store.get recovered "acct:new" = Some [| "balance=1"; "EUR" |]);
+      assert (Kvstore.Store.cardinal recovered = 5000));
+  print_endline "post-crash state verified: persistence_demo ok"

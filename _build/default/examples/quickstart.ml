@@ -1,0 +1,49 @@
+(* Quickstart: embed Masstree as a library.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   Shows the §3 interface — put/get with columns, remove, getrange — plus
+   direct use of the core index for plain (untyped-value) workloads. *)
+
+let () =
+  (* --- the raw index: any OCaml value type, arbitrary binary keys --- *)
+  let tree : int Masstree_core.Tree.t = Masstree_core.Tree.create () in
+  ignore (Masstree_core.Tree.put tree "bees" 1);
+  ignore (Masstree_core.Tree.put tree "beeswax" 2);
+  ignore (Masstree_core.Tree.put tree "bee\x00binary\x00key" 3);
+  assert (Masstree_core.Tree.get tree "bees" = Some 1);
+  assert (Masstree_core.Tree.get tree "bee" = None);
+  Printf.printf "index holds %d keys\n" (Masstree_core.Tree.cardinal tree);
+
+  (* Keys come back in byte-lexicographic order, binary keys included. *)
+  print_endline "keys in order:";
+  ignore
+    (Masstree_core.Tree.scan tree ~limit:10 (fun k v ->
+         Printf.printf "  %S -> %d\n" k v));
+
+  (* --- the storage system: multi-column values (§4.7) --- *)
+  let store = Kvstore.Store.create () in
+  Kvstore.Store.put store "user:17" [| "ada"; "lovelace"; "1815" |];
+  Kvstore.Store.put store "user:23" [| "alan"; "turing"; "1912" |];
+
+  (* Column-subset get: name columns only. *)
+  (match Kvstore.Store.get_columns store "user:17" [ 0; 1 ] with
+  | Some [| first; last |] -> Printf.printf "user:17 is %s %s\n" first last
+  | _ -> assert false);
+
+  (* Atomic multi-column update: a concurrent reader sees both changes or
+     neither. *)
+  Kvstore.Store.put_columns store "user:17" [ (1, "byron"); (2, "1816") ];
+  (match Kvstore.Store.get store "user:17" with
+  | Some cols -> Printf.printf "user:17 now: %s\n" (String.concat "," (Array.to_list cols))
+  | None -> assert false);
+
+  (* Range query over the user keyspace. *)
+  print_endline "all users:";
+  ignore
+    (Kvstore.Store.getrange store ~start:"user:" ~limit:100 (fun k cols ->
+         Printf.printf "  %s -> %s\n" k cols.(0)));
+
+  ignore (Kvstore.Store.remove store "user:23");
+  Printf.printf "after remove: %d users\n" (Kvstore.Store.cardinal store);
+  print_endline "quickstart ok"

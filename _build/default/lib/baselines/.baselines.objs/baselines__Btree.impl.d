@@ -1,0 +1,1 @@
+lib/baselines/btree.ml: Array Atomic Int64 List Masstree_core Permutation String Version Xutil

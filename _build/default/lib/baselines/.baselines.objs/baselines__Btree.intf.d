@@ -1,0 +1,1 @@
+lib/baselines/btree.mli: Int64 String

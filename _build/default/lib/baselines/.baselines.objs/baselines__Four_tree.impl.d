@@ -1,0 +1,1 @@
+lib/baselines/four_tree.ml: Array Atomic Masstree_core String Version

@@ -1,0 +1,1 @@
+lib/baselines/four_tree.mli:

@@ -1,0 +1,1 @@
+lib/baselines/hash_table.ml: Array Atomic Char Int64 String Xutil

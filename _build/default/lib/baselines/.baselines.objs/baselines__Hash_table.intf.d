@@ -1,0 +1,1 @@
+lib/baselines/hash_table.mli:

@@ -1,0 +1,1 @@
+lib/baselines/kv.ml: Masstree_core

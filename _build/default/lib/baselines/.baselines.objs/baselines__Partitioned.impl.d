@@ -1,0 +1,1 @@
+lib/baselines/partitioned.ml: Array Hash_table St_masstree Xutil

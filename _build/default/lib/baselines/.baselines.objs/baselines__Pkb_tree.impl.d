@@ -1,0 +1,1 @@
+lib/baselines/pkb_tree.ml: Array Int64 Key Masstree_core String

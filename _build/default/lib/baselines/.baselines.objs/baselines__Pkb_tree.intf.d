@@ -1,0 +1,1 @@
+lib/baselines/pkb_tree.mli:

@@ -1,0 +1,1 @@
+lib/baselines/st_masstree.ml: Array Int64 Key Masstree_core String

@@ -1,0 +1,1 @@
+lib/baselines/st_masstree.mli:

@@ -1,0 +1,85 @@
+type 'v node = {
+  key : string;
+  value : 'v option Atomic.t; (* None = logically removed *)
+  left : 'v node option Atomic.t;
+  right : 'v node option Atomic.t;
+}
+
+type 'v t = { root : 'v node option Atomic.t }
+
+let name = "binary"
+
+let create () = { root = Atomic.make None }
+
+let rec find_node slot key =
+  match Atomic.get slot with
+  | None -> None
+  | Some n ->
+      let c = String.compare key n.key in
+      if c = 0 then Some n
+      else find_node (if c < 0 then n.left else n.right) key
+
+let get t key =
+  match find_node t.root key with None -> None | Some n -> Atomic.get n.value
+
+let rec insert slot key v =
+  match Atomic.get slot with
+  | None ->
+      let n =
+        { key; value = Atomic.make (Some v); left = Atomic.make None; right = Atomic.make None }
+      in
+      if Atomic.compare_and_set slot None (Some n) then None
+      else insert slot key v (* lost the race; retry from this child *)
+  | Some n ->
+      let c = String.compare key n.key in
+      if c = 0 then Atomic.exchange n.value (Some v)
+      else insert (if c < 0 then n.left else n.right) key v
+
+let put t key v = insert t.root key v
+
+let remove t key =
+  match find_node t.root key with
+  | None -> None
+  | Some n -> Atomic.exchange n.value None
+
+let scan t ~start ~limit f =
+  let count = ref 0 in
+  let exception Done in
+  let rec visit slot =
+    match Atomic.get slot with
+    | None -> ()
+    | Some n ->
+        let c = String.compare n.key start in
+        if c >= 0 then begin
+          visit n.left;
+          (match Atomic.get n.value with
+          | Some v ->
+              f n.key v;
+              incr count;
+              if !count >= limit then raise Done
+          | None -> ());
+          visit n.right
+        end
+        else visit n.right
+  in
+  (try visit t.root with Done -> ());
+  !count
+
+let depth_of t key =
+  let rec go slot d =
+    match Atomic.get slot with
+    | None -> d
+    | Some n ->
+        let c = String.compare key n.key in
+        if c = 0 then d + 1 else go (if c < 0 then n.left else n.right) (d + 1)
+  in
+  go t.root 0
+
+let size t =
+  let rec go slot =
+    match Atomic.get slot with
+    | None -> 0
+    | Some n ->
+        (match Atomic.get n.value with Some _ -> 1 | None -> 0) + go n.left + go n.right
+  in
+  go t.root

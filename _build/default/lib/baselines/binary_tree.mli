@@ -1,0 +1,29 @@
+(** The "Binary" baseline of §6.2: a fast concurrent lock-free binary
+    search tree.  Each node holds a full key, a value slot, and two child
+    pointers (the paper's 40-byte nodes).  Lookups are lock-free and never
+    retry; inserts publish nodes with a single CAS on the parent's child
+    pointer; value updates are atomic stores; removal is logical (the
+    value slot is emptied), which matches how the paper's benchmarks use
+    it (get/put only) while keeping the structure linearizable. *)
+
+type 'v t
+
+val name : string
+
+val create : unit -> 'v t
+
+val get : 'v t -> string -> 'v option
+
+val put : 'v t -> string -> 'v -> 'v option
+
+val remove : 'v t -> string -> 'v option
+
+val scan : 'v t -> start:string -> limit:int -> (string -> 'v -> unit) -> int
+(** In-order traversal; not linearizable under concurrent writes (like the
+    paper's getrange). *)
+
+val depth_of : 'v t -> string -> int
+(** Number of nodes on the search path of a key — the memory-model hook:
+    the cost model charges one dependent cache-line fetch per node. *)
+
+val size : 'v t -> int

@@ -1,0 +1,616 @@
+open Masstree_core
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val dummy : t
+end
+
+let name = "btree"
+
+module Make (K : KEY) = struct
+  let width = Permutation.width
+
+  type 'v leaf = {
+    lversion : Version.t Atomic.t;
+    mutable lparent : 'v interior option;
+    lkeys : K.t array; (* width *)
+    lvals : 'v option array; (* width; plain stores, validated by version *)
+    lperm : int Atomic.t;
+    mutable lnext : 'v leaf option;
+    mutable lprev : 'v leaf option;
+    mutable llowkey : K.t;
+    mutable lstale : int;
+  }
+
+  and 'v interior = {
+    iversion : Version.t Atomic.t;
+    mutable iparent : 'v interior option;
+    mutable inkeys : int;
+    ikeys : K.t array; (* width *)
+    ichild : 'v node option array; (* width + 1 *)
+  }
+
+  and 'v node = Leaf of 'v leaf | Interior of 'v interior
+
+  type 'v t = { root : 'v node ref; permuter : bool; coarse : bool }
+
+  exception Restart
+
+  let same_node a b =
+    match (a, b) with
+    | Leaf x, Leaf y -> x == y
+    | Interior x, Interior y -> x == y
+    | Leaf _, Interior _ | Interior _, Leaf _ -> false
+
+  let version_of = function Leaf l -> l.lversion | Interior i -> i.iversion
+
+  let parent_of = function Leaf l -> l.lparent | Interior i -> i.iparent
+
+  let set_parent n p =
+    match n with Leaf l -> l.lparent <- p | Interior i -> i.iparent <- p
+
+  let new_leaf ~isroot ~locked =
+    let base =
+      if locked then Version.make_locked ~isroot ~isborder:true
+      else Version.make ~isroot ~isborder:true
+    in
+    {
+      lversion = Atomic.make base;
+      lparent = None;
+      lkeys = Array.make width K.dummy;
+      lvals = Array.make width None;
+      lperm = Atomic.make (Permutation.empty :> int);
+      lnext = None;
+      lprev = None;
+      llowkey = K.dummy;
+      lstale = 0;
+    }
+
+  let new_interior () =
+    {
+      iversion = Atomic.make (Version.make_locked ~isroot:false ~isborder:false);
+      iparent = None;
+      inkeys = 0;
+      ikeys = Array.make width K.dummy;
+      ichild = Array.make (width + 1) None;
+    }
+
+  let create ?(permuter = true) ?(coarse_versions = false) () =
+    {
+      root = ref (Leaf (new_leaf ~isroot:true ~locked:false));
+      permuter = permuter && not coarse_versions;
+      coarse = coarse_versions;
+    }
+
+  (* Under coarse versions every dirty section is marked as a split, so
+     readers cannot retry locally: any observed change sends them back to
+     the root (OLFIT's single-counter behaviour). *)
+  let mark_insert_dirty t v = if t.coarse then Version.mark_splitting v else Version.mark_inserting v
+
+  (* ---- descent (Figure 6 specialized to one tree) ---- *)
+
+  let stable_root root_ref =
+    let rec climb n fuel =
+      let v = Version.stable (version_of n) in
+      if Version.is_root v then (n, v)
+      else
+        match parent_of n with
+        | Some p -> climb (Interior p) fuel
+        | None -> if fuel = 0 then raise Restart else climb !root_ref (fuel - 1)
+    in
+    climb !root_ref 16
+
+  let find_leaf root_ref key =
+    let rec from_root () =
+      let n0, v0 = stable_root root_ref in
+      descend n0 v0
+    and descend n v =
+      match n with
+      | Leaf l -> (l, v)
+      | Interior i -> (
+          let nk = min i.inkeys width in
+          let rec child_index j =
+            if j < nk && K.compare i.ikeys.(j) key <= 0 then child_index (j + 1) else j
+          in
+          match i.ichild.(child_index 0) with
+          | None -> revalidate n v
+          | Some n' ->
+              let v' = Version.stable (version_of n') in
+              if not (Version.changed v (Atomic.get (version_of n))) then descend n' v'
+              else revalidate n v)
+    and revalidate n v =
+      let v' = Version.stable (version_of n) in
+      if Version.vsplit v' <> Version.vsplit v || Version.deleted v' then from_root ()
+      else descend n v'
+    in
+    from_root ()
+
+  let perm_of l = Permutation.of_int (Atomic.get l.lperm)
+
+  let search_pos l perm key =
+    let n = Permutation.size perm in
+    let rec go i =
+      if i >= n then `Absent i
+      else begin
+        let slot = Permutation.get perm i in
+        let c = K.compare l.lkeys.(slot) key in
+        if c < 0 then go (i + 1) else if c > 0 then `Absent i else `Hit (i, slot)
+      end
+    in
+    go 0
+
+  (* ---- get (Figure 7 specialized) ---- *)
+
+  let get t key =
+    let rec attempt () = try run () with Restart -> attempt ()
+    and run () =
+      let l, v = find_leaf t.root key in
+      forward l v
+    and forward l v =
+      if Version.deleted v then raise Restart;
+      let outcome =
+        match search_pos l (perm_of l) key with
+        | `Hit (_, slot) -> l.lvals.(slot)
+        | `Absent _ -> None
+      in
+      if Version.changed v (Atomic.get l.lversion) then walk l (Version.stable l.lversion)
+      else outcome
+    and walk l v =
+      if Version.deleted v then raise Restart;
+      match l.lnext with
+      | Some nx when K.compare key nx.llowkey >= 0 -> walk nx (Version.stable nx.lversion)
+      | _ -> forward l v
+    in
+    attempt ()
+
+  (* ---- writers ---- *)
+
+  let locked_parent n =
+    let rec retry () =
+      match parent_of n with
+      | None -> None
+      | Some p -> (
+          Version.lock p.iversion;
+          match parent_of n with
+          | Some q when q == p -> Some p
+          | _ ->
+              Version.unlock p.iversion;
+              retry ())
+    in
+    retry ()
+
+  let rec advance_locked l key =
+    if Version.deleted (Atomic.get l.lversion) then begin
+      Version.unlock l.lversion;
+      raise Restart
+    end;
+    match l.lnext with
+    | Some nx when K.compare key nx.llowkey >= 0 ->
+        Version.unlock l.lversion;
+        Version.lock nx.lversion;
+        advance_locked nx key
+    | _ -> l
+
+  let write_slot l slot key v =
+    l.lkeys.(slot) <- key;
+    l.lvals.(slot) <- Some v
+
+  (* Plain insert into a leaf with room.  Permuter mode publishes via the
+     permutation word; classic mode shifts slots in place under the
+     inserting bit (every reader of this node retries). *)
+  let insert_into_leaf t l ~pos key v =
+    let perm = perm_of l in
+    if t.permuter then begin
+      let slot = Permutation.free_slot perm in
+      if l.lstale land (1 lsl slot) <> 0 then begin
+        mark_insert_dirty t l.lversion;
+        l.lstale <- l.lstale land lnot (1 lsl slot)
+      end;
+      write_slot l slot key v;
+      Atomic.set l.lperm (Permutation.insert perm ~pos :> int)
+    end
+    else begin
+      mark_insert_dirty t l.lversion;
+      (* Classic B-tree insert: keep slots in key order by shifting. *)
+      let n = Permutation.size perm in
+      (* In classic mode the permutation is always the identity prefix. *)
+      for j = n downto pos + 1 do
+        l.lkeys.(j) <- l.lkeys.(j - 1);
+        l.lvals.(j) <- l.lvals.(j - 1)
+      done;
+      write_slot l pos key v;
+      Atomic.set l.lperm (Permutation.sorted (n + 1) :> int);
+      l.lstale <- 0
+    end
+
+  let ins_pos_interior p key =
+    let rec go i =
+      if i < p.inkeys && K.compare p.ikeys.(i) key <= 0 then go (i + 1) else i
+    in
+    go 0
+
+  let rec ascend t n nn sepkey =
+    match locked_parent n with
+    | None ->
+        let p = new_interior () in
+        p.inkeys <- 1;
+        p.ikeys.(0) <- sepkey;
+        p.ichild.(0) <- Some n;
+        p.ichild.(1) <- Some nn;
+        Atomic.set p.iversion (Version.make ~isroot:true ~isborder:false);
+        set_parent n (Some p);
+        set_parent nn (Some p);
+        Version.set_root (version_of n) false;
+        t.root := Interior p;
+        Version.unlock (version_of n);
+        Version.unlock (version_of nn)
+    | Some p ->
+        if p.inkeys < width then begin
+          Version.mark_inserting p.iversion;
+          let pos = ins_pos_interior p sepkey in
+          for j = p.inkeys downto pos + 1 do
+            p.ikeys.(j) <- p.ikeys.(j - 1);
+            p.ichild.(j + 1) <- p.ichild.(j)
+          done;
+          p.ikeys.(pos) <- sepkey;
+          p.ichild.(pos + 1) <- Some nn;
+          p.inkeys <- p.inkeys + 1;
+          set_parent nn (Some p);
+          Version.unlock (version_of n);
+          Version.unlock (version_of nn);
+          Version.unlock p.iversion
+        end
+        else begin
+          Version.mark_splitting p.iversion;
+          Version.unlock (version_of n);
+          let pos = ins_pos_interior p sepkey in
+          let keys = Array.make (width + 1) K.dummy in
+          let children = Array.make (width + 2) None in
+          for j = 0 to width - 1 do
+            keys.(if j < pos then j else j + 1) <- p.ikeys.(j)
+          done;
+          keys.(pos) <- sepkey;
+          for j = 0 to width do
+            children.(if j <= pos then j else j + 1) <- p.ichild.(j)
+          done;
+          children.(pos + 1) <- Some nn;
+          let h = (width + 1) / 2 in
+          let upkey = keys.(h) in
+          let pp = new_interior () in
+          Version.mark_splitting pp.iversion;
+          pp.inkeys <- width - h;
+          for j = h + 1 to width do
+            pp.ikeys.(j - h - 1) <- keys.(j)
+          done;
+          for j = h + 1 to width + 1 do
+            pp.ichild.(j - h - 1) <- children.(j);
+            match children.(j) with
+            | Some c -> set_parent c (Some pp)
+            | None -> assert false
+          done;
+          p.inkeys <- h;
+          for j = 0 to h - 1 do
+            p.ikeys.(j) <- keys.(j)
+          done;
+          for j = 0 to h do
+            p.ichild.(j) <- children.(j);
+            match children.(j) with
+            | Some c -> set_parent c (Some p)
+            | None -> assert false
+          done;
+          for j = h + 1 to width do
+            p.ichild.(j) <- None
+          done;
+          Version.unlock (version_of nn);
+          ascend t (Interior p) (Interior pp) upkey
+        end
+
+  let split_leaf t l ~pos key v =
+    Version.mark_splitting l.lversion;
+    let perm = perm_of l in
+    let nold = Permutation.size perm in
+    let ks = Array.make (nold + 1) key and vs = Array.make (nold + 1) (Some v) in
+    for j = 0 to nold - 1 do
+      let slot = Permutation.get perm j in
+      let dst = if j < pos then j else j + 1 in
+      ks.(dst) <- l.lkeys.(slot);
+      vs.(dst) <- l.lvals.(slot)
+    done;
+    let sequential_append = pos = nold && match l.lnext with None -> true | Some _ -> false in
+    let m = if sequential_append then nold else (nold + 1) / 2 in
+    let nl = new_leaf ~isroot:false ~locked:true in
+    Version.mark_splitting nl.lversion;
+    nl.llowkey <- ks.(m);
+    for j = m to nold do
+      nl.lkeys.(j - m) <- ks.(j);
+      nl.lvals.(j - m) <- vs.(j)
+    done;
+    Atomic.set nl.lperm (Permutation.sorted (nold + 1 - m) :> int);
+    if pos < m then begin
+      Atomic.set l.lperm (Permutation.keep_prefix perm ~n:(m - 1) :> int);
+      insert_into_leaf t l ~pos key v
+    end
+    else Atomic.set l.lperm (Permutation.keep_prefix perm ~n:m :> int);
+    nl.lnext <- l.lnext;
+    nl.lprev <- Some l;
+    (match l.lnext with Some nx -> nx.lprev <- Some nl | None -> ());
+    l.lnext <- Some nl;
+    ascend t (Leaf l) (Leaf nl) nl.llowkey
+
+  let put t key v =
+    let rec attempt () = try run () with Restart -> attempt ()
+    and run () =
+      let l, _v = find_leaf t.root key in
+      Version.lock l.lversion;
+      let l = advance_locked l key in
+      match search_pos l (perm_of l) key with
+      | `Hit (_, slot) ->
+          let old = l.lvals.(slot) in
+          (* Classic mode has no permutation shield for value updates
+             either; mark inserting so readers revalidate.  Permuter mode
+             updates are single stores, invisible to the version. *)
+          if not t.permuter then mark_insert_dirty t l.lversion;
+          l.lvals.(slot) <- Some v;
+          Version.unlock l.lversion;
+          old
+      | `Absent pos ->
+          if Permutation.is_full (perm_of l) then split_leaf t l ~pos key v
+          else begin
+            insert_into_leaf t l ~pos key v;
+            Version.unlock l.lversion
+          end;
+          None
+    in
+    attempt ()
+
+  (* ---- remove (without rebalancing) ---- *)
+
+  let rec remove_from_parent child =
+    match locked_parent child with
+    | None -> Version.unlock (version_of child)
+    | Some p -> (
+        Version.mark_inserting p.iversion;
+        let k = p.inkeys in
+        let idx = ref None in
+        for j = 0 to k do
+          match p.ichild.(j) with
+          | Some c when same_node c child -> idx := Some j
+          | _ -> ()
+        done;
+        match !idx with
+        | None ->
+            Version.unlock (version_of child);
+            Version.unlock p.iversion
+        | Some i ->
+            if k = 0 then begin
+              p.ichild.(0) <- None;
+              Version.unlock (version_of child);
+              Version.mark_deleted p.iversion;
+              remove_from_parent (Interior p)
+            end
+            else begin
+              if i = 0 then begin
+                for j = 0 to k - 2 do
+                  p.ikeys.(j) <- p.ikeys.(j + 1)
+                done;
+                for j = 0 to k - 1 do
+                  p.ichild.(j) <- p.ichild.(j + 1)
+                done
+              end
+              else begin
+                for j = i - 1 to k - 2 do
+                  p.ikeys.(j) <- p.ikeys.(j + 1)
+                done;
+                for j = i to k - 1 do
+                  p.ichild.(j) <- p.ichild.(j + 1)
+                done
+              end;
+              p.ichild.(k) <- None;
+              p.inkeys <- k - 1;
+              Version.unlock (version_of child);
+              Version.unlock p.iversion
+            end)
+
+  let unlink_leaf l =
+    let bo = Xutil.Backoff.create () in
+    let rec loop () =
+      match l.lprev with
+      | None -> ()
+      | Some prev ->
+          if Version.try_lock prev.lversion then begin
+            let ok =
+              (not (Version.deleted (Atomic.get prev.lversion)))
+              && match prev.lnext with Some x -> x == l | None -> false
+            in
+            if ok then begin
+              prev.lnext <- l.lnext;
+              (match l.lnext with Some nx -> nx.lprev <- Some prev | None -> ());
+              Version.unlock prev.lversion
+            end
+            else begin
+              Version.unlock prev.lversion;
+              Xutil.Backoff.once bo;
+              loop ()
+            end
+          end
+          else begin
+            Xutil.Backoff.once bo;
+            loop ()
+          end
+    in
+    loop ()
+
+  let remove t key =
+    let rec attempt () = try run () with Restart -> attempt ()
+    and run () =
+      let l, _v = find_leaf t.root key in
+      Version.lock l.lversion;
+      let l = advance_locked l key in
+      match search_pos l (perm_of l) key with
+      | `Absent _ ->
+          Version.unlock l.lversion;
+          None
+      | `Hit (pos, slot) ->
+          let old = l.lvals.(slot) in
+          (if t.permuter then begin
+             Atomic.set l.lperm (Permutation.remove (perm_of l) ~pos :> int);
+             l.lstale <- l.lstale lor (1 lsl slot)
+           end
+           else begin
+             mark_insert_dirty t l.lversion;
+             let n = Permutation.size (perm_of l) in
+             for j = pos to n - 2 do
+               l.lkeys.(j) <- l.lkeys.(j + 1);
+               l.lvals.(j) <- l.lvals.(j + 1)
+             done;
+             l.lvals.(n - 1) <- None;
+             Atomic.set l.lperm (Permutation.sorted (n - 1) :> int)
+           end);
+          let now_empty = Permutation.size (perm_of l) = 0 in
+          let v = Atomic.get l.lversion in
+          let has_prev = match l.lprev with Some _ -> true | None -> false in
+          if now_empty && (not (Version.is_root v)) && has_prev then begin
+            Version.mark_deleted l.lversion;
+            unlink_leaf l;
+            remove_from_parent (Leaf l)
+          end
+          else Version.unlock l.lversion;
+          old
+    in
+    attempt ()
+
+  (* ---- scan ---- *)
+
+  let snapshot l =
+    let rec loop () =
+      let v = Version.stable l.lversion in
+      if Version.deleted v then None
+      else begin
+        let perm = perm_of l in
+        let items =
+          List.filter_map
+            (fun slot ->
+              match l.lvals.(slot) with
+              | Some v -> Some (l.lkeys.(slot), v)
+              | None -> None)
+            (Permutation.live_slots perm)
+        in
+        let nxt = l.lnext in
+        if Version.changed v (Atomic.get l.lversion) then loop () else Some (items, nxt)
+      end
+    in
+    loop ()
+
+  let scan t ~start ~limit f =
+    if limit <= 0 then 0
+    else begin
+      let count = ref 0 in
+      let exception Done in
+      let rec attempt bound strict =
+        try run bound strict with Restart -> attempt bound strict
+      and run bound strict =
+        let l, _ = find_leaf t.root bound in
+        walk l bound strict
+      and walk l bound strict =
+        match snapshot l with
+        | None -> run bound strict
+        | Some (items, nxt) -> (
+            let last = ref None in
+            List.iter
+              (fun (k, v) ->
+                let c = K.compare k bound in
+                if (if strict then c > 0 else c >= 0) then begin
+                  f k v;
+                  incr count;
+                  if !count >= limit then raise Done
+                end;
+                last := Some k)
+              items;
+            match nxt with
+            | Some nx -> (
+                match !last with
+                | Some k -> walk nx k true
+                | None -> walk nx bound strict)
+            | None -> ())
+      in
+      (try attempt start false with Done -> ());
+      !count
+    end
+
+  let cardinal t =
+    let n = ref 0 in
+    let rec leftmost node =
+      match node with
+      | Leaf l -> l
+      | Interior i -> (
+          match i.ichild.(0) with Some c -> leftmost c | None -> assert false)
+    in
+    let rec walk l =
+      n := !n + Permutation.size (perm_of l);
+      match l.lnext with Some nx -> walk nx | None -> ()
+    in
+    walk (leftmost !(t.root));
+    !n
+
+  let depth t =
+    let rec go n d =
+      match n with
+      | Leaf _ -> d + 1
+      | Interior i -> (
+          match i.ichild.(0) with Some c -> go c (d + 1) | None -> d + 1)
+    in
+    go !(t.root) 0
+
+  let check t =
+    let exception Bad of string in
+    let fail m = raise (Bad m) in
+    let rec check_node n parent =
+      match n with
+      | Leaf l -> (
+          (match (l.lparent, parent) with
+          | None, None -> ()
+          | Some p, Some q when p == q -> ()
+          | _ -> fail "leaf parent mismatch");
+          let slots = Permutation.live_slots (perm_of l) in
+          let rec sorted = function
+            | a :: (b :: _ as rest) ->
+                if K.compare l.lkeys.(a) l.lkeys.(b) >= 0 then fail "leaf unsorted";
+                sorted rest
+            | _ -> ()
+          in
+          sorted slots)
+      | Interior i ->
+          (match (i.iparent, parent) with
+          | None, None -> ()
+          | Some p, Some q when p == q -> ()
+          | _ -> fail "interior parent mismatch");
+          for j = 1 to i.inkeys - 1 do
+            if K.compare i.ikeys.(j - 1) i.ikeys.(j) >= 0 then fail "interior unsorted"
+          done;
+          for j = 0 to i.inkeys do
+            match i.ichild.(j) with
+            | Some c -> check_node c (Some i)
+            | None -> fail "missing child"
+          done
+    in
+    match check_node !(t.root) None with () -> Ok () | exception Bad m -> Error m
+end
+
+module Str = Make (struct
+  type t = string
+
+  let compare = String.compare
+
+  let dummy = ""
+end)
+
+module Fixed8 = Make (struct
+  type t = int64
+
+  let compare = Int64.unsigned_compare
+
+  let dummy = 0L
+end)

@@ -1,0 +1,71 @@
+(** The "B-tree" baseline of §6.2: a concurrent B+-tree over whole keys
+    using exactly Masstree's concurrency scheme (version validation for
+    lock-free readers, per-node locks and hand-over-hand splits for
+    writers) but none of its trie structure — every node compares full
+    keys, which is what Figure 9 shows going quadratic-ish in DRAM
+    traffic as shared prefixes grow.
+
+    Two insert modes reproduce the "+Permuter" factor step:
+    - [permuter = true] (default): inserts publish through the
+      permutation word; plain inserts never invalidate readers.
+    - [permuter = false]: inserts shift keys in place under the inserting
+      dirty bit, so every insert forces concurrent readers of that node to
+      retry — the pre-Permuter configuration of Figure 8.
+
+    Functorized over the key type: [Str] stores whole string keys; [Fixed8]
+    stores 8-byte keys as integers (the fixed-size-key comparison of
+    §6.4). *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val dummy : t
+end
+
+module Make (K : KEY) : sig
+  type 'v t
+
+  val create : ?permuter:bool -> ?coarse_versions:bool -> unit -> 'v t
+  (** [coarse_versions] reproduces OLFIT's single version counter (§2):
+      every node modification is indistinguishable from a split, so a
+      reader that observes any change must retry from the root, not just
+      re-read the node.  Masstree's split counters exist precisely to
+      avoid this; the ablation bench quantifies the difference.  Forces
+      [permuter = false] (OLFIT predates the permutation trick). *)
+
+  val get : 'v t -> K.t -> 'v option
+
+  val put : 'v t -> K.t -> 'v -> 'v option
+
+  val remove : 'v t -> K.t -> 'v option
+  (** Removal without rebalancing; empty leaves are deleted as in §4.6.5. *)
+
+  val scan : 'v t -> start:K.t -> limit:int -> (K.t -> 'v -> unit) -> int
+
+  val cardinal : 'v t -> int
+
+  val depth : 'v t -> int
+  (** Height of the tree in nodes (root to leaf), for the cost model. *)
+
+  val check : 'v t -> (unit, string) result
+end
+
+module Str : module type of Make (struct
+  type t = string
+
+  let compare = String.compare
+
+  let dummy = ""
+end)
+
+module Fixed8 : module type of Make (struct
+  type t = int64
+
+  let compare = Int64.unsigned_compare
+
+  let dummy = 0L
+end)
+
+val name : string

@@ -1,0 +1,171 @@
+open Masstree_core
+
+(* A node holds up to 3 sorted keys and 4 child slots.  Keys are only ever
+   inserted into the gap they fall in while that gap's child is still
+   empty, so existing children's ranges never change and the structure
+   needs no rebalancing or key migration — matching the paper's "all
+   internal nodes are full / never rearranges keys" description.  When the
+   gap's node is full, the key starts a new child instead. *)
+
+type 'v node = {
+  version : Version.t Atomic.t;
+  mutable nkeys : int;
+  keys : string array; (* 3 *)
+  values : 'v option Atomic.t array; (* 3; None = logically removed *)
+  children : 'v node option array; (* 4; written under the node lock *)
+}
+
+type 'v t = { root : 'v node }
+
+let name = "4-tree"
+
+let width = 3
+
+let new_node () =
+  {
+    version = Atomic.make (Version.make ~isroot:false ~isborder:true);
+    nkeys = 0;
+    keys = Array.make width "";
+    values = Array.init width (fun _ -> Atomic.make None);
+    children = Array.make (width + 1) None;
+  }
+
+let create () = { root = new_node () }
+
+(* Route key within node: either an exact hit or the child gap index. *)
+let route n key =
+  let k = n.nkeys in
+  let rec go i =
+    if i >= k then `Gap i
+    else begin
+      let c = String.compare key n.keys.(i) in
+      if c = 0 then `Hit i else if c < 0 then `Gap i else go (i + 1)
+    end
+  in
+  go 0
+
+let rec get_node n key =
+  let v = Version.stable n.version in
+  let outcome =
+    match route n key with
+    | `Hit i -> `Value (Atomic.get n.values.(i))
+    | `Gap i -> ( match n.children.(i) with None -> `Miss | Some c -> `Child c)
+  in
+  if Version.changed v (Atomic.get n.version) then get_node n key
+  else
+    match outcome with
+    | `Value v -> v
+    | `Miss -> None
+    | `Child c -> get_node c key
+
+let get t key = get_node t.root key
+
+let rec put_node n key value =
+  match route n key with
+  | `Hit i -> Atomic.exchange n.values.(i) (Some value)
+  | `Gap i -> (
+      match n.children.(i) with
+      | Some c -> put_node c key value
+      | None ->
+          Version.lock n.version;
+          (* Re-check under the lock: the node or the gap may have changed. *)
+          let result =
+            match route n key with
+            | `Hit j ->
+                let old = Atomic.exchange n.values.(j) (Some value) in
+                Version.unlock n.version;
+                `Done old
+            | `Gap j -> (
+                match n.children.(j) with
+                | Some c ->
+                    Version.unlock n.version;
+                    `Descend c
+                | None ->
+                    if n.nkeys < width then begin
+                      (* Shift keys/values/children right of the gap; the
+                         inserting bit makes concurrent readers retry. *)
+                      Version.mark_inserting n.version;
+                      for m = n.nkeys downto j + 1 do
+                        n.keys.(m) <- n.keys.(m - 1);
+                        Atomic.set n.values.(m) (Atomic.get n.values.(m - 1));
+                        n.children.(m + 1) <- n.children.(m)
+                      done;
+                      n.keys.(j) <- key;
+                      Atomic.set n.values.(j) (Some value);
+                      n.children.(j) <- None;
+                      n.children.(j + 1) <- None;
+                      n.nkeys <- n.nkeys + 1;
+                      Version.unlock n.version;
+                      `Done None
+                    end
+                    else begin
+                      let c = new_node () in
+                      c.nkeys <- 1;
+                      c.keys.(0) <- key;
+                      Atomic.set c.values.(0) (Some value);
+                      n.children.(j) <- Some c;
+                      Version.unlock n.version;
+                      `Done None
+                    end)
+          in
+          (match result with `Done old -> old | `Descend c -> put_node c key value))
+
+let put t key value = put_node t.root key value
+
+let rec remove_node n key =
+  let v = Version.stable n.version in
+  let outcome =
+    match route n key with
+    | `Hit i -> `Slot i
+    | `Gap i -> ( match n.children.(i) with None -> `Miss | Some c -> `Child c)
+  in
+  if Version.changed v (Atomic.get n.version) then remove_node n key
+  else
+    match outcome with
+    | `Slot i -> Atomic.exchange n.values.(i) None
+    | `Miss -> None
+    | `Child c -> remove_node c key
+
+let remove t key = remove_node t.root key
+
+let scan t ~start ~limit f =
+  let count = ref 0 in
+  let exception Done in
+  let rec visit n =
+    let k = n.nkeys in
+    for i = 0 to k do
+      (* Child i holds keys below keys.(i) (for i < k); prune it when that
+         upper bound is already below the start of the range. *)
+      let child_may_contain = i >= k || String.compare n.keys.(i) start >= 0 in
+      (match n.children.(i) with Some c when child_may_contain -> visit c | _ -> ());
+      if i < k && String.compare n.keys.(i) start >= 0 then begin
+        match Atomic.get n.values.(i) with
+        | Some v ->
+            f n.keys.(i) v;
+            incr count;
+            if !count >= limit then raise Done
+        | None -> ()
+      end
+    done
+  in
+  (try visit t.root with Done -> ());
+  !count
+
+let depth_of t key =
+  let rec go n d =
+    match route n key with
+    | `Hit _ -> d + 1
+    | `Gap i -> ( match n.children.(i) with None -> d + 1 | Some c -> go c (d + 1))
+  in
+  go t.root 0
+
+let size t =
+  let rec go n =
+    let own = ref 0 in
+    for i = 0 to n.nkeys - 1 do
+      match Atomic.get n.values.(i) with Some _ -> incr own | None -> ()
+    done;
+    Array.iter (function Some c -> own := !own + go c | None -> ()) n.children;
+    !own
+  in
+  go t.root

@@ -1,0 +1,33 @@
+(** The "4-tree" baseline of §6.2: an unbalanced search tree with fanout 4.
+
+    Each node holds up to three sorted keys and four children; the routing
+    data (three 8-byte key prefixes and the child pointers) corresponds to
+    the single cache line the paper's version fetches per node, nearly
+    halving the depth of the binary tree.  Like the paper's, it never
+    rebalances and never rearranges keys across nodes.
+
+    The paper's inserts are CAS-based; here inserts take the node's version
+    lock and readers validate version snapshots, the same
+    optimistic-concurrency recipe as Masstree (§4.6) — equivalent
+    guarantees with one mechanism for the whole repository (readers do not
+    write shared memory; writers touch only the affected node). *)
+
+type 'v t
+
+val name : string
+
+val create : unit -> 'v t
+
+val get : 'v t -> string -> 'v option
+
+val put : 'v t -> string -> 'v -> 'v option
+
+val remove : 'v t -> string -> 'v option
+(** Logical removal, as in {!Binary_tree}. *)
+
+val scan : 'v t -> start:string -> limit:int -> (string -> 'v -> unit) -> int
+
+val depth_of : 'v t -> string -> int
+(** Search-path length in nodes, for the memory cost model. *)
+
+val size : 'v t -> int

@@ -1,0 +1,163 @@
+type 'v entry = Empty | Tomb | Live of string * 'v Atomic.t
+
+type 'v state = { slots : 'v entry Atomic.t array; mask : int }
+
+type 'v t = {
+  state : 'v state Atomic.t;
+  live : int Atomic.t;
+  used : int Atomic.t; (* live + tombstones, per current table *)
+  writers : int Atomic.t;
+  frozen : bool Atomic.t;
+  resize_lock : Xutil.Spinlock.t;
+}
+
+let name = "hash"
+
+(* FNV-1a, folded to a positive OCaml int. *)
+let hash key =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    key;
+  Int64.to_int !h land max_int
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let make_state capacity =
+  { slots = Array.init capacity (fun _ -> Atomic.make Empty); mask = capacity - 1 }
+
+let create ?(initial_capacity = 1024) () =
+  {
+    state = Atomic.make (make_state (next_pow2 initial_capacity));
+    live = Atomic.make 0;
+    used = Atomic.make 0;
+    writers = Atomic.make 0;
+    frozen = Atomic.make false;
+    resize_lock = Xutil.Spinlock.create ();
+  }
+
+let get t key =
+  let s = Atomic.get t.state in
+  let h = hash key in
+  let rec probe i =
+    match Atomic.get s.slots.((h + i) land s.mask) with
+    | Empty -> None
+    | Tomb -> probe (i + 1)
+    | Live (k, v) -> if String.equal k key then Some (Atomic.get v) else probe (i + 1)
+  in
+  probe 0
+
+let probe_length t key =
+  let s = Atomic.get t.state in
+  let h = hash key in
+  let rec probe i =
+    match Atomic.get s.slots.((h + i) land s.mask) with
+    | Empty -> i + 1
+    | Tomb -> probe (i + 1)
+    | Live (k, _) -> if String.equal k key then i + 1 else probe (i + 1)
+  in
+  probe 0
+
+(* Writer-side critical section: excluded during resize copies. *)
+let rec writer_enter t =
+  Atomic.incr t.writers;
+  if Atomic.get t.frozen then begin
+    Atomic.decr t.writers;
+    let b = Xutil.Backoff.create () in
+    while Atomic.get t.frozen do
+      Xutil.Backoff.once b
+    done;
+    writer_enter t
+  end
+
+let writer_exit t = Atomic.decr t.writers
+
+(* The paper keeps occupancy near 30%; grow to 4x live when used slots
+   pass that threshold. *)
+let maybe_resize t =
+  let s = Atomic.get t.state in
+  let cap = s.mask + 1 in
+  if Atomic.get t.used * 10 > cap * 3 then
+    Xutil.Spinlock.with_lock t.resize_lock (fun () ->
+        let s = Atomic.get t.state in
+        let cap = s.mask + 1 in
+        if Atomic.get t.used * 10 > cap * 3 then begin
+          Atomic.set t.frozen true;
+          let b = Xutil.Backoff.create () in
+          while Atomic.get t.writers > 0 do
+            Xutil.Backoff.once b
+          done;
+          let ns = make_state (next_pow2 (max 16 (Atomic.get t.live * 4))) in
+          Array.iter
+            (fun slot ->
+              match Atomic.get slot with
+              | Live (k, _) as e ->
+                  let h = hash k in
+                  let rec place i =
+                    let cell = ns.slots.((h + i) land ns.mask) in
+                    match Atomic.get cell with
+                    | Empty -> Atomic.set cell e
+                    | _ -> place (i + 1)
+                  in
+                  place 0
+              | Empty | Tomb -> ())
+            s.slots;
+          Atomic.set t.used (Atomic.get t.live);
+          Atomic.set t.state ns;
+          Atomic.set t.frozen false
+        end)
+
+let put t key value =
+  writer_enter t;
+  let s = Atomic.get t.state in
+  let h = hash key in
+  let rec probe i =
+    let cell = s.slots.((h + i) land s.mask) in
+    match Atomic.get cell with
+    | Live (k, v) when String.equal k key -> Some (Atomic.exchange v value)
+    | Live _ | Tomb -> probe (i + 1)
+    | Empty ->
+        if Atomic.compare_and_set cell Empty (Live (key, Atomic.make value)) then begin
+          Atomic.incr t.live;
+          Atomic.incr t.used;
+          None
+        end
+        else probe i (* lost the slot race: re-inspect the same cell *)
+  in
+  let old = probe 0 in
+  writer_exit t;
+  maybe_resize t;
+  old
+
+let remove t key =
+  writer_enter t;
+  let s = Atomic.get t.state in
+  let h = hash key in
+  let rec probe i =
+    let cell = s.slots.((h + i) land s.mask) in
+    match Atomic.get cell with
+    | Empty -> None
+    | Tomb -> probe (i + 1)
+    | Live (k, v) as e ->
+        if String.equal k key then begin
+          if Atomic.compare_and_set cell e Tomb then begin
+            Atomic.decr t.live;
+            Some (Atomic.get v)
+          end
+          else probe i
+        end
+        else probe (i + 1)
+  in
+  let old = probe 0 in
+  writer_exit t;
+  old
+
+let size t = Atomic.get t.live
+
+let occupancy t =
+  let s = Atomic.get t.state in
+  float_of_int (Atomic.get t.used) /. float_of_int (s.mask + 1)

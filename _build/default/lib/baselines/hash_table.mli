@@ -1,0 +1,36 @@
+(** Concurrent hash table "in the Masstree framework" (§6.4).
+
+    The paper uses this to price range-query support: an open-coded
+    open-addressing table with ~30% occupancy and ~1.1 probed entries per
+    lookup gave 2.5× Masstree's get throughput, because a hash lookup costs
+    O(1) DRAM fetches against the tree's O(log n).
+
+    Open addressing with linear probing; slots hold boxed (key, value)
+    pairs published by CAS, value updates are atomic stores, removal
+    plants tombstones.  The table resizes under a global lock when load
+    exceeds 30% (kept low on purpose, matching the paper's configuration),
+    with readers draining to the new table through a forwarding pointer. *)
+
+type 'v t
+
+val name : string
+
+val hash : string -> int
+(** The table's string hash (FNV-1a folded to a non-negative int), shared
+    with {!Partitioned} for key routing. *)
+
+val create : ?initial_capacity:int -> unit -> 'v t
+
+val get : 'v t -> string -> 'v option
+
+val put : 'v t -> string -> 'v -> 'v option
+
+val remove : 'v t -> string -> 'v option
+
+val size : 'v t -> int
+
+val probe_length : 'v t -> string -> int
+(** Slots inspected to locate the key (the paper reports 1.1 average at
+    30% occupancy) — consumed by the memory cost model. *)
+
+val occupancy : 'v t -> float

@@ -1,0 +1,50 @@
+(** Common signature for the comparison stores of §6, so benchmarks can
+    drive every structure through one harness.  Keys are strings; values
+    are abstract.  [scan] is optional capability: hash tables return
+    [None] for {!val-scanner}, which is precisely the §6.4 trade-off the
+    range-query experiment quantifies. *)
+
+module type S = sig
+  type 'v t
+
+  val name : string
+
+  val create : unit -> 'v t
+
+  val get : 'v t -> string -> 'v option
+
+  val put : 'v t -> string -> 'v -> 'v option
+  (** Returns the previous binding. *)
+
+  val remove : 'v t -> string -> 'v option
+
+  val scanner :
+    ('v t -> start:string -> limit:int -> (string -> 'v -> unit) -> int) option
+  (** Range scan in ascending order, when the structure supports it. *)
+
+  val concurrent : bool
+  (** Whether operations may be called from multiple domains at once.
+      Single-threaded structures are driven through {!Partitioned} or one
+      dedicated domain. *)
+end
+
+(** The Masstree itself, wrapped to the common signature. *)
+module Masstree_kv : S = struct
+  module T = Masstree_core.Tree
+
+  type 'v t = 'v T.t
+
+  let name = "masstree"
+
+  let create = T.create
+
+  let get = T.get
+
+  let put = T.put
+
+  let remove = T.remove
+
+  let scanner = Some (fun t ~start ~limit f -> T.scan t ~start ~limit f)
+
+  let concurrent = true
+end

@@ -1,0 +1,32 @@
+type 'v t = { stores : 'v St_masstree.t array; locks : Xutil.Spinlock.t array }
+
+let create ~parts =
+  assert (parts > 0);
+  {
+    stores = Array.init parts (fun _ -> St_masstree.create ());
+    locks = Array.init parts (fun _ -> Xutil.Spinlock.create ());
+  }
+
+let parts t = Array.length t.stores
+
+(* Same FNV fold as the hash table; any stable hash works for routing. *)
+let partition_of t key = Hash_table.hash key mod Array.length t.stores
+
+let with_part t p f = Xutil.Spinlock.with_lock t.locks.(p) (fun () -> f t.stores.(p))
+
+let get t key = with_part t (partition_of t key) (fun s -> St_masstree.get s key)
+
+let put t key v = with_part t (partition_of t key) (fun s -> St_masstree.put s key v)
+
+let remove t key = with_part t (partition_of t key) (fun s -> St_masstree.remove s key)
+
+let get_in t p key = with_part t p (fun s -> St_masstree.get s key)
+
+let put_in t p key v = with_part t p (fun s -> St_masstree.put s key v)
+
+let cardinal t =
+  let n = ref 0 in
+  for p = 0 to parts t - 1 do
+    n := !n + with_part t p St_masstree.cardinal
+  done;
+  !n

@@ -1,0 +1,33 @@
+(** Hard-partitioned deployment (§6.6): N single-core store instances,
+    each owning a static partition of the key space, as VoltDB-style
+    systems and the paper's "hard-partitioned Masstree" do.
+
+    Each instance is a single-threaded store guarded by its own lock: in
+    the paper every instance is served by a dedicated core, so the lock is
+    uncontended in the intended configuration and exists only to keep
+    misuse safe.  Routing hashes the key, so partitions stay balanced in
+    {e data}; request skew is what the δ experiment injects. *)
+
+type 'v t
+
+val create : parts:int -> 'v t
+
+val parts : 'v t -> int
+
+val partition_of : 'v t -> string -> int
+(** The instance that owns a key. *)
+
+val get : 'v t -> string -> 'v option
+
+val put : 'v t -> string -> 'v -> 'v option
+
+val remove : 'v t -> string -> 'v option
+
+val get_in : 'v t -> int -> string -> 'v option
+(** [get_in t p k] reads [k] from partition [p] directly — used by the
+    skew benchmark, which picks the partition first (per the workload
+    model) and then a key within it. *)
+
+val put_in : 'v t -> int -> string -> 'v -> 'v option
+
+val cardinal : 'v t -> int

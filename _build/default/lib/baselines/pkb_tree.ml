@@ -1,0 +1,277 @@
+open Masstree_core
+
+let name = "pkb-tree"
+
+let width = 14
+
+type 'v leaf_entry = { pk : int64; full : string; mutable value : 'v }
+
+type sep = { spk : int64; sfull : string }
+
+type 'v node =
+  | Leaf of 'v leaf
+  | Interior of 'v interior
+
+and 'v leaf = {
+  mutable nkeys : int;
+  entries : 'v leaf_entry option array; (* width, sorted dense prefix *)
+  mutable next : 'v leaf option;
+}
+
+and 'v interior = {
+  mutable inkeys : int;
+  seps : sep option array; (* width *)
+  child : 'v node option array; (* width + 1 *)
+}
+
+type 'v t = { mutable root : 'v node; mutable fetches : int }
+
+let new_leaf () = { nkeys = 0; entries = Array.make width None; next = None }
+
+let create () = { root = Leaf (new_leaf ()); fetches = 0 }
+
+(* Partial keys first; dereference the full key only on ties.  When both
+   keys fit entirely in the 8-byte partial (plus its length), the tie is
+   resolvable without touching the stored key: equal padded slices of
+   short keys can only differ by trailing length. *)
+let compare_key t pk full pk' full' =
+  let c = Int64.unsigned_compare pk pk' in
+  if c <> 0 then c
+  else begin
+    let l = String.length full and l' = String.length full' in
+    if l <= 8 && l' <= 8 then compare l l'
+    else begin
+      t.fetches <- t.fetches + 1;
+      String.compare full full'
+    end
+  end
+
+let pk_of key = Key.slice key ~off:0
+
+let rec find_leaf t node pk key path =
+  match node with
+  | Leaf l -> (l, path)
+  | Interior i ->
+      let rec idx j =
+        if j >= i.inkeys then j
+        else begin
+          match i.seps.(j) with
+          | None -> assert false
+          | Some s ->
+              if compare_key t s.spk s.sfull pk key <= 0 then idx (j + 1) else j
+        end
+      in
+      (match i.child.(idx 0) with
+      | Some c -> find_leaf t c pk key (i :: path)
+      | None -> assert false)
+
+let search_leaf t l pk key =
+  let rec go i =
+    if i >= l.nkeys then `Ins i
+    else begin
+      match l.entries.(i) with
+      | None -> assert false
+      | Some e ->
+          let c = compare_key t e.pk e.full pk key in
+          if c < 0 then go (i + 1) else if c > 0 then `Ins i else `Hit e
+    end
+  in
+  go 0
+
+let get t key =
+  let pk = pk_of key in
+  let l, _ = find_leaf t t.root pk key [] in
+  match search_leaf t l pk key with `Hit e -> Some e.value | `Ins _ -> None
+
+let rec insert_up t path sep left right =
+  match path with
+  | [] ->
+      let p = { inkeys = 1; seps = Array.make width None; child = Array.make (width + 1) None } in
+      p.seps.(0) <- Some sep;
+      p.child.(0) <- Some left;
+      p.child.(1) <- Some right;
+      t.root <- Interior p
+  | p :: rest ->
+      let rec pos j =
+        if j >= p.inkeys then j
+        else begin
+          match p.seps.(j) with
+          | None -> assert false
+          | Some s -> if compare_key t s.spk s.sfull sep.spk sep.sfull <= 0 then pos (j + 1) else j
+        end
+      in
+      let pos = pos 0 in
+      if p.inkeys < width then begin
+        for j = p.inkeys downto pos + 1 do
+          p.seps.(j) <- p.seps.(j - 1);
+          p.child.(j + 1) <- p.child.(j)
+        done;
+        p.seps.(pos) <- Some sep;
+        p.child.(pos + 1) <- Some right;
+        p.inkeys <- p.inkeys + 1
+      end
+      else begin
+        let seps = Array.make (width + 1) None in
+        let children = Array.make (width + 2) None in
+        for j = 0 to width - 1 do
+          seps.(if j < pos then j else j + 1) <- p.seps.(j)
+        done;
+        seps.(pos) <- Some sep;
+        for j = 0 to width do
+          children.(if j <= pos then j else j + 1) <- p.child.(j)
+        done;
+        children.(pos + 1) <- Some right;
+        let h = (width + 1) / 2 in
+        let up = match seps.(h) with Some s -> s | None -> assert false in
+        let pp = { inkeys = width - h; seps = Array.make width None; child = Array.make (width + 1) None } in
+        for j = h + 1 to width do
+          pp.seps.(j - h - 1) <- seps.(j)
+        done;
+        for j = h + 1 to width + 1 do
+          pp.child.(j - h - 1) <- children.(j)
+        done;
+        p.inkeys <- h;
+        for j = 0 to h - 1 do
+          p.seps.(j) <- seps.(j)
+        done;
+        for j = h to width - 1 do
+          p.seps.(j) <- None
+        done;
+        for j = 0 to h do
+          p.child.(j) <- children.(j)
+        done;
+        for j = h + 1 to width do
+          p.child.(j) <- None
+        done;
+        insert_up t rest up (Interior p) (Interior pp)
+      end
+
+let put t key v =
+  let pk = pk_of key in
+  let l, path = find_leaf t t.root pk key [] in
+  match search_leaf t l pk key with
+  | `Hit e ->
+      let old = e.value in
+      e.value <- v;
+      Some old
+  | `Ins pos ->
+      let entry = Some { pk; full = key; value = v } in
+      if l.nkeys < width then begin
+        for j = l.nkeys downto pos + 1 do
+          l.entries.(j) <- l.entries.(j - 1)
+        done;
+        l.entries.(pos) <- entry;
+        l.nkeys <- l.nkeys + 1
+      end
+      else begin
+        (* Split the leaf, inserting the new entry. *)
+        let combined = Array.make (width + 1) entry in
+        for j = 0 to width - 1 do
+          combined.(if j < pos then j else j + 1) <- l.entries.(j)
+        done;
+        let m = (width + 1) / 2 in
+        let nl = new_leaf () in
+        for j = m to width do
+          nl.entries.(j - m) <- combined.(j)
+        done;
+        nl.nkeys <- width + 1 - m;
+        for j = 0 to width - 1 do
+          l.entries.(j) <- (if j < m then combined.(j) else None)
+        done;
+        l.nkeys <- m;
+        nl.next <- l.next;
+        l.next <- Some nl;
+        let sep =
+          match nl.entries.(0) with
+          | Some e -> { spk = e.pk; sfull = e.full }
+          | None -> assert false
+        in
+        insert_up t path sep (Leaf l) (Leaf nl)
+      end;
+      None
+
+let remove t key =
+  let pk = pk_of key in
+  let l, _ = find_leaf t t.root pk key [] in
+  let rec go i =
+    if i >= l.nkeys then None
+    else begin
+      match l.entries.(i) with
+      | None -> assert false
+      | Some e ->
+          let c = compare_key t e.pk e.full pk key in
+          if c < 0 then go (i + 1)
+          else if c > 0 then None
+          else begin
+            for j = i to l.nkeys - 2 do
+              l.entries.(j) <- l.entries.(j + 1)
+            done;
+            l.entries.(l.nkeys - 1) <- None;
+            l.nkeys <- l.nkeys - 1;
+            Some e.value
+          end
+    end
+  in
+  go 0
+
+let rec leftmost = function
+  | Leaf l -> l
+  | Interior i -> ( match i.child.(0) with Some c -> leftmost c | None -> assert false)
+
+let scan t ~start ~limit f =
+  if limit <= 0 then 0
+  else begin
+    let pk = pk_of start in
+    let l, _ = find_leaf t t.root pk start [] in
+    let count = ref 0 in
+    let exception Done in
+    let rec walk l =
+      for i = 0 to l.nkeys - 1 do
+        match l.entries.(i) with
+        | Some e when String.compare e.full start >= 0 ->
+            f e.full e.value;
+            incr count;
+            if !count >= limit then raise Done
+        | _ -> ()
+      done;
+      match l.next with Some nx -> walk nx | None -> ()
+    in
+    (try walk l with Done -> ());
+    !count
+  end
+
+let cardinal t =
+  let rec walk l acc =
+    let acc = acc + l.nkeys in
+    match l.next with Some nx -> walk nx acc | None -> acc
+  in
+  walk (leftmost t.root) 0
+
+let full_key_fetches t = t.fetches
+
+let reset_counters t = t.fetches <- 0
+
+let check t =
+  let exception Bad of string in
+  let fail m = raise (Bad m) in
+  let rec node = function
+    | Leaf l ->
+        for i = 1 to l.nkeys - 1 do
+          match (l.entries.(i - 1), l.entries.(i)) with
+          | Some a, Some b ->
+              if String.compare a.full b.full >= 0 then fail "leaf unsorted"
+          | _ -> fail "sparse leaf"
+        done
+    | Interior i ->
+        if i.inkeys < 1 then fail "empty interior";
+        for j = 1 to i.inkeys - 1 do
+          match (i.seps.(j - 1), i.seps.(j)) with
+          | Some a, Some b ->
+              if String.compare a.sfull b.sfull >= 0 then fail "interior unsorted"
+          | _ -> fail "sparse interior"
+        done;
+        for j = 0 to i.inkeys do
+          match i.child.(j) with Some c -> node c | None -> fail "missing child"
+        done
+  in
+  match node t.root with () -> Ok () | exception Bad m -> Error m

@@ -1,0 +1,41 @@
+(** Partial-key B-tree (Bohannon, McIlroy, Rastogi — the paper's [8]).
+
+    The §4.1 comparison point: a balanced B+-tree whose nodes store, for
+    each key, a fixed-size {e partial key} (here the first 8 bytes,
+    encoded like a Masstree slice) plus a pointer to the full key.
+    Searches compare partial keys first and touch the full key — an extra
+    dependent memory reference — only when partial keys tie.  This keeps
+    nodes dense like Masstree's, but unlike Masstree it stays truly
+    balanced and pays up to one out-of-node reference per tie, where
+    Masstree bounds non-node references to one per {e lookup}.
+
+    The paper reports Masstree outperforming its pkB-tree implementation
+    by 20%+ on several benchmarks; the bench harness reproduces the
+    comparison.  Single-threaded (it is a design-comparison baseline, like
+    the paper's; drive it per-domain or behind {!Partitioned}-style
+    locks). *)
+
+type 'v t
+
+val name : string
+
+val create : unit -> 'v t
+
+val get : 'v t -> string -> 'v option
+
+val put : 'v t -> string -> 'v -> 'v option
+
+val remove : 'v t -> string -> 'v option
+
+val scan : 'v t -> start:string -> limit:int -> (string -> 'v -> unit) -> int
+
+val cardinal : 'v t -> int
+
+val full_key_fetches : 'v t -> int
+(** How many times a search had to dereference a stored full key because
+    partial keys tied — the cost Masstree's trie structure avoids.  For
+    benches and tests. *)
+
+val reset_counters : 'v t -> unit
+
+val check : 'v t -> (unit, string) result

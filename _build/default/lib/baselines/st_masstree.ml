@@ -1,0 +1,366 @@
+open Masstree_core
+
+(* Same key decomposition as the concurrent Masstree: layer h indexes the
+   8-byte slice at offset 8h; a border entry is an inline short key, a
+   suffix entry, or a link to the next layer.  Everything here is plain
+   mutable data: the point of this variant is what disappears when the
+   concurrency machinery does. *)
+
+let width = 14
+
+let suffix_marker = 9
+
+type 'v lv = Val of 'v | Lay of 'v layer
+
+and 'v entry = { mutable slice : int64; mutable klen : int; mutable suffix : string; mutable lv : 'v lv }
+
+and 'v layer = { mutable root : 'v node }
+
+and 'v node =
+  | Border of 'v border
+  | Interior of 'v interior
+
+and 'v border = {
+  mutable nkeys : int;
+  entries : 'v entry option array; (* width, sorted, dense prefix *)
+  mutable next : 'v border option;
+}
+
+and 'v interior = {
+  mutable inkeys : int;
+  ikeys : int64 array; (* width *)
+  child : 'v node option array; (* width + 1 *)
+}
+
+type 'v t = { layer0 : 'v layer }
+
+let name = "masstree-st"
+
+let new_border () = { nkeys = 0; entries = Array.make width None; next = None }
+
+let create () = { layer0 = { root = Border (new_border ()) } }
+
+let entry_cmp s1 l1 s2 l2 =
+  let c = Int64.unsigned_compare s1 s2 in
+  if c <> 0 then c else compare (min l1 suffix_marker) (min l2 suffix_marker)
+
+let rec find_border node ks =
+  match node with
+  | Border b -> b
+  | Interior i ->
+      let rec idx j = if j < i.inkeys && Int64.unsigned_compare i.ikeys.(j) ks <= 0 then idx (j + 1) else j in
+      (match i.child.(idx 0) with
+      | Some c -> find_border c ks
+      | None -> assert false)
+
+(* Position of (ks, klen) in border b: `Hit or `Ins(ertion point). *)
+let search b ks klen =
+  let rec go i =
+    if i >= b.nkeys then `Ins i
+    else begin
+      match b.entries.(i) with
+      | None -> assert false
+      | Some e ->
+          let c = entry_cmp e.slice e.klen ks klen in
+          if c < 0 then go (i + 1) else if c > 0 then `Ins i else `Hit (i, e)
+    end
+  in
+  go 0
+
+let rec get_layer layer key off =
+  let ks = Key.slice key ~off in
+  let rem = String.length key - off in
+  let klen = min rem suffix_marker in
+  let b = find_border layer.root ks in
+  match search b ks klen with
+  | `Ins _ -> None
+  | `Hit (_, e) -> (
+      match e.lv with
+      | Lay deeper -> if rem > 8 then get_layer deeper key (off + 8) else None
+      | Val v ->
+          if rem <= 8 then Some v
+          else if String.equal e.suffix (Key.suffix key ~off) then Some v
+          else None)
+
+let get t key = get_layer t.layer0 key 0
+
+(* ---- insertion ---- *)
+
+let split_border b pos e =
+  (* Insert entry e at sorted position pos in full border b, splitting at a
+     slice boundary near the middle. *)
+  let combined = Array.make (width + 1) (Some e) in
+  for j = 0 to width - 1 do
+    combined.(if j < pos then j else j + 1) <- b.entries.(j)
+  done;
+  let slice_at j = match combined.(j) with Some e -> e.slice | None -> assert false in
+  let boundary m = m >= 1 && m <= width && Int64.unsigned_compare (slice_at (m - 1)) (slice_at m) <> 0 in
+  let mid = (width + 1) / 2 in
+  let rec pick d =
+    if boundary (mid + d) then mid + d
+    else if boundary (mid - d) then mid - d
+    else pick (d + 1)
+  in
+  let m = pick 0 in
+  let nb = new_border () in
+  for j = m to width do
+    nb.entries.(j - m) <- combined.(j)
+  done;
+  nb.nkeys <- width + 1 - m;
+  for j = 0 to width - 1 do
+    b.entries.(j) <- (if j < m then combined.(j) else None)
+  done;
+  b.nkeys <- m;
+  nb.next <- b.next;
+  b.next <- Some nb;
+  (slice_at m, Border b, Border nb)
+
+let rec insert_up layer path sep left right =
+  match path with
+  | [] ->
+      let p = { inkeys = 1; ikeys = Array.make width 0L; child = Array.make (width + 1) None } in
+      p.ikeys.(0) <- sep;
+      p.child.(0) <- Some left;
+      p.child.(1) <- Some right;
+      layer.root <- Interior p
+  | p :: rest ->
+      if p.inkeys < width then begin
+        let rec pos j = if j < p.inkeys && Int64.unsigned_compare p.ikeys.(j) sep <= 0 then pos (j + 1) else j in
+        let pos = pos 0 in
+        for j = p.inkeys downto pos + 1 do
+          p.ikeys.(j) <- p.ikeys.(j - 1);
+          p.child.(j + 1) <- p.child.(j)
+        done;
+        p.ikeys.(pos) <- sep;
+        p.child.(pos + 1) <- Some right;
+        p.inkeys <- p.inkeys + 1
+      end
+      else begin
+        let rec pos j = if j < width && Int64.unsigned_compare p.ikeys.(j) sep <= 0 then pos (j + 1) else j in
+        let pos = pos 0 in
+        let keys = Array.make (width + 1) 0L in
+        let children = Array.make (width + 2) None in
+        for j = 0 to width - 1 do
+          keys.(if j < pos then j else j + 1) <- p.ikeys.(j)
+        done;
+        keys.(pos) <- sep;
+        for j = 0 to width do
+          children.(if j <= pos then j else j + 1) <- p.child.(j)
+        done;
+        children.(pos + 1) <- Some right;
+        let h = (width + 1) / 2 in
+        let pp = { inkeys = width - h; ikeys = Array.make width 0L; child = Array.make (width + 1) None } in
+        for j = h + 1 to width do
+          pp.ikeys.(j - h - 1) <- keys.(j)
+        done;
+        for j = h + 1 to width + 1 do
+          pp.child.(j - h - 1) <- children.(j)
+        done;
+        p.inkeys <- h;
+        for j = 0 to h - 1 do
+          p.ikeys.(j) <- keys.(j)
+        done;
+        for j = 0 to h do
+          p.child.(j) <- children.(j)
+        done;
+        for j = h + 1 to width do
+          p.child.(j) <- None
+        done;
+        insert_up layer rest keys.(h) (Interior p) (Interior pp)
+      end
+
+(* find_border remembering the interior path for splits. *)
+let find_border_path layer ks =
+  let rec go node path =
+    match node with
+    | Border b -> (b, path)
+    | Interior i ->
+        let rec idx j = if j < i.inkeys && Int64.unsigned_compare i.ikeys.(j) ks <= 0 then idx (j + 1) else j in
+        (match i.child.(idx 0) with
+        | Some c -> go c (i :: path)
+        | None -> assert false)
+  in
+  go layer.root []
+
+let insert_entry layer b path pos e =
+  if b.nkeys < width then begin
+    for j = b.nkeys downto pos + 1 do
+      b.entries.(j) <- b.entries.(j - 1)
+    done;
+    b.entries.(pos) <- Some e;
+    b.nkeys <- b.nkeys + 1
+  end
+  else begin
+    let sep, left, right = split_border b pos e in
+    insert_up layer path sep left right
+  end
+
+let rec make_twokey_layer ka va kb vb =
+  let sa = Key.slice ka ~off:0 and sb = Key.slice kb ~off:0 in
+  let b = new_border () in
+  let entry_of k s v =
+    if Key.has_suffix k ~off:0 then
+      { slice = s; klen = suffix_marker; suffix = Key.suffix k ~off:0; lv = Val v }
+    else { slice = s; klen = String.length k; suffix = ""; lv = Val v }
+  in
+  if Int64.equal sa sb && Key.has_suffix ka ~off:0 && Key.has_suffix kb ~off:0 then begin
+    let deeper = make_twokey_layer (Key.suffix ka ~off:0) va (Key.suffix kb ~off:0) vb in
+    b.entries.(0) <- Some { slice = sa; klen = suffix_marker; suffix = ""; lv = Lay deeper };
+    b.nkeys <- 1
+  end
+  else begin
+    let ea = entry_of ka sa va and eb = entry_of kb sb vb in
+    let first, second = if entry_cmp ea.slice ea.klen eb.slice eb.klen < 0 then (ea, eb) else (eb, ea) in
+    b.entries.(0) <- Some first;
+    b.entries.(1) <- Some second;
+    b.nkeys <- 2
+  end;
+  { root = Border b }
+
+let rec put_layer layer key off value =
+  let ks = Key.slice key ~off in
+  let rem = String.length key - off in
+  let klen = min rem suffix_marker in
+  let b, path = find_border_path layer ks in
+  match search b ks klen with
+  | `Hit (_, e) -> (
+      match e.lv with
+      | Lay deeper ->
+          if rem > 8 then put_layer deeper key (off + 8) value
+          else assert false
+      | Val old ->
+          if rem <= 8 || String.equal e.suffix (Key.suffix key ~off) then begin
+            e.lv <- Val value;
+            Some old
+          end
+          else begin
+            let deeper = make_twokey_layer e.suffix old (Key.suffix key ~off) value in
+            e.lv <- Lay deeper;
+            e.suffix <- "";
+            None
+          end)
+  | `Ins pos ->
+      let e =
+        if rem > 8 then { slice = ks; klen = suffix_marker; suffix = Key.suffix key ~off; lv = Val value }
+        else { slice = ks; klen = rem; suffix = ""; lv = Val value }
+      in
+      insert_entry layer b path pos e;
+      None
+
+let put t key value = put_layer t.layer0 key 0 value
+
+(* ---- removal (no node deletion: the single-core variant keeps emptied
+   nodes, which the paper's also tolerates between maintenance passes) ---- *)
+
+let rec remove_layer layer key off =
+  let ks = Key.slice key ~off in
+  let rem = String.length key - off in
+  let klen = min rem suffix_marker in
+  let b = find_border layer.root ks in
+  match search b ks klen with
+  | `Ins _ -> None
+  | `Hit (pos, e) -> (
+      match e.lv with
+      | Lay deeper -> if rem > 8 then remove_layer deeper key (off + 8) else None
+      | Val v ->
+          if rem <= 8 || String.equal e.suffix (Key.suffix key ~off) then begin
+            for j = pos to b.nkeys - 2 do
+              b.entries.(j) <- b.entries.(j + 1)
+            done;
+            b.entries.(b.nkeys - 1) <- None;
+            b.nkeys <- b.nkeys - 1;
+            Some v
+          end
+          else None)
+
+let remove t key = remove_layer t.layer0 key 0
+
+(* ---- scan ---- *)
+
+exception Done
+
+let rec leftmost node =
+  match node with
+  | Border b -> b
+  | Interior i -> ( match i.child.(0) with Some c -> leftmost c | None -> assert false)
+
+let entry_rest e =
+  match e.lv with
+  | Lay _ -> Key.slice_to_string e.slice ~len:8
+  | Val _ ->
+      if e.klen <= 8 then Key.slice_to_string e.slice ~len:e.klen
+      else Key.slice_to_string e.slice ~len:8 ^ e.suffix
+
+let rec scan_layer layer prefix lower emit =
+  let ks = Key.slice lower ~off:0 in
+  let b = find_border layer.root ks in
+  let rec walk b =
+    for i = 0 to b.nkeys - 1 do
+      match b.entries.(i) with
+      | None -> ()
+      | Some e -> (
+          let rest = entry_rest e in
+          match e.lv with
+          | Lay deeper ->
+              let cs = Int64.unsigned_compare e.slice ks in
+              if cs > 0 then scan_layer deeper (prefix ^ rest) "" emit
+              else if cs = 0 then
+                if String.length lower > 8 then
+                  scan_layer deeper (prefix ^ rest) (String.sub lower 8 (String.length lower - 8)) emit
+                else scan_layer deeper (prefix ^ rest) "" emit
+          | Val v -> if String.compare rest lower >= 0 then emit (prefix ^ rest) v)
+    done;
+    match b.next with Some nx -> walk nx | None -> ()
+  in
+  walk b
+
+let scan t ~start ~limit f =
+  if limit <= 0 then 0
+  else begin
+    let count = ref 0 in
+    let emit k v =
+      f k v;
+      incr count;
+      if !count >= limit then raise Done
+    in
+    (try scan_layer t.layer0 "" start emit with Done -> ());
+    !count
+  end
+
+let cardinal t =
+  let n = ref 0 in
+  ignore
+    (scan t ~start:"" ~limit:max_int (fun _ _ -> incr n));
+  !n
+
+let check t =
+  let exception Bad of string in
+  let fail m = raise (Bad m) in
+  let rec check_layer layer =
+    check_node layer.root;
+    let rec walk b =
+      for i = 1 to b.nkeys - 1 do
+        match (b.entries.(i - 1), b.entries.(i)) with
+        | Some a, Some c -> if entry_cmp a.slice a.klen c.slice c.klen >= 0 then fail "unsorted border"
+        | _ -> fail "sparse border"
+      done;
+      for i = 0 to b.nkeys - 1 do
+        match b.entries.(i) with
+        | Some { lv = Lay deeper; _ } -> check_layer deeper
+        | Some _ -> ()
+        | None -> fail "missing entry"
+      done;
+      match b.next with Some nx -> walk nx | None -> ()
+    in
+    walk (leftmost layer.root)
+  and check_node = function
+    | Border _ -> ()
+    | Interior i ->
+        for j = 1 to i.inkeys - 1 do
+          if Int64.unsigned_compare i.ikeys.(j - 1) i.ikeys.(j) >= 0 then fail "unsorted interior"
+        done;
+        for j = 0 to i.inkeys do
+          match i.child.(j) with Some c -> check_node c | None -> fail "missing child"
+        done
+  in
+  match check_layer t.layer0 with () -> Ok () | exception Bad m -> Error m

@@ -1,0 +1,27 @@
+(** Single-core Masstree (§6.4, §6.6): the same trie-of-B+-trees shape
+    with all concurrency machinery removed — no version words, no
+    permutations, no locks, no fences.  Nodes are plain mutable records
+    and inserts shift keys in place.
+
+    The paper built this variant to measure the price of concurrency
+    (13% on one core) and to assemble the hard-partitioned configuration
+    of §6.6 (16 single-core instances, one per core).  Not safe for
+    concurrent use; {!Partitioned} serializes access per instance. *)
+
+type 'v t
+
+val name : string
+
+val create : unit -> 'v t
+
+val get : 'v t -> string -> 'v option
+
+val put : 'v t -> string -> 'v -> 'v option
+
+val remove : 'v t -> string -> 'v option
+
+val scan : 'v t -> start:string -> limit:int -> (string -> 'v -> unit) -> int
+
+val cardinal : 'v t -> int
+
+val check : 'v t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/kvserver/engine.ml: Array Kvstore List Printexc Protocol String

@@ -1,0 +1,1 @@
+lib/kvserver/engine.mli: Kvstore Protocol

@@ -1,0 +1,1 @@
+lib/kvserver/loopback.ml: Array Atomic Domain Engine Kvstore List Protocol Xutil

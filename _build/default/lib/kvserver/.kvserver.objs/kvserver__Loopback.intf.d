@@ -1,0 +1,1 @@
+lib/kvserver/loopback.mli: Kvstore Protocol

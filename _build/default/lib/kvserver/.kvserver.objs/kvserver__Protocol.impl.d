@@ -1,0 +1,1 @@
+lib/kvserver/protocol.ml: Array Binio Bytes Format Int32 List String Unix Xutil

@@ -1,0 +1,1 @@
+lib/kvserver/protocol.mli: Format Unix

@@ -1,0 +1,1 @@
+lib/kvserver/tcp.ml: Atomic Engine Kvstore Protocol Sys Thread Unix

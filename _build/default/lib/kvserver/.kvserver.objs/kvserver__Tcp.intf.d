@@ -1,0 +1,1 @@
+lib/kvserver/tcp.mli: Kvstore Protocol

@@ -1,0 +1,1 @@
+lib/kvserver/udp.ml: Array Atomic Bytes Engine Protocol String Thread Unix

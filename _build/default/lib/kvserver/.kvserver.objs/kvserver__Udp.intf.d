@@ -1,0 +1,1 @@
+lib/kvserver/udp.mli: Kvstore Protocol

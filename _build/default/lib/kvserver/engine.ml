@@ -1,0 +1,59 @@
+let execute ~worker store req =
+  match req with
+  | Protocol.Get { key; columns = [] } -> Protocol.Value (Kvstore.Store.get store key)
+  | Protocol.Get { key; columns } ->
+      Protocol.Value (Kvstore.Store.get_columns store key columns)
+  | Protocol.Put { key; columns } ->
+      Kvstore.Store.put ~worker store key columns;
+      Protocol.Ok_put
+  | Protocol.Put_cols { key; updates } ->
+      Kvstore.Store.put_columns ~worker store key updates;
+      Protocol.Ok_put
+  | Protocol.Remove key -> Protocol.Removed (Kvstore.Store.remove ~worker store key)
+  | Protocol.Getrange { start; count; columns } ->
+      let acc = ref [] in
+      let cols = match columns with [] -> None | l -> Some l in
+      ignore
+        (Kvstore.Store.getrange store ~start ?columns:cols ~limit:count (fun k v ->
+             acc := (k, v) :: !acc));
+      Protocol.Range (List.rev !acc)
+  | Protocol.Getrange_rev { start; count; columns } ->
+      let acc = ref [] in
+      let cols = match columns with [] -> None | l -> Some l in
+      let start = if String.equal start "" then None else Some start in
+      ignore
+        (Kvstore.Store.getrange_rev store ?start ?columns:cols ~limit:count (fun k v ->
+             acc := (k, v) :: !acc));
+      Protocol.Range (List.rev !acc)
+
+let execute ~worker store req =
+  try execute ~worker store req
+  with e -> Protocol.Failed (Printexc.to_string e)
+
+(* Get-only batches take the interleaved multi-lookup path (§4.8): one
+   wave-based traversal for the whole message instead of independent
+   descents. *)
+let execute_batch ~worker store reqs =
+  let all_full_gets =
+    reqs <> []
+    && List.for_all
+         (function Protocol.Get { columns = []; _ } -> true | _ -> false)
+         reqs
+  in
+  if all_full_gets then begin
+    let keys =
+      Array.of_list
+        (List.map
+           (function Protocol.Get { key; _ } -> key | _ -> assert false)
+           reqs)
+    in
+    match Kvstore.Store.multi_get store keys with
+    | results -> Array.to_list (Array.map (fun r -> Protocol.Value r) results)
+    | exception e -> List.map (fun _ -> Protocol.Failed (Printexc.to_string e)) reqs
+  end
+  else List.map (execute ~worker store) reqs
+
+let handle_frame ~worker store body =
+  match Protocol.decode_requests body with
+  | reqs -> Protocol.encode_responses (execute_batch ~worker store reqs)
+  | exception _ -> Protocol.encode_responses [ Protocol.Failed "malformed frame" ]

@@ -1,0 +1,18 @@
+(** Request execution: the bridge from decoded protocol batches to the
+    store.  Shared by every transport (loopback, TCP, Unix sockets). *)
+
+val execute : worker:int -> Kvstore.Store.t -> Protocol.request -> Protocol.response
+(** [execute ~worker store req] runs one request; [worker] selects the
+    update log (one per query worker, §5).  Never raises: failures come
+    back as [Failed]. *)
+
+val execute_batch :
+  worker:int -> Kvstore.Store.t -> Protocol.request list -> Protocol.response list
+(** Batches consisting solely of full-value Gets run through the
+    interleaved {!Kvstore.Store.multi_get} path (the §4.8 parallel-lookup
+    optimization applied to the network stack, as the paper proposes). *)
+
+val handle_frame : worker:int -> Kvstore.Store.t -> string -> string
+(** [handle_frame ~worker store body] decodes a request frame body,
+    executes it, and encodes the response frame body.  A malformed frame
+    yields a single [Failed] response. *)

@@ -1,0 +1,86 @@
+type conn = {
+  requests : string Xutil.Spsc_ring.t;
+  responses : string Xutil.Spsc_ring.t;
+  closed : bool Atomic.t;
+}
+
+type server = {
+  store : Kvstore.Store.t;
+  incoming : conn Xutil.Mpsc_queue.t array; (* one inbox per worker *)
+  stop_flag : bool Atomic.t;
+  domains : unit Domain.t array;
+  next_worker : int Atomic.t;
+}
+
+let worker_loop server worker () =
+  let conns = ref [] in
+  let bo = Xutil.Backoff.create () in
+  while not (Atomic.get server.stop_flag) do
+    (* Adopt newly connected clients. *)
+    ignore
+      (Xutil.Mpsc_queue.drain server.incoming.(worker) (fun c -> conns := c :: !conns));
+    (* Serve a bounded burst from every connection. *)
+    let busy = ref false in
+    conns :=
+      List.filter
+        (fun c ->
+          if Atomic.get c.closed then false
+          else begin
+            let rec burst n =
+              if n > 0 then begin
+                match Xutil.Spsc_ring.try_pop c.requests with
+                | Some frame ->
+                    busy := true;
+                    Xutil.Spsc_ring.push c.responses
+                      (Engine.handle_frame ~worker server.store frame);
+                    burst (n - 1)
+                | None -> ()
+              end
+            in
+            burst 32;
+            true
+          end)
+        !conns;
+    if !busy then Xutil.Backoff.reset bo else Xutil.Backoff.once bo
+  done
+
+let start ?(workers = 1) store =
+  let incoming = Array.init workers (fun _ -> Xutil.Mpsc_queue.create ()) in
+  let server =
+    {
+      store;
+      incoming;
+      stop_flag = Atomic.make false;
+      domains = [||];
+      next_worker = Atomic.make 0;
+    }
+  in
+  let domains = Array.init workers (fun w -> Domain.spawn (worker_loop server w)) in
+  { server with domains }
+
+let connect server =
+  let c =
+    {
+      requests = Xutil.Spsc_ring.create 64;
+      responses = Xutil.Spsc_ring.create 64;
+      closed = Atomic.make false;
+    }
+  in
+  let w = Atomic.fetch_and_add server.next_worker 1 mod Array.length server.incoming in
+  Xutil.Mpsc_queue.push server.incoming.(w) c;
+  c
+
+let call_async conn reqs =
+  Xutil.Spsc_ring.push conn.requests (Protocol.encode_requests reqs)
+
+let recv conn = Protocol.decode_responses (Xutil.Spsc_ring.pop conn.responses)
+
+let call conn reqs =
+  call_async conn reqs;
+  recv conn
+
+let close_conn conn = Atomic.set conn.closed true
+
+let stop server =
+  Atomic.set server.stop_flag true;
+  Array.iter Domain.join server.domains

@@ -1,0 +1,28 @@
+(** In-process transport: a pair of SPSC rings per connection, standing in
+    for a per-core NIC queue (§5).  Benchmarks use this to measure the
+    full request path — encode, queue, decode, execute, respond — without
+    kernel socket overhead dominating a single-machine reproduction. *)
+
+type server
+
+type conn
+
+val start : ?workers:int -> Kvstore.Store.t -> server
+(** [start store] launches [workers] (default 1) server domains, each
+    serving the connections assigned to it round-robin. *)
+
+val connect : server -> conn
+(** New client connection. *)
+
+val call : conn -> Protocol.request list -> Protocol.response list
+(** Synchronous batched round trip. *)
+
+val call_async : conn -> Protocol.request list -> unit
+(** Pipelined send; collect with {!recv}. *)
+
+val recv : conn -> Protocol.response list
+
+val close_conn : conn -> unit
+
+val stop : server -> unit
+(** Stop worker domains and release connections. *)

@@ -1,0 +1,198 @@
+open Xutil
+
+type request =
+  | Get of { key : string; columns : int list }
+  | Put of { key : string; columns : string array }
+  | Put_cols of { key : string; updates : (int * string) list }
+  | Remove of string
+  | Getrange of { start : string; count : int; columns : int list }
+  | Getrange_rev of { start : string; count : int; columns : int list }
+
+type response =
+  | Value of string array option
+  | Ok_put
+  | Removed of bool
+  | Range of (string * string array) list
+  | Failed of string
+
+let write_int_list w l =
+  Binio.write_varint w (List.length l);
+  List.iter (Binio.write_varint w) l
+
+let read_int_list r =
+  let n = Binio.read_varint r in
+  List.init n (fun _ -> Binio.read_varint r)
+
+let write_cols w a =
+  Binio.write_varint w (Array.length a);
+  Array.iter (Binio.write_string w) a
+
+let read_cols r =
+  let n = Binio.read_varint r in
+  if n > 1 lsl 20 then raise Binio.Truncated;
+  Array.init n (fun _ -> Binio.read_string r)
+
+let encode_request w = function
+  | Get { key; columns } ->
+      Binio.write_u8 w 1;
+      Binio.write_string w key;
+      write_int_list w columns
+  | Put { key; columns } ->
+      Binio.write_u8 w 2;
+      Binio.write_string w key;
+      write_cols w columns
+  | Put_cols { key; updates } ->
+      Binio.write_u8 w 3;
+      Binio.write_string w key;
+      Binio.write_varint w (List.length updates);
+      List.iter
+        (fun (i, c) ->
+          Binio.write_varint w i;
+          Binio.write_string w c)
+        updates
+  | Remove key ->
+      Binio.write_u8 w 4;
+      Binio.write_string w key
+  | Getrange { start; count; columns } ->
+      Binio.write_u8 w 5;
+      Binio.write_string w start;
+      Binio.write_varint w count;
+      write_int_list w columns
+  | Getrange_rev { start; count; columns } ->
+      Binio.write_u8 w 6;
+      Binio.write_string w start;
+      Binio.write_varint w count;
+      write_int_list w columns
+
+let decode_request r =
+  match Binio.read_u8 r with
+  | 1 ->
+      let key = Binio.read_string r in
+      Get { key; columns = read_int_list r }
+  | 2 ->
+      let key = Binio.read_string r in
+      Put { key; columns = read_cols r }
+  | 3 ->
+      let key = Binio.read_string r in
+      let n = Binio.read_varint r in
+      let updates =
+        List.init n (fun _ ->
+            let i = Binio.read_varint r in
+            let c = Binio.read_string r in
+            (i, c))
+      in
+      Put_cols { key; updates }
+  | 4 -> Remove (Binio.read_string r)
+  | 5 ->
+      let start = Binio.read_string r in
+      let count = Binio.read_varint r in
+      Getrange { start; count; columns = read_int_list r }
+  | 6 ->
+      let start = Binio.read_string r in
+      let count = Binio.read_varint r in
+      Getrange_rev { start; count; columns = read_int_list r }
+  | _ -> raise Binio.Truncated
+
+let encode_response w = function
+  | Value None -> Binio.write_u8 w 1
+  | Value (Some cols) ->
+      Binio.write_u8 w 2;
+      write_cols w cols
+  | Ok_put -> Binio.write_u8 w 3
+  | Removed b ->
+      Binio.write_u8 w 4;
+      Binio.write_u8 w (if b then 1 else 0)
+  | Range items ->
+      Binio.write_u8 w 5;
+      Binio.write_varint w (List.length items);
+      List.iter
+        (fun (k, cols) ->
+          Binio.write_string w k;
+          write_cols w cols)
+        items
+  | Failed msg ->
+      Binio.write_u8 w 6;
+      Binio.write_string w msg
+
+let decode_response r =
+  match Binio.read_u8 r with
+  | 1 -> Value None
+  | 2 -> Value (Some (read_cols r))
+  | 3 -> Ok_put
+  | 4 -> Removed (Binio.read_u8 r = 1)
+  | 5 ->
+      let n = Binio.read_varint r in
+      Range
+        (List.init n (fun _ ->
+             let k = Binio.read_string r in
+             (k, read_cols r)))
+  | 6 -> Failed (Binio.read_string r)
+  | _ -> raise Binio.Truncated
+
+let encode_batch encode items =
+  let w = Binio.writer () in
+  Binio.write_varint w (List.length items);
+  List.iter (encode w) items;
+  Binio.contents w
+
+let decode_batch decode body =
+  let r = Binio.reader body in
+  let n = Binio.read_varint r in
+  List.init n (fun _ -> decode r)
+
+let encode_requests = encode_batch encode_request
+
+let encode_responses = encode_batch encode_response
+
+let decode_requests = decode_batch decode_request
+
+let decode_responses = decode_batch decode_response
+
+(* ---- frame IO over fds ---- *)
+
+let really_write fd b off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd b off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let really_read fd b off len =
+  let rec go off len =
+    if len = 0 then true
+    else begin
+      match Unix.read fd b off len with
+      | 0 -> false
+      | n -> go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let write_frame fd body =
+  let len = String.length body in
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.blit_string body 0 b 4 len;
+  really_write fd b 0 (4 + len)
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  if not (really_read fd hdr 0 4) then None
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    if len < 0 || len > 64 * 1024 * 1024 then None
+    else begin
+      let body = Bytes.create len in
+      if really_read fd body 0 len then Some (Bytes.unsafe_to_string body) else None
+    end
+  end
+
+let pp_request fmt = function
+  | Get { key; _ } -> Format.fprintf fmt "get %S" key
+  | Put { key; _ } -> Format.fprintf fmt "put %S" key
+  | Put_cols { key; updates } -> Format.fprintf fmt "putc %S (%d cols)" key (List.length updates)
+  | Remove key -> Format.fprintf fmt "remove %S" key
+  | Getrange { start; count; _ } -> Format.fprintf fmt "getrange %S %d" start count
+  | Getrange_rev { start; count; _ } -> Format.fprintf fmt "getrange_rev %S %d" start count

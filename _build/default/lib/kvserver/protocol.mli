@@ -1,0 +1,47 @@
+(** Wire protocol (§3, §5).
+
+    Requests and responses travel in {e batches}: "a single client message
+    can include many queries", which is what amortizes network cost in the
+    paper's benchmarks (batched gets are the difference between memcached
+    keeping up and falling behind, §7).
+
+    A frame is [u32 length | varint count | count messages]; each message
+    is a tagged body.  Column lists select subsets of a value's columns
+    ([[]] = all columns). *)
+
+type request =
+  | Get of { key : string; columns : int list }
+  | Put of { key : string; columns : string array } (** full-value put *)
+  | Put_cols of { key : string; updates : (int * string) list }
+  | Remove of string
+  | Getrange of { start : string; count : int; columns : int list }
+  | Getrange_rev of { start : string; count : int; columns : int list }
+      (** descending scan; [start = ""] means from the maximum key *)
+
+type response =
+  | Value of string array option (** for Get *)
+  | Ok_put (** for Put / Put_cols *)
+  | Removed of bool (** for Remove *)
+  | Range of (string * string array) list (** for Getrange *)
+  | Failed of string
+
+val encode_requests : request list -> string
+(** A complete frame. *)
+
+val encode_responses : response list -> string
+
+val decode_requests : string -> request list
+(** Decodes a frame body (without the length prefix).
+    @raise Xutil.Binio.Truncated on malformed input. *)
+
+val decode_responses : string -> response list
+
+(** Frame IO helpers over file descriptors (blocking). *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** [write_frame fd body] sends [u32 length | body]. *)
+
+val read_frame : Unix.file_descr -> string option
+(** [read_frame fd] reads one frame body; [None] on clean EOF. *)
+
+val pp_request : Format.formatter -> request -> unit

@@ -1,0 +1,97 @@
+type addr = Tcp of string * int | Unix_sock of string
+
+let sockaddr_of = function
+  | Tcp (host, port) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+  | Unix_sock path -> Unix.ADDR_UNIX path
+
+type server = {
+  fd : Unix.file_descr;
+  actual : addr;
+  stopping : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  store : Kvstore.Store.t;
+  worker_counter : int Atomic.t;
+}
+
+let connection_loop store worker fd () =
+  (try
+     let rec loop () =
+       match Protocol.read_frame fd with
+       | None -> ()
+       | Some body ->
+           Protocol.write_frame fd (Engine.handle_frame ~worker store body);
+           loop ()
+     in
+     loop ()
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec accept_loop server () =
+  match Unix.accept server.fd with
+  | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+  | exception Unix.Unix_error _ ->
+      if not (Atomic.get server.stopping) then accept_loop server ()
+  | client_fd, _ ->
+      if Atomic.get server.stopping then (try Unix.close client_fd with _ -> ())
+      else begin
+        let worker = Atomic.fetch_and_add server.worker_counter 1 in
+        ignore (Thread.create (connection_loop server.store worker client_fd) ());
+        accept_loop server ()
+      end
+
+let serve addr store =
+  let domain = match addr with Tcp _ -> Unix.PF_INET | Unix_sock _ -> Unix.PF_UNIX in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (match addr with
+  | Unix_sock path when Sys.file_exists path -> Unix.unlink path
+  | _ -> ());
+  Unix.bind fd (sockaddr_of addr);
+  Unix.listen fd 64;
+  let actual =
+    match (addr, Unix.getsockname fd) with
+    | Tcp (host, _), Unix.ADDR_INET (_, port) -> Tcp (host, port)
+    | a, _ -> a
+  in
+  let server =
+    {
+      fd;
+      actual;
+      stopping = Atomic.make false;
+      accept_thread = None;
+      store;
+      worker_counter = Atomic.make 0;
+    }
+  in
+  server.accept_thread <- Some (Thread.create (accept_loop server) ());
+  server
+
+let bound_addr s = s.actual
+
+let shutdown s =
+  Atomic.set s.stopping true;
+  (try Unix.shutdown s.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close s.fd with Unix.Unix_error _ -> ());
+  (match s.accept_thread with Some t -> Thread.join t | None -> ());
+  match s.actual with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+type client = { cfd : Unix.file_descr }
+
+let connect addr =
+  let domain = match addr with Tcp _ -> Unix.PF_INET | Unix_sock _ -> Unix.PF_UNIX in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.connect fd (sockaddr_of addr);
+  (match addr with
+  | Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+  | Unix_sock _ -> ());
+  { cfd = fd }
+
+let call c reqs =
+  Protocol.write_frame c.cfd (Protocol.encode_requests reqs);
+  match Protocol.read_frame c.cfd with
+  | Some body -> Protocol.decode_responses body
+  | None -> failwith "connection closed"
+
+let disconnect c = try Unix.close c.cfd with Unix.Unix_error _ -> ()

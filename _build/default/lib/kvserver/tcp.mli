@@ -1,0 +1,30 @@
+(** Socket transport: the server daemon's front end.
+
+    Listens on TCP or a Unix-domain socket; each accepted connection gets
+    a worker thread running the read-execute-respond loop over length-
+    prefixed frames, with long-lived connections carrying batched queries
+    — the paper's operating mode ("long-lived TCP query connections from
+    few clients or client aggregators", §5). *)
+
+type addr = Tcp of string * int | Unix_sock of string
+
+type server
+
+val serve : addr -> Kvstore.Store.t -> server
+(** Bind, listen, and start the accept loop in a background thread. *)
+
+val bound_addr : server -> addr
+(** Actual address (resolves port 0 to the assigned port). *)
+
+val shutdown : server -> unit
+
+(** {1 Client side} *)
+
+type client
+
+val connect : addr -> client
+
+val call : client -> Protocol.request list -> Protocol.response list
+(** One batched round trip.  @raise Failure on connection loss. *)
+
+val disconnect : client -> unit

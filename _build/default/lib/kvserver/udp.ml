@@ -1,0 +1,85 @@
+type server = {
+  socks : Unix.file_descr array;
+  bound : int array;
+  threads : Thread.t array;
+  stopping : bool Atomic.t;
+}
+
+let max_dgram = 64 * 1024
+
+let worker_loop stopping store worker sock () =
+  let buf = Bytes.create max_dgram in
+  (try
+     while not (Atomic.get stopping) do
+       match Unix.recvfrom sock buf 0 max_dgram [] with
+       | 0, _ -> ()
+       | len, peer ->
+           let body = Bytes.sub_string buf 0 len in
+           let resp = Engine.handle_frame ~worker store body in
+           if String.length resp <= max_dgram then
+             ignore
+               (Unix.sendto sock (Bytes.unsafe_of_string resp) 0 (String.length resp) [] peer)
+     done
+   with Unix.Unix_error _ -> ());
+  try Unix.close sock with Unix.Unix_error _ -> ()
+
+let serve ~host ~base_port ~workers store =
+  assert (workers >= 1);
+  let stopping = Atomic.make false in
+  let socks =
+    Array.init workers (fun i ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+        let port = if base_port = 0 then 0 else base_port + i in
+        Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        s)
+  in
+  let bound =
+    Array.map
+      (fun s ->
+        match Unix.getsockname s with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> assert false)
+      socks
+  in
+  let threads =
+    Array.mapi (fun i s -> Thread.create (worker_loop stopping store i s) ()) socks
+  in
+  { socks; bound; threads; stopping }
+
+let ports s = Array.to_list s.bound
+
+let shutdown s =
+  Atomic.set s.stopping true;
+  Array.iter
+    (fun sock -> try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    s.socks;
+  (* recvfrom on a UDP socket does not return on shutdown everywhere; a
+     zero-length self-datagram unblocks each worker portably. *)
+  Array.iteri
+    (fun i sock ->
+      try
+        ignore
+          (Unix.sendto sock (Bytes.create 0) 0 0 []
+             (Unix.ADDR_INET (Unix.inet_addr_loopback, s.bound.(i))))
+      with Unix.Unix_error _ -> ())
+    s.socks;
+  Array.iter Thread.join s.threads
+
+type client = { fd : Unix.file_descr; peer : Unix.sockaddr }
+
+let connect ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  { fd; peer = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) }
+
+let call c reqs =
+  let body = Protocol.encode_requests reqs in
+  assert (String.length body <= max_dgram);
+  ignore (Unix.sendto c.fd (Bytes.unsafe_of_string body) 0 (String.length body) [] c.peer);
+  let buf = Bytes.create max_dgram in
+  match Unix.select [ c.fd ] [] [] 2.0 with
+  | [], _, _ -> failwith "udp response timeout"
+  | _ ->
+      let len, _ = Unix.recvfrom c.fd buf 0 max_dgram [] in
+      Protocol.decode_responses (Bytes.sub_string buf 0 len)
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

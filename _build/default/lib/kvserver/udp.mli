@@ -1,0 +1,30 @@
+(** Per-core UDP ports (§5): "to support short connections efficiently,
+    Masstree can configure per-core UDP ports that are each associated
+    with a single core's receive queue."
+
+    Each worker owns one UDP socket on [base_port + i]; a request datagram
+    carries one protocol batch and is answered with one response datagram
+    to the sender.  Clients spread load by picking a port (their "core").
+    Datagrams bound the batch size (~64 KiB); the TCP transport has no
+    such limit. *)
+
+type server
+
+val serve : host:string -> base_port:int -> workers:int -> Kvstore.Store.t -> server
+(** Binds [workers] sockets on [base_port .. base_port+workers-1] (port 0
+    lets the OS choose each). *)
+
+val ports : server -> int list
+(** Actual bound ports, one per worker. *)
+
+val shutdown : server -> unit
+
+type client
+
+val connect : host:string -> port:int -> client
+(** A client handle aimed at one worker's port. *)
+
+val call : client -> Protocol.request list -> Protocol.response list
+(** One datagram exchange.  @raise Failure on response timeout (2 s). *)
+
+val close : client -> unit

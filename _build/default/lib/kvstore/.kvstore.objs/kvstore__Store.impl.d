@@ -1,0 +1,1 @@
+lib/kvstore/store.ml: Array Atomic Bytes Domain Fun Int64 List Masstree_core Option Persist String Tree Xutil

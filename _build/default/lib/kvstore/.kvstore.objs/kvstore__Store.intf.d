@@ -1,0 +1,1 @@
+lib/kvstore/store.mli: Masstree_core Persist

@@ -1,0 +1,103 @@
+(** The Masstree storage system (§3, §4.7, §5): a Masstree index over
+    multi-column values, with per-worker update logs and checkpoints.
+
+    Values are a version number plus an array of byte-string columns.
+    Puts that touch a subset of columns copy the untouched ones from the
+    old value into a fresh object and swap it in with one store, so
+    multi-column puts are atomic: a concurrent get sees all or none of a
+    put's modifications.  Sequential updates to one value get distinct,
+    increasing version numbers (used by log replay ordering).
+
+    Logging is optional: a store created with [logs] writes every update
+    to one of the per-worker logs (workers pick their log by worker id,
+    mimicking the paper's per-core log files). *)
+
+type value = { version : int64; columns : string array }
+
+type layout =
+  | Contiguous
+      (** §4.7's small-value design: all columns packed into one
+          freshly-built block per update.  Reads touch one allocation;
+          column updates copy every byte of the value. *)
+  | Columnar
+      (** §4.7's large-value design: one block per column.  Column
+          updates copy only pointers to unmodified columns; reads of many
+          columns chase one pointer per column. *)
+
+type t
+
+val create : ?logs:Persist.Logger.t array -> ?layout:layout -> unit -> t
+(** [layout] defaults to [Contiguous], the variant the paper evaluates
+    ("most appropriate for small values"). *)
+
+val layout : t -> layout
+
+val close : t -> unit
+(** Sync and close the attached loggers. *)
+
+(** {1 Operations (§3)} *)
+
+val get : t -> string -> string array option
+(** Full-value get: all columns. *)
+
+val get_columns : t -> string -> int list -> string array option
+(** [get_columns t k cols] returns the requested columns in request
+    order.  Missing column indexes read as [""]. *)
+
+val get_value : t -> string -> value option
+
+val multi_get : t -> string array -> string array option array
+(** Batched full-value gets with interleaved tree descent (§4.8); the
+    network engine uses this for get-only request batches. *)
+
+val put : ?worker:int -> t -> string -> string array -> unit
+(** Full-value put (replaces all columns). *)
+
+val put_columns : ?worker:int -> t -> string -> (int * string) list -> unit
+(** [put_columns t k updates] atomically modifies just the listed columns,
+    extending the column array if an index is beyond its current width. *)
+
+val remove : ?worker:int -> t -> string -> bool
+
+val getrange :
+  t -> start:string -> ?columns:int list -> limit:int ->
+  (string -> string array -> unit) -> int
+(** Scan (§3): up to [limit] pairs from [start] in key order, returning
+    the requested columns (default: all).  Not atomic w.r.t. writers. *)
+
+val getrange_rev :
+  t -> ?start:string -> ?columns:int list -> limit:int ->
+  (string -> string array -> unit) -> int
+(** Descending scan from [start] (default: the maximum key) — the paper's
+    getrange "in either direction" (§4.3). *)
+
+val cardinal : t -> int
+
+val tree_stats : t -> Masstree_core.Stats.t
+
+(** {1 Persistence (§5)} *)
+
+val checkpoint : t -> dir:string -> writers:int -> (string, string) result
+(** Dump a consistent-enough snapshot (the paper's checkpoints run
+    concurrently with writers; each key's entry is some committed
+    version) and return the manifest path. *)
+
+val recover :
+  ?logs:Persist.Logger.t array ->
+  ?layout:layout ->
+  ?replay_domains:int ->
+  log_paths:string list ->
+  checkpoint_dirs:string list ->
+  unit ->
+  (t * Persist.Recovery.stats, string) result
+(** Rebuild a store from checkpoint + logs (the version guard ensures
+    replay order-independence across per-core logs). *)
+
+val check : t -> (unit, string) result
+(** Deep structural check of the underlying index (quiescent callers
+    only); see {!Masstree_core.Tree.check}. *)
+
+(** {1 Internal (replay + tests)} *)
+
+val apply_put : t -> key:string -> version:int64 -> columns:string array -> unit
+val apply_remove : t -> key:string -> version:int64 -> unit

@@ -1,0 +1,1 @@
+lib/masstree/epoch.ml: Atomic Fun List Queue Xutil

@@ -1,0 +1,1 @@
+lib/masstree/key.ml: Char Format Int64 String

@@ -1,0 +1,1 @@
+lib/masstree/keycodec.ml: Buffer Bytes Char Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/masstree/node.ml: Array Atomic Format Int64 Key List Permutation Printf Version

@@ -1,0 +1,1 @@
+lib/masstree/node.mli: Atomic Format Permutation Version

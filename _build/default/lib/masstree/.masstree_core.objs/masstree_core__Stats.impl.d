@@ -1,0 +1,1 @@
+lib/masstree/stats.ml: Array Atomic Format List

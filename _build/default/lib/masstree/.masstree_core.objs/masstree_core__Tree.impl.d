@@ -1,0 +1,1 @@
+lib/masstree/tree.ml: Array Atomic Domain Epoch Format Int64 Key List Node Option Permutation Stats String Version Xutil

@@ -1,0 +1,1 @@
+lib/masstree/tree.mli: Epoch Key Node Stats Version

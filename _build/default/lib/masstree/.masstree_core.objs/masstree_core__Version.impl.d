@@ -1,0 +1,1 @@
+lib/masstree/version.ml: Atomic Format Xutil

@@ -1,0 +1,1 @@
+lib/masstree/version.mli: Atomic Format

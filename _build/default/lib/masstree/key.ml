@@ -1,0 +1,40 @@
+type t = string
+
+let slice k ~off =
+  let len = String.length k in
+  if off + 8 <= len then String.get_int64_be k off
+  else begin
+    (* Short tail: accumulate the remaining bytes into the high-order end,
+       leaving the rest zero, which is exactly big-endian zero padding. *)
+    let v = ref 0L in
+    let avail = len - off in
+    if avail > 0 then
+      for i = 0 to avail - 1 do
+        let b = Int64.of_int (Char.code (String.unsafe_get k (off + i))) in
+        v := Int64.logor !v (Int64.shift_left b (8 * (7 - i)))
+      done;
+    !v
+  end
+
+let slice_len k ~off = min 8 (max 0 (String.length k - off))
+
+let has_suffix k ~off = String.length k - off > 8
+
+let suffix k ~off =
+  assert (has_suffix k ~off);
+  String.sub k (off + 8) (String.length k - off - 8)
+
+let compare_slices = Int64.unsigned_compare
+
+let slice_to_string s ~len =
+  assert (len >= 0 && len <= 8);
+  String.init len (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical s (8 * (7 - i))) 0xFFL)))
+
+let pp_slice fmt s =
+  let str = slice_to_string s ~len:8 in
+  String.iter
+    (fun c ->
+      if c >= ' ' && c < '\x7f' then Format.pp_print_char fmt c
+      else Format.fprintf fmt "\\x%02x" (Char.code c))
+    str

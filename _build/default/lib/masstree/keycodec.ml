@@ -1,0 +1,119 @@
+type field =
+  | U64 of int64
+  | I64 of int64
+  | U32 of int
+  | Str of string
+  | Raw of string
+
+let flip_sign v = Int64.logxor v Int64.min_int
+
+let encode_field ?(terminate = true) buf field =
+  match field with
+  | U64 v ->
+      let b = Bytes.create 8 in
+      Bytes.set_int64_be b 0 v;
+      Buffer.add_bytes buf b
+  | I64 v ->
+      let b = Bytes.create 8 in
+      Bytes.set_int64_be b 0 (flip_sign v);
+      Buffer.add_bytes buf b
+  | U32 v ->
+      let b = Bytes.create 4 in
+      Bytes.set_int32_be b 0 (Int32.of_int v);
+      Buffer.add_bytes buf b
+  | Str s ->
+      String.iter
+        (fun c ->
+          if c = '\x00' then Buffer.add_string buf "\x00\xff"
+          else Buffer.add_char buf c)
+        s;
+      if terminate then Buffer.add_string buf "\x00\x00"
+  | Raw s -> Buffer.add_string buf s
+
+let check_raw_last fields =
+  let rec go = function
+    | [] | [ _ ] -> ()
+    | Raw _ :: _ -> invalid_arg "Keycodec: Raw must be the last field"
+    | _ :: rest -> go rest
+  in
+  go fields
+
+let encode fields =
+  check_raw_last fields;
+  let buf = Buffer.create 32 in
+  List.iter (encode_field buf) fields;
+  Buffer.contents buf
+
+let prefix fields =
+  check_raw_last fields;
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | [] -> ()
+    | [ Str s ] -> encode_field ~terminate:false buf (Str s)
+    | f :: rest ->
+        encode_field buf f;
+        go rest
+  in
+  go fields;
+  Buffer.contents buf
+
+let decode key spec =
+  let pos = ref 0 in
+  let len = String.length key in
+  let need n = if !pos + n > len then invalid_arg "Keycodec: truncated key" in
+  let field = function
+    | U64 _ ->
+        need 8;
+        let v = String.get_int64_be key !pos in
+        pos := !pos + 8;
+        U64 v
+    | I64 _ ->
+        need 8;
+        let v = flip_sign (String.get_int64_be key !pos) in
+        pos := !pos + 8;
+        I64 v
+    | U32 _ ->
+        need 4;
+        let v = Int32.to_int (String.get_int32_be key !pos) land 0xFFFFFFFF in
+        pos := !pos + 4;
+        U32 v
+    | Str _ ->
+        let buf = Buffer.create 16 in
+        let rec go () =
+          need 1;
+          let c = key.[!pos] in
+          incr pos;
+          if c <> '\x00' then begin
+            Buffer.add_char buf c;
+            go ()
+          end
+          else begin
+            need 1;
+            let c2 = key.[!pos] in
+            incr pos;
+            if c2 = '\xff' then begin
+              Buffer.add_char buf '\x00';
+              go ()
+            end
+            else if c2 = '\x00' then ()
+            else invalid_arg "Keycodec: bad escape"
+          end
+        in
+        go ();
+        Str (Buffer.contents buf)
+    | Raw _ ->
+        let v = String.sub key !pos (len - !pos) in
+        pos := len;
+        Raw v
+  in
+  let decoded = List.map field spec in
+  if !pos <> len then invalid_arg "Keycodec: trailing bytes";
+  decoded
+
+let next_prefix p =
+  let rec go i =
+    if i < 0 then None
+    else if p.[i] = '\xff' then go (i - 1)
+    else Some (String.sub p 0 i ^ String.make 1 (Char.chr (Char.code p.[i] + 1)))
+  in
+  go (String.length p - 1)

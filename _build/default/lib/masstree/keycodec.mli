@@ -1,0 +1,46 @@
+(** Order-preserving encodings of structured keys.
+
+    Masstree orders keys by raw bytes (§3), so applications that want
+    range scans over structured keys — (user, timestamp), (table, id),
+    permuted host + path — must encode fields so byte order equals the
+    intended field-by-field order.  These combinators build such keys:
+
+    - unsigned and signed fixed-width integers, big-endian (sign bit
+      flipped so negative values sort first);
+    - byte strings with a terminator escape, so variable-length fields
+      compose without a shorter field's prefix sorting inside a longer
+      one's range;
+    - composition is concatenation; decode mirrors encode.
+
+    The escape scheme for strings is the standard one: [0x00] bytes are
+    encoded as [0x00 0xFF] and the field ends with [0x00 0x00]; this keeps
+    byte order identical to the order of the original strings, including
+    embedded NULs. *)
+
+type field =
+  | U64 of int64 (** unsigned, 8 bytes big-endian *)
+  | I64 of int64 (** signed, order-preserving *)
+  | U32 of int (** low 32 bits, unsigned *)
+  | Str of string (** arbitrary bytes, escaped + terminated *)
+  | Raw of string (** trailing raw bytes: must be the last field *)
+
+val encode : field list -> string
+(** [encode fields] is the composite key.  [Raw] may only appear last.
+    @raise Invalid_argument otherwise. *)
+
+val decode : string -> field list -> field list
+(** [decode key spec] parses [key] according to [spec] — a list of fields
+    whose payloads are ignored and replaced by the decoded values (use
+    e.g. [U64 0L] as a placeholder).
+    @raise Invalid_argument on malformed input. *)
+
+val prefix : field list -> string
+(** [prefix fields] is an encoding suitable as a {e scan start bound} for
+    all keys beginning with [fields]: identical to {!encode} except that a
+    trailing [Str] field is left unterminated, so every continuation of
+    that string is included in the range. *)
+
+val next_prefix : string -> string option
+(** [next_prefix p] is the smallest string greater than every string
+    having prefix [p] (increments the last non-0xFF byte) — the exclusive
+    stop bound for a prefix scan.  [None] if [p] is all [0xFF]. *)

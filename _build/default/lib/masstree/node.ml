@@ -1,0 +1,126 @@
+type 'v link_or_value =
+  | Empty
+  | Value of 'v
+  | Layer of 'v node ref
+
+and 'v node = Border of 'v border | Interior of 'v interior
+
+and 'v border = {
+  bversion : Version.t Atomic.t;
+  mutable bparent : 'v interior option;
+  bkeyslice : int64 array;
+  bkeylen : int array;
+  bsuffix : string option array;
+  blv : 'v link_or_value array;
+  bperm : int Atomic.t;
+  mutable bnext : 'v border option;
+  mutable bprev : 'v border option;
+  mutable blowkey : int64;
+  mutable bstale : int;
+}
+
+and 'v interior = {
+  iversion : Version.t Atomic.t;
+  mutable iparent : 'v interior option;
+  mutable inkeys : int;
+  ikeyslice : int64 array;
+  ichild : 'v node option array;
+}
+
+let width = Permutation.width
+
+let suffix_len_marker = 9
+
+let new_border ~isroot ~locked ~lowkey =
+  let base =
+    if locked then Version.make_locked ~isroot ~isborder:true
+    else Version.make ~isroot ~isborder:true
+  in
+  {
+    bversion = Atomic.make base;
+    bparent = None;
+    bkeyslice = Array.make width 0L;
+    bkeylen = Array.make width 0;
+    bsuffix = Array.make width None;
+    blv = Array.make width Empty;
+    bperm = Atomic.make (Permutation.empty :> int);
+    bnext = None;
+    bprev = None;
+    blowkey = lowkey;
+    bstale = 0;
+  }
+
+let new_interior ~isroot ~locked =
+  let base =
+    if locked then Version.make_locked ~isroot ~isborder:false
+    else Version.make ~isroot ~isborder:false
+  in
+  {
+    iversion = Atomic.make base;
+    iparent = None;
+    inkeys = 0;
+    ikeyslice = Array.make width 0L;
+    ichild = Array.make (width + 1) None;
+  }
+
+let same_node a b =
+  match (a, b) with
+  | Border x, Border y -> x == y
+  | Interior x, Interior y -> x == y
+  | Border _, Interior _ | Interior _, Border _ -> false
+
+let version_of = function Border b -> b.bversion | Interior i -> i.iversion
+
+let parent_of = function Border b -> b.bparent | Interior i -> i.iparent
+
+let set_parent n p =
+  match n with Border b -> b.bparent <- p | Interior i -> i.iparent <- p
+
+let border_perm b = Permutation.of_int (Atomic.get b.bperm)
+
+let entry_cmp s1 l1 s2 l2 =
+  let c = Int64.unsigned_compare s1 s2 in
+  if c <> 0 then c else compare (min l1 suffix_len_marker) (min l2 suffix_len_marker)
+
+let pp_border fmt b =
+  let perm = border_perm b in
+  Format.fprintf fmt "@[<v>border lowkey=%a version=%a perm=%a@," Key.pp_slice b.blowkey
+    Version.pp (Atomic.get b.bversion) Permutation.pp perm;
+  List.iter
+    (fun slot ->
+      let kind =
+        match b.blv.(slot) with
+        | Empty -> "empty"
+        | Value _ -> "value"
+        | Layer _ -> "layer"
+      in
+      Format.fprintf fmt "  slot=%d slice=%a len=%d kind=%s suffix=%s@," slot Key.pp_slice
+        b.bkeyslice.(slot) b.bkeylen.(slot) kind
+        (match b.bsuffix.(slot) with Some s -> Printf.sprintf "%S" s | None -> "-"))
+    (Permutation.live_slots perm);
+  Format.fprintf fmt "@]"
+
+let check_border b =
+  let perm = border_perm b in
+  if not (Permutation.check perm) then Error "malformed permutation"
+  else begin
+    let slots = Permutation.live_slots perm in
+    let rec verify prev = function
+      | [] -> Ok "ok"
+      | slot :: rest -> (
+          let s = b.bkeyslice.(slot) and l = b.bkeylen.(slot) in
+          (match b.blv.(slot) with
+          | Empty -> Error (Printf.sprintf "live slot %d is Empty" slot)
+          | Value _ when l = suffix_len_marker && b.bsuffix.(slot) = None ->
+              Error (Printf.sprintf "slot %d: suffix entry without suffix" slot)
+          | Value _ | Layer _ -> Ok "ok")
+          |> function
+          | Error _ as e -> e
+          | Ok _ -> (
+              match prev with
+              | Some (ps, pl) when entry_cmp ps pl s l >= 0 ->
+                  Error (Printf.sprintf "entries out of order at slot %d" slot)
+              | _ -> verify (Some (s, l)) rest))
+    in
+    verify None slots
+  end

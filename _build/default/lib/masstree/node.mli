@@ -1,0 +1,92 @@
+(** Masstree node structures (§4.2, Figure 2).
+
+    Border nodes are the leaf-like nodes: they hold key slices, slice
+    lengths, optional key suffixes, and per-key [link_or_value] slots that
+    contain either a value or a pointer to the next trie layer.  Interior
+    nodes route by slice only.  Both carry a {!Version} word; all mutable
+    fields are written only while the owning lock (per the field's
+    protection rule) is held, and read racily by the optimistic readers who
+    validate with version snapshots afterwards.
+
+    Field protection rules (§4.5): a node's fields are protected by its own
+    lock, {e except} that a node's [parent] is protected by the parent's
+    lock and a border node's [prev] by the previous sibling's lock.
+
+    Deltas from the paper's struct layout, and why they are safe, are
+    listed in DESIGN.md §5: slices are boxed [int64]s (pointer stores are
+    atomic; stale reads are caught by version validation) and
+    [link_or_value] is an immutable variant published by a single store,
+    which removes the need for the paper's two-phase [UNSTABLE] marker
+    during layer creation. *)
+
+type 'v link_or_value =
+  | Empty (** slot never used *)
+  | Value of 'v
+  | Layer of 'v node ref
+      (** root {e hint} for a deeper trie layer; may lag behind root splits
+          and is fixed up lazily, as in the paper (§4.6.4). *)
+
+and 'v node = Border of 'v border | Interior of 'v interior
+
+and 'v border = {
+  bversion : Version.t Atomic.t;
+  mutable bparent : 'v interior option; (* None = B+-tree root of its layer *)
+  bkeyslice : int64 array; (* width *)
+  bkeylen : int array; (* width: 0..8 inline; 9 = suffix or layer entry *)
+  bsuffix : string option array; (* width *)
+  blv : 'v link_or_value array; (* width *)
+  bperm : int Atomic.t; (* Permutation.t *)
+  mutable bnext : 'v border option;
+  mutable bprev : 'v border option;
+  mutable blowkey : int64;
+      (* Constant after the node becomes reachable; the split-tolerant
+         rightward walk compares against the *next* node's lowkey. *)
+  mutable bstale : int;
+      (* Bitmask of slots holding data of removed keys; reusing one forces
+         a vinsert bump (§4.6.5).  Lock-protected. *)
+}
+
+and 'v interior = {
+  iversion : Version.t Atomic.t;
+  mutable iparent : 'v interior option;
+  mutable inkeys : int;
+  ikeyslice : int64 array; (* width *)
+  ichild : 'v node option array; (* width + 1 *)
+}
+
+val width : int
+(** Keys per node; [Permutation.width]. *)
+
+val suffix_len_marker : int
+(** The [bkeylen] value (9) marking a slot whose key extends beyond this
+    layer's slice — a suffix entry or a layer link. *)
+
+val new_border : isroot:bool -> locked:bool -> lowkey:int64 -> 'v border
+val new_interior : isroot:bool -> locked:bool -> 'v interior
+
+val same_node : 'v node -> 'v node -> bool
+(** Physical identity of the underlying node record.  The [node] variant
+    wrapper is re-allocated freely (e.g. [Border b] at each use), so [==]
+    on ['v node] values is meaningless; always compare through this. *)
+
+val version_of : 'v node -> Version.t Atomic.t
+val parent_of : 'v node -> 'v interior option
+val set_parent : 'v node -> 'v interior option -> unit
+(** Caller must hold the (new or old, per the protection rule) parent's
+    lock, or own the node exclusively. *)
+
+val border_perm : 'v border -> Permutation.t
+(** Atomic read of the permutation word. *)
+
+val entry_cmp : int64 -> int -> int64 -> int -> int
+(** [entry_cmp s1 l1 s2 l2] orders border entries by (slice, min(len,9)):
+    the lexicographic order of the keys they stand for, given the invariant
+    that at most one entry per slice has len ≥ 9. *)
+
+val pp_border : Format.formatter -> 'v border -> unit
+(** Debug dump of live entries (slices, lengths, kinds). *)
+
+val check_border : 'v border -> (string, string) result
+(** Structural invariant check for tests: permutation well-formed, live
+    entries strictly sorted, ≤ 1 suffix-or-layer entry per slice.  Returns
+    [Error msg] on violation. *)

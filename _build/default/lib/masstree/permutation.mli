@@ -1,0 +1,77 @@
+(** The border-node permutation word (§4.6.2).
+
+    A border node's key slots are unordered; the permutation word encodes
+    both the number of live keys and the sorted order of their slot
+    indexes.  A writer prepares a key in a free slot, then publishes it by
+    storing a new permutation with one aligned write — readers see either
+    the old order (without the key) or the new order (with it), never an
+    intermediate rearrangement, so plain inserts need no version bump and
+    never force reader retries.
+
+    The paper packs nkeys + 15 4-bit indexes into 64 bits.  OCaml immediate
+    integers carry 63 bits, so this implementation uses {b width 14}:
+    4 bits of nkeys + 14 × 4-bit slot indexes = 60 bits.  All keys sharing
+    one 8-byte slice (at most 10: lengths 0–8 plus one suffix-or-layer
+    entry) still fit in a single node, preserving the same-slice invariant
+    the concurrency protocol depends on.
+
+    A permutation value is immutable; operations return new words.  The
+    node stores the current word in an [int Atomic.t]. *)
+
+type t = private int
+
+val width : int
+(** Slots per border node (14). *)
+
+val empty : t
+(** No live keys; free list is slots 0..13 in order. *)
+
+val sorted : int -> t
+(** [sorted n] has slots [0..n-1] live, in slot order — the layout of a
+    freshly built node whose keys were written in sorted order. *)
+
+val of_int : int -> t
+(** [of_int v] reinterprets a raw word read from a node's atomic. *)
+
+val size : t -> int
+(** Number of live keys. *)
+
+val is_full : t -> bool
+
+val get : t -> int -> int
+(** [get p i] is the slot index of the [i]-th smallest live key;
+    requires [0 <= i < size p]. *)
+
+val free_slot : t -> int
+(** [free_slot p] is the slot an insert at this point would claim (the
+    first entry of the free region).  Requires [not (is_full p)]. *)
+
+val insert : t -> pos:int -> t
+(** [insert p ~pos] claims {!free_slot} and splices it into sorted
+    position [pos], incrementing the size.  Requires room and
+    [0 <= pos <= size p]. *)
+
+val keep_prefix : t -> n:int -> t
+(** [keep_prefix p ~n] truncates to the first [n] live keys; the remaining
+    live slots join the free region in order.  Splits use this to shrink
+    the left node in one store: the migrated entries' slots become free
+    while their data stays readable for already-running readers, who are
+    invalidated by the vsplit bump instead. *)
+
+val remove : t -> pos:int -> t
+(** [remove p ~pos] unsplices the slot at sorted position [pos], moving it
+    to the front of the free region (where the next insert will reuse it),
+    and decrements the size. *)
+
+val removed_slot : t -> pos:int -> int
+(** [removed_slot p ~pos] is the slot index that [remove p ~pos] frees. *)
+
+val live_slots : t -> int list
+(** [live_slots p] is the slots of live keys in key order (for scans and
+    tests). *)
+
+val check : t -> bool
+(** [check p] verifies the representation invariant: the 14 index nibbles
+    are a permutation of 0..13 and size ≤ width.  Used by tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type counter =
+  | Gets
+  | Puts
+  | Removes
+  | Scans
+  | Splits_border
+  | Splits_interior
+  | Layer_creates
+  | Root_retries
+  | Local_retries
+  | Node_deletes
+  | Layer_collapses
+  | Slot_reuses
+
+let n_counters = 12
+
+let index = function
+  | Gets -> 0
+  | Puts -> 1
+  | Removes -> 2
+  | Scans -> 3
+  | Splits_border -> 4
+  | Splits_interior -> 5
+  | Layer_creates -> 6
+  | Root_retries -> 7
+  | Local_retries -> 8
+  | Node_deletes -> 9
+  | Layer_collapses -> 10
+  | Slot_reuses -> 11
+
+let name = function
+  | Gets -> "gets"
+  | Puts -> "puts"
+  | Removes -> "removes"
+  | Scans -> "scans"
+  | Splits_border -> "splits_border"
+  | Splits_interior -> "splits_interior"
+  | Layer_creates -> "layer_creates"
+  | Root_retries -> "root_retries"
+  | Local_retries -> "local_retries"
+  | Node_deletes -> "node_deletes"
+  | Layer_collapses -> "layer_collapses"
+  | Slot_reuses -> "slot_reuses"
+
+let all =
+  [ Gets; Puts; Removes; Scans; Splits_border; Splits_interior; Layer_creates;
+    Root_retries; Local_retries; Node_deletes; Layer_collapses; Slot_reuses ]
+
+type t = int Atomic.t array
+
+let create () = Array.init n_counters (fun _ -> Atomic.make 0)
+
+let incr t c = ignore (Atomic.fetch_and_add t.(index c) 1)
+
+let read t c = Atomic.get t.(index c)
+
+let reset t = Array.iter (fun a -> Atomic.set a 0) t
+
+let pp fmt t =
+  List.iter
+    (fun c ->
+      let v = read t c in
+      if v <> 0 then Format.fprintf fmt "%s=%d@ " (name c) v)
+    all

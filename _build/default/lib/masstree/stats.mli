@@ -1,0 +1,33 @@
+(** Per-tree operation counters.
+
+    Cheap enough to leave on (one [Atomic.fetch_and_add] per event, and
+    events other than gets/puts are rare), these drive the retry-rate
+    experiment (§6.2's "less than 1 insert in 10^6 had to retry from the
+    root") and give tests visibility into which code paths fired. *)
+
+type t
+
+type counter =
+  | Gets
+  | Puts
+  | Removes
+  | Scans
+  | Splits_border
+  | Splits_interior
+  | Layer_creates
+  | Root_retries (* reader restarted from the root: concurrent split/delete *)
+  | Local_retries (* reader retried within one node: concurrent insert *)
+  | Node_deletes
+  | Layer_collapses
+  | Slot_reuses (* removed slot reused by an insert: the §4.6.5 hazard *)
+
+val create : unit -> t
+
+val incr : t -> counter -> unit
+
+val read : t -> counter -> int
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line per nonzero counter. *)

@@ -1,0 +1,1241 @@
+open Node
+
+exception Restart
+(* Raised when an operation encounters a deleted node or a collapsed layer
+   and must restart from the layer-0 root (§4.6.5: "any operation that
+   encounters a deleted node retries from the root"). *)
+
+type 'v t = {
+  root : 'v node ref; (* layer-0 root hint; refreshed lazily after splits *)
+  tstats : Stats.t;
+  emgr : Epoch.manager;
+  handle_key : 'v handle_state Domain.DLS.key;
+}
+
+and 'v handle_state = { eh : Epoch.handle; mutable ops_since_tick : int }
+
+let create () =
+  let emgr = Epoch.manager () in
+  {
+    root = ref (Border (new_border ~isroot:true ~locked:false ~lowkey:0L));
+    tstats = Stats.create ();
+    emgr;
+    handle_key =
+      Domain.DLS.new_key (fun () -> { eh = Epoch.register emgr; ops_since_tick = 0 });
+  }
+
+let stats t = t.tstats
+let epoch_manager t = t.emgr
+let root_ref t = t.root
+
+let handle t = Domain.DLS.get t.handle_key
+
+(* Wrap an operation in an epoch critical section, ticking the reclamation
+   machinery once in a while. *)
+let pinned t f =
+  let h = handle t in
+  let r = Epoch.pin h.eh f in
+  h.ops_since_tick <- h.ops_since_tick + 1;
+  if h.ops_since_tick >= 64 then begin
+    h.ops_since_tick <- 0;
+    Epoch.tick h.eh
+  end;
+  r
+
+let maintain t = Epoch.quiesce t.emgr
+
+(* ------------------------------------------------------------------ *)
+(* Descent (Figure 6)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Climb from a possibly stale root hint to the actual root of a layer's
+   B+-tree and return it with a stable version.  Parent pointers survive on
+   deleted nodes, so the climb terminates at a node with the isroot bit. *)
+let stable_root root_ref =
+  let rec climb n fuel =
+    let v = Version.stable (version_of n) in
+    if Version.is_root v then (n, v)
+    else
+      match parent_of n with
+      | Some p -> climb (Interior p) fuel
+      | None ->
+          (* Transient: the node lost isroot but its new parent is not yet
+             visible, or the hint points at a detached node.  Re-read the
+             hint; give up to the caller's retry logic if this persists. *)
+          if fuel = 0 then raise Restart else climb !root_ref (fuel - 1)
+  in
+  climb !root_ref 16
+
+let find_border t root_ref ks =
+  let rec from_root () =
+    let n0, v0 = stable_root root_ref in
+    if not (same_node n0 !root_ref) then root_ref := n0;
+    descend n0 v0
+  and descend n v =
+    match n with
+    | Border b -> (b, v)
+    | Interior i -> (
+        let nk = min i.inkeys width in
+        (* Linear search, as in the paper: child index = #keys <= ks. *)
+        let rec child_index j =
+          if j < nk && Key.compare_slices i.ikeyslice.(j) ks <= 0 then child_index (j + 1)
+          else j
+        in
+        let idx = child_index 0 in
+        match i.ichild.(idx) with
+        | None ->
+            (* Torn read during a concurrent shape change; revalidate. *)
+            revalidate n v
+        | Some n' ->
+            let v' = Version.stable (version_of n') in
+            if not (Version.changed v (Atomic.get (version_of n))) then descend n' v'
+            else revalidate n v)
+  and revalidate n v =
+    (* Hand-over-hand validation failed: if this node split, responsibility
+       for ks may have moved to a sibling only reachable from the root. *)
+    let v' = Version.stable (version_of n) in
+    if Version.vsplit v' <> Version.vsplit v || Version.deleted v' then begin
+      Stats.incr t.tstats Stats.Root_retries;
+      from_root ()
+    end
+    else begin
+      Stats.incr t.tstats Stats.Local_retries;
+      descend n v'
+    end
+  in
+  from_root ()
+
+(* ------------------------------------------------------------------ *)
+(* Border-node search                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Position of the entry matching (ks, klen) among the live keys, where
+   [klen] is already clamped to the suffix marker.  Runs locklessly for
+   readers (validated afterwards) and under the lock for writers. *)
+let search_hit b perm ~ks ~klen =
+  let n = Permutation.size perm in
+  let rec go i =
+    if i >= n then None
+    else begin
+      let slot = Permutation.get perm i in
+      let c = entry_cmp b.bkeyslice.(slot) b.bkeylen.(slot) ks klen in
+      if c < 0 then go (i + 1) else if c > 0 then None else Some (i, slot)
+    end
+  in
+  go 0
+
+(* First position whose entry sorts at or after (ks, klen): the insertion
+   point when the key is absent. *)
+let insertion_pos b perm ~ks ~klen =
+  let n = Permutation.size perm in
+  let rec go i =
+    if i >= n then i
+    else begin
+      let slot = Permutation.get perm i in
+      if entry_cmp b.bkeyslice.(slot) b.bkeylen.(slot) ks klen < 0 then go (i + 1) else i
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* get (Figure 7)                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec get_layer t root_ref key off =
+  let ks = Key.slice key ~off in
+  let rem = String.length key - off in
+  let klen = min rem suffix_len_marker in
+  let rec retry () =
+    let b, v = find_border t root_ref ks in
+    forward b v
+  and forward b v =
+    if Version.deleted v then raise Restart;
+    let outcome =
+      match search_hit b (border_perm b) ~ks ~klen with
+      | None -> `Notfound
+      | Some (_, slot) -> (
+          match b.blv.(slot) with
+          | Value value ->
+              if rem <= 8 then `Found value
+              else begin
+                (* Suffix entry: confirm the stored suffix matches. *)
+                match b.bsuffix.(slot) with
+                | Some s when String.equal s (Key.suffix key ~off) -> `Found value
+                | Some _ | None -> `Notfound
+              end
+          | Layer r -> if rem > 8 then `Layer r else `Notfound
+          | Empty -> `Notfound)
+    in
+    (* Validate the snapshot before trusting the extraction. *)
+    if Version.changed v (Atomic.get b.bversion) then begin
+      Stats.incr t.tstats Stats.Local_retries;
+      let v' = Version.stable b.bversion in
+      walk b v'
+    end
+    else
+      match outcome with
+      | `Notfound -> None
+      | `Found value -> Some value
+      | `Layer r -> get_layer t r key (off + 8)
+  and walk b v =
+    (* The border may have split while we looked: responsibility for ks can
+       only have moved right, so chase next-pointers by lowkey. *)
+    if Version.deleted v then raise Restart;
+    match b.bnext with
+    | Some nx when Key.compare_slices ks nx.blowkey >= 0 ->
+        let v' = Version.stable nx.bversion in
+        walk nx v'
+    | _ -> forward b v
+  in
+  retry ()
+
+let get t key =
+  Stats.incr t.tstats Stats.Gets;
+  pinned t (fun () ->
+      let rec attempt () =
+        try get_layer t t.root key 0
+        with Restart ->
+          Stats.incr t.tstats Stats.Root_retries;
+          attempt ()
+      in
+      attempt ())
+
+let mem t key = Option.is_some (get t key)
+
+(* Batched lookup with interleaved descent (§4.8).  Each in-flight lookup
+   carries its current node and validation snapshot; one wave advances
+   every lookup by one level.  Anything that needs a retry — version
+   mismatch, split chase, trie-layer descent — is finished with the plain
+   get path rather than complicating the wave machinery. *)
+type 'v flight = {
+  fkey : Key.t;
+  fks : int64;
+  mutable fnode : 'v node;
+  mutable fver : Version.t;
+  mutable fdone : bool;
+  mutable fresult : [ `Pending | `Fallback | `Value of 'v | `Notfound ];
+  findex : int;
+}
+
+let multi_get t keys =
+  Stats.incr t.tstats Stats.Gets;
+  pinned t (fun () ->
+      let flights =
+        Array.mapi
+          (fun i key ->
+            let ks = Key.slice key ~off:0 in
+            match try Some (stable_root t.root) with Restart -> None with
+            | Some (n, v) ->
+                { fkey = key; fks = ks; fnode = n; fver = v; fdone = false;
+                  fresult = `Pending; findex = i }
+            | None ->
+                { fkey = key; fks = ks; fnode = Border (new_border ~isroot:false ~locked:false ~lowkey:0L);
+                  fver = 0; fdone = true; fresult = `Fallback; findex = i })
+          keys
+      in
+      let remaining = ref (Array.length flights) in
+      let finish f r =
+        if not f.fdone then begin
+          f.fdone <- true;
+          f.fresult <- r;
+          decr remaining
+        end
+      in
+      (* Wave loop: every pass advances each live flight one level.  On
+         real prefetching hardware, issuing all of a wave's node fetches
+         back-to-back is what overlaps their DRAM latencies. *)
+      let fuel = ref 64 in
+      while !remaining > 0 && !fuel > 0 do
+        decr fuel;
+        Array.iter
+          (fun f ->
+            if not f.fdone then begin
+              match f.fnode with
+              | Interior i -> (
+                  let nk = min i.inkeys width in
+                  let rec child_index j =
+                    if j < nk && Key.compare_slices i.ikeyslice.(j) f.fks <= 0 then
+                      child_index (j + 1)
+                    else j
+                  in
+                  match i.ichild.(child_index 0) with
+                  | None -> finish f `Fallback
+                  | Some n' ->
+                      let v' = Version.stable (version_of n') in
+                      if not (Version.changed f.fver (Atomic.get (version_of f.fnode)))
+                      then begin
+                        f.fnode <- n';
+                        f.fver <- v'
+                      end
+                      else finish f `Fallback)
+              | Border b ->
+                  if Version.deleted f.fver then finish f `Fallback
+                  else begin
+                    let rem = String.length f.fkey in
+                    let klen = min rem suffix_len_marker in
+                    let outcome =
+                      match search_hit b (border_perm b) ~ks:f.fks ~klen with
+                      | None -> `Notfound
+                      | Some (_, slot) -> (
+                          match b.blv.(slot) with
+                          | Value value ->
+                              if rem <= 8 then `Found value
+                              else begin
+                                match b.bsuffix.(slot) with
+                                | Some s when String.equal s (Key.suffix f.fkey ~off:0) ->
+                                    `Found value
+                                | Some _ | None -> `Notfound
+                              end
+                          | Layer _ -> `Layer
+                          | Empty -> `Notfound)
+                    in
+                    if Version.changed f.fver (Atomic.get b.bversion) then
+                      finish f `Fallback
+                    else begin
+                      match outcome with
+                      | `Found v -> finish f (`Value v)
+                      | `Notfound -> (
+                          (* The key may belong to a right sibling. *)
+                          match b.bnext with
+                          | Some nx when Key.compare_slices f.fks nx.blowkey >= 0 ->
+                              finish f `Fallback
+                          | _ -> finish f `Notfound)
+                      | `Layer -> finish f `Fallback
+                    end
+                  end
+            end)
+          flights
+      done;
+      let fallback key =
+        let rec attempt () =
+          try get_layer t t.root key 0
+          with Restart ->
+            Stats.incr t.tstats Stats.Root_retries;
+            attempt ()
+        in
+        attempt ()
+      in
+      Array.map
+        (fun f ->
+          match f.fresult with
+          | `Value v -> Some v
+          | `Notfound -> None
+          | `Pending | `Fallback -> fallback f.fkey)
+        flights)
+
+(* ------------------------------------------------------------------ *)
+(* Writer-side locking helpers                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 4's lockedparent: lock the parent, then confirm it is still the
+   parent (a concurrent split of the parent may have moved us). *)
+let locked_parent n =
+  let rec retry () =
+    match parent_of n with
+    | None -> None
+    | Some p -> (
+        Version.lock p.iversion;
+        match parent_of n with
+        | Some q when q == p -> Some p
+        | _ ->
+            Version.unlock p.iversion;
+            retry ())
+  in
+  retry ()
+
+(* With b locked, chase splits right until b is responsible for ks, and
+   fail over to a full restart if b was deleted meanwhile.  No two border
+   locks are ever held at once here, so there is no deadlock with split's
+   up-the-tree ordering. *)
+let rec advance_locked b ks =
+  if Version.deleted (Atomic.get b.bversion) then begin
+    Version.unlock b.bversion;
+    raise Restart
+  end;
+  match b.bnext with
+  | Some nx when Key.compare_slices ks nx.blowkey >= 0 ->
+      Version.unlock b.bversion;
+      Version.lock nx.bversion;
+      advance_locked nx ks
+  | _ -> b
+
+(* ------------------------------------------------------------------ *)
+(* Inserts and splits (Figure 5)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type 'v entry = {
+  eslice : int64;
+  eklen : int;
+  esuffix : string option;
+  elv : 'v link_or_value;
+}
+
+let read_entry b slot =
+  {
+    eslice = b.bkeyslice.(slot);
+    eklen = b.bkeylen.(slot);
+    esuffix = b.bsuffix.(slot);
+    elv = b.blv.(slot);
+  }
+
+let write_entry b slot e =
+  b.bkeyslice.(slot) <- e.eslice;
+  b.bkeylen.(slot) <- e.eklen;
+  b.bsuffix.(slot) <- e.esuffix;
+  b.blv.(slot) <- e.elv
+
+(* Insert into a border node with room, following the §4.6.2 protocol: fill
+   a free slot, then publish with one permutation store.  Reusing a slot
+   that held a removed key dirties the node so readers between the old
+   permutation and the new contents retry (§4.6.5). *)
+let insert_into_slots t b ~pos e =
+  let perm = border_perm b in
+  let slot = Permutation.free_slot perm in
+  if b.bstale land (1 lsl slot) <> 0 then begin
+    Stats.incr t.tstats Stats.Slot_reuses;
+    Version.mark_inserting b.bversion;
+    b.bstale <- b.bstale land lnot (1 lsl slot)
+  end;
+  write_entry b slot e;
+  Atomic.set b.bperm (Permutation.insert perm ~pos :> int)
+
+(* Separator choice for a full border node: split near the middle, but
+   never inside a group of entries sharing one slice — the concurrency
+   protocol requires all keys of a slice to live in one node.  A boundary
+   always exists because a slice admits at most 10 entries. *)
+let pick_boundary entries =
+  let n = Array.length entries in
+  let boundary m =
+    m >= 1 && m < n && Int64.unsigned_compare entries.(m - 1).eslice entries.(m).eslice <> 0
+  in
+  let mid = n / 2 in
+  let rec search d =
+    if boundary (mid + d) then mid + d
+    else if boundary (mid - d) then mid - d
+    else begin
+      assert (d < n);
+      search (d + 1)
+    end
+  in
+  search 0
+
+let ins_pos_interior p sep =
+  let rec go i =
+    if i < p.inkeys && Key.compare_slices p.ikeyslice.(i) sep <= 0 then go (i + 1) else i
+  in
+  go 0
+
+(* Insert (sepkey, nn) above the freshly split pair (n, nn).  Both are
+   locked with their splitting bits set; this releases all locks taken. *)
+let rec ascend t root_ref n nn sepkey =
+  match locked_parent n with
+  | None ->
+      (* n was the root of this layer's B+-tree: grow the tree upward. *)
+      let p = new_interior ~isroot:true ~locked:false in
+      p.inkeys <- 1;
+      p.ikeyslice.(0) <- sepkey;
+      p.ichild.(0) <- Some n;
+      p.ichild.(1) <- Some nn;
+      set_parent n (Some p);
+      set_parent nn (Some p);
+      Version.set_root (version_of n) false;
+      root_ref := Interior p;
+      Version.unlock (version_of n);
+      Version.unlock (version_of nn)
+  | Some p ->
+      if p.inkeys < width then begin
+        Version.mark_inserting p.iversion;
+        let pos = ins_pos_interior p sepkey in
+        for j = p.inkeys downto pos + 1 do
+          p.ikeyslice.(j) <- p.ikeyslice.(j - 1);
+          p.ichild.(j + 1) <- p.ichild.(j)
+        done;
+        p.ikeyslice.(pos) <- sepkey;
+        p.ichild.(pos + 1) <- Some nn;
+        p.inkeys <- p.inkeys + 1;
+        set_parent nn (Some p);
+        Version.unlock (version_of n);
+        Version.unlock (version_of nn);
+        Version.unlock p.iversion
+      end
+      else begin
+        Stats.incr t.tstats Stats.Splits_interior;
+        Version.mark_splitting p.iversion;
+        Version.unlock (version_of n);
+        let pos = ins_pos_interior p sepkey in
+        (* Combined key/child sequences with the new separator spliced in. *)
+        let keys = Array.make (width + 1) 0L in
+        let children = Array.make (width + 2) None in
+        for j = 0 to width - 1 do
+          let dst = if j < pos then j else j + 1 in
+          keys.(dst) <- p.ikeyslice.(j)
+        done;
+        keys.(pos) <- sepkey;
+        for j = 0 to width do
+          let dst = if j <= pos then j else j + 1 in
+          children.(dst) <- p.ichild.(j)
+        done;
+        children.(pos + 1) <- Some nn;
+        let h = (width + 1) / 2 in
+        let upkey = keys.(h) in
+        let pp = new_interior ~isroot:false ~locked:true in
+        Version.mark_splitting pp.iversion;
+        pp.inkeys <- width - h;
+        for j = h + 1 to width do
+          pp.ikeyslice.(j - h - 1) <- keys.(j)
+        done;
+        for j = h + 1 to width + 1 do
+          pp.ichild.(j - h - 1) <- children.(j);
+          (match children.(j) with
+          | Some c -> set_parent c (Some pp)
+          | None -> assert false)
+        done;
+        p.inkeys <- h;
+        for j = 0 to h - 1 do
+          p.ikeyslice.(j) <- keys.(j)
+        done;
+        for j = 0 to h do
+          p.ichild.(j) <- children.(j);
+          match children.(j) with
+          | Some c -> set_parent c (Some p)
+          | None -> assert false
+        done;
+        for j = h + 1 to width do
+          p.ichild.(j) <- None
+        done;
+        Version.unlock (version_of nn);
+        ascend t root_ref (Interior p) (Interior pp) upkey
+      end
+
+(* Split a full border node (locked) while inserting a new entry whose
+   sorted position is [pos].  Implements the sequential-insert optimization:
+   an append into the rightmost node leaves all existing keys in place. *)
+let split_border t root_ref b ~pos e =
+  Stats.incr t.tstats Stats.Splits_border;
+  Version.mark_splitting b.bversion;
+  let perm = border_perm b in
+  let nold = Permutation.size perm in
+  let combined = Array.make (nold + 1) e in
+  for j = 0 to nold - 1 do
+    let dst = if j < pos then j else j + 1 in
+    combined.(dst) <- read_entry b (Permutation.get perm j)
+  done;
+  let sequential_append =
+    pos = nold
+    && (match b.bnext with None -> true | Some _ -> false)
+    && Int64.unsigned_compare combined.(nold - 1).eslice e.eslice <> 0
+  in
+  let m = if sequential_append then nold else pick_boundary combined in
+  let nb = new_border ~isroot:false ~locked:true ~lowkey:combined.(m).eslice in
+  Version.mark_splitting nb.bversion;
+  let right_count = nold + 1 - m in
+  for j = m to nold do
+    write_entry nb (j - m) combined.(j)
+  done;
+  Atomic.set nb.bperm (Permutation.sorted right_count :> int);
+  if pos < m then begin
+    (* The new entry lands on the left: keep the m-1 surviving old entries,
+       then run the normal insert protocol into the freed space. *)
+    Atomic.set b.bperm (Permutation.keep_prefix perm ~n:(m - 1) :> int);
+    insert_into_slots t b ~pos e
+  end
+  else Atomic.set b.bperm (Permutation.keep_prefix perm ~n:m :> int);
+  (* Link the new sibling.  nx's prev pointer is protected by the lock of
+     its new previous sibling, nb, which we hold. *)
+  nb.bnext <- b.bnext;
+  nb.bprev <- Some b;
+  (match b.bnext with Some nx -> nx.bprev <- Some nb | None -> ());
+  b.bnext <- Some nb;
+  ascend t root_ref (Border b) (Border nb) nb.blowkey
+
+(* ------------------------------------------------------------------ *)
+(* New trie layers (§4.6.3)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Build the layer subtree holding two distinct key remainders.  When the
+   remainders keep sharing 8-byte slices the chain deepens, one
+   single-entry layer per shared slice.  The structure is complete before
+   it is published, so no UNSTABLE marker is needed: readers see the old
+   value or the finished layer. *)
+let rec make_twokey_layer t ka va kb vb =
+  Stats.incr t.tstats Stats.Layer_creates;
+  let sa = Key.slice ka ~off:0 and sb = Key.slice kb ~off:0 in
+  let b = new_border ~isroot:true ~locked:false ~lowkey:0L in
+  let entry_of k s v =
+    if Key.has_suffix k ~off:0 then
+      { eslice = s; eklen = suffix_len_marker; esuffix = Some (Key.suffix k ~off:0); elv = Value v }
+    else { eslice = s; eklen = String.length k; esuffix = None; elv = Value v }
+  in
+  if Int64.equal sa sb && Key.has_suffix ka ~off:0 && Key.has_suffix kb ~off:0 then begin
+    let deeper = make_twokey_layer t (Key.suffix ka ~off:0) va (Key.suffix kb ~off:0) vb in
+    write_entry b 0 { eslice = sa; eklen = suffix_len_marker; esuffix = None; elv = Layer deeper };
+    Atomic.set b.bperm (Permutation.sorted 1 :> int)
+  end
+  else begin
+    let ea = entry_of ka sa va and eb = entry_of kb sb vb in
+    let first, second =
+      if entry_cmp ea.eslice ea.eklen eb.eslice eb.eklen < 0 then (ea, eb) else (eb, ea)
+    in
+    write_entry b 0 first;
+    write_entry b 1 second;
+    Atomic.set b.bperm (Permutation.sorted 2 :> int)
+  end;
+  ref (Border b)
+
+(* ------------------------------------------------------------------ *)
+(* put                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type 'v located =
+  | At of int * int (* pos, slot: the exact key is present as a value *)
+  | At_layer of int * int * 'v node ref
+  | Suffix_clash of int * int * string * 'v
+  | Absent of int (* insertion position *)
+
+(* Under the node lock, classify how (key at off) relates to b's entries. *)
+let locate b ~ks ~rem ~key ~off =
+  let klen = min rem suffix_len_marker in
+  let perm = border_perm b in
+  match search_hit b perm ~ks ~klen with
+  | None -> Absent (insertion_pos b perm ~ks ~klen)
+  | Some (pos, slot) -> (
+      match b.blv.(slot) with
+      | Layer r ->
+          assert (rem > 8);
+          At_layer (pos, slot, r)
+      | Value v ->
+          if rem <= 8 then At (pos, slot)
+          else begin
+            match b.bsuffix.(slot) with
+            | Some s when String.equal s (Key.suffix key ~off) -> At (pos, slot)
+            | Some s -> Suffix_clash (pos, slot, s, v)
+            | None -> assert false
+          end
+      | Empty -> assert false)
+
+let rec put_layer t root_ref key off compute =
+  let ks = Key.slice key ~off in
+  let rem = String.length key - off in
+  let b, _v = find_border t root_ref ks in
+  Version.lock b.bversion;
+  let b = advance_locked b ks in
+  match locate b ~ks ~rem ~key ~off with
+  | At (_, slot) ->
+      let old = match b.blv.(slot) with Value v -> v | Layer _ | Empty -> assert false in
+      (* Value replacement is one atomic store: readers see old or new,
+         no version bump, no retries (§4.6.1). *)
+      b.blv.(slot) <- Value (compute (Some old));
+      Version.unlock b.bversion;
+      Some old
+  | At_layer (_, _, r) ->
+      Version.unlock b.bversion;
+      put_layer t r key (off + 8) compute
+  | Suffix_clash (_, slot, old_suffix, old_value) ->
+      let layer =
+        make_twokey_layer t old_suffix old_value (Key.suffix key ~off) (compute None)
+      in
+      (* Single-store publication replaces the old value entry with the
+         finished layer; the old key remains visible throughout.  The stale
+         suffix string is deliberately left in place: a concurrent reader
+         that read the old Value must still find the matching suffix, and
+         layer creation bumps no version to invalidate it (§4.6.3). *)
+      b.blv.(slot) <- Layer layer;
+      Version.unlock b.bversion;
+      None
+  | Absent pos ->
+      let e =
+        if rem > 8 then
+          {
+            eslice = ks;
+            eklen = suffix_len_marker;
+            esuffix = Some (Key.suffix key ~off);
+            elv = Value (compute None);
+          }
+        else { eslice = ks; eklen = rem; esuffix = None; elv = Value (compute None) }
+      in
+      if Permutation.is_full (border_perm b) then split_border t root_ref b ~pos e
+      else begin
+        insert_into_slots t b ~pos e;
+        Version.unlock b.bversion
+      end;
+      None
+
+let put_with t key compute =
+  Stats.incr t.tstats Stats.Puts;
+  pinned t (fun () ->
+      let rec attempt () =
+        try put_layer t t.root key 0 compute
+        with Restart ->
+          Stats.incr t.tstats Stats.Root_retries;
+          attempt ()
+      in
+      attempt ())
+
+let put t key value = put_with t key (fun _ -> value)
+
+(* ------------------------------------------------------------------ *)
+(* remove (§4.6.5)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove [child] (locked, marked deleted) from its parent, propagating
+   upward when an interior node runs out of children.  Unlocks [child]. *)
+let rec remove_from_parent t child =
+  match locked_parent child with
+  | None ->
+      (* Only reachable transiently; a layer root is never deleted through
+         this path because the leftmost border is never deleted. *)
+      Version.unlock (version_of child)
+  | Some p -> (
+      Version.mark_inserting p.iversion;
+      let k = p.inkeys in
+      let idx = ref None in
+      for j = 0 to k do
+        match p.ichild.(j) with
+        | Some c when same_node c child -> idx := Some j
+        | _ -> ()
+      done;
+      match !idx with
+      | None ->
+          (* The child is no longer under p (should not happen: parent was
+             validated under p's lock).  Bail out safely. *)
+          Version.unlock (version_of child);
+          Version.unlock p.iversion
+      | Some i ->
+          if k = 0 then begin
+            (* p had a single child and now has none: delete p as well. *)
+            p.ichild.(0) <- None;
+            Version.unlock (version_of child);
+            Version.mark_deleted p.iversion;
+            Stats.incr t.tstats Stats.Node_deletes;
+            remove_from_parent t (Interior p)
+          end
+          else begin
+            if i = 0 then begin
+              for j = 0 to k - 2 do
+                p.ikeyslice.(j) <- p.ikeyslice.(j + 1)
+              done;
+              for j = 0 to k - 1 do
+                p.ichild.(j) <- p.ichild.(j + 1)
+              done
+            end
+            else begin
+              for j = i - 1 to k - 2 do
+                p.ikeyslice.(j) <- p.ikeyslice.(j + 1)
+              done;
+              for j = i to k - 1 do
+                p.ichild.(j) <- p.ichild.(j + 1)
+              done
+            end;
+            p.ichild.(k) <- None;
+            p.inkeys <- k - 1;
+            Version.unlock (version_of child);
+            Version.unlock p.iversion
+          end)
+
+(* Unlink b (locked, deleted) from the doubly-linked border list.  The
+   paper uses flagged CAS; trylock-with-restart gives the same lock-order
+   guarantees with simpler invariants (DESIGN.md §5). *)
+let unlink_from_list b =
+  let bo = Xutil.Backoff.create () in
+  let rec loop () =
+    match b.bprev with
+    | None -> () (* the leftmost node is never deleted *)
+    | Some prev ->
+        if Version.try_lock prev.bversion then begin
+          let pv = Atomic.get prev.bversion in
+          let still_linked =
+            (not (Version.deleted pv))
+            && match prev.bnext with Some x -> x == b | None -> false
+          in
+          if still_linked then begin
+            prev.bnext <- b.bnext;
+            (match b.bnext with Some nx -> nx.bprev <- Some prev | None -> ());
+            Version.unlock prev.bversion
+          end
+          else begin
+            Version.unlock prev.bversion;
+            Xutil.Backoff.once bo;
+            loop ()
+          end
+        end
+        else begin
+          Xutil.Backoff.once bo;
+          loop ()
+        end
+  in
+  loop ()
+
+let delete_border t b =
+  Stats.incr t.tstats Stats.Node_deletes;
+  Version.mark_deleted b.bversion;
+  unlink_from_list b;
+  let eh = (handle t).eh in
+  Epoch.retire eh (fun () -> ());
+  remove_from_parent t (Border b)
+
+(* Lock-free walk to the node ref of the layer at [off_target] along the
+   slices of [key]; gives up (Not_found) on any anomaly — the collapse task
+   is purely an optimization and may simply be dropped. *)
+let layer_root_at t key off_target =
+  let rec go root_ref off =
+    if off = off_target then root_ref
+    else begin
+      let ks = Key.slice key ~off in
+      let b, _v = find_border t root_ref ks in
+      match search_hit b (border_perm b) ~ks ~klen:suffix_len_marker with
+      | None -> raise Not_found
+      | Some (_, slot) -> (
+          match b.blv.(slot) with
+          | Layer r -> go r (off + 8)
+          | Value _ | Empty -> raise Not_found)
+    end
+  in
+  go t.root 0
+
+(* b just became empty (locked).  Decide its fate: layer roots stay but may
+   trigger a collapse of the whole layer; the leftmost border of a tree is
+   never deleted (paper invariant); anything else is deleted in place. *)
+let rec handle_empty t b key off =
+  let v = Atomic.get b.bversion in
+  if Version.is_root v then begin
+    Version.unlock b.bversion;
+    if off > 0 then
+      (* An empty non-root layer: schedule a collapse task that re-descends
+         by key prefix and unlinks the layer if still empty (§4.6.5). *)
+      Epoch.schedule t.emgr (fun () -> try_collapse_layer t key off)
+  end
+  else begin
+    match b.bprev with
+    | None -> Version.unlock b.bversion
+    | Some _ -> delete_border t b
+  end
+
+(* Collapse the (presumed empty) layer reached by key bytes [0, off): lock
+   the layer-(h-1) border holding the link and the layer-h root together —
+   the only place two layers' locks are held at once, always in
+   parent-then-child order (§4.6.5). *)
+and try_collapse_layer t key off =
+  assert (off >= 8);
+  match try Some (layer_root_at t key (off - 8)) with Not_found | Restart -> None with
+  | None -> ()
+  | Some parent_layer -> (
+      let ks = Key.slice key ~off:(off - 8) in
+      match
+        try
+          let b, _ = find_border t parent_layer ks in
+          Version.lock b.bversion;
+          Some (advance_locked b ks)
+        with Restart -> None
+      with
+      | None -> ()
+      | Some b -> (
+          match search_hit b (border_perm b) ~ks ~klen:suffix_len_marker with
+          | None -> Version.unlock b.bversion
+          | Some (pos, slot) -> (
+              match b.blv.(slot) with
+              | Value _ | Empty -> Version.unlock b.bversion
+              | Layer r -> (
+                  match try Some (stable_root r) with Restart -> None with
+                  | Some (Border cb, _) ->
+                      Version.lock cb.bversion;
+                      let cv = Atomic.get cb.bversion in
+                      let empty_leaf_layer =
+                        Version.is_root cv
+                        && (not (Version.deleted cv))
+                        && Permutation.size (border_perm cb) = 0
+                        && (match cb.bnext with None -> true | Some _ -> false)
+                      in
+                      if empty_leaf_layer then begin
+                        Version.mark_deleted cb.bversion;
+                        Version.unlock cb.bversion;
+                        let perm = border_perm b in
+                        Atomic.set b.bperm (Permutation.remove perm ~pos :> int);
+                        b.bstale <- b.bstale lor (1 lsl slot);
+                        Stats.incr t.tstats Stats.Layer_collapses;
+                        if Permutation.size (border_perm b) = 0 then
+                          handle_empty t b key (off - 8)
+                        else Version.unlock b.bversion
+                      end
+                      else begin
+                        Version.unlock cb.bversion;
+                        Version.unlock b.bversion
+                      end
+                  | Some (Interior _, _) | None -> Version.unlock b.bversion))))
+
+let rec remove_layer t root_ref key off =
+  let ks = Key.slice key ~off in
+  let rem = String.length key - off in
+  let b, _v = find_border t root_ref ks in
+  Version.lock b.bversion;
+  let b = advance_locked b ks in
+  match locate b ~ks ~rem ~key ~off with
+  | At_layer (_, _, r) ->
+      Version.unlock b.bversion;
+      remove_layer t r key (off + 8)
+  | Suffix_clash _ ->
+      Version.unlock b.bversion;
+      None
+  | Absent _ ->
+      Version.unlock b.bversion;
+      None
+  | At (pos, slot) ->
+      let old = match b.blv.(slot) with Value v -> v | Layer _ | Empty -> assert false in
+      let perm = border_perm b in
+      let perm' = Permutation.remove perm ~pos in
+      (* The slot's contents stay readable for concurrent readers; the
+         stale bit forces a vinsert bump if an insert reuses it. *)
+      Atomic.set b.bperm (perm' :> int);
+      b.bstale <- b.bstale lor (1 lsl slot);
+      if Permutation.size perm' = 0 then handle_empty t b key off
+      else Version.unlock b.bversion;
+      Some old
+
+let remove t key =
+  Stats.incr t.tstats Stats.Removes;
+  pinned t (fun () ->
+      let rec attempt () =
+        try remove_layer t t.root key 0
+        with Restart ->
+          Stats.incr t.tstats Stats.Root_retries;
+          attempt ()
+      in
+      attempt ())
+
+(* ------------------------------------------------------------------ *)
+(* Scans (getrange, §3)                                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Scan_done
+
+(* Validated snapshot of a border node: live entries in key order plus the
+   next pointer, all consistent with one stable version.  None if the node
+   is deleted (caller re-descends). *)
+let snapshot_border t b =
+  let rec loop () =
+    let v = Version.stable b.bversion in
+    if Version.deleted v then None
+    else begin
+      let perm = border_perm b in
+      let entries =
+        List.map (fun slot -> read_entry b slot) (Permutation.live_slots perm)
+      in
+      let nxt = b.bnext in
+      if Version.changed v (Atomic.get b.bversion) then begin
+        Stats.incr t.tstats Stats.Local_retries;
+        loop ()
+      end
+      else Some (entries, nxt)
+    end
+  in
+  loop ()
+
+(* Reconstruct the within-layer key fragment a value entry stands for.
+   For layer entries the slice alone identifies the subtree; any leftover
+   suffix string in the slot is stale data from before layer creation. *)
+let entry_rest e =
+  match e.elv with
+  | Layer _ -> Key.slice_to_string e.eslice ~len:8
+  | Value _ | Empty ->
+      if e.eklen <= 8 then Key.slice_to_string e.eslice ~len:e.eklen
+      else
+        Key.slice_to_string e.eslice ~len:8
+        ^ match e.esuffix with Some s -> s | None -> ""
+
+(* Forward scan of one trie layer.  [prefix] is the key bytes consumed by
+   enclosing layers; [lower]/[strict] bound the within-layer fragment.
+   Emission raises Scan_done to stop everywhere. *)
+let rec scan_layer t root_ref prefix lower strict emit =
+  let rec run lower strict =
+    let b, v = find_border t root_ref (Key.slice lower ~off:0) in
+    (* A collapsed layer's root stays deleted (and isroot) forever:
+       re-descending within this layer would loop, so escape to the
+       layer-0 retry, which resumes past the collapsed subtree. *)
+    if Version.deleted v then raise Restart;
+    walk b lower strict
+  and walk b lower strict =
+    match snapshot_border t b with
+    | None ->
+        (* Node deleted under us: re-descend from the current bound. *)
+        run lower strict
+    | Some (entries, nxt) -> (
+        let last = process entries lower strict in
+        match nxt with
+        | Some nx -> (
+            match last with
+            | Some l -> walk nx l true
+            | None -> walk nx lower strict)
+        | None -> ())
+  and process entries lower strict =
+    let last = ref None in
+    List.iter
+      (fun e ->
+        let rest = entry_rest e in
+        (match e.elv with
+        | Layer r ->
+            let cs = Key.compare_slices e.eslice (Key.slice lower ~off:0) in
+            if cs > 0 then
+              scan_layer t r (prefix ^ rest) "" false emit
+            else if cs = 0 then begin
+              if String.length lower > 8 then
+                scan_layer t r (prefix ^ rest)
+                  (String.sub lower 8 (String.length lower - 8))
+                  strict emit
+              else
+                (* The bound is a prefix of this slice, so every key in the
+                   subtree (slice bytes plus at least one more) exceeds it. *)
+                scan_layer t r (prefix ^ rest) "" false emit
+            end
+            (* cs < 0: the whole subtree is below the bound; skip. *)
+        | Value v ->
+            let c = String.compare rest lower in
+            let included = if strict then c > 0 else c >= 0 in
+            if included then emit (prefix ^ rest) v
+        | Empty -> ());
+        match e.elv with Empty -> () | _ -> last := Some rest)
+      entries;
+    !last
+  in
+  run lower strict
+
+let scan t ?(start = "") ?stop ~limit f =
+  Stats.incr t.tstats Stats.Scans;
+  if limit <= 0 then 0
+  else
+    pinned t (fun () ->
+        let count = ref 0 in
+        (* Restart (deleted node / collapsed layer) resumes strictly after
+           the last emitted key so nothing is emitted twice. *)
+        let resume = ref start and strict = ref false in
+        let emit k v =
+          (match stop with
+          | Some s when String.compare k s >= 0 -> raise Scan_done
+          | _ -> ());
+          f k v;
+          resume := k;
+          strict := true;
+          incr count;
+          if !count >= limit then raise Scan_done
+        in
+        let rec attempt () =
+          try scan_layer t t.root "" !resume !strict emit
+          with Restart ->
+            Stats.incr t.tstats Stats.Root_retries;
+            attempt ()
+        in
+        (try attempt () with Scan_done -> ());
+        !count)
+
+(* Reverse scan: rather than chasing prev pointers (whose protection is
+   awkward for lock-free readers), each step re-descends to the border
+   containing the largest slice below the previous node's lowkey.  One
+   O(depth) descent per node visited. *)
+let rec scan_rev_layer t root_ref prefix upper emit =
+  (* [upper = None] means unbounded above within this layer. *)
+  let start_slice = match upper with None -> -1L (* all ones *) | Some u -> Key.slice u ~off:0 in
+  let rec run slice_bound upper =
+    let b, v = find_border t root_ref slice_bound in
+    if Version.deleted v then raise Restart;
+    match snapshot_border t b with
+    | None -> run slice_bound upper (* changed underneath us: re-descend *)
+    | Some (entries, _) ->
+        process (List.rev entries) upper;
+        let lk = b.blowkey in
+        if Int64.unsigned_compare lk 0L > 0 then
+          run (Int64.sub lk 1L) None
+  and process entries upper =
+    List.iter
+      (fun e ->
+        let rest = entry_rest e in
+        let within =
+          match upper with None -> true | Some u -> String.compare rest u <= 0
+        in
+        match e.elv with
+        | Layer r ->
+            let sub_upper =
+              match upper with
+              | None -> None
+              | Some u ->
+                  let cs = Key.compare_slices e.eslice (Key.slice u ~off:0) in
+                  if cs < 0 then None
+                  else if cs > 0 then Some "" (* entire subtree above bound: skip *)
+                  else if String.length u > 8 then Some (String.sub u 8 (String.length u - 8))
+                  else Some "" (* subtree keys extend the bound: all above it *)
+            in
+            (match sub_upper with
+            | Some "" -> ()
+            | _ ->
+                scan_rev_layer t r
+                  (prefix ^ Key.slice_to_string e.eslice ~len:8)
+                  sub_upper emit)
+        | Value v -> if within then emit (prefix ^ rest) v
+        | Empty -> ())
+      entries
+  in
+  run start_slice upper
+
+let scan_rev t ?start ?stop ~limit f =
+  Stats.incr t.tstats Stats.Scans;
+  if limit <= 0 then 0
+  else
+    pinned t (fun () ->
+        let count = ref 0 in
+        let bound = ref start and strict = ref false in
+        let emit k v =
+          (match stop with
+          | Some s when String.compare k s < 0 -> raise Scan_done
+          | _ -> ());
+          (* Skip duplicates when a Restart replays a partially-scanned
+             region: only keys strictly below the last emitted one count. *)
+          let skip =
+            match !bound with
+            | Some b -> if !strict then String.compare k b >= 0 else String.compare k b > 0
+            | None -> false
+          in
+          if not skip then begin
+            f k v;
+            incr count;
+            bound := Some k;
+            strict := true
+          end;
+          if !count >= limit then raise Scan_done
+        in
+        let rec attempt () =
+          try scan_rev_layer t t.root "" !bound emit
+          with Restart ->
+            Stats.incr t.tstats Stats.Root_retries;
+            attempt ()
+        in
+        (try attempt () with Scan_done -> ());
+        !count)
+
+let iter t f = ignore (scan t ~limit:max_int f)
+
+let cardinal t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Structural checking (single-threaded)                               *)
+(* ------------------------------------------------------------------ *)
+
+type shape = {
+  borders : int;
+  interiors : int;
+  layers : int;
+  entries : int;
+  max_depth : int;
+  avg_border_fill : float;
+}
+
+let shape t =
+  let borders = ref 0
+  and interiors = ref 0
+  and layers = ref 0
+  and entries = ref 0
+  and max_depth = ref 0 in
+  let rec node n depth =
+    if depth > !max_depth then max_depth := depth;
+    match n with
+    | Border b ->
+        incr borders;
+        let perm = border_perm b in
+        entries := !entries + Permutation.size perm;
+        List.iter
+          (fun slot ->
+            match b.blv.(slot) with
+            | Layer r ->
+                incr layers;
+                node !r (depth + 1)
+            | Value _ | Empty -> ())
+          (Permutation.live_slots perm)
+    | Interior i ->
+        incr interiors;
+        for j = 0 to i.inkeys do
+          match i.ichild.(j) with Some c -> node c (depth + 1) | None -> ()
+        done
+  in
+  incr layers;
+  node !(t.root) 1;
+  {
+    borders = !borders;
+    interiors = !interiors;
+    layers = !layers;
+    entries = !entries;
+    max_depth = !max_depth;
+    avg_border_fill =
+      (if !borders = 0 then 0.0
+       else float_of_int !entries /. float_of_int (!borders * width));
+  }
+
+let check t =
+  let exception Bad of string in
+  let fail fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt in
+  let rec check_layer root =
+    (match root with
+    | Border b -> check_b b None
+    | Interior i -> check_i i None);
+    (* Verify the border list of this layer is ordered by lowkey. *)
+    let rec leftmost n =
+      match n with
+      | Border b -> b
+      | Interior i -> (
+          match i.ichild.(0) with
+          | Some c -> leftmost c
+          | None -> fail "interior with no child 0")
+    in
+    let rec walk_list b =
+      match b.bnext with
+      | None -> ()
+      | Some nx ->
+          if Int64.unsigned_compare nx.blowkey b.blowkey <= 0 then
+            fail "border list lowkeys not increasing";
+          (match nx.bprev with
+          | Some p when p == b -> ()
+          | _ -> fail "broken prev link");
+          walk_list nx
+    in
+    walk_list (leftmost root)
+  and check_b b parent =
+    (match Node.check_border b with Ok _ -> () | Error e -> fail "border: %s" e);
+    (match (b.bparent, parent) with
+    | None, None -> ()
+    | Some p, Some q when p == q -> ()
+    | _ -> fail "border parent mismatch");
+    (* Entries may legitimately sit below the node's creation-time lowkey:
+       deletion without rebalancing (§4.3) lets a node inherit the range of
+       a deleted left sibling.  The load-bearing bound is the upper one,
+       which the rightward split-chasing walk relies on. *)
+    (match b.bnext with
+    | Some nx ->
+        List.iter
+          (fun slot ->
+            if Int64.unsigned_compare b.bkeyslice.(slot) nx.blowkey >= 0 then
+              fail "entry at or above next node's lowkey")
+          (Permutation.live_slots (border_perm b))
+    | None -> ());
+    List.iter
+      (fun slot ->
+        match b.blv.(slot) with
+        | Layer r -> check_layer !r
+        | Value _ -> ()
+        | Empty -> fail "live empty slot")
+      (Permutation.live_slots (border_perm b))
+  and check_i i parent =
+    (match (i.iparent, parent) with
+    | None, None -> ()
+    | Some p, Some q when p == q -> ()
+    | _ -> fail "interior parent mismatch");
+    if i.inkeys < 0 || i.inkeys > width then fail "interior nkeys out of range";
+    for j = 1 to i.inkeys - 1 do
+      if Int64.unsigned_compare i.ikeyslice.(j - 1) i.ikeyslice.(j) >= 0 then
+        fail "interior keys not sorted"
+    done;
+    for j = 0 to i.inkeys do
+      match i.ichild.(j) with
+      | None -> fail "missing child %d" j
+      | Some (Border b) -> check_b b (Some i)
+      | Some (Interior ci) -> check_i ci (Some i)
+    done
+  in
+  match check_layer !(t.root) with () -> Ok () | exception Bad m -> Error m

@@ -1,0 +1,105 @@
+(** The Masstree itself: a trie with fanout 2^64 whose nodes are B+-trees
+    (§4).  Each trie layer is a B+-tree indexed by one 8-byte key slice;
+    border nodes store inline short keys, one suffix entry, or links to
+    deeper layers.
+
+    Concurrency: [get] and [scan] take no locks and never write shared
+    memory; they validate version snapshots and retry locally on
+    concurrent inserts or from the root on concurrent splits and deletes
+    (§4.6).  [put] and [remove] lock only the affected nodes, splitting
+    with hand-over-hand locking up the tree (Figure 5).
+
+    Keys are arbitrary byte strings; values are any OCaml type.  All
+    operations are safe to call from any number of domains
+    simultaneously.  The correctness condition is the paper's "no lost
+    keys": a concurrent reader sees, for every key, either the value some
+    committed put gave it or its absence if removed — never a mixture or
+    a phantom. *)
+
+type 'v t
+
+val create : unit -> 'v t
+
+val get : 'v t -> Key.t -> 'v option
+(** [get t k] is the current binding of [k], lock-free. *)
+
+val put : 'v t -> Key.t -> 'v -> 'v option
+(** [put t k v] binds [k] to [v] and returns the previous binding. *)
+
+val put_with : 'v t -> Key.t -> ('v option -> 'v) -> 'v option
+(** [put_with t k f] atomically replaces [k]'s binding with
+    [f current]; [f] runs under the border node's lock, so it must be
+    quick and must not touch [t].  This is how multi-column updates copy
+    unmodified columns from the old value (§4.7). *)
+
+val remove : 'v t -> Key.t -> 'v option
+(** [remove t k] deletes [k]'s binding, returning it if present.  Empty
+    nodes are deleted (without rebalancing) and emptied trie layers are
+    collapsed by scheduled maintenance tasks. *)
+
+val mem : 'v t -> Key.t -> bool
+
+val multi_get : 'v t -> Key.t array -> 'v option array
+(** [multi_get t keys] looks up a batch with interleaved descents: all
+    keys advance one tree level per wave, so on prefetching hardware the
+    DRAM fetches of a whole wave overlap (the PALM-style optimization of
+    §4.8, which the paper measured at up to +34%; on this backend it is
+    semantically [Array.map (get t)] with batched traversal).  Keys that
+    hit concurrent splits or layer descents fall back to plain [get]. *)
+
+val scan :
+  'v t -> ?start:Key.t -> ?stop:Key.t -> limit:int -> (Key.t -> 'v -> unit) -> int
+(** [scan t ~start ~stop ~limit f] visits up to [limit] bindings with
+    [start <= key < stop] in ascending key order and returns the count
+    visited.  Like the paper's getrange, the scan is {e not} atomic with
+    respect to concurrent inserts and removes: each visited binding was
+    live at some point during the scan. *)
+
+val scan_rev :
+  'v t -> ?start:Key.t -> ?stop:Key.t -> limit:int -> (Key.t -> 'v -> unit) -> int
+(** [scan_rev] visits bindings with [stop <= key <= start] in descending
+    order ([start] unset = from the maximum key; [stop] unset = to the
+    minimum). *)
+
+val iter : 'v t -> (Key.t -> 'v -> unit) -> unit
+(** [iter t f] scans the whole tree in ascending key order. *)
+
+val cardinal : 'v t -> int
+(** [cardinal t] counts bindings by scanning; O(n). *)
+
+val stats : 'v t -> Stats.t
+
+val epoch_manager : 'v t -> Epoch.manager
+
+val maintain : 'v t -> unit
+(** Run pending epoch maintenance (layer collapses, deferred frees) from a
+    quiescent caller; tests and long-running servers call this
+    periodically. *)
+
+val check : 'v t -> (unit, string) result
+(** Deep structural invariant check (single-threaded callers only): node
+    invariants, sorted borders, linked-list order, parent pointers.  For
+    tests. *)
+
+type shape = {
+  borders : int;
+  interiors : int;
+  layers : int; (** trie layers reachable, layer 0 included *)
+  entries : int; (** live key slots (layer links included) *)
+  max_depth : int; (** deepest node counting across layers *)
+  avg_border_fill : float; (** live keys per border node / width *)
+}
+
+val shape : 'v t -> shape
+(** Structure census by traversal (single-threaded callers only): drives
+    the §4.3 memory-utilization ablation and white-box tests. *)
+
+(**/**)
+
+(* Internal access for scan, the memory-model instrumentation, and
+   white-box tests. *)
+
+val root_ref : 'v t -> 'v Node.node ref
+val find_border : 'v t -> 'v Node.node ref -> int64 -> 'v Node.border * Version.t
+
+exception Restart

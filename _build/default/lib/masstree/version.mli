@@ -1,0 +1,88 @@
+(** Node version words (§4.5–4.6, Figure 3).
+
+    Every node carries one version word combining its spinlock, its dirty
+    markers, two change counters, and two shape bits:
+
+    {v
+    bit 0        locked     claimed by update/insert/split/remove writers
+    bit 1        inserting  dirty: keys being rearranged in place
+    bit 2        splitting  dirty: keys migrating to another node
+    bit 3        deleted    node logically removed; readers must restart
+    bit 4        isroot     node is the root of its layer's B+-tree
+    bit 5        isborder   border (leaf-like) vs interior
+    bits 6..29   vinsert    incremented when an insert-dirty section ends
+    bits 30..53  vsplit     incremented when a split-dirty section ends
+    v}
+
+    Readers snapshot a {e stable} version (no dirty bits), read node
+    contents, and compare against the current word: any difference outside
+    the lock bit means the read may have been inconsistent.  Splitting the
+    counter in two (after Bronson et al.) lets readers recover from inserts
+    locally while restarting from the root only for splits, which shift key
+    responsibility between nodes.
+
+    The counters wrap modulo 2^24; a reader would have to be descheduled
+    across 16.7M inserts to one node to miss a change, the same practical
+    caveat the paper accepts for its 2^22 window. *)
+
+type t = int
+(** A snapshot of a node's version word. *)
+
+val make : isroot:bool -> isborder:bool -> t
+(** A fresh unlocked, clean version. *)
+
+val make_locked : isroot:bool -> isborder:bool -> t
+(** A fresh version born locked — for nodes created inside a critical
+    section (e.g. the new sibling during a split). *)
+
+val locked : t -> bool
+val inserting : t -> bool
+val splitting : t -> bool
+val deleted : t -> bool
+val is_root : t -> bool
+val is_border : t -> bool
+val vinsert : t -> int
+val vsplit : t -> int
+
+val with_inserting : t -> t
+val with_splitting : t -> t
+val with_deleted : t -> t
+val with_root : bool -> t -> t
+
+val dirty : t -> bool
+(** [dirty v] is [inserting v || splitting v]. *)
+
+val changed : t -> t -> bool
+(** [changed before after] is true when any bit other than the lock bit
+    differs — the reader-retry test ("[n.version ^ v > locked]"). *)
+
+val stable : t Atomic.t -> t
+(** [stable a] spins (with backoff) until the word has no dirty bits and
+    returns that snapshot.  Never blocks on the lock bit alone: writers may
+    hold the lock without dirtying. *)
+
+val lock : t Atomic.t -> unit
+(** [lock a] acquires the node spinlock embedded in the word. *)
+
+val try_lock : t Atomic.t -> bool
+
+val unlock : t Atomic.t -> unit
+(** [unlock a] performs the paper's single-write unlock: increments
+    [vinsert] if the inserting bit is set, [vsplit] if the splitting bit is
+    set, then clears locked/inserting/splitting together. *)
+
+val mark_inserting : t Atomic.t -> unit
+(** [mark_inserting a] sets the inserting dirty bit.  Caller must hold the
+    lock. *)
+
+val mark_splitting : t Atomic.t -> unit
+(** Sets the splitting dirty bit.  Caller must hold the lock. *)
+
+val mark_deleted : t Atomic.t -> unit
+(** Sets deleted (plus splitting, so the final unlock advances vsplit and
+    waiting readers restart from the root).  Caller must hold the lock. *)
+
+val set_root : t Atomic.t -> bool -> unit
+(** Updates the isroot bit.  Caller must hold the lock. *)
+
+val pp : Format.formatter -> t -> unit

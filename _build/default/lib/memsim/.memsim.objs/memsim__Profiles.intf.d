@@ -1,0 +1,1 @@
+lib/memsim/profiles.mli: Model

@@ -1,0 +1,202 @@
+module Config = struct
+  type t = {
+    ghz : float;
+    dram_latency : float;
+    llc_hit : float;
+    line_transfer : float;
+    cache_bytes : int;
+    line_bytes : int;
+    tlb_entries : int;
+    page_bytes : int;
+    tlb_miss : float;
+    alloc_cycles : float;
+    int_cmp : float;
+    str_cmp_per8 : float;
+    base_compute : float;
+    contention_per_core : float;
+  }
+
+  (* Calibration notes.  DRAM latency, clock and the contention slope come
+     from the paper's own measurements (§6.1, §6.5): 2.4 GHz Opterons,
+     per-op stall growing from ~2050 cycles at 1 core to ~2800 at 16,
+     i.e. ~2.4% extra stall per added core.  The remaining constants are
+     textbook orders of magnitude; the experiments read out ratios, not
+     absolutes. *)
+  let default =
+    {
+      ghz = 2.4;
+      dram_latency = 200.0;
+      llc_hit = 18.0;
+      line_transfer = 24.0;
+      cache_bytes = 2 * 1024 * 1024;
+      line_bytes = 64;
+      tlb_entries = 512;
+      page_bytes = 4096;
+      tlb_miss = 45.0;
+      alloc_cycles = 120.0;
+      int_cmp = 2.0;
+      str_cmp_per8 = 14.0;
+      base_compute = 350.0;
+      contention_per_core = 0.0244;
+    }
+
+  let with_superpages c = { c with page_bytes = 2 * 1024 * 1024; tlb_miss = 45.0 }
+
+  (* Streamflow: thread-local free lists, no lock, better locality. *)
+  let with_flow_allocator c = { c with alloc_cycles = 35.0 }
+
+  let with_int_compare c = { c with str_cmp_per8 = c.int_cmp }
+end
+
+(* LRU over node ids.  Bounded hash table + intrusive recency list. *)
+module Lru = struct
+  type node = { id : int; mutable bytes : int; mutable prev : node option; mutable next : node option }
+
+  type t = {
+    tbl : (int, node) Hashtbl.t;
+    mutable head : node option; (* most recent *)
+    mutable tail : node option;
+    mutable used : int;
+    capacity : int;
+  }
+
+  let create capacity = { tbl = Hashtbl.create 4096; head = None; tail = None; used = 0; capacity }
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.head;
+    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+    t.head <- Some n
+
+  let evict t =
+    match t.tail with
+    | None -> ()
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl n.id;
+        t.used <- t.used - n.bytes
+
+  (* Returns true on hit. *)
+  let touch t id bytes =
+    match Hashtbl.find_opt t.tbl id with
+    | Some n ->
+        unlink t n;
+        push_front t n;
+        true
+    | None ->
+        let n = { id; bytes; prev = None; next = None } in
+        Hashtbl.add t.tbl id n;
+        push_front t n;
+        t.used <- t.used + bytes;
+        while t.used > t.capacity do
+          evict t
+        done;
+        false
+
+  let _footprint t = t.used
+end
+
+type t = {
+  cfg : Config.t;
+  lru : Lru.t;
+  mutable nops : int;
+  mutable stall : float; (* memory-bound cycles *)
+  mutable cpu : float; (* compute cycles *)
+  mutable visits : int;
+  mutable hits : int;
+  mutable touched_bytes : int; (* rough working-set proxy for the TLB model *)
+}
+
+let create ?(config = Config.default) () =
+  {
+    cfg = config;
+    lru = Lru.create (config.cache_bytes / 1);
+    nops = 0;
+    stall = 0.0;
+    cpu = 0.0;
+    visits = 0;
+    hits = 0;
+    touched_bytes = 0;
+  }
+
+let config t = t.cfg
+
+(* Probability that a node visit misses the TLB: the fraction of the
+   touched working set not covered by TLB reach. *)
+let tlb_miss_probability t =
+  let reach = float_of_int (t.cfg.tlb_entries * t.cfg.page_bytes) in
+  let ws = float_of_int (max 1 t.touched_bytes) in
+  if ws <= reach then 0.0 else 1.0 -. (reach /. ws)
+
+let visit t ~node ~lines ~prefetch =
+  let c = t.cfg in
+  let bytes = lines * c.line_bytes in
+  t.visits <- t.visits + 1;
+  if Lru.touch t.lru node bytes then begin
+    t.hits <- t.hits + 1;
+    t.stall <- t.stall +. c.llc_hit
+  end
+  else begin
+    (* Count cold traffic toward the TLB working-set estimate.  Refetches
+       of evicted nodes overcount it, which only saturates the miss
+       probability sooner — the regime big key sets are in anyway. *)
+    t.touched_bytes <- t.touched_bytes + bytes;
+    let fetch =
+      if prefetch || lines = 1 then
+        (* All lines issued in parallel: one latency plus streaming. *)
+        c.dram_latency +. (float_of_int (lines - 1) *. c.line_transfer)
+      else begin
+        (* Demand misses during a linear search touch about half the node's
+           lines, each a dependent (serialized) fetch. *)
+        let touched = float_of_int ((lines + 1) / 2) in
+        touched *. c.dram_latency
+      end
+    in
+    t.stall <- t.stall +. fetch +. (tlb_miss_probability t *. c.tlb_miss)
+  end
+
+let compare_slice t = t.cpu <- t.cpu +. t.cfg.int_cmp
+
+let compare_bytes t len =
+  let chunks = float_of_int ((len + 7) / 8) in
+  t.cpu <- t.cpu +. (chunks *. t.cfg.str_cmp_per8)
+
+let alloc t ~bytes =
+  t.cpu <- t.cpu +. t.cfg.alloc_cycles;
+  (* Fresh memory will be cold: charge a line's worth of DRAM traffic per
+     128 allocated bytes (write-allocate). *)
+  t.stall <- t.stall +. (float_of_int (max 1 (bytes / 128)) *. t.cfg.line_transfer)
+
+let compute t cycles = t.cpu <- t.cpu +. cycles
+
+let op_done t =
+  t.nops <- t.nops + 1;
+  t.cpu <- t.cpu +. t.cfg.base_compute
+
+let ops t = t.nops
+
+let stall_per_op t = if t.nops = 0 then 0.0 else t.stall /. float_of_int t.nops
+
+let compute_per_op t = if t.nops = 0 then 0.0 else t.cpu /. float_of_int t.nops
+
+let cycles_per_op t = stall_per_op t +. compute_per_op t
+
+let throughput t ~cores =
+  let contention = 1.0 +. (t.cfg.contention_per_core *. float_of_int (cores - 1)) in
+  let per_op = compute_per_op t +. (stall_per_op t *. contention) in
+  if per_op <= 0.0 then 0.0
+  else float_of_int cores *. t.cfg.ghz *. 1e9 /. per_op
+
+let hit_rate t = if t.visits = 0 then 0.0 else float_of_int t.hits /. float_of_int t.visits
+
+let reset t =
+  t.nops <- 0;
+  t.stall <- 0.0;
+  t.cpu <- 0.0;
+  t.visits <- 0;
+  t.hits <- 0

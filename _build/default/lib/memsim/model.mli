@@ -1,0 +1,99 @@
+(** Deterministic memory-hierarchy cost model.
+
+    The paper's performance story is a DRAM story: query time is dominated
+    by the serial cache-line fetches of tree descent (§4.2), prefetching
+    collapses a multi-line node to one DRAM latency, superpages cut TLB
+    misses, allocators change locality, and per-core stall cycles grow
+    with core count as the memory system saturates (§6.5: ~2050 cycles of
+    stall at 1 core to ~2800 at 16, around ~1000 cycles of compute).
+
+    This module prices those mechanisms explicitly so the factor-analysis
+    (Figure 8), key-length (Figure 9), scalability (Figure 10) and
+    partitioning (Figure 11) experiments can be regenerated on hardware
+    that has neither 16 cores nor controllable allocators.  It is
+    trace-driven: the benchmark walks a {e real} data structure (or a
+    shape profile sampled from one) and reports each node visit,
+    allocation and key comparison; the model prices the events against an
+    LRU cache simulation and returns modeled cycles/op and modeled
+    throughput at any core count. *)
+
+module Config : sig
+  type t = {
+    ghz : float; (** clock, defaults to the paper's 2.4 GHz Opterons *)
+    dram_latency : float; (** cycles for one uncontended line fetch *)
+    llc_hit : float; (** cycles to read a cached line *)
+    line_transfer : float;
+        (** additional cycles per extra line when lines stream in parallel
+            behind one latency (prefetched node) *)
+    cache_bytes : int; (** modeled cache capacity per core (L2+L3 share) *)
+    line_bytes : int;
+    tlb_entries : int; (** data-TLB reach in entries *)
+    page_bytes : int; (** 4 KiB, or 2 MiB with superpages *)
+    tlb_miss : float; (** page-walk cycles *)
+    alloc_cycles : float; (** allocator cost per allocation (put paths) *)
+    int_cmp : float; (** cycles per 8-byte integer slice comparison *)
+    str_cmp_per8 : float; (** cycles per 8 bytes of byte-string comparison *)
+    base_compute : float; (** fixed per-op instruction cost *)
+    contention_per_core : float;
+        (** fractional stall growth per additional active core; calibrated
+            so 16 cores cost ~1.37x the 1-core stall, matching §6.5 *)
+  }
+
+  val default : t
+  (** Calibrated baseline: 2.4 GHz, 200-cycle DRAM, 4 KiB pages, glibc-ish
+      allocator, byte-string comparison. *)
+
+  val with_superpages : t -> t
+  val with_flow_allocator : t -> t
+  val with_int_compare : t -> t
+end
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+
+val config : t -> Config.t
+
+(** Trace events *)
+
+val visit : t -> node:int -> lines:int -> prefetch:bool -> unit
+(** [visit sim ~node ~lines ~prefetch] prices fetching the node with id
+    [node] occupying [lines] cache lines.  A cache hit costs [llc_hit];
+    a miss costs one DRAM latency plus line transfers when [prefetch],
+    or one serialized latency per line touched (modeled as half the
+    lines, the expected linear-search touch count) otherwise. *)
+
+val compare_slice : t -> unit
+(** One 8-byte integer comparison. *)
+
+val compare_bytes : t -> int -> unit
+(** A byte-string comparison of the given length. *)
+
+val alloc : t -> bytes:int -> unit
+(** One allocation on the put path. *)
+
+val compute : t -> float -> unit
+(** Additional flat compute cycles. *)
+
+val op_done : t -> unit
+(** Marks an operation boundary. *)
+
+(** Results *)
+
+val ops : t -> int
+
+val cycles_per_op : t -> float
+(** Average modeled cycles per operation (compute + stall at 1 core). *)
+
+val stall_per_op : t -> float
+
+val compute_per_op : t -> float
+
+val throughput : t -> cores:int -> float
+(** [throughput sim ~cores] is modeled ops/second with [cores] active
+    cores: stall cycles are inflated by the contention curve, compute
+    cycles are not, and the total scales with the core count. *)
+
+val hit_rate : t -> float
+
+val reset : t -> unit

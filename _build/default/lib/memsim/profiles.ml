@@ -1,0 +1,164 @@
+type op = Get | Put
+
+(* Node identities: (structure-local) level in the high bits, the key
+   rank's prefix at that level in the low bits.  Upper levels repeat
+   across operations and stay cached; leaves and values are as cold as
+   their reuse distance makes them. *)
+let node_id ~level ~index = (level lsl 44) lor (index land ((1 lsl 44) - 1))
+
+let value_id ~rank = (63 lsl 44) lor rank
+
+let ceil_log ~base n =
+  let rec go d cap = if cap >= n then d else go (d + 1) (cap * base) in
+  go 0 1
+
+(* Visit the root..leaf path of a balanced [base]-ary tree of [n] keys. *)
+let walk_path sim ~tag ~base ~n ~rank ~lines ~prefetch ~per_node =
+  let depth = max 1 (ceil_log ~base n) in
+  for level = 0 to depth - 1 do
+    (* Index of this path's node at [level]: strip the low digits. *)
+    let shift_levels = depth - 1 - level in
+    let div = float_of_int base ** float_of_int shift_levels in
+    let index = int_of_float (float_of_int rank /. div) in
+    Model.visit sim ~node:(node_id ~level:(tag + level) ~index) ~lines ~prefetch;
+    per_node level
+  done;
+  depth
+
+let touch_value sim ~rank = Model.visit sim ~node:(value_id ~rank) ~lines:1 ~prefetch:false
+
+let binary_op sim ~n ~rank ~key_len op =
+  ignore
+    (walk_path sim ~tag:0 ~base:2 ~n ~rank ~lines:1 ~prefetch:false ~per_node:(fun _ ->
+         Model.compare_bytes sim key_len));
+  touch_value sim ~rank;
+  match op with
+  | Get -> Model.op_done sim
+  | Put ->
+      Model.alloc sim ~bytes:40;
+      Model.alloc sim ~bytes:(16 + key_len);
+      Model.op_done sim
+
+let four_tree_op sim ~n ~rank ~key_len op =
+  ignore
+    (walk_path sim ~tag:0 ~base:4 ~n ~rank ~lines:1 ~prefetch:false ~per_node:(fun _ ->
+         (* Up to 3 inline 8-byte prefixes per node. *)
+         Model.compare_slice sim;
+         Model.compare_slice sim));
+  (* Final full-key confirmation against the stored key. *)
+  Model.compare_bytes sim key_len;
+  touch_value sim ~rank;
+  match op with
+  | Get -> Model.op_done sim
+  | Put ->
+      Model.alloc sim ~bytes:64;
+      Model.alloc sim ~bytes:(16 + key_len);
+      Model.op_done sim
+
+let btree_fanout = 10 (* width-14 nodes, ~75% full *)
+
+let btree_node_lines = 5
+
+let btree_op sim ~n ~rank ~key_len ~prefetch ~permuter op =
+  let inline = 16 in
+  let per_node _level =
+    (* Linear search through half the node's ~10 keys. *)
+    for _ = 1 to btree_fanout / 2 do
+      Model.compare_bytes sim (min key_len inline);
+      (* Keys longer than the inline prefix force a fetch of the stored
+         key's suffix — a cold line per comparison (Figure 9's cost). *)
+      if key_len > inline then
+        Model.visit sim
+          ~node:(value_id ~rank:(0x3FFF_FFFF land ((rank * 31) + key_len)))
+          ~lines:1 ~prefetch:false
+    done
+  in
+  let depth =
+    walk_path sim ~tag:0 ~base:btree_fanout ~n ~rank ~lines:btree_node_lines ~prefetch
+      ~per_node
+  in
+  ignore depth;
+  touch_value sim ~rank;
+  match op with
+  | Get -> Model.op_done sim
+  | Put ->
+      Model.alloc sim ~bytes:(16 + key_len);
+      if not permuter then
+        (* Classic insert shuffles half the leaf in place: extra dirty
+           lines written back. *)
+        Model.compute sim (float_of_int (btree_node_lines / 2) *. 30.0);
+      (* Amortized split cost: one new node every ~fanout inserts. *)
+      if rank mod btree_fanout = 0 then Model.alloc sim ~bytes:(btree_node_lines * 64);
+      Model.op_done sim
+
+let masstree_node_lines = 4
+
+(* Node-size ablation (§4.2): a node of [lines] cache lines holds about
+   (lines*64)/16 slice+pointer pairs; wider nodes make shallower trees but
+   cost more line transfers behind each prefetched fetch. *)
+let masstree_sized_op sim ~n ~rank ~lines op =
+  let fanout = max 2 ((lines * 64 / 16) - 1) in
+  let per_node _ =
+    for _ = 1 to max 1 (fanout / 2) do
+      Model.compare_slice sim
+    done
+  in
+  ignore
+    (walk_path sim ~tag:8 ~base:fanout ~n ~rank ~lines ~prefetch:true ~per_node);
+  touch_value sim ~rank;
+  match op with
+  | Get -> Model.op_done sim
+  | Put ->
+      Model.alloc sim ~bytes:24;
+      if rank mod fanout = 0 then Model.alloc sim ~bytes:(lines * 64);
+      Model.op_done sim
+
+let masstree_op sim ~n ~rank ~key_len ?(layer_frac = 0.33) ?(avg_layer_keys = 2.3)
+    ?(shared_prefix_layers = 0) op =
+  (* Hot chain of single-entry layers for constant shared prefixes: always
+     cached after warmup, but each hop is a visit plus a slice compare. *)
+  for l = 0 to shared_prefix_layers - 1 do
+    Model.visit sim ~node:(node_id ~level:(40 + l) ~index:0) ~lines:masstree_node_lines
+      ~prefetch:true;
+    Model.compare_slice sim
+  done;
+  (* Layer-0 B+-tree over distinct slices. *)
+  let n0 = max 1 (int_of_float (float_of_int n /. (1.0 +. (layer_frac *. (avg_layer_keys -. 1.0))))) in
+  let per_node _ =
+    for _ = 1 to btree_fanout / 2 do
+      Model.compare_slice sim
+    done
+  in
+  ignore
+    (walk_path sim ~tag:8 ~base:btree_fanout ~n:n0 ~rank:(rank mod n0)
+       ~lines:masstree_node_lines ~prefetch:true ~per_node);
+  (* A layer_frac of operations continue into a small next-layer tree:
+     one more border node (cold, per slice group) plus slice compares. *)
+  let in_layer = float_of_int (rank land 0xFFFF) /. 65536.0 < layer_frac in
+  if in_layer && key_len > 8 then begin
+    Model.visit sim
+      ~node:(node_id ~level:30 ~index:(rank / max 1 (int_of_float avg_layer_keys)))
+      ~lines:masstree_node_lines ~prefetch:true;
+    Model.compare_slice sim
+  end;
+  touch_value sim ~rank;
+  match op with
+  | Get -> Model.op_done sim
+  | Put ->
+      Model.alloc sim ~bytes:(16 + key_len);
+      if rank mod btree_fanout = 0 then Model.alloc sim ~bytes:(masstree_node_lines * 64);
+      Model.op_done sim
+
+let hash_op sim ~n ~rank ~key_len op =
+  ignore n;
+  (* ~1.1 probed entries at 30% occupancy; each probe is one line. *)
+  Model.visit sim ~node:(node_id ~level:0 ~index:rank) ~lines:1 ~prefetch:false;
+  if rank land 15 = 0 then
+    Model.visit sim ~node:(node_id ~level:0 ~index:(rank + 1)) ~lines:1 ~prefetch:false;
+  Model.compare_bytes sim key_len;
+  touch_value sim ~rank;
+  match op with
+  | Get -> Model.op_done sim
+  | Put ->
+      Model.alloc sim ~bytes:(16 + key_len);
+      Model.op_done sim

@@ -1,0 +1,64 @@
+(** Structure shape profiles: translate one key-value operation on a given
+    data structure into the memory-event trace {!Memsim} prices.
+
+    A profile walks the node path an operation would take — node identities
+    derived from the key's rank so upper levels are shared and hot, leaves
+    are cold — and reports visits, comparisons and allocations.  Geometry
+    (depths, fanouts, node sizes, layer statistics) comes from the real
+    structures in [lib/baselines] and [lib/masstree]; the profile only
+    replays their access pattern against the cache model, which is what
+    lets the factor analysis price allocator, TLB, prefetch and comparison
+    changes that OCaml cannot express natively (DESIGN.md §1). *)
+
+type op = Get | Put
+
+val binary_op : Model.t -> n:int -> rank:int -> key_len:int -> op -> unit
+(** Balanced binary tree: depth log2 n, 40-byte single-line nodes, one
+    full-key byte comparison per level, one node allocation per insert. *)
+
+val four_tree_op : Model.t -> n:int -> rank:int -> key_len:int -> op -> unit
+(** Fanout-4 tree: half the depth, one routing line per node, 8-byte
+    inline-prefix comparisons, full-key check at the leaf. *)
+
+val btree_op :
+  Model.t ->
+  n:int ->
+  rank:int ->
+  key_len:int ->
+  prefetch:bool ->
+  permuter:bool ->
+  op ->
+  unit
+(** B+-tree with average fanout 10.5 (75% full width-14 nodes), five-line
+    nodes, 16 bytes of each key inline: comparisons beyond 16 bytes cost
+    an extra (cold) suffix line — the Figure 9 mechanism.  [prefetch]
+    overlaps the node's lines; [permuter] removes the put-path key
+    shuffle. *)
+
+val masstree_op :
+  Model.t ->
+  n:int ->
+  rank:int ->
+  key_len:int ->
+  ?layer_frac:float ->
+  ?avg_layer_keys:float ->
+  ?shared_prefix_layers:int ->
+  op ->
+  unit
+(** The trie of B+-trees: [shared_prefix_layers] hot single-entry layers
+    (Figure 9's constant prefixes), a four-line prefetched B+-tree over
+    distinct slices, integer slice comparisons, and — for the
+    [layer_frac] of keys whose slice collides — one extra border-node
+    visit in a small next-layer tree of [avg_layer_keys] keys.  Defaults
+    match the paper's 1-to-10-byte decimal population (§6.2: one third of
+    keys in layer-1 nodes averaging 2.3 keys). *)
+
+val masstree_sized_op : Model.t -> n:int -> rank:int -> lines:int -> op -> unit
+(** Node-size ablation (§4.2): a tree whose nodes span [lines] cache
+    lines, fanout scaled accordingly ((lines*64)/16 - 1 keys).  The paper
+    reports 4 lines (256 bytes, fanout 15) as the optimum on its
+    hardware. *)
+
+val hash_op : Model.t -> n:int -> rank:int -> key_len:int -> op -> unit
+(** Open-addressing hash table at 30% occupancy: ~1.1 single-line probes,
+    one full-key comparison (§6.4). *)

@@ -1,0 +1,1 @@
+lib/persist/checkpoint.ml: Array Atomic Binio Bytes Clock Crc32c Filename Fun Int32 List Printexc Printf String Sys Thread Unix Xutil

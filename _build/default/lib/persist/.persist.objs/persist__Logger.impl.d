@@ -1,0 +1,1 @@
+lib/persist/logger.ml: Atomic Buffer Bytes Fun Logrec Mutex String Thread Unix Xutil

@@ -1,0 +1,1 @@
+lib/persist/logrec.ml: Array Binio Crc32c Int32 List String Xutil

@@ -1,0 +1,1 @@
+lib/persist/logrec.mli: Xutil

@@ -1,0 +1,1 @@
+lib/persist/recovery.ml: Array Atomic Checkpoint Domain Int64 List Logger Logrec

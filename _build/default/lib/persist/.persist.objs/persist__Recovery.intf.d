@@ -1,0 +1,1 @@
+lib/persist/recovery.mli: Logrec

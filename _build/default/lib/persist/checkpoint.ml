@@ -1,0 +1,236 @@
+open Xutil
+
+type entry = { key : string; version : int64; columns : string array }
+
+let manifest_file = "MANIFEST"
+
+type manifest = { began : int64; finished : int64; parts : string list }
+
+let part_magic = 0x4D545054 (* "MTPT" *)
+
+let encode_entry w e =
+  let pw = Binio.writer () in
+  Binio.write_u64 pw e.version;
+  Binio.write_string pw e.key;
+  Binio.write_varint pw (Array.length e.columns);
+  Array.iter (Binio.write_string pw) e.columns;
+  let payload = Binio.contents pw in
+  Binio.write_u32 w (Int32.to_int (Crc32c.mask (Crc32c.digest_string payload)) land 0xFFFFFFFF);
+  Binio.write_u32 w (String.length payload);
+  Binio.write_raw w payload
+
+let decode_entries data =
+  let rec go pos acc =
+    if pos >= String.length data then Ok (List.rev acc)
+    else if String.length data - pos < 8 then Error "truncated part"
+    else begin
+      let r = Binio.reader ~pos data in
+      let crc = Int32.of_int (Binio.read_u32 r) in
+      let len = Binio.read_u32 r in
+      if String.length data - pos - 8 < len then Error "truncated part"
+      else begin
+        let payload = String.sub data (pos + 8) len in
+        if not (Int32.equal (Crc32c.unmask crc) (Crc32c.digest_string payload)) then
+          Error "part crc mismatch"
+        else begin
+          let pr = Binio.reader payload in
+          match
+            let version = Binio.read_u64 pr in
+            let key = Binio.read_string pr in
+            let ncols = Binio.read_varint pr in
+            let columns = Array.init ncols (fun _ -> Binio.read_string pr) in
+            { key; version; columns }
+          with
+          | e -> go (pos + 8 + len) (e :: acc)
+          | exception Binio.Truncated -> Error "bad part payload"
+        end
+      end
+    end
+  in
+  go 0 []
+
+let write ~dir ~writers ~began_us next =
+  assert (writers >= 1);
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let part_name i = Printf.sprintf "part-%03d" i in
+  let errors = Atomic.make None in
+  let worker i () =
+    try
+      let path = Filename.concat dir (part_name i) in
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      let w = Binio.writer ~capacity:(1 lsl 16) () in
+      Binio.write_u32 w part_magic;
+      let rec drain () =
+        match next () with
+        | None -> ()
+        | Some e ->
+            encode_entry w e;
+            if Binio.length w > 1 lsl 20 then begin
+              let data = Binio.contents w in
+              Binio.reset w;
+              let b = Bytes.of_string data in
+              let rec put off =
+                if off < Bytes.length b then put (off + Unix.write fd b off (Bytes.length b - off))
+              in
+              put 0
+            end;
+            drain ()
+      in
+      drain ();
+      let data = Binio.contents w in
+      let b = Bytes.of_string data in
+      let rec put off =
+        if off < Bytes.length b then put (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      put 0;
+      Unix.fsync fd;
+      Unix.close fd
+    with e -> ignore (Atomic.compare_and_set errors None (Some (Printexc.to_string e)))
+  in
+  let threads = List.init writers (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join threads;
+  match Atomic.get errors with
+  | Some e -> Error e
+  | None ->
+      (* All parts durable: publish the manifest. *)
+      let finished = Clock.wall_us () in
+      let w = Binio.writer () in
+      Binio.write_u64 w began_us;
+      Binio.write_u64 w finished;
+      Binio.write_varint w writers;
+      List.iter (fun i -> Binio.write_string w (part_name i)) (List.init writers Fun.id);
+      let payload = Binio.contents w in
+      let crc = Crc32c.mask (Crc32c.digest_string payload) in
+      let mpath = Filename.concat dir manifest_file in
+      let fd = Unix.openfile mpath [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      let fw = Binio.writer () in
+      Binio.write_u32 fw (Int32.to_int crc land 0xFFFFFFFF);
+      Binio.write_u32 fw (String.length payload);
+      Binio.write_raw fw payload;
+      let b = Bytes.of_string (Binio.contents fw) in
+      let rec put off =
+        if off < Bytes.length b then put (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      put 0;
+      Unix.fsync fd;
+      Unix.close fd;
+      Ok mpath
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  data
+
+let read_manifest ~dir =
+  let mpath = Filename.concat dir manifest_file in
+  if not (Sys.file_exists mpath) then Error "no manifest"
+  else begin
+    match read_file mpath with
+    | exception e -> Error (Printexc.to_string e)
+    | data -> (
+        if String.length data < 8 then Error "manifest too short"
+        else begin
+          let r = Binio.reader data in
+          match
+            let crc = Int32.of_int (Binio.read_u32 r) in
+            let len = Binio.read_u32 r in
+            let payload = Binio.read_raw r len in
+            if not (Int32.equal (Crc32c.unmask crc) (Crc32c.digest_string payload)) then
+              Error "manifest crc mismatch"
+            else begin
+              let pr = Binio.reader payload in
+              let began = Binio.read_u64 pr in
+              let finished = Binio.read_u64 pr in
+              let n = Binio.read_varint pr in
+              let parts = List.init n (fun _ -> Binio.read_string pr) in
+              Ok { began; finished; parts }
+            end
+          with
+          | result -> result
+          | exception Binio.Truncated -> Error "manifest truncated"
+        end)
+  end
+
+let iter_part data f =
+  let rec go pos n =
+    if pos >= String.length data then Ok n
+    else if String.length data - pos < 8 then Error "truncated part"
+    else begin
+      let r = Binio.reader ~pos data in
+      let crc = Int32.of_int (Binio.read_u32 r) in
+      let len = Binio.read_u32 r in
+      if String.length data - pos - 8 < len then Error "truncated part"
+      else begin
+        let payload = String.sub data (pos + 8) len in
+        if not (Int32.equal (Crc32c.unmask crc) (Crc32c.digest_string payload)) then
+          Error "part crc mismatch"
+        else begin
+          let pr = Binio.reader payload in
+          match
+            let version = Binio.read_u64 pr in
+            let key = Binio.read_string pr in
+            let ncols = Binio.read_varint pr in
+            let columns = Array.init ncols (fun _ -> Binio.read_string pr) in
+            { key; version; columns }
+          with
+          | e ->
+              f e;
+              go (pos + 8 + len) (n + 1)
+          | exception Binio.Truncated -> Error "bad part payload"
+        end
+      end
+    end
+  in
+  go 0 0
+
+let iter_entries ~dir m f =
+  let rec go parts n =
+    match parts with
+    | [] -> Ok n
+    | p :: rest -> (
+        match read_file (Filename.concat dir p) with
+        | exception e -> Error (Printexc.to_string e)
+        | data ->
+            if String.length data < 4 then Error "part too short"
+            else begin
+              let r = Binio.reader data in
+              let magic = Binio.read_u32 r in
+              if magic <> part_magic then Error "bad part magic"
+              else begin
+                match iter_part (String.sub data 4 (String.length data - 4)) f with
+                | Ok k -> go rest (n + k)
+                | Error e -> Error e
+              end
+            end)
+  in
+  go m.parts 0
+
+let read_entries ~dir m =
+  let rec go parts acc =
+    match parts with
+    | [] -> Ok (List.concat (List.rev acc))
+    | p :: rest -> (
+        match read_file (Filename.concat dir p) with
+        | exception e -> Error (Printexc.to_string e)
+        | data ->
+            if String.length data < 4 then Error "part too short"
+            else begin
+              let r = Binio.reader data in
+              let magic = Binio.read_u32 r in
+              if magic <> part_magic then Error "bad part magic"
+              else begin
+                match decode_entries (String.sub data 4 (String.length data - 4)) with
+                | Ok es -> go rest (es :: acc)
+                | Error e -> Error e
+              end
+            end)
+  in
+  go m.parts []
+
+let load ~dir =
+  match read_manifest ~dir with
+  | Error e -> Error e
+  | Ok m -> (
+      match read_entries ~dir m with Ok es -> Ok (m, es) | Error e -> Error e)

@@ -1,0 +1,42 @@
+(** Checkpoints (§5): periodic full dumps that bound recovery time and
+    let log space be reclaimed.
+
+    A checkpoint is a directory of part files plus a manifest.  Parts are
+    written in parallel by [writers] threads, each draining a share of the
+    snapshot stream.  The manifest — written last, after every part is
+    synced — carries the checkpoint's begin timestamp (where log replay
+    must resume from) and completion marker; a crash mid-checkpoint leaves
+    no manifest and recovery falls back to the previous checkpoint, which
+    is exactly the paper's "latest valid checkpoint that completed before
+    the log recovery time" rule. *)
+
+type entry = { key : string; version : int64; columns : string array }
+
+val write :
+  dir:string ->
+  writers:int ->
+  began_us:int64 ->
+  (unit -> entry option) ->
+  (string, string) result
+(** [write ~dir ~writers ~began_us next] drains entries from [next]
+    (thread-safe pull model) into [writers] part files under [dir] and
+    writes the manifest.  Returns the manifest path. *)
+
+val manifest_file : string
+
+type manifest = { began : int64; finished : int64; parts : string list }
+
+val read_manifest : dir:string -> (manifest, string) result
+
+val read_entries : dir:string -> manifest -> (entry list, string) result
+(** Load and CRC-verify all parts. *)
+
+val iter_entries : dir:string -> manifest -> (entry -> unit) -> (int, string) result
+(** Stream entries to the callback one at a time, part by part — recovery
+    of large checkpoints without materializing the entry list.  Returns
+    the number of entries applied; stops with [Error] at the first
+    corrupt record (after the callback has seen the valid prefix of each
+    earlier part). *)
+
+val load : dir:string -> (manifest * entry list, string) result
+(** [read_manifest] + [read_entries]. *)

@@ -1,0 +1,140 @@
+type t = {
+  mutable lpath : string;
+  mutable fd : Unix.file_descr;
+  io_lock : Mutex.t; (* serializes fd writes/fsync with rotation *)
+  lock : Xutil.Spinlock.t;
+  buf : Buffer.t;
+  mutable nappended : int;
+  mutable nsynced_bytes : int;
+  sync_interval_s : float;
+  buffer_limit : int;
+  synchronous : bool;
+  stop : bool Atomic.t;
+  flush_request : bool Atomic.t;
+  mutable flusher : Thread.t option;
+}
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+(* Swap the buffer out under the lock, write + fsync outside it so
+   appenders are never blocked on the disk. *)
+let flush_now t =
+  let data =
+    Xutil.Spinlock.with_lock t.lock (fun () ->
+        if Buffer.length t.buf = 0 then None
+        else begin
+          let d = Buffer.contents t.buf in
+          Buffer.clear t.buf;
+          Some d
+        end)
+  in
+  match data with
+  | None -> ()
+  | Some d ->
+      Mutex.lock t.io_lock;
+      write_all t.fd d;
+      Unix.fsync t.fd;
+      Mutex.unlock t.io_lock;
+      t.nsynced_bytes <- t.nsynced_bytes + String.length d
+
+let flusher_loop t () =
+  let tick = min 0.01 (t.sync_interval_s /. 4.0) in
+  let last_sync = ref (Unix.gettimeofday ()) in
+  while not (Atomic.get t.stop) do
+    Thread.delay tick;
+    let now = Unix.gettimeofday () in
+    let due = now -. !last_sync >= t.sync_interval_s in
+    if due || Atomic.get t.flush_request then begin
+      Atomic.set t.flush_request false;
+      flush_now t;
+      last_sync := now
+    end
+  done;
+  flush_now t
+
+let create ?(buffer_limit = 1 lsl 20) ?(sync_interval_s = 0.2) ?(synchronous = false) path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let t =
+    {
+      lpath = path;
+      fd;
+      io_lock = Mutex.create ();
+      lock = Xutil.Spinlock.create ();
+      buf = Buffer.create 4096;
+      nappended = 0;
+      nsynced_bytes = 0;
+      sync_interval_s;
+      buffer_limit;
+      synchronous;
+      stop = Atomic.make false;
+      flush_request = Atomic.make false;
+      flusher = None;
+    }
+  in
+  if not synchronous then t.flusher <- Some (Thread.create (flusher_loop t) ());
+  t
+
+let append t record =
+  let encoded = Logrec.encode_string record in
+  let over =
+    Xutil.Spinlock.with_lock t.lock (fun () ->
+        Buffer.add_string t.buf encoded;
+        t.nappended <- t.nappended + 1;
+        Buffer.length t.buf >= t.buffer_limit)
+  in
+  if t.synchronous then flush_now t
+  else if over then Atomic.set t.flush_request true
+
+let sync t = flush_now t
+
+let rotate t new_path =
+  (* The buffer lock stops appends from slipping between draining the old
+     file and switching to the new one; the io lock waits out any
+     in-flight background flush against the old fd. *)
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      Mutex.lock t.io_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.io_lock)
+        (fun () ->
+          if Buffer.length t.buf > 0 then begin
+            let d = Buffer.contents t.buf in
+            Buffer.clear t.buf;
+            write_all t.fd d;
+            t.nsynced_bytes <- t.nsynced_bytes + String.length d
+          end;
+          Unix.fsync t.fd;
+          Unix.close t.fd;
+          t.fd <- Unix.openfile new_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644;
+          t.lpath <- new_path))
+
+let seal t =
+  append t (Logrec.Marker { timestamp = Xutil.Clock.wall_us () });
+  flush_now t
+
+let close t =
+  Atomic.set t.stop true;
+  (match t.flusher with Some th -> Thread.join th | None -> ());
+  flush_now t;
+  Unix.close t.fd
+
+let path t = t.lpath
+
+let appended t = t.nappended
+
+let synced_bytes t = t.nsynced_bytes
+
+let read_records path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  Logrec.decode_all data

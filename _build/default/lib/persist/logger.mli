@@ -1,0 +1,49 @@
+(** Per-core update logging with group commit (§5).
+
+    Each query worker owns one logger (one file), so logging proceeds in
+    parallel with no shared-buffer contention.  [append] copies the record
+    into an in-memory buffer and returns — the paper's puts respond to the
+    client without forcing the log.  A background flusher thread writes
+    buffers out in batches and fsyncs at least every [sync_interval]
+    (default 200 ms, the paper's safety bound). *)
+
+type t
+
+val create :
+  ?buffer_limit:int -> ?sync_interval_s:float -> ?synchronous:bool -> string -> t
+(** [create path] opens (creating or truncating) a log at [path] and
+    starts its flusher.  [buffer_limit] (default 1 MiB) forces a flush
+    when exceeded.  [synchronous] (default false) makes every append
+    flush+fsync before returning — used by tests and the durability
+    comparison bench. *)
+
+val append : t -> Logrec.t -> unit
+(** Thread-safe; returns after buffering. *)
+
+val sync : t -> unit
+(** Force everything appended so far to stable storage. *)
+
+val seal : t -> unit
+(** Append a {!Logrec.Marker} with the current time and sync: clean
+    shutdown, after which recovery's cutoff cannot discard anything
+    already in this log set. *)
+
+val rotate : t -> string -> unit
+(** [rotate l new_path] atomically (with respect to concurrent appends)
+    flushes and closes the current file and continues logging into
+    [new_path].  With checkpoints this is how log space is reclaimed
+    (§5): checkpoint, rotate, delete the pre-checkpoint files. *)
+
+val close : t -> unit
+(** Flush, sync, stop the flusher, close the file. *)
+
+val path : t -> string
+
+val appended : t -> int
+(** Records appended so far. *)
+
+val synced_bytes : t -> int
+(** Bytes durably written (for tests and stats). *)
+
+val read_records : string -> Logrec.t list * [ `Clean | `Truncated | `Corrupt ]
+(** [read_records path] loads a log file from disk (recovery side). *)

@@ -1,0 +1,48 @@
+(** Log record format (§5).
+
+    Each update is logged with a wall-clock timestamp and the value's
+    version number; recovery sorts out cross-log ordering from these (the
+    per-key version order is authoritative, timestamps define the global
+    cutoff).  Records are framed with a masked CRC-32C and a length so a
+    torn tail or corrupted record is detected and recovery stops at the
+    last good prefix of each log.
+
+    {v
+    frame   := u32 masked-crc(payload) | u32 length | payload
+    payload := u8 kind | u64 timestamp_us | u64 version
+               | varint keylen | key
+               | kind=put: varint ncols | ncols * (varint len | bytes)
+    v} *)
+
+type t =
+  | Put of { key : string; version : int64; timestamp : int64; columns : string array }
+  | Remove of { key : string; version : int64; timestamp : int64 }
+  | Marker of { timestamp : int64 }
+      (** Sync marker: carries no update, only advances the log's last
+          timestamp.  Sealing a log on clean shutdown with a marker keeps
+          the recovery cutoff from discarding durable updates that merely
+          happen to be the newest in the whole set of logs. *)
+
+val timestamp : t -> int64
+val version : t -> int64
+(** 0 for markers. *)
+
+val key : t -> string
+(** "" for markers. *)
+
+val encode : Xutil.Binio.writer -> t -> unit
+(** [encode w r] appends the framed record to [w]. *)
+
+val encode_string : t -> string
+
+type decode_result =
+  | Record of t * int (** record and the number of bytes consumed *)
+  | Need_more (** clean truncation: fewer bytes than one frame *)
+  | Corrupt (** framing present but CRC or payload invalid *)
+
+val decode : string -> pos:int -> decode_result
+(** [decode buf ~pos] reads one framed record at [pos]. *)
+
+val decode_all : string -> t list * [ `Clean | `Truncated | `Corrupt ]
+(** [decode_all buf] reads records until the end of buffer, a truncated
+    tail, or corruption; returns the good prefix and how it ended. *)

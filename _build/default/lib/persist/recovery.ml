@@ -1,0 +1,123 @@
+type stats = {
+  logs_read : int;
+  records_scanned : int;
+  records_applied : int;
+  records_dropped_after_cutoff : int;
+  corrupt_tails : int;
+  cutoff : int64;
+  checkpoint_entries : int;
+}
+
+let cutoff_of_logs logs =
+  match logs with
+  | [] -> Int64.max_int
+  | _ ->
+      List.fold_left
+        (fun acc records ->
+          let last =
+            List.fold_left (fun m r -> max m (Logrec.timestamp r)) 0L records
+          in
+          min acc last)
+        Int64.max_int logs
+
+(* Latest checkpoint that completed before the cutoff. *)
+let pick_checkpoint dirs cutoff =
+  List.fold_left
+    (fun best dir ->
+      match Checkpoint.read_manifest ~dir with
+      | Error _ -> best
+      | Ok m ->
+          if Int64.compare m.finished cutoff <= 0 then begin
+            match best with
+            | Some (_, bm) when Int64.compare bm.Checkpoint.finished m.finished >= 0 -> best
+            | _ -> Some (dir, m)
+          end
+          else best)
+    None dirs
+
+let recover ?replay_domains ~log_paths ~checkpoint_dirs ~put ~remove () =
+  let corrupt = ref 0 in
+  let logs =
+    List.map
+      (fun p ->
+        let records, ending = Logger.read_records p in
+        (match ending with `Corrupt | `Truncated -> incr corrupt | `Clean -> ());
+        records)
+      log_paths
+  in
+  let cutoff = cutoff_of_logs logs in
+  let ckpt = pick_checkpoint checkpoint_dirs cutoff in
+  let ckpt_entries = ref 0 in
+  let replay_from =
+    match ckpt with
+    | None -> 0L
+    | Some (dir, m) -> (
+        match
+          Checkpoint.iter_entries ~dir m (fun (e : Checkpoint.entry) ->
+              incr ckpt_entries;
+              put ~key:e.key ~version:e.version ~columns:e.columns)
+        with
+        | Error e -> failwith e
+        | Ok _count -> m.began)
+  in
+  match () with
+  | () ->
+      (* Parallel replay (§5): one domain per log.  Correctness does not
+         depend on cross-log ordering because every applied record carries
+         a version and the apply callbacks keep only the newest. *)
+      let scanned = Atomic.make 0 and applied = Atomic.make 0 and dropped = Atomic.make 0 in
+      let replay_one records =
+        List.iter
+          (fun r ->
+            Atomic.incr scanned;
+            let ts = Logrec.timestamp r in
+            if Int64.compare ts cutoff > 0 then Atomic.incr dropped
+            else if Int64.compare ts replay_from >= 0 then begin
+              (match r with
+              | Logrec.Put { key; version; columns; _ } -> put ~key ~version ~columns
+              | Logrec.Remove { key; version; _ } -> remove ~key ~version
+              | Logrec.Marker _ -> ());
+              Atomic.incr applied
+            end)
+          records
+      in
+      let logs_arr = Array.of_list logs in
+      let domains =
+        let d =
+          match replay_domains with
+          | Some d -> d
+          | None -> Domain.recommended_domain_count ()
+        in
+        max 1 (min d (Array.length logs_arr))
+      in
+      if domains <= 1 then Array.iter replay_one logs_arr
+      else begin
+        let next = Atomic.make 0 in
+        let worker _ =
+          let rec go () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < Array.length logs_arr then begin
+              replay_one logs_arr.(i);
+              go ()
+            end
+          in
+          go ()
+        in
+        let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker ())) in
+        worker ();
+        Array.iter Domain.join spawned
+      end;
+      let scanned = Atomic.get scanned
+      and applied = Atomic.get applied
+      and dropped = Atomic.get dropped in
+      Ok
+        {
+          logs_read = List.length logs;
+          records_scanned = scanned;
+          records_applied = applied;
+          records_dropped_after_cutoff = dropped;
+          corrupt_tails = !corrupt;
+          cutoff;
+          checkpoint_entries = !ckpt_entries;
+        }
+  | exception Failure e -> Error e

@@ -1,0 +1,48 @@
+(** Crash recovery (§5).
+
+    Inputs: the set of per-core log files and (optionally) checkpoint
+    directories.  The paper's procedure, implemented exactly:
+
+    + Read each log's valid prefix (stopping at a torn or corrupt tail).
+    + Compute the recovery cutoff [t = min over logs of the log's last
+      timestamp]: anything newer than [t] may be missing from some other
+      log, so updates with timestamp > [t] are dropped everywhere.
+    + Load the latest checkpoint that {e completed} before [t]; replay
+      logged updates with timestamp ≥ the checkpoint's begin time.
+    + Apply updates per key in increasing value-version order (a replayed
+      update is ignored if the stored version is already ≥ its version).
+
+    The output is a stream of apply callbacks so the caller (kvstore)
+    rebuilds its own tree. *)
+
+type stats = {
+  logs_read : int;
+  records_scanned : int;
+  records_applied : int;
+  records_dropped_after_cutoff : int;
+  corrupt_tails : int;
+  cutoff : int64;
+  checkpoint_entries : int;
+}
+
+val cutoff_of_logs : Logrec.t list list -> int64
+(** [min over logs of max over records of timestamp]; [Int64.max_int]
+    when there are no logs (nothing bounds the cutoff), [0] when some log
+    is empty (nothing after an empty log is guaranteed durable). *)
+
+val recover :
+  ?replay_domains:int ->
+  log_paths:string list ->
+  checkpoint_dirs:string list ->
+  put:(key:string -> version:int64 -> columns:string array -> unit) ->
+  remove:(key:string -> version:int64 -> unit) ->
+  unit ->
+  (stats, string) result
+(** Replays the checkpoint then the logs into [put]/[remove].  [put] and
+    [remove] must themselves enforce the version guard (apply only if
+    newer); {!Kvstore.Store} does.
+
+    [replay_domains] (default: one per log, capped by the host's cores)
+    replays logs in parallel, as the paper does (§5): the per-key version
+    guard makes cross-log replay order-independent, so each log can be
+    applied by its own domain. *)

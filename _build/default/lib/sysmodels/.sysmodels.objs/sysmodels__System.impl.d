@@ -1,0 +1,1 @@
+lib/sysmodels/system.ml: Array Baselines List String Workload Xutil

@@ -1,0 +1,1 @@
+lib/sysmodels/system.mli: Workload

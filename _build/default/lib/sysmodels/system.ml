@@ -1,0 +1,265 @@
+type features = {
+  range_query : bool;
+  column_update : bool;
+  batched_get : bool;
+  batched_put : bool;
+  persistent : bool;
+}
+
+type backend =
+  | Hash_parts of string array Baselines.Hash_table.t array
+  | Tree_parts of string array Baselines.Btree.Str.t array
+
+type costs = {
+  get_cycles : float; (* 1-core per-get service time, cycles *)
+  put_cycles : float;
+  scan_per_key : float; (* additional per returned key for getrange *)
+  parallel_efficiency : float; (* 16-core speedup / 16, uniform load *)
+  put_efficiency : float option; (* overrides parallel_efficiency for puts *)
+  zipf_sensitive : bool;
+      (* Whether skewed key popularity saturates the hot partition.  True
+         for stores whose per-partition service cost is the bottleneck
+         (redis, memcached); false when a dispatch layer above the
+         partitions dominates (voltdb's stored procedures, mongodb's
+         routing + global locking) — the paper's own table shows those two
+         flat between uniform and Zipfian workloads. *)
+}
+
+type t = {
+  sname : string;
+  sfeatures : features;
+  backend : backend;
+  costs : costs;
+  locks : Xutil.Spinlock.t array; (* one per partition: single-threaded instances *)
+}
+
+let ghz = 2.4e9
+
+(* Cost calibration: the paper's Figure 13 1-core rows give per-op service
+   times directly (throughput = 1 core / time); the 16-core uniform rows
+   give the parallel efficiency.  E.g. Redis: 0.54M get/s on one core ->
+   4440 cycles; 5.97M on 16 cores -> efficiency 0.69. *)
+
+let make ~name ~features ~tree ~costs ~parts =
+  let backend =
+    if tree then
+      Tree_parts (Array.init parts (fun _ -> Baselines.Btree.Str.create ()))
+    else
+      Hash_parts (Array.init parts (fun _ -> Baselines.Hash_table.create ~initial_capacity:1024 ()))
+  in
+  {
+    sname = name;
+    sfeatures = features;
+    backend;
+    costs;
+    locks = Array.init parts (fun _ -> Xutil.Spinlock.create ());
+  }
+
+let redis ?(parts = 16) () =
+  make ~name:"redis" ~parts ~tree:false
+    ~features:
+      {
+        range_query = false;
+        column_update = true (* via byte-range SETRANGE, as the paper used *);
+        batched_get = true;
+        batched_put = true;
+        persistent = true;
+      }
+    ~costs:
+      {
+        get_cycles = ghz /. 0.54e6;
+        put_cycles = ghz /. 0.28e6;
+        scan_per_key = 0.0;
+        parallel_efficiency = 0.69;
+        put_efficiency = None;
+        zipf_sensitive = true;
+      }
+
+let memcached ?(parts = 16) () =
+  make ~name:"memcached" ~parts ~tree:false
+    ~features:
+      {
+        range_query = false;
+        column_update = false;
+        batched_get = true;
+        batched_put = false (* the client library cannot batch puts, §7 *);
+        persistent = false;
+      }
+    ~costs:
+      {
+        get_cycles = ghz /. 0.77e6;
+        put_cycles = ghz /. 0.11e6 (* unbatched: a full message per put *);
+        scan_per_key = 0.0;
+        parallel_efficiency = 0.79;
+        put_efficiency = None;
+        zipf_sensitive = true;
+      }
+
+let voltdb ?(parts = 16) () =
+  make ~name:"voltdb" ~parts ~tree:true
+    ~features:
+      {
+        range_query = true;
+        column_update = true;
+        batched_get = true;
+        batched_put = true;
+        persistent = false (* replication disabled in the paper's runs *);
+      }
+    ~costs:
+      {
+        get_cycles = ghz /. 0.02e6 (* stored-procedure dispatch dominates *);
+        put_cycles = ghz /. 0.02e6;
+        scan_per_key = 3000.0;
+        parallel_efficiency = 0.69;
+        put_efficiency = None;
+        zipf_sensitive = false;
+      }
+
+let mongodb ?(parts = 8) () =
+  make ~name:"mongodb" ~parts ~tree:true
+    ~features:
+      {
+        range_query = true;
+        column_update = true;
+        batched_get = false;
+        batched_put = false;
+        persistent = true;
+      }
+    ~costs:
+      {
+        get_cycles = ghz /. 0.01e6 (* document + dispatch overhead *);
+        put_cycles = ghz /. 0.04e6;
+        scan_per_key = 10000.0;
+        parallel_efficiency = 0.25 (* global-ish locking: poor scaling *);
+        put_efficiency = Some 0.0625 (* write path does not scale at all *);
+        zipf_sensitive = false;
+      }
+
+let name t = t.sname
+
+let features t = t.sfeatures
+
+let parts t = Array.length t.locks
+
+let part_of t key = Baselines.Hash_table.hash key mod parts t
+
+(* ---- operational layer ---- *)
+
+let with_part t key f =
+  let p = part_of t key in
+  Xutil.Spinlock.with_lock t.locks.(p) (fun () -> f p)
+
+let op_get t key =
+  with_part t key (fun p ->
+      match t.backend with
+      | Hash_parts a -> Baselines.Hash_table.get a.(p) key
+      | Tree_parts a -> Baselines.Btree.Str.get a.(p) key)
+
+let op_put t key columns =
+  with_part t key (fun p ->
+      (match t.backend with
+      | Hash_parts a -> ignore (Baselines.Hash_table.put a.(p) key columns)
+      | Tree_parts a -> ignore (Baselines.Btree.Str.put a.(p) key columns));
+      true)
+
+let op_put_column t key col data =
+  if not t.sfeatures.column_update then false
+  else
+    with_part t key (fun p ->
+        let update old =
+          let base = match old with Some cols -> cols | None -> [||] in
+          let width = max (Array.length base) (col + 1) in
+          let merged = Array.make width "" in
+          Array.blit base 0 merged 0 (Array.length base);
+          merged.(col) <- data;
+          merged
+        in
+        (match t.backend with
+        | Hash_parts a ->
+            let old = Baselines.Hash_table.get a.(p) key in
+            ignore (Baselines.Hash_table.put a.(p) key (update old))
+        | Tree_parts a ->
+            let old = Baselines.Btree.Str.get a.(p) key in
+            ignore (Baselines.Btree.Str.put a.(p) key (update old)));
+        true)
+
+let op_getrange t ~start ~limit =
+  if not t.sfeatures.range_query then None
+  else begin
+    match t.backend with
+    | Hash_parts _ -> None
+    | Tree_parts a ->
+        (* Partitioned range query: merge per-partition scans (this is the
+           scatter-gather the paper notes makes VoltDB's range support
+           "lag behind its pure gets"). *)
+        let acc = ref [] in
+        Array.iteri
+          (fun p tr ->
+            Xutil.Spinlock.with_lock t.locks.(p) (fun () ->
+                ignore
+                  (Baselines.Btree.Str.scan tr ~start ~limit (fun k v ->
+                       acc := (k, v) :: !acc))))
+          a;
+        let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !acc in
+        Some (List.filteri (fun i _ -> i < limit) sorted)
+  end
+
+(* ---- cost model ---- *)
+
+type workload = Uniform_get | Uniform_put | Mycsb of Workload.Ycsb.mix
+
+(* Fraction of requests landing on the hottest partition under scrambled
+   Zipfian popularity: the hottest single key's mass plus an even share of
+   the rest.  With theta=0.99 over 20M keys the top key draws ~3.5% of
+   requests; at 16 partitions the hot one serves ~9.5%. *)
+let zipf_hot_fraction ~records ~parts =
+  let z = Workload.Zipf.create ~n:records () in
+  let top = Workload.Zipf.expected_top_fraction z 1 in
+  top +. ((1.0 -. top) /. float_of_int parts)
+
+let supports t = function
+  | Uniform_get | Uniform_put -> true
+  | Mycsb Workload.Ycsb.A | Mycsb Workload.Ycsb.B ->
+      t.sfeatures.column_update
+  | Mycsb Workload.Ycsb.C -> true
+  | Mycsb Workload.Ycsb.E -> t.sfeatures.range_query
+
+let per_op_cycles t = function
+  | Uniform_get -> t.costs.get_cycles
+  | Uniform_put -> t.costs.put_cycles
+  | Mycsb Workload.Ycsb.A -> (0.5 *. t.costs.get_cycles) +. (0.5 *. t.costs.put_cycles)
+  | Mycsb Workload.Ycsb.B -> (0.95 *. t.costs.get_cycles) +. (0.05 *. t.costs.put_cycles)
+  | Mycsb Workload.Ycsb.C -> t.costs.get_cycles
+  | Mycsb Workload.Ycsb.E ->
+      (* 95% scans averaging 50.5 keys + 5% single-column puts. *)
+      (0.95 *. (t.costs.get_cycles +. (50.5 *. t.costs.scan_per_key)))
+      +. (0.05 *. t.costs.put_cycles)
+
+let zipfian = function Mycsb _ -> true | Uniform_get | Uniform_put -> false
+
+let modeled_throughput t workload ~cores =
+  if not (supports t workload) then None
+  else begin
+    let cycles = per_op_cycles t workload in
+    let per_core = ghz /. cycles in
+    let efficiency =
+      match (workload, t.costs.put_efficiency) with
+      | Uniform_put, Some e -> e
+      | _ -> t.costs.parallel_efficiency
+    in
+    let uniform_total =
+      if cores = 1 then per_core else float_of_int cores *. per_core *. efficiency
+    in
+    let total =
+      if zipfian workload && cores > 1 && t.costs.zipf_sensitive then begin
+        (* Partition-bound stores saturate at the hottest instance (§6.6):
+           the hot partition's core caps the whole system's rate. *)
+        let hot = zipf_hot_fraction ~records:200_000 ~parts:(parts t) in
+        min uniform_total (per_core *. efficiency /. hot)
+      end
+      else uniform_total
+    in
+    Some total
+  end
+
+let all () = [ redis (); memcached (); voltdb (); mongodb () ]

@@ -1,0 +1,62 @@
+(** Executable architectural models of the §7 comparison systems.
+
+    The paper benchmarks MongoDB, VoltDB, Redis and memcached binaries;
+    none can run in this container, so each is modeled by the two things
+    that determine Figure 13's shape (DESIGN.md §1):
+
+    - an {e operational} mini-implementation with the same architecture —
+      partitioned single-threaded instances around a hash table or tree —
+      exposing the same feature matrix (range queries or not, column
+      updates or not, batching or not), used by tests and examples;
+    - a {e cost model}: per-operation service costs calibrated against the
+      paper's own 1-core rows, a parallel-efficiency factor calibrated
+      against its 16-core uniform rows, and a hot-partition queueing term
+      that derives the Zipfian rows from the architecture (a partitioned
+      store saturates at its hottest partition, §6.6) rather than from
+      more fitted constants.
+
+    Workloads the real system cannot run return [None], reproducing the
+    table's N/A entries. *)
+
+type features = {
+  range_query : bool;
+  column_update : bool;
+  batched_get : bool;
+  batched_put : bool;
+  persistent : bool;
+}
+
+type t
+
+val redis : ?parts:int -> unit -> t
+val memcached : ?parts:int -> unit -> t
+val voltdb : ?parts:int -> unit -> t
+val mongodb : ?parts:int -> unit -> t
+
+val name : t -> string
+val features : t -> features
+val parts : t -> int
+
+(** {1 Operational layer} *)
+
+val op_get : t -> string -> string array option
+val op_put : t -> string -> string array -> bool
+(** [false] when the architecture cannot express the operation (e.g. a
+    column update on memcached would need read-modify-write). *)
+
+val op_put_column : t -> string -> int -> string -> bool
+val op_getrange : t -> start:string -> limit:int -> (string * string array) list option
+(** [None] for hash-table systems: no range queries. *)
+
+(** {1 Cost model} *)
+
+type workload =
+  | Uniform_get
+  | Uniform_put
+  | Mycsb of Workload.Ycsb.mix
+
+val modeled_throughput : t -> workload -> cores:int -> float option
+(** Modeled ops/sec, or [None] if the system cannot run the workload
+    (Figure 13's N/A cells). *)
+
+val all : unit -> t list

@@ -1,0 +1,1 @@
+lib/workload/keygen.ml: Array Atomic Char Printf String Xutil Zipf

@@ -1,0 +1,1 @@
+lib/workload/skew.mli: Xutil

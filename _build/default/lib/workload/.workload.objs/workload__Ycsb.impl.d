@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Char Format String Xutil Zipf

@@ -1,0 +1,43 @@
+type t = Xutil.Rng.t -> string
+
+let decimal_1_10 ~range rng = string_of_int (Xutil.Rng.int rng range)
+
+let decimal_fixed8 rng = Printf.sprintf "%08d" (Xutil.Rng.int rng 100_000_000)
+
+let alphabetical8 rng =
+  String.init 8 (fun _ -> Char.chr (Char.code 'a' + Xutil.Rng.int rng 26))
+
+let prefixed ~prefix_len =
+  let prefix = String.make prefix_len 'P' in
+  fun rng ->
+    prefix ^ String.init 8 (fun _ -> Char.chr (Char.code '0' + Xutil.Rng.int rng 10))
+
+let zipfian_decimal ~range ~theta =
+  let z = Zipf.create ~theta ~n:range () in
+  fun rng -> string_of_int (Zipf.scramble z rng)
+
+let sequential () =
+  let counter = Atomic.make 0 in
+  fun _rng -> Printf.sprintf "%08d" (Atomic.fetch_and_add counter 1)
+
+let tlds = [| "com"; "org"; "edu"; "net"; "io" |]
+
+let words =
+  [| "alpha"; "bravo"; "candle"; "delta"; "ember"; "falcon"; "garnet"; "harbor";
+     "indigo"; "jasper"; "kettle"; "lumen"; "meadow"; "nectar"; "onyx"; "poplar" |]
+
+let permuted_url ~hosts rng =
+  (* Permuted host: tld.domain.subdomain, then a path — keys from one
+     domain share a long prefix and sort adjacently, enabling the
+     domain-wide range scans the paper's introduction motivates. *)
+  let h = Xutil.Rng.int rng hosts in
+  let tld = tlds.(h mod Array.length tlds) in
+  let domain = words.(h / Array.length tlds mod Array.length words) in
+  let sub = words.((h / (Array.length tlds * Array.length words)) mod Array.length words) in
+  let path =
+    Printf.sprintf "%s/%s/%d"
+      words.(Xutil.Rng.int rng (Array.length words))
+      words.(Xutil.Rng.int rng (Array.length words))
+      (Xutil.Rng.int rng 1000)
+  in
+  Printf.sprintf "%s.%s.%s.www/%s" tld domain sub path

@@ -1,0 +1,41 @@
+(** Key generators matching the paper's workloads (§6.1, §6.4, §7).
+
+    Each generator is deterministic given its RNG, so multiple workers can
+    reproduce disjoint or identical streams, and a "get" phase can replay
+    the key population a "put" phase created. *)
+
+type t = Xutil.Rng.t -> string
+
+val decimal_1_10 : range:int -> t
+(** The paper's staple "1-to-10-byte decimal" distribution: decimal string
+    representations of uniform integers in \[0, range).  With
+    [range = 2^31], ~80% of keys are 9–10 bytes, which forces layer-1
+    trie-nodes (§6.2). *)
+
+val decimal_fixed8 : t
+(** Exactly-8-byte zero-padded decimal keys (the fixed-size-key B-tree
+    comparison of §6.4 and the hash-table experiment key shape). *)
+
+val alphabetical8 : t
+(** 8-byte random lowercase alphabetical keys — used for the hash-table
+    comparison, where the paper chose letters to avoid digit-only
+    collisions favouring the hash (§6.4 fn. 6). *)
+
+val prefixed : prefix_len:int -> t
+(** Figure 9's distribution: a constant prefix of [prefix_len] bytes (all
+    ['P']) followed by 8 uniformly random decimal-digit bytes; total key
+    length [prefix_len + 8].  Only the final 8 bytes vary. *)
+
+val zipfian_decimal : range:int -> theta:float -> t
+(** Decimal keys with Zipfian popularity over \[0, range), scrambled so
+    popular keys are spread across the key space (YCSB-style). *)
+
+val sequential : unit -> t
+(** Monotonically increasing 8-digit decimal keys, for sequential-insert
+    paths (the split optimization of §4.3).  Stateful: each call to the
+    returned generator advances the sequence. *)
+
+val permuted_url : hosts:int -> t
+(** Bigtable-style permuted-URL keys ("edu.harvard.seas.www/path"): long
+    shared domain prefixes with varying paths — the intro's motivating
+    range-scan workload. *)

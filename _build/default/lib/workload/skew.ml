@@ -1,0 +1,25 @@
+type t = { nparts : int; d : float; base : float }
+
+let create ~parts ~delta =
+  assert (parts >= 1 && delta >= 0.0);
+  (* parts-1 partitions get `base`, the hot one gets (1 + delta) * base. *)
+  let base = 1.0 /. (float_of_int (parts - 1) +. 1.0 +. delta) in
+  { nparts = parts; d = delta; base }
+
+let fraction t p =
+  assert (p >= 0 && p < t.nparts);
+  if p = t.nparts - 1 then (1.0 +. t.d) *. t.base else t.base
+
+let hot_fraction t = (1.0 +. t.d) *. t.base
+
+let pick t rng =
+  let u = Xutil.Rng.float rng in
+  if u < (1.0 +. t.d) *. t.base then t.nparts - 1
+  else begin
+    let p = int_of_float ((u -. ((1.0 +. t.d) *. t.base)) /. t.base) in
+    if p >= t.nparts - 1 then t.nparts - 2 else p
+  end
+
+let parts t = t.nparts
+
+let delta t = t.d

@@ -1,0 +1,24 @@
+(** Partition-skew model for the hard-partitioning experiment (§6.6).
+
+    Following Hua and Lee (the paper's reference [22]), skew is a single
+    parameter δ: with [parts] partitions, [parts - 1] of them receive equal
+    request fractions and one hot partition receives (1 + δ)× that. At
+    δ = 9 with 16 partitions, the hot partition handles 40% of requests and
+    the others 4% each — the paper's example. *)
+
+type t
+
+val create : parts:int -> delta:float -> t
+
+val fraction : t -> int -> float
+(** [fraction t p] is the request fraction partition [p] receives (the
+    last partition, [parts - 1], is the hot one). *)
+
+val hot_fraction : t -> float
+
+val pick : t -> Xutil.Rng.t -> int
+(** [pick t rng] draws a partition according to the skewed distribution. *)
+
+val parts : t -> int
+
+val delta : t -> float

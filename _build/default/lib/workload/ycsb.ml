@@ -1,0 +1,48 @@
+type mix = A | B | C | E
+
+type op =
+  | Get of string
+  | Put of string * int * string
+  | Getrange of string * int * int
+
+type t = { m : mix; nrecords : int; zipf : Zipf.t }
+
+let columns = 10
+
+let column_size = 4
+
+let create ?(records = 200_000) ?(theta = 0.99) m =
+  { m; nrecords = records; zipf = Zipf.create ~theta ~n:records () }
+
+let mix t = t.m
+
+let records t = t.nrecords
+
+(* Keys are decimal strings of scrambled ranks.  Multiplying by a large
+   odd constant spreads them over enough digits to reach the paper's
+   5-to-24-byte key-length range. *)
+let key_of_rank _t i = string_of_int ((i * 2_654_435_761) land max_int)
+
+let random_column rng =
+  String.init column_size (fun _ -> Char.chr (Char.code 'a' + Xutil.Rng.int rng 26))
+
+let initial_value _t rng = Array.init columns (fun _ -> random_column rng)
+
+let draw_key t rng = key_of_rank t (Zipf.scramble t.zipf rng)
+
+let put_op t rng =
+  Put (draw_key t rng, Xutil.Rng.int rng columns, random_column rng)
+
+let next t rng =
+  let p = Xutil.Rng.int rng 100 in
+  match t.m with
+  | A -> if p < 50 then Get (draw_key t rng) else put_op t rng
+  | B -> if p < 95 then Get (draw_key t rng) else put_op t rng
+  | C -> Get (draw_key t rng)
+  | E ->
+      if p < 95 then
+        Getrange (draw_key t rng, 1 + Xutil.Rng.int rng 100, Xutil.Rng.int rng columns)
+      else put_op t rng
+
+let pp_mix fmt m =
+  Format.pp_print_string fmt (match m with A -> "A" | B -> "B" | C -> "C" | E -> "E")

@@ -1,0 +1,49 @@
+(** MYCSB: the paper's modified YCSB workloads (§7).
+
+    The paper adapts YCSB to small records: Zipfian key popularity,
+    10 columns of 4 bytes each, gets read all 10 columns, updates write one
+    column, and YCSB-E's scans return a single column for 1–100 adjacent
+    keys.  Keys are "5-to-24-byte" decimal strings here, as in the paper's
+    Figure 13 header.
+
+    The generator draws from a fixed population of [records] keys (the
+    database is preloaded with all of them, matching the paper's setup
+    where puts modify existing keys rather than inserting). *)
+
+type mix = A | B | C | E
+(** YCSB workload letters the paper runs: A = 50% get / 50% put,
+    B = 95% get / 5% put, C = 100% get, E = 95% getrange / 5% put. *)
+
+type op =
+  | Get of string (** read all columns of the key *)
+  | Put of string * int * string (** write one column: key, column, data *)
+  | Getrange of string * int * int
+      (** scan: start key, max records (1–100 uniform), one column *)
+
+type t
+
+val columns : int
+(** 10, per the paper. *)
+
+val column_size : int
+(** 4 bytes, per the paper. *)
+
+val create : ?records:int -> ?theta:float -> mix -> t
+(** [create mix] prepares the generator over a population of [records]
+    keys (default 200_000; the paper used 20M on a 16-core testbed). *)
+
+val mix : t -> mix
+
+val records : t -> int
+
+val key_of_rank : t -> int -> string
+(** [key_of_rank t i] is the i-th key of the population; preload the store
+    with ranks 0..records-1. *)
+
+val initial_value : t -> Xutil.Rng.t -> string array
+(** Fresh random column array for preloading. *)
+
+val next : t -> Xutil.Rng.t -> op
+(** Draw the next operation. *)
+
+val pp_mix : Format.formatter -> mix -> unit

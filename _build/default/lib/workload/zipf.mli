@@ -1,0 +1,29 @@
+(** Zipfian sampling over \[0, n) (YCSB's key-popularity model, §7).
+
+    Implements the Gray et al. "quick and dirty" zipfian generator used by
+    YCSB: O(1) sampling after O(n)-free precomputation of the zeta
+    normalization constant (approximated by the closed form for large n,
+    exact by summation for small n).  Item 0 is the most popular; callers
+    that want popular keys scattered across the key space should scramble
+    the rank (see {!scramble}). *)
+
+type t
+
+val create : ?theta:float -> n:int -> unit -> t
+(** [create ~n ()] prepares a sampler for ranks 0..n-1 with skew
+    [theta] (default 0.99, YCSB's default).  [n] must be positive and
+    [0 < theta < 1]. *)
+
+val sample : t -> Xutil.Rng.t -> int
+(** [sample z rng] draws a rank: rank 0 most popular. *)
+
+val scramble : t -> Xutil.Rng.t -> int
+(** [scramble z rng] draws a rank and hashes it into \[0, n), spreading
+    popular items uniformly over the key space as YCSB's
+    ScrambledZipfian does. *)
+
+val n : t -> int
+
+val expected_top_fraction : t -> int -> float
+(** [expected_top_fraction z k] is the probability mass of the [k] most
+    popular ranks — used by tests to validate the distribution shape. *)

@@ -1,0 +1,1 @@
+lib/xutil/backoff.ml: Domain Thread Unix

@@ -1,0 +1,1 @@
+lib/xutil/binio.ml: Bytes Char Int32 String

@@ -1,0 +1,1 @@
+lib/xutil/binio.mli: Bytes

@@ -1,0 +1,1 @@
+lib/xutil/bits.mli:

@@ -1,0 +1,1 @@
+lib/xutil/crc32c.ml: Array Bytes Char Int32 Lazy String

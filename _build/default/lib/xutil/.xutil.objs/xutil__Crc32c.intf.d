@@ -1,0 +1,1 @@
+lib/xutil/crc32c.mli: Bytes

@@ -1,0 +1,1 @@
+lib/xutil/domain_pool.ml: Array Atomic Domain Printexc

@@ -1,0 +1,1 @@
+lib/xutil/histogram.ml: Array Bits

@@ -1,0 +1,1 @@
+lib/xutil/mpsc_queue.mli:

@@ -1,0 +1,1 @@
+lib/xutil/rng.ml: Array Int64

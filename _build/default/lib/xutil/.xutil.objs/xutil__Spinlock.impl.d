@@ -1,0 +1,1 @@
+lib/xutil/spinlock.ml: Atomic Backoff

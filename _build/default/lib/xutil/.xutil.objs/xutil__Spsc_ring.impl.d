@@ -1,0 +1,1 @@
+lib/xutil/spsc_ring.ml: Array Atomic Backoff

@@ -1,0 +1,1 @@
+lib/xutil/spsc_ring.mli:

@@ -1,0 +1,31 @@
+type t = {
+  max_spins : int;
+  mutable current : int; (* busy-wait iterations for the next step *)
+  mutable total : int;
+}
+
+let create ?(max_spins = 256) () = { max_spins; current = 1; total = 0 }
+
+let once b =
+  b.total <- b.total + 1;
+  if b.current <= b.max_spins then begin
+    for _ = 1 to b.current do
+      Domain.cpu_relax ()
+    done;
+    b.current <- b.current * 2
+  end
+  else begin
+    (* Contention persists: the lock holder may be another domain that is
+       not running.  Thread.yield only re-schedules systhreads within this
+       domain, so it cannot unblock a cross-domain wait; an OS-level sleep
+       is the only portable way to surrender the core.  Essential on
+       machines with fewer cores than domains. *)
+    Thread.yield ();
+    Unix.sleepf 20e-6
+  end
+
+let reset b =
+  b.current <- 1;
+  b.total <- 0
+
+let spins b = b.total

@@ -1,0 +1,28 @@
+(** Exponential backoff for spin loops.
+
+    A backoff value tracks how many times a caller has spun without making
+    progress and yields the CPU progressively more aggressively: first by
+    issuing short busy-wait pauses, then by calling {!Domain.cpu_relax}
+    repeatedly, and eventually by yielding the whole timeslice.  This keeps
+    contended optimistic-concurrency retry loops from starving the writer
+    they are waiting for, which matters particularly on machines with fewer
+    cores than runnable domains. *)
+
+type t
+
+val create : ?max_spins:int -> unit -> t
+(** [create ()] returns a fresh backoff state.  [max_spins] bounds the
+    busy-wait phase (default 1024 relaxations) before the backoff starts
+    yielding the timeslice. *)
+
+val once : t -> unit
+(** [once b] performs one backoff step and escalates the waiting strategy
+    for the next call. *)
+
+val reset : t -> unit
+(** [reset b] forgets accumulated contention, returning [b] to the cheapest
+    waiting strategy.  Call after successfully making progress. *)
+
+val spins : t -> int
+(** [spins b] is the total number of backoff steps taken since the last
+    [reset]; useful for contention statistics in tests and benches. *)

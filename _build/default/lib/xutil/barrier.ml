@@ -1,0 +1,19 @@
+type t = { parties : int; remaining : int Atomic.t; sense : bool Atomic.t }
+
+let create n =
+  assert (n > 0);
+  { parties = n; remaining = Atomic.make n; sense = Atomic.make false }
+
+let wait b =
+  let my_sense = not (Atomic.get b.sense) in
+  if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+    (* Last arrival: reset the count, then flip the sense to release. *)
+    Atomic.set b.remaining b.parties;
+    Atomic.set b.sense my_sense
+  end
+  else begin
+    let bo = Backoff.create () in
+    while Atomic.get b.sense <> my_sense do
+      Backoff.once bo
+    done
+  end

@@ -1,0 +1,14 @@
+(** Sense-reversing spinning barrier.
+
+    Benchmark workers use this to align their start so throughput numbers
+    don't include domain spawn skew, and concurrency stress tests use it to
+    maximize interleaving windows. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a barrier for [n] parties.  [n] must be positive. *)
+
+val wait : t -> unit
+(** [wait b] blocks (spinning with backoff) until all [n] parties have
+    called [wait] for the current round.  The barrier is reusable. *)

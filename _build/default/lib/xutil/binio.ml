@@ -1,0 +1,117 @@
+exception Truncated
+
+type writer = { mutable buf : Bytes.t; mutable len : int }
+
+let writer ?(capacity = 256) () = { buf = Bytes.create (max 16 capacity); len = 0 }
+
+let length w = w.len
+
+let contents w = Bytes.sub_string w.buf 0 w.len
+
+let reset w = w.len <- 0
+
+let ensure w extra =
+  let needed = w.len + extra in
+  if needed > Bytes.length w.buf then begin
+    let cap = ref (Bytes.length w.buf * 2) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit w.buf 0 nb 0 w.len;
+    w.buf <- nb
+  end
+
+let write_u8 w v =
+  ensure w 1;
+  Bytes.unsafe_set w.buf w.len (Char.unsafe_chr (v land 0xff));
+  w.len <- w.len + 1
+
+let write_u16 w v =
+  ensure w 2;
+  Bytes.set_uint16_le w.buf w.len (v land 0xffff);
+  w.len <- w.len + 2
+
+let write_u32 w v =
+  ensure w 4;
+  Bytes.set_int32_le w.buf w.len (Int32.of_int v);
+  w.len <- w.len + 4
+
+let write_u64 w v =
+  ensure w 8;
+  Bytes.set_int64_le w.buf w.len v;
+  w.len <- w.len + 8
+
+let write_varint w n =
+  assert (n >= 0);
+  let rec go n =
+    if n < 0x80 then write_u8 w n
+    else begin
+      write_u8 w (n land 0x7f lor 0x80);
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let write_raw w s =
+  let n = String.length s in
+  ensure w n;
+  Bytes.blit_string s 0 w.buf w.len n;
+  w.len <- w.len + n
+
+let write_string w s =
+  write_varint w (String.length s);
+  write_raw w s
+
+let blit_to_bytes w dst pos = Bytes.blit w.buf 0 dst pos w.len
+
+type reader = { buf : string; mutable pos : int }
+
+let reader ?(pos = 0) buf = { buf; pos }
+
+let remaining r = String.length r.buf - r.pos
+
+let need r n = if remaining r < n then raise Truncated
+
+let read_u8 r =
+  need r 1;
+  let v = Char.code (String.unsafe_get r.buf r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let read_u16 r =
+  need r 2;
+  let v = String.get_uint16_le r.buf r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let read_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.buf r.pos) land 0xFFFFFFFF in
+  r.pos <- r.pos + 4;
+  v
+
+let read_u64 r =
+  need r 8;
+  let v = String.get_int64_le r.buf r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let read_varint r =
+  let rec go shift acc =
+    let b = read_u8 r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let read_raw r n =
+  if n < 0 then raise Truncated;
+  need r n;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_string r =
+  let n = read_varint r in
+  read_raw r n

@@ -1,0 +1,47 @@
+(** Little-endian binary encoding helpers shared by the persistence log
+    format and the network wire protocol.
+
+    A {!writer} is an auto-growing byte buffer; readers operate on a string
+    with an explicit cursor and raise {!Truncated} instead of returning
+    partial values, so both the log-recovery path and the protocol decoder
+    can treat short input uniformly. *)
+
+exception Truncated
+(** Raised by all [read_*] functions when fewer bytes remain than needed. *)
+
+type writer
+
+val writer : ?capacity:int -> unit -> writer
+val length : writer -> int
+val contents : writer -> string
+val reset : writer -> unit
+
+val write_u8 : writer -> int -> unit
+val write_u16 : writer -> int -> unit
+val write_u32 : writer -> int -> unit
+
+val write_u64 : writer -> int64 -> unit
+
+val write_varint : writer -> int -> unit
+(** [write_varint w n] writes a non-negative integer LEB128-style. *)
+
+val write_string : writer -> string -> unit
+(** [write_string w s] writes a varint length then the raw bytes. *)
+
+val write_raw : writer -> string -> unit
+(** [write_raw w s] writes the bytes of [s] with no length prefix. *)
+
+val blit_to_bytes : writer -> Bytes.t -> int -> unit
+(** [blit_to_bytes w dst pos] copies the accumulated bytes into [dst]. *)
+
+type reader = { buf : string; mutable pos : int }
+
+val reader : ?pos:int -> string -> reader
+val remaining : reader -> int
+val read_u8 : reader -> int
+val read_u16 : reader -> int
+val read_u32 : reader -> int
+val read_u64 : reader -> int64
+val read_varint : reader -> int
+val read_string : reader -> string
+val read_raw : reader -> int -> string

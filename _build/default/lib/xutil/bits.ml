@@ -1,0 +1,16 @@
+let count_leading_zeros v =
+  if v <= 0 then 63
+  else begin
+    let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc - 1) in
+    go v 63
+  end
+
+let ceil_log2 n =
+  assert (n >= 1);
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let popcount v =
+  assert (v >= 0);
+  let rec go v acc = if v = 0 then acc else go (v land (v - 1)) (acc + 1) in
+  go v 0

@@ -1,0 +1,14 @@
+(** Small bit-twiddling helpers shared by the histogram, the permutation
+    word, and the memory simulator. *)
+
+val count_leading_zeros : int -> int
+(** [count_leading_zeros v] for a 63-bit OCaml int, with
+    [count_leading_zeros 0 = 63].  The count is relative to bit 62 (the
+    sign bit of the boxed representation is excluded). *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the smallest [k] with [2^k >= n]; requires [n >= 1]. *)
+
+val popcount : int -> int
+(** [popcount v] is the number of set bits in the 63-bit value [v]
+    (which must be non-negative). *)

@@ -1,0 +1,8 @@
+let wall_us () = Int64.of_float (Unix.gettimeofday () *. 1e6)
+
+(* Unix.gettimeofday is the only portable clock in the allowed dependency
+   set; on Linux it is vsyscall-fast and, for the bench durations used here
+   (>= milliseconds), adequate as an interval source. *)
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let elapsed_s start = Int64.to_float (Int64.sub (now_ns ()) start) /. 1e9

@@ -1,0 +1,18 @@
+(** Time sources.
+
+    Wall-clock timestamps (for log records and recovery cutoffs) and a
+    monotonic-enough nanosecond counter (for benchmark durations and the
+    group-commit interval). *)
+
+val wall_us : unit -> int64
+(** [wall_us ()] is the wall-clock time in microseconds since the epoch.
+    Log-record timestamps use this, matching the paper's recovery scheme
+    that compares timestamps across per-core logs. *)
+
+val now_ns : unit -> int64
+(** [now_ns ()] is a monotonic nanosecond reading suitable for measuring
+    intervals.  Falls back to wall time scaled to ns if no monotonic
+    source is available. *)
+
+val elapsed_s : int64 -> float
+(** [elapsed_s start] is the seconds elapsed since [start = now_ns ()]. *)

@@ -1,0 +1,43 @@
+let poly = 0x82F63B78l
+
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for i = 0 to 255 do
+       let c = ref (Int32.of_int i) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor (Int32.shift_right_logical !c 1) poly
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(i) <- !c
+     done;
+     t)
+
+let update_byte crc b =
+  let t = Lazy.force table in
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int b)) 0xFFl) in
+  Int32.logxor t.(idx) (Int32.shift_right_logical crc 8)
+
+let digest ?(crc = 0l) b ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= Bytes.length b);
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    c := update_byte !c (Char.code (Bytes.unsafe_get b i))
+  done;
+  Int32.lognot !c
+
+let digest_string ?crc s =
+  digest ?crc (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let mask_delta = 0xa282ead8l
+
+let mask c =
+  let rotated =
+    Int32.logor (Int32.shift_right_logical c 15) (Int32.shift_left c 17)
+  in
+  Int32.add rotated mask_delta
+
+let unmask m =
+  let rotated = Int32.sub m mask_delta in
+  Int32.logor (Int32.shift_right_logical rotated 17) (Int32.shift_left rotated 15)

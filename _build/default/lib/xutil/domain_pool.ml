@@ -1,0 +1,43 @@
+let run n f =
+  assert (n >= 1);
+  if n = 1 then [| f 0 |]
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let body i () =
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          ignore (Atomic.compare_and_set error None (Some (e, Printexc.get_raw_backtrace ())))
+    in
+    let domains = Array.init (n - 1) (fun i -> Domain.spawn (body (i + 1))) in
+    body 0 ();
+    Array.iter Domain.join domains;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every slot written unless an exception was re-raised *))
+      results
+  end
+
+let parallel_for ~domains ~lo ~hi f =
+  assert (domains >= 1 && lo <= hi);
+  let total = hi - lo in
+  if total > 0 then begin
+    let chunk = (total + domains - 1) / domains in
+    let worker d =
+      let start = lo + (d * chunk) in
+      let stop = min hi (start + chunk) in
+      for i = start to stop - 1 do
+        f i
+      done
+    in
+    ignore (run domains worker)
+  end
+
+let recommended_domains ?cap () =
+  let n = Domain.recommended_domain_count () in
+  match cap with Some c -> max 1 (min c n) | None -> max 1 n

@@ -1,0 +1,21 @@
+(** Running work on a fixed set of domains.
+
+    OCaml domains are heavyweight (one per core is the intended regime), so
+    benchmarks and the server spawn a bounded set and reuse them.  Helpers
+    here cover the two patterns the repository needs: fork/join over an
+    index range, and long-lived workers fed through a function closure. *)
+
+val run : int -> (int -> 'a) -> 'a array
+(** [run n f] spawns [n] domains computing [f i] for [i] in \[0, n) and
+    joins them all, re-raising the first exception encountered.  When
+    [n = 1], [f 0] runs in the calling domain, so single-threaded benches
+    don't pay domain spawn cost. *)
+
+val parallel_for : domains:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~domains ~lo ~hi f] applies [f] to every index in
+    \[lo, hi) using [domains] workers over contiguous chunks. *)
+
+val recommended_domains : ?cap:int -> unit -> int
+(** [recommended_domains ()] is the number of domains worth spawning on
+    this machine ([Domain.recommended_domain_count], clamped to [cap] when
+    given). *)

@@ -1,0 +1,81 @@
+(* Buckets: for each power of two, [sub] linear sub-buckets, i.e. an
+   HdrHistogram-style layout with ~1/sub relative error. *)
+
+let sub_bits = 6
+let sub = 1 lsl sub_bits
+let n_exp = 44 (* covers up to ~1.7e13 *)
+let n_buckets = n_exp * sub
+
+type t = {
+  counts : int array;
+  mutable total_count : int;
+  mutable total_sum : int;
+  mutable maximum : int;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; total_count = 0; total_sum = 0; maximum = 0 }
+
+let bucket_of v =
+  let v = if v < 1 then 1 else v in
+  if v < sub then v
+  else begin
+    (* v >= sub: shift so the mantissa lands in [sub, 2*sub), giving
+       2^sub_bits sub-buckets per power of two. *)
+    let msb = 62 - Bits.count_leading_zeros v in
+    let exp = msb - sub_bits in
+    let mantissa = (v lsr exp) land (sub - 1) in
+    let idx = ((exp + 1) * sub) + mantissa in
+    if idx >= n_buckets then n_buckets - 1 else idx
+  end
+
+let value_of_bucket idx =
+  if idx < sub then idx
+  else begin
+    let exp = (idx / sub) - 1 in
+    let mantissa = idx land (sub - 1) in
+    ((sub + mantissa) lsl exp) + (1 lsl exp) - 1
+  end
+
+let add h v =
+  let v = if v < 0 then 0 else v in
+  h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
+  h.total_count <- h.total_count + 1;
+  h.total_sum <- h.total_sum + v;
+  if v > h.maximum then h.maximum <- v
+
+let count h = h.total_count
+let total h = h.total_sum
+let mean h = if h.total_count = 0 then 0.0 else float_of_int h.total_sum /. float_of_int h.total_count
+let max_value h = h.maximum
+
+let percentile h p =
+  if h.total_count = 0 then 0
+  else begin
+    let target =
+      let t = int_of_float (ceil (p /. 100.0 *. float_of_int h.total_count)) in
+      if t < 1 then 1 else if t > h.total_count then h.total_count else t
+    in
+    let rec go idx seen =
+      if idx >= n_buckets then h.maximum
+      else begin
+        let seen = seen + h.counts.(idx) in
+        if seen >= target then min (value_of_bucket idx) h.maximum else go (idx + 1) seen
+      end
+    in
+    go 0 0
+  end
+
+let merge_into ~dst src =
+  for i = 0 to n_buckets - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.total_count <- dst.total_count + src.total_count;
+  dst.total_sum <- dst.total_sum + src.total_sum;
+  if src.maximum > dst.maximum then dst.maximum <- src.maximum
+
+let clear h =
+  Array.fill h.counts 0 n_buckets 0;
+  h.total_count <- 0;
+  h.total_sum <- 0;
+  h.maximum <- 0

@@ -1,0 +1,27 @@
+(** Log-bucketed latency/size histogram with percentile queries.
+
+    Benchmarks record per-operation latencies here; buckets grow
+    geometrically so the structure is a fixed few hundred words regardless
+    of sample count, and recording is allocation-free. *)
+
+type t
+
+val create : unit -> t
+(** [create ()] covers values from 1 to ~10^12 with ~1% resolution. *)
+
+val add : t -> int -> unit
+(** [add h v] records sample [v] (clamped to the covered range). *)
+
+val count : t -> int
+val total : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile h p] is an upper bound on the [p]-quantile sample
+    ([p] in \[0,100\]).  Returns 0 when empty. *)
+
+val max_value : t -> int
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst src] adds [src]'s samples into [dst]. *)
+
+val clear : t -> unit

@@ -1,0 +1,48 @@
+(* Treiber stack on the producer side; the consumer reverses batches into a
+   local list to recover FIFO order.  Push is a single CAS; pop amortizes one
+   atomic exchange per batch. *)
+
+type 'a node = Nil | Cons of { value : 'a; next : 'a node }
+
+type 'a t = { head : 'a node Atomic.t; mutable fifo : 'a list }
+
+let create () = { head = Atomic.make Nil; fifo = [] }
+
+let rec push q v =
+  let old = Atomic.get q.head in
+  if not (Atomic.compare_and_set q.head old (Cons { value = v; next = old })) then
+    push q v
+
+let refill q =
+  match Atomic.exchange q.head Nil with
+  | Nil -> ()
+  | stack ->
+      let rec rev acc = function
+        | Nil -> acc
+        | Cons { value; next } -> rev (value :: acc) next
+      in
+      q.fifo <- rev [] stack
+
+let pop q =
+  (match q.fifo with [] -> refill q | _ :: _ -> ());
+  match q.fifo with
+  | [] -> None
+  | v :: rest ->
+      q.fifo <- rest;
+      Some v
+
+let drain q f =
+  let n = ref 0 in
+  let rec go () =
+    match pop q with
+    | None -> ()
+    | Some v ->
+        incr n;
+        f v;
+        go ()
+  in
+  go ();
+  !n
+
+let is_empty q =
+  match q.fifo with [] -> Atomic.get q.head = Nil | _ :: _ -> false

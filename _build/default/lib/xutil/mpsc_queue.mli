@@ -1,0 +1,23 @@
+(** Unbounded multi-producer single-consumer queue.
+
+    Producers push lock-free; the single consumer pops without
+    synchronizing against other consumers.  Used to feed logger and
+    maintenance (epoch task) threads from many worker domains. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** [push q v] enqueues [v]; safe from any domain. *)
+
+val pop : 'a t -> 'a option
+(** [pop q] dequeues the oldest element, or [None] if the queue is
+    empty.  Must only be called from one domain at a time. *)
+
+val drain : 'a t -> ('a -> unit) -> int
+(** [drain q f] pops until empty, applying [f] in FIFO order; returns the
+    number of elements consumed.  Single-consumer only. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is a racy emptiness check (exact only when quiescent). *)

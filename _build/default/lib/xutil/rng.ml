@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = create (next64 t)
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value fits OCaml's positive int range, then reduce
+     modulo the bound.  The modulo bias is < bound / 2^62, irrelevant for
+     workload generation. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 random bits scaled to [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int bits *. 0x1p-53
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,32 @@
+(** Deterministic per-domain pseudo-random numbers (SplitMix64).
+
+    Benchmarks and workload generators need fast, seedable, independent
+    streams per worker; the stdlib [Random] state is neither splittable in a
+    reproducible way across OCaml versions nor cheap enough for inner loops.
+    SplitMix64 passes BigCrush, needs one 64-bit state word, and splitting by
+    re-seeding from the parent stream gives independent streams. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a generator seeded with [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val next64 : t -> int64
+(** [next64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound).  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive; requires [lo <= hi]. *)
+
+val float : t -> float
+(** [float t] is uniform in \[0, 1). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] uniformly in place (Fisher-Yates). *)

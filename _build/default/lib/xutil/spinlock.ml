@@ -1,0 +1,25 @@
+type t = { flag : bool Atomic.t }
+
+let create () = { flag = Atomic.make false }
+
+let try_lock l = (not (Atomic.get l.flag)) && Atomic.compare_and_set l.flag false true
+
+let lock l =
+  let b = Backoff.create () in
+  while not (try_lock l) do
+    Backoff.once b
+  done
+
+let unlock l = Atomic.set l.flag false
+
+let with_lock l f =
+  lock l;
+  match f () with
+  | v ->
+      unlock l;
+      v
+  | exception e ->
+      unlock l;
+      raise e
+
+let is_locked l = Atomic.get l.flag

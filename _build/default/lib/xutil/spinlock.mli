@@ -1,0 +1,27 @@
+(** Test-and-test-and-set spinlock with exponential backoff.
+
+    Used by substrates that need a plain mutual-exclusion lock (partitioned
+    store instances, logger buffers).  Masstree itself embeds its lock bit in
+    each node's version word; see {!Masstree.Version}. *)
+
+type t
+
+val create : unit -> t
+
+val lock : t -> unit
+(** [lock l] acquires [l], spinning with backoff until available. *)
+
+val try_lock : t -> bool
+(** [try_lock l] acquires [l] if it is free and returns [true]; returns
+    [false] immediately otherwise. *)
+
+val unlock : t -> unit
+(** [unlock l] releases [l].  Unchecked: the caller must hold the lock. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock l f] runs [f ()] with [l] held, releasing it on return or
+    exception. *)
+
+val is_locked : t -> bool
+(** [is_locked l] observes the lock state without acquiring it (racy; for
+    assertions and stats only). *)

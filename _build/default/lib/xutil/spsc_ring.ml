@@ -1,0 +1,57 @@
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* consumer cursor: next index to pop *)
+  tail : int Atomic.t; (* producer cursor: next index to push *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create capacity =
+  assert (capacity > 0);
+  let cap = next_pow2 capacity in
+  { slots = Array.make cap None; mask = cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let try_push r v =
+  let tail = Atomic.get r.tail in
+  let head = Atomic.get r.head in
+  if tail - head > r.mask then false
+  else begin
+    r.slots.(tail land r.mask) <- Some v;
+    (* Publish after the slot write: Atomic.set is a release store. *)
+    Atomic.set r.tail (tail + 1);
+    true
+  end
+
+let push r v =
+  let b = Backoff.create () in
+  while not (try_push r v) do
+    Backoff.once b
+  done
+
+let try_pop r =
+  let head = Atomic.get r.head in
+  let tail = Atomic.get r.tail in
+  if head = tail then None
+  else begin
+    let idx = head land r.mask in
+    let v = r.slots.(idx) in
+    r.slots.(idx) <- None;
+    Atomic.set r.head (head + 1);
+    v
+  end
+
+let pop r =
+  let b = Backoff.create () in
+  let rec go () =
+    match try_pop r with
+    | Some v -> v
+    | None ->
+        Backoff.once b;
+        go ()
+  in
+  go ()
+
+let length r = max 0 (Atomic.get r.tail - Atomic.get r.head)

@@ -1,0 +1,27 @@
+(** Bounded single-producer single-consumer ring buffer.
+
+    The loopback network transport pairs one of these per direction per
+    connection, mimicking a per-core NIC queue: the producer never blocks
+    the consumer's cache lines except through the indices, and capacity
+    back-pressure stands in for the TCP window. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] makes a ring holding up to [capacity] elements.
+    [capacity] must be positive (it is rounded up to a power of two). *)
+
+val try_push : 'a t -> 'a -> bool
+(** [try_push r v] enqueues [v] if the ring is not full. *)
+
+val push : 'a t -> 'a -> unit
+(** [push r v] enqueues, spinning with backoff while full. *)
+
+val try_pop : 'a t -> 'a option
+(** [try_pop r] dequeues if nonempty. *)
+
+val pop : 'a t -> 'a
+(** [pop r] dequeues, spinning with backoff while empty. *)
+
+val length : 'a t -> int
+(** [length r] is a racy occupancy estimate. *)

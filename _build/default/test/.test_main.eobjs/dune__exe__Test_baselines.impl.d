@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Char Int64 List Map Printf String Xutil

@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Array Atomic Int64 List Masstree_core Printf Stats String Tree Xutil

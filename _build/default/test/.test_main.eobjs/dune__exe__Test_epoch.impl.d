@@ -1,0 +1,1 @@
+test/test_epoch.ml: Alcotest Atomic Epoch Masstree_core Xutil

@@ -1,0 +1,1 @@
+test/test_key.ml: Alcotest Gen Int64 Key List Masstree_core Printf QCheck QCheck_alcotest String

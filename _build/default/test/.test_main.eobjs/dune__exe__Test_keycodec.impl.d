@@ -1,0 +1,1 @@
+test/test_keycodec.ml: Alcotest Char Gen Int64 Keycodec List Masstree_core Printf QCheck QCheck_alcotest String Tree

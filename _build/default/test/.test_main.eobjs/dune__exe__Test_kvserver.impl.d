@@ -1,0 +1,1 @@
+test/test_kvserver.ml: Alcotest Engine Filename Kvserver Kvstore List Loopback Persist Printf Protocol String Sys Tcp Thread Udp Unix Xutil

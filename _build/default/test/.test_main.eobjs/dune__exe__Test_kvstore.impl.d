@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Array Atomic Filename Int64 Kvstore List Option Persist Printf String Sys Unix Xutil

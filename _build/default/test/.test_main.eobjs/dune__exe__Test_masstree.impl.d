@@ -1,0 +1,1 @@
+test/test_masstree.ml: Alcotest Array List Masstree_core Printf Stats String Tree Xutil

@@ -1,0 +1,1 @@
+test/test_masstree_prop.ml: Char Gen List Map Masstree_core Printf QCheck QCheck_alcotest Seq String Tree

@@ -1,0 +1,1 @@
+test/test_masstree_whitebox.ml: Alcotest Array Atomic List Masstree_core Printf Stats String Tree Xutil

@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Memsim Printf Xutil

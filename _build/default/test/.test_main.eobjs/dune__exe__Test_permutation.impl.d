@@ -1,0 +1,1 @@
+test/test_permutation.ml: Alcotest Fun List Masstree_core Permutation QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Bytes Char Filename Int64 List Persist Printf String Sys Thread Unix Xutil

@@ -1,0 +1,1 @@
+test/test_recovery_prop.ml: Array Filename Hashtbl Kvstore List Map Persist Printf QCheck QCheck_alcotest String Sys Unix

@@ -1,0 +1,1 @@
+test/test_scan.ml: Alcotest List Masstree_core Printf String Tree Xutil

@@ -1,0 +1,1 @@
+test/test_scan_concurrent.ml: Alcotest Atomic List Masstree_core Printf String Tree Xutil

@@ -1,0 +1,1 @@
+test/test_sysmodels.ml: Alcotest Float List Option Printf Sysmodels System Workload

@@ -1,0 +1,1 @@
+test/test_version.ml: Alcotest Atomic Masstree_core Thread Version

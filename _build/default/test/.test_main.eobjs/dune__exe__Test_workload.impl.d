@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Hashtbl Printf String Workload Xutil

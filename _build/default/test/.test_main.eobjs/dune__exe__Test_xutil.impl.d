@@ -1,0 +1,1 @@
+test/test_xutil.ml: Alcotest Array Atomic Domain Fun Int32 Int64 List QCheck QCheck_alcotest String Xutil

@@ -1,0 +1,323 @@
+(* Every comparison structure must agree with a Map reference on random
+   operation sequences, and the concurrent ones must survive multi-domain
+   churn without losing keys. *)
+
+module SMap = Map.Make (String)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Generic model test driver over a first-class store. *)
+type ops_store = {
+  sname : string;
+  sget : string -> int option;
+  sput : string -> int -> int option;
+  srem : string -> int option;
+  sscan : (start:string -> limit:int -> (string -> int -> unit) -> int) option;
+}
+
+let store_binary () =
+  let t = Baselines.Binary_tree.create () in
+  {
+    sname = "binary";
+    sget = Baselines.Binary_tree.get t;
+    sput = Baselines.Binary_tree.put t;
+    srem = Baselines.Binary_tree.remove t;
+    sscan = Some (fun ~start ~limit f -> Baselines.Binary_tree.scan t ~start ~limit f);
+  }
+
+let store_four () =
+  let t = Baselines.Four_tree.create () in
+  {
+    sname = "4-tree";
+    sget = Baselines.Four_tree.get t;
+    sput = Baselines.Four_tree.put t;
+    srem = Baselines.Four_tree.remove t;
+    sscan = Some (fun ~start ~limit f -> Baselines.Four_tree.scan t ~start ~limit f);
+  }
+
+let store_btree ~permuter () =
+  let t = Baselines.Btree.Str.create ~permuter () in
+  {
+    sname = (if permuter then "btree+permuter" else "btree");
+    sget = Baselines.Btree.Str.get t;
+    sput = Baselines.Btree.Str.put t;
+    srem = Baselines.Btree.Str.remove t;
+    sscan = Some (fun ~start ~limit f -> Baselines.Btree.Str.scan t ~start ~limit f);
+  }
+
+let store_hash () =
+  let t = Baselines.Hash_table.create ~initial_capacity:16 () in
+  {
+    sname = "hash";
+    sget = Baselines.Hash_table.get t;
+    sput = Baselines.Hash_table.put t;
+    srem = Baselines.Hash_table.remove t;
+    sscan = None;
+  }
+
+let store_st_masstree () =
+  let t = Baselines.St_masstree.create () in
+  {
+    sname = "masstree-st";
+    sget = Baselines.St_masstree.get t;
+    sput = Baselines.St_masstree.put t;
+    srem = Baselines.St_masstree.remove t;
+    sscan = Some (fun ~start ~limit f -> Baselines.St_masstree.scan t ~start ~limit f);
+  }
+
+let store_pkb () =
+  let t = Baselines.Pkb_tree.create () in
+  {
+    sname = "pkb-tree";
+    sget = Baselines.Pkb_tree.get t;
+    sput = Baselines.Pkb_tree.put t;
+    srem = Baselines.Pkb_tree.remove t;
+    sscan = Some (fun ~start ~limit f -> Baselines.Pkb_tree.scan t ~start ~limit f);
+  }
+
+let store_partitioned () =
+  let t = Baselines.Partitioned.create ~parts:4 in
+  {
+    sname = "partitioned";
+    sget = Baselines.Partitioned.get t;
+    sput = Baselines.Partitioned.put t;
+    srem = Baselines.Partitioned.remove t;
+    sscan = None;
+  }
+
+let all_stores =
+  [
+    ("binary", store_binary);
+    ("4-tree", store_four);
+    ("btree+permuter", store_btree ~permuter:true);
+    ("btree-classic", store_btree ~permuter:false);
+    ("hash", store_hash);
+    ("masstree-st", store_st_masstree);
+    ("pkb-tree", store_pkb);
+    ("partitioned", store_partitioned);
+  ]
+
+(* Random ops against the Map reference. *)
+let model_test make_store key_gen n_ops seed () =
+  let s = make_store () in
+  let rng = Xutil.Rng.create seed in
+  let model = ref SMap.empty in
+  for i = 1 to n_ops do
+    let k = key_gen rng in
+    match Xutil.Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        let expected = SMap.find_opt k !model in
+        if s.sput k i <> expected then
+          Alcotest.failf "%s: put old mismatch on %S at op %d" s.sname k i;
+        model := SMap.add k i !model
+    | 4 | 5 ->
+        let expected = SMap.find_opt k !model in
+        if s.srem k <> expected then Alcotest.failf "%s: remove mismatch on %S" s.sname k;
+        model := SMap.remove k !model
+    | _ ->
+        if s.sget k <> SMap.find_opt k !model then
+          Alcotest.failf "%s: get mismatch on %S" s.sname k
+  done;
+  (* Full agreement at the end. *)
+  SMap.iter
+    (fun k v ->
+      if s.sget k <> Some v then Alcotest.failf "%s: final state lost %S" s.sname k)
+    !model;
+  (* Scan agreement when supported. *)
+  match s.sscan with
+  | None -> ()
+  | Some scan ->
+      let got = ref [] in
+      ignore (scan ~start:"" ~limit:max_int (fun k v -> got := (k, v) :: !got));
+      let expected = SMap.bindings !model in
+      if List.rev !got <> expected then Alcotest.failf "%s: scan mismatch" s.sname
+
+let key_decimal rng = string_of_int (Xutil.Rng.int rng 500)
+
+let key_stringy rng =
+  String.init (Xutil.Rng.int rng 12) (fun _ -> Char.chr (97 + Xutil.Rng.int rng 4))
+
+let model_cases =
+  List.concat_map
+    (fun (nm, mk) ->
+      [
+        Alcotest.test_case (nm ^ " vs model (decimal)") `Quick
+          (model_test mk key_decimal 4000 7L);
+        Alcotest.test_case (nm ^ " vs model (strings)") `Quick
+          (model_test mk key_stringy 4000 11L);
+      ])
+    all_stores
+
+(* Concurrent stress for the thread-safe structures. *)
+let concurrent_stress name put get () =
+  let domains = 4 and per = 3000 in
+  ignore
+    (Xutil.Domain_pool.run domains (fun d ->
+         for i = 0 to per - 1 do
+           put (Printf.sprintf "%s-%d-%05d" name d i) ((d * per) + i)
+         done));
+  for d = 0 to domains - 1 do
+    for i = 0 to per - 1 do
+      match get (Printf.sprintf "%s-%d-%05d" name d i) with
+      | Some v when v = (d * per) + i -> ()
+      | _ -> Alcotest.failf "%s: lost key %d-%d" name d i
+    done
+  done
+
+let test_binary_concurrent () =
+  let t = Baselines.Binary_tree.create () in
+  concurrent_stress "bin" (fun k v -> ignore (Baselines.Binary_tree.put t k v)) (Baselines.Binary_tree.get t) ()
+
+let test_four_concurrent () =
+  let t = Baselines.Four_tree.create () in
+  concurrent_stress "4t" (fun k v -> ignore (Baselines.Four_tree.put t k v)) (Baselines.Four_tree.get t) ()
+
+let test_btree_concurrent () =
+  let t = Baselines.Btree.Str.create () in
+  concurrent_stress "bt" (fun k v -> ignore (Baselines.Btree.Str.put t k v)) (Baselines.Btree.Str.get t) ();
+  match Baselines.Btree.Str.check t with Ok () -> () | Error m -> Alcotest.failf "check: %s" m
+
+let test_hash_concurrent () =
+  let t = Baselines.Hash_table.create ~initial_capacity:64 () in
+  concurrent_stress "h" (fun k v -> ignore (Baselines.Hash_table.put t k v)) (Baselines.Hash_table.get t) ();
+  check_int "size" 12000 (Baselines.Hash_table.size t);
+  check_bool "occupancy bounded" true (Baselines.Hash_table.occupancy t <= 0.35)
+
+let test_partitioned_concurrent () =
+  let t = Baselines.Partitioned.create ~parts:8 in
+  concurrent_stress "p" (fun k v -> ignore (Baselines.Partitioned.put t k v)) (Baselines.Partitioned.get t) ();
+  check_int "cardinal" 12000 (Baselines.Partitioned.cardinal t)
+
+(* Btree specifics *)
+
+let test_btree_fixed8 () =
+  let t = Baselines.Btree.Fixed8.create () in
+  let n = 3000 in
+  for i = 0 to n - 1 do
+    ignore (Baselines.Btree.Fixed8.put t (Int64.of_int (i * 77)) i)
+  done;
+  for i = 0 to n - 1 do
+    if Baselines.Btree.Fixed8.get t (Int64.of_int (i * 77)) <> Some i then
+      Alcotest.failf "fixed8 lost %d" i
+  done;
+  check_int "cardinal" n (Baselines.Btree.Fixed8.cardinal t);
+  check_bool "unsigned order" true
+    (let keys = ref [] in
+     ignore (Baselines.Btree.Fixed8.scan t ~start:0L ~limit:max_int (fun k _ -> keys := k :: !keys));
+     let l = List.rev !keys in
+     List.sort Int64.unsigned_compare l = l)
+
+let test_btree_depth_grows () =
+  let t = Baselines.Btree.Str.create () in
+  check_int "empty depth" 1 (Baselines.Btree.Str.depth t);
+  for i = 0 to 9999 do
+    ignore (Baselines.Btree.Str.put t (Printf.sprintf "%06d" i) i)
+  done;
+  check_bool "depth reasonable" true (Baselines.Btree.Str.depth t >= 3 && Baselines.Btree.Str.depth t <= 6)
+
+let test_btree_remove_nodes () =
+  let t = Baselines.Btree.Str.create () in
+  for i = 0 to 999 do
+    ignore (Baselines.Btree.Str.put t (Printf.sprintf "%04d" i) i)
+  done;
+  for i = 0 to 999 do
+    ignore (Baselines.Btree.Str.remove t (Printf.sprintf "%04d" i))
+  done;
+  check_int "emptied" 0 (Baselines.Btree.Str.cardinal t);
+  (match Baselines.Btree.Str.check t with Ok () -> () | Error m -> Alcotest.failf "check: %s" m);
+  for i = 0 to 99 do
+    ignore (Baselines.Btree.Str.put t (Printf.sprintf "%04d" i) i)
+  done;
+  check_int "reusable" 100 (Baselines.Btree.Str.cardinal t)
+
+(* Hash specifics *)
+
+let test_hash_resize () =
+  let t = Baselines.Hash_table.create ~initial_capacity:16 () in
+  for i = 0 to 4999 do
+    ignore (Baselines.Hash_table.put t (string_of_int i) i)
+  done;
+  check_int "size" 5000 (Baselines.Hash_table.size t);
+  check_bool "occupancy after growth" true (Baselines.Hash_table.occupancy t <= 0.30001);
+  for i = 0 to 4999 do
+    if Baselines.Hash_table.get t (string_of_int i) <> Some i then Alcotest.failf "lost %d" i
+  done;
+  check_bool "probe length short" true (Baselines.Hash_table.probe_length t "123" < 8)
+
+let test_hash_tombstones () =
+  let t = Baselines.Hash_table.create ~initial_capacity:64 () in
+  for i = 0 to 99 do
+    ignore (Baselines.Hash_table.put t (string_of_int i) i)
+  done;
+  for i = 0 to 99 do
+    if i mod 2 = 0 then ignore (Baselines.Hash_table.remove t (string_of_int i))
+  done;
+  for i = 0 to 99 do
+    let expected = if i mod 2 = 0 then None else Some i in
+    if Baselines.Hash_table.get t (string_of_int i) <> expected then Alcotest.failf "tomb %d" i
+  done;
+  check_int "half" 50 (Baselines.Hash_table.size t)
+
+(* 4-tree specifics *)
+
+let test_four_depth_vs_binary () =
+  (* Random keys: the 4-ary tree must be markedly shallower. *)
+  let rng = Xutil.Rng.create 3L in
+  let four = Baselines.Four_tree.create () and bin = Baselines.Binary_tree.create () in
+  let keys = Array.init 5000 (fun _ -> string_of_int (Xutil.Rng.int rng 1_000_000)) in
+  Array.iter
+    (fun k ->
+      ignore (Baselines.Four_tree.put four k 0);
+      ignore (Baselines.Binary_tree.put bin k 0))
+    keys;
+  let avg f = Array.fold_left (fun a k -> a + f k) 0 keys / Array.length keys in
+  let d4 = avg (Baselines.Four_tree.depth_of four) and d2 = avg (Baselines.Binary_tree.depth_of bin) in
+  check_bool
+    (Printf.sprintf "4-tree depth %d < binary depth %d" d4 d2)
+    true
+    (float_of_int d4 < 0.75 *. float_of_int d2)
+
+let test_pkb_partial_key_ties () =
+  (* Keys sharing the first 8 bytes force full-key dereferences; disjoint
+     prefixes must need none.  This is the cost Masstree's trie avoids. *)
+  let t = Baselines.Pkb_tree.create () in
+  for i = 0 to 199 do
+    ignore (Baselines.Pkb_tree.put t (Printf.sprintf "%08d" i) i)
+  done;
+  Baselines.Pkb_tree.reset_counters t;
+  for i = 0 to 199 do
+    ignore (Baselines.Pkb_tree.get t (Printf.sprintf "%08d" i))
+  done;
+  check_int "no fetches for distinct prefixes" 0 (Baselines.Pkb_tree.full_key_fetches t);
+  let t2 = Baselines.Pkb_tree.create () in
+  for i = 0 to 199 do
+    ignore (Baselines.Pkb_tree.put t2 (Printf.sprintf "SHAREDPF%08d" i) i)
+  done;
+  Baselines.Pkb_tree.reset_counters t2;
+  for i = 0 to 199 do
+    if Baselines.Pkb_tree.get t2 (Printf.sprintf "SHAREDPF%08d" i) <> Some i then
+      Alcotest.failf "pkb lost %d" i
+  done;
+  check_bool "ties force full-key fetches" true
+    (Baselines.Pkb_tree.full_key_fetches t2 > 200);
+  match Baselines.Pkb_tree.check t2 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "check: %s" m
+
+let suite =
+  model_cases
+  @ [
+      Alcotest.test_case "pkb partial-key ties" `Quick test_pkb_partial_key_ties;
+      Alcotest.test_case "binary concurrent" `Slow test_binary_concurrent;
+      Alcotest.test_case "4-tree concurrent" `Slow test_four_concurrent;
+      Alcotest.test_case "btree concurrent" `Slow test_btree_concurrent;
+      Alcotest.test_case "hash concurrent" `Slow test_hash_concurrent;
+      Alcotest.test_case "partitioned concurrent" `Slow test_partitioned_concurrent;
+      Alcotest.test_case "btree fixed8" `Quick test_btree_fixed8;
+      Alcotest.test_case "btree depth" `Quick test_btree_depth_grows;
+      Alcotest.test_case "btree remove nodes" `Quick test_btree_remove_nodes;
+      Alcotest.test_case "hash resize" `Quick test_hash_resize;
+      Alcotest.test_case "hash tombstones" `Quick test_hash_tombstones;
+      Alcotest.test_case "4-tree shallower than binary" `Quick test_four_depth_vs_binary;
+    ]

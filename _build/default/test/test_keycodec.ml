@@ -1,0 +1,124 @@
+(* Order-preserving composite keys: roundtrips and, crucially, that byte
+   order of encodings equals field-by-field order of the sources. *)
+
+open Masstree_core
+
+let check_bool = Alcotest.(check bool)
+
+let test_roundtrip () =
+  let cases =
+    [
+      [ Keycodec.U64 0L ];
+      [ Keycodec.U64 Int64.max_int; Keycodec.U32 7 ];
+      [ Keycodec.I64 (-42L); Keycodec.Str "hello" ];
+      [ Keycodec.Str ""; Keycodec.Str "with\x00nul\x00s" ];
+      [ Keycodec.Str "a"; Keycodec.Raw "\x00\xff raw tail" ];
+      [ Keycodec.U32 0xFFFFFFFF; Keycodec.I64 Int64.min_int ];
+    ]
+  in
+  List.iter
+    (fun fields ->
+      let k = Keycodec.encode fields in
+      if Keycodec.decode k fields <> fields then Alcotest.fail "roundtrip")
+    cases
+
+let test_raw_must_be_last () =
+  check_bool "raw mid-key rejected" true
+    (match Keycodec.encode [ Keycodec.Raw "x"; Keycodec.U32 1 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_malformed_rejected () =
+  check_bool "truncated" true
+    (match Keycodec.decode "\x01" [ Keycodec.U64 0L ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "trailing bytes" true
+    (match Keycodec.decode "\x00\x00\x00\x00\x00" [ Keycodec.U32 0 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "bad escape" true
+    (match Keycodec.decode "a\x00\x07" [ Keycodec.Str "" ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Order preservation properties. *)
+
+let prop_u64_order =
+  QCheck.Test.make ~name:"u64 byte order = unsigned order" ~count:1000
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let ka = Keycodec.encode [ Keycodec.U64 a ] in
+      let kb = Keycodec.encode [ Keycodec.U64 b ] in
+      compare (Int64.unsigned_compare a b) 0 = compare (String.compare ka kb) 0)
+
+let prop_i64_order =
+  QCheck.Test.make ~name:"i64 byte order = signed order" ~count:1000
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let ka = Keycodec.encode [ Keycodec.I64 a ] in
+      let kb = Keycodec.encode [ Keycodec.I64 b ] in
+      compare (Int64.compare a b) 0 = compare (String.compare ka kb) 0)
+
+let prop_str_order =
+  QCheck.Test.make ~name:"escaped strings preserve order incl. NULs" ~count:1000
+    QCheck.(
+      pair
+        (string_gen_of_size Gen.(0 -- 12) Gen.(map Char.chr (0 -- 255)))
+        (string_gen_of_size Gen.(0 -- 12) Gen.(map Char.chr (0 -- 255))))
+    (fun (a, b) ->
+      let ka = Keycodec.encode [ Keycodec.Str a; Keycodec.U32 1 ] in
+      let kb = Keycodec.encode [ Keycodec.Str b; Keycodec.U32 1 ] in
+      compare (String.compare a b) 0 = compare (String.compare ka kb) 0)
+
+let prop_composite_order =
+  QCheck.Test.make ~name:"composite order is field-lexicographic" ~count:1000
+    QCheck.(pair (pair small_nat (string_of_size Gen.(0 -- 6))) (pair small_nat (string_of_size Gen.(0 -- 6))))
+    (fun ((n1, s1), (n2, s2)) ->
+      let k1 = Keycodec.encode [ Keycodec.U32 n1; Keycodec.Str s1 ] in
+      let k2 = Keycodec.encode [ Keycodec.U32 n2; Keycodec.Str s2 ] in
+      let expected = compare (n1, s1) (n2, s2) in
+      compare (String.compare k1 k2) 0 = compare expected 0)
+
+let test_prefix_scan_on_tree () =
+  (* The advertised use: time-series per user, scanned by user prefix. *)
+  let t : string Tree.t = Tree.create () in
+  List.iter
+    (fun (user, ts) ->
+      let k = Keycodec.encode [ Keycodec.Str user; Keycodec.U64 ts ] in
+      ignore (Tree.put t k (Printf.sprintf "%s@%Ld" user ts)))
+    [ ("ada", 3L); ("ada", 1L); ("bob", 2L); ("ada", 2L); ("adam", 1L) ];
+  let p = Keycodec.prefix [ Keycodec.Str "ada"; Keycodec.Str "" ] in
+  ignore p;
+  (* Scan exactly ada's records: start = encode of (ada, 0) and stop =
+     next_prefix of the terminated user field. *)
+  let start = Keycodec.encode [ Keycodec.Str "ada"; Keycodec.U64 0L ] in
+  let stop =
+    match Keycodec.next_prefix (Keycodec.encode [ Keycodec.Str "ada" ]) with
+    | Some s -> s
+    | None -> Alcotest.fail "next_prefix"
+  in
+  let seen = ref [] in
+  ignore (Tree.scan t ~start ~stop ~limit:10 (fun _ v -> seen := v :: !seen));
+  Alcotest.(check (list string))
+    "only ada, in time order"
+    [ "ada@1"; "ada@2"; "ada@3" ]
+    (List.rev !seen)
+
+let test_next_prefix () =
+  check_bool "simple" true (Keycodec.next_prefix "abc" = Some "abd");
+  check_bool "carries past 0xff" true (Keycodec.next_prefix "a\xff\xff" = Some "b");
+  check_bool "all ff" true (Keycodec.next_prefix "\xff\xff" = None)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "raw must be last" `Quick test_raw_must_be_last;
+    Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+    QCheck_alcotest.to_alcotest prop_u64_order;
+    QCheck_alcotest.to_alcotest prop_i64_order;
+    QCheck_alcotest.to_alcotest prop_str_order;
+    QCheck_alcotest.to_alcotest prop_composite_order;
+    Alcotest.test_case "prefix scan on tree" `Quick test_prefix_scan_on_tree;
+    Alcotest.test_case "next_prefix" `Quick test_next_prefix;
+  ]

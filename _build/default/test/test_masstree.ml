@@ -1,0 +1,247 @@
+(* Sequential semantics of the Masstree: the §4.1 worked example, layer
+   creation, splits at every level, removal, node deletion, scans across
+   layers, and structural invariants after each phase. *)
+
+open Masstree_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str_opt = Alcotest.(check (option string))
+
+let assert_ok t =
+  match Tree.check t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant violation: %s" m
+
+let test_empty () =
+  let t : string Tree.t = Tree.create () in
+  check_str_opt "get on empty" None (Tree.get t "x");
+  check_int "cardinal" 0 (Tree.cardinal t);
+  assert_ok t
+
+let test_single () =
+  let t = Tree.create () in
+  check_str_opt "fresh put" None (Tree.put t "hello" "world");
+  check_str_opt "get" (Some "world") (Tree.get t "hello");
+  check_str_opt "overwrite returns old" (Some "world") (Tree.put t "hello" "there");
+  check_str_opt "get new" (Some "there") (Tree.get t "hello");
+  check_str_opt "miss" None (Tree.get t "hell");
+  check_str_opt "miss2" None (Tree.get t "hello!");
+  assert_ok t
+
+let test_empty_string_key () =
+  let t = Tree.create () in
+  ignore (Tree.put t "" "empty");
+  check_str_opt "empty key" (Some "empty") (Tree.get t "");
+  check_str_opt "other key" None (Tree.get t "\x00");
+  ignore (Tree.put t "\x00" "nul");
+  check_str_opt "nul key" (Some "nul") (Tree.get t "\x00");
+  check_str_opt "empty still there" (Some "empty") (Tree.get t "");
+  check_str_opt "remove empty" (Some "empty") (Tree.remove t "");
+  check_str_opt "gone" None (Tree.get t "");
+  check_str_opt "nul survives" (Some "nul") (Tree.get t "\x00");
+  assert_ok t
+
+(* The worked example from §4.1. *)
+let test_paper_example () =
+  let t = Tree.create () in
+  (* 1. put "01234567AB": slice + 2-byte suffix. *)
+  ignore (Tree.put t "01234567AB" "v1");
+  check_str_opt "step1" (Some "v1") (Tree.get t "01234567AB");
+  check_str_opt "prefix-only misses" None (Tree.get t "01234567");
+  (* 2. put "01234567XY": shared 8-byte prefix forces a layer. *)
+  ignore (Tree.put t "01234567XY" "v2");
+  check_str_opt "old key visible" (Some "v1") (Tree.get t "01234567AB");
+  check_str_opt "new key visible" (Some "v2") (Tree.get t "01234567XY");
+  check_int "layer created" 1 (Stats.read (Tree.stats t) Stats.Layer_creates);
+  (* 3. remove "01234567XY": "AB" remains in the layer-1 tree. *)
+  check_str_opt "remove" (Some "v2") (Tree.remove t "01234567XY");
+  check_str_opt "AB remains" (Some "v1") (Tree.get t "01234567AB");
+  check_str_opt "XY gone" None (Tree.get t "01234567XY");
+  assert_ok t
+
+let test_deep_layers () =
+  (* Keys sharing a 32-byte prefix force 4+ trie layers. *)
+  let prefix = String.concat "" [ "AAAAAAAA"; "BBBBBBBB"; "CCCCCCCC"; "DDDDDDDD" ] in
+  let t = Tree.create () in
+  let keys = List.init 50 (fun i -> prefix ^ Printf.sprintf "%05d" i) in
+  List.iteri (fun i k -> ignore (Tree.put t k (string_of_int i))) keys;
+  List.iteri
+    (fun i k -> check_str_opt "deep get" (Some (string_of_int i)) (Tree.get t k))
+    keys;
+  check_int "cardinal" 50 (Tree.cardinal t);
+  (* A key equal to the shared prefix lives in an upper layer. *)
+  ignore (Tree.put t prefix "prefix-itself");
+  check_str_opt "prefix key" (Some "prefix-itself") (Tree.get t prefix);
+  check_int "cardinal+1" 51 (Tree.cardinal t);
+  assert_ok t
+
+let test_same_slice_all_lengths () =
+  (* Keys of length 0..8 all share slot-compatible slices with "": exercise
+     the length-discrimination logic for one slice group. *)
+  let t = Tree.create () in
+  let keys = List.init 9 (fun i -> String.make i 'z') in
+  List.iter (fun k -> ignore (Tree.put t k (string_of_int (String.length k)))) keys;
+  List.iter
+    (fun k ->
+      check_str_opt "length keyed" (Some (string_of_int (String.length k))) (Tree.get t k))
+    keys;
+  (* And one longer key with the same 8-byte slice. *)
+  ignore (Tree.put t "zzzzzzzzz" "9");
+  check_str_opt "nine" (Some "9") (Tree.get t "zzzzzzzzz");
+  check_str_opt "eight unchanged" (Some "8") (Tree.get t "zzzzzzzz");
+  check_int "cardinal" 10 (Tree.cardinal t);
+  assert_ok t
+
+let test_splits () =
+  (* 8-byte keys stay inline in layer 0, so every insert exercises the
+     border/interior split machinery rather than layer creation. *)
+  let t = Tree.create () in
+  let n = 8000 in
+  for i = 0 to n - 1 do
+    ignore (Tree.put t (Printf.sprintf "%08d" i) i)
+  done;
+  check_bool "border splits happened" true
+    (Stats.read (Tree.stats t) Stats.Splits_border > 100);
+  check_bool "interior splits happened" true
+    (Stats.read (Tree.stats t) Stats.Splits_interior > 10);
+  check_int "no layers for 8-byte keys" 0 (Stats.read (Tree.stats t) Stats.Layer_creates);
+  for i = 0 to n - 1 do
+    match Tree.get t (Printf.sprintf "%08d" i) with
+    | Some v when v = i -> ()
+    | Some _ -> Alcotest.failf "wrong value for %d" i
+    | None -> Alcotest.failf "lost key %d" i
+  done;
+  check_int "cardinal" n (Tree.cardinal t);
+  assert_ok t
+
+let test_splits_layered () =
+  (* 9-byte sequential keys: groups of ten share each slice, forcing one
+     trie layer per slice group instead of wide fanout splits. *)
+  let t = Tree.create () in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    ignore (Tree.put t (Printf.sprintf "key%06d" i) i)
+  done;
+  check_bool "many layers" true (Stats.read (Tree.stats t) Stats.Layer_creates > 400);
+  check_int "cardinal" n (Tree.cardinal t);
+  assert_ok t
+
+let test_random_order_inserts () =
+  let t = Tree.create () in
+  let rng = Xutil.Rng.create 42L in
+  let n = 3000 in
+  let keys = Array.init n (fun i -> Printf.sprintf "%d" (i * 7919)) in
+  Xutil.Rng.shuffle rng keys;
+  Array.iter (fun k -> ignore (Tree.put t k k)) keys;
+  Array.iter (fun k -> check_str_opt "random get" (Some k) (Tree.get t k)) keys;
+  check_int "cardinal" n (Tree.cardinal t);
+  assert_ok t
+
+let test_remove_all () =
+  let t = Tree.create () in
+  let n = 2000 in
+  let key i = Printf.sprintf "k%05d" i in
+  for i = 0 to n - 1 do
+    ignore (Tree.put t (key i) i)
+  done;
+  (* Remove odd keys. *)
+  for i = 0 to n - 1 do
+    if i mod 2 = 1 then
+      match Tree.remove t (key i) with
+      | Some v when v = i -> ()
+      | _ -> Alcotest.failf "bad remove %d" i
+  done;
+  for i = 0 to n - 1 do
+    let expected = if i mod 2 = 0 then Some i else None in
+    if Tree.get t (key i) <> expected then Alcotest.failf "bad get after remove %d" i
+  done;
+  check_int "half left" (n / 2) (Tree.cardinal t);
+  (* Remove the rest; empty nodes must be deleted. *)
+  for i = 0 to n - 1 do
+    if i mod 2 = 0 then ignore (Tree.remove t (key i))
+  done;
+  check_int "empty" 0 (Tree.cardinal t);
+  check_bool "nodes were deleted" true (Stats.read (Tree.stats t) Stats.Node_deletes > 0);
+  assert_ok t;
+  (* The tree must remain fully usable after total removal. *)
+  for i = 0 to 99 do
+    ignore (Tree.put t (key i) i)
+  done;
+  check_int "reusable" 100 (Tree.cardinal t);
+  assert_ok t
+
+let test_remove_missing () =
+  let t = Tree.create () in
+  ignore (Tree.put t "present" 1);
+  check_bool "remove absent" true (Tree.remove t "absent" = None);
+  check_bool "remove wrong suffix" true (Tree.remove t "presentXYZ" = None);
+  ignore (Tree.put t "0123456789AB" 2);
+  check_bool "remove absent in layer" true (Tree.remove t "0123456789ZZ" = None);
+  check_int "nothing lost" 2 (Tree.cardinal t)
+
+let test_layer_collapse () =
+  let t = Tree.create () in
+  (* Two keys force a layer; removing both should let maintenance collapse
+     the layer link. *)
+  ignore (Tree.put t "01234567AB" 1);
+  ignore (Tree.put t "01234567XY" 2);
+  ignore (Tree.remove t "01234567AB");
+  ignore (Tree.remove t "01234567XY");
+  Tree.maintain t;
+  check_bool "collapse ran" true (Stats.read (Tree.stats t) Stats.Layer_collapses >= 1);
+  check_int "empty" 0 (Tree.cardinal t);
+  (* Reinsert through the same path. *)
+  ignore (Tree.put t "01234567AB" 3);
+  check_bool "reinsert works" true (Tree.get t "01234567AB" = Some 3);
+  assert_ok t
+
+let test_slot_reuse_counter () =
+  let t = Tree.create () in
+  ignore (Tree.put t "a" 1);
+  ignore (Tree.put t "b" 2);
+  ignore (Tree.remove t "a");
+  ignore (Tree.put t "c" 3);
+  (* "c" should reuse "a"'s freed slot and count a reuse. *)
+  check_bool "slot reuse detected" true (Stats.read (Tree.stats t) Stats.Slot_reuses >= 1);
+  check_bool "values intact" true (Tree.get t "b" = Some 2 && Tree.get t "c" = Some 3)
+
+let test_put_with () =
+  let t = Tree.create () in
+  ignore (Tree.put_with t "ctr" (function None -> 1 | Some v -> v + 1));
+  ignore (Tree.put_with t "ctr" (function None -> 1 | Some v -> v + 1));
+  ignore (Tree.put_with t "ctr" (function None -> 1 | Some v -> v + 1));
+  check_bool "read-modify-write" true (Tree.get t "ctr" = Some 3)
+
+let test_binary_keys () =
+  let t = Tree.create () in
+  let keys =
+    [ "\x00"; "\x00\x00"; "\x00\x01"; "\xff\xff\xff\xff\xff\xff\xff\xff\xff";
+      "a\x00b"; "a\x00b\x00c\x00d\x00e\x00f"; String.make 40 '\x00' ]
+  in
+  List.iteri (fun i k -> ignore (Tree.put t k i)) keys;
+  List.iteri
+    (fun i k ->
+      if Tree.get t k <> Some i then Alcotest.failf "binary key %d lost" i)
+    keys;
+  check_int "cardinal" (List.length keys) (Tree.cardinal t);
+  assert_ok t
+
+let suite =
+  [
+    Alcotest.test_case "empty tree" `Quick test_empty;
+    Alcotest.test_case "single key" `Quick test_single;
+    Alcotest.test_case "empty-string key" `Quick test_empty_string_key;
+    Alcotest.test_case "paper 4.1 example" `Quick test_paper_example;
+    Alcotest.test_case "deep layers" `Quick test_deep_layers;
+    Alcotest.test_case "same slice all lengths" `Quick test_same_slice_all_lengths;
+    Alcotest.test_case "splits" `Quick test_splits;
+    Alcotest.test_case "splits layered" `Quick test_splits_layered;
+    Alcotest.test_case "random order inserts" `Quick test_random_order_inserts;
+    Alcotest.test_case "remove all" `Quick test_remove_all;
+    Alcotest.test_case "remove missing" `Quick test_remove_missing;
+    Alcotest.test_case "layer collapse" `Quick test_layer_collapse;
+    Alcotest.test_case "slot reuse counter" `Quick test_slot_reuse_counter;
+    Alcotest.test_case "put_with" `Quick test_put_with;
+    Alcotest.test_case "binary keys" `Quick test_binary_keys;
+  ]

@@ -1,0 +1,126 @@
+(* Model-based property tests: arbitrary operation sequences over
+   adversarial key distributions must agree with a Map reference. *)
+
+open Masstree_core
+module SMap = Map.Make (String)
+
+type op = Put of string * int | Remove of string | Get of string | Scan of string * int
+
+let apply_model m = function
+  | Put (k, v) -> SMap.add k v m
+  | Remove k -> SMap.remove k m
+  | Get _ | Scan _ -> m
+
+let run_ops ops =
+  let t = Tree.create () in
+  let model = ref SMap.empty in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      (match op with
+      | Put (k, v) ->
+          let expected = SMap.find_opt k !model in
+          if Tree.put t k v <> expected then ok := false
+      | Remove k ->
+          let expected = SMap.find_opt k !model in
+          if Tree.remove t k <> expected then ok := false
+      | Get k -> if Tree.get t k <> SMap.find_opt k !model then ok := false
+      | Scan (start, limit) ->
+          let got = ref [] in
+          ignore (Tree.scan t ~start ~limit (fun k v -> got := (k, v) :: !got));
+          let expected =
+            SMap.to_seq !model
+            |> Seq.filter (fun (k, _) -> String.compare k start >= 0)
+            |> Seq.take limit |> List.of_seq
+          in
+          if List.rev !got <> expected then ok := false);
+      model := apply_model !model op)
+    ops;
+  (* Final full agreement: contents and order. *)
+  let items = ref [] in
+  ignore (Tree.scan t ~limit:max_int (fun k v -> items := (k, v) :: !items));
+  if List.rev !items <> SMap.bindings !model then ok := false;
+  (match Tree.check t with Ok () -> () | Error _ -> ok := false);
+  !ok
+
+(* Key generators of increasing nastiness. *)
+let gen_key_decimal = QCheck.Gen.(map string_of_int (0 -- 99999))
+
+let gen_key_binary =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 20))
+
+let gen_key_shared_prefix =
+  QCheck.Gen.(
+    map2
+      (fun d tail -> String.make (8 * d) 'P' ^ tail)
+      (0 -- 3)
+      (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (0 -- 10)))
+
+let gen_op key_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Put (k, v)) key_gen (0 -- 1000));
+        (2, map (fun k -> Remove k) key_gen);
+        (3, map (fun k -> Get k) key_gen);
+        (1, map2 (fun k n -> Scan (k, n)) key_gen (0 -- 20));
+      ])
+
+let arb_ops key_gen count =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Put (k, v) -> Printf.sprintf "Put(%S,%d)" k v
+             | Remove k -> Printf.sprintf "Remove %S" k
+             | Get k -> Printf.sprintf "Get %S" k
+             | Scan (k, n) -> Printf.sprintf "Scan(%S,%d)" k n)
+           ops))
+    QCheck.Gen.(list_size (0 -- count) (gen_op key_gen))
+
+let prop_decimal =
+  QCheck.Test.make ~name:"ops vs model (decimal keys)" ~count:120
+    (arb_ops gen_key_decimal 400) run_ops
+
+let prop_binary =
+  QCheck.Test.make ~name:"ops vs model (binary keys)" ~count:120
+    (arb_ops gen_key_binary 300) run_ops
+
+let prop_shared_prefix =
+  QCheck.Test.make ~name:"ops vs model (shared-prefix keys)" ~count:120
+    (arb_ops gen_key_shared_prefix 300) run_ops
+
+(* Bulk load then delete-all must leave a structurally sound empty tree. *)
+let prop_load_unload =
+  QCheck.Test.make ~name:"load then unload leaves sound empty tree" ~count:40
+    QCheck.(list_of_size Gen.(50 -- 400) (string_gen_of_size Gen.(0 -- 16) Gen.printable))
+    (fun keys ->
+      let t = Tree.create () in
+      List.iter (fun k -> ignore (Tree.put t k k)) keys;
+      List.iter (fun k -> ignore (Tree.remove t k)) keys;
+      Tree.maintain t;
+      Tree.cardinal t = 0 && match Tree.check t with Ok () -> true | Error _ -> false)
+
+(* Reverse scan must be the mirror of the forward scan at every bound. *)
+let prop_scan_mirror =
+  QCheck.Test.make ~name:"scan_rev mirrors scan" ~count:60
+    QCheck.(list_of_size Gen.(0 -- 200) (string_gen_of_size Gen.(0 -- 12) Gen.printable))
+    (fun keys ->
+      let t = Tree.create () in
+      List.iter (fun k -> ignore (Tree.put t k k)) keys;
+      let fwd = ref [] in
+      ignore (Tree.scan t ~limit:max_int (fun k _ -> fwd := k :: !fwd));
+      let rev = ref [] in
+      ignore (Tree.scan_rev t ~limit:max_int (fun k _ -> rev := k :: !rev));
+      (* Forward emission reversed = reverse emission. *)
+      List.rev !fwd = !rev)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest ~long:false prop_decimal;
+    QCheck_alcotest.to_alcotest ~long:false prop_binary;
+    QCheck_alcotest.to_alcotest ~long:false prop_shared_prefix;
+    QCheck_alcotest.to_alcotest ~long:false prop_load_unload;
+    QCheck_alcotest.to_alcotest ~long:false prop_scan_mirror;
+  ]

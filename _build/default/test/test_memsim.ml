@@ -1,0 +1,155 @@
+(* The memory cost model: mechanism-level sanity (prefetch helps, caches
+   hit, TLB/superpage effect, contention curve) and the cross-structure
+   orderings the factor analysis depends on. *)
+
+let check_bool = Alcotest.(check bool)
+
+let run_profile ?(config = Memsim.Model.Config.default) ~n ~ops profile =
+  let sim = Memsim.Model.create ~config () in
+  let rng = Xutil.Rng.create 33L in
+  (* Warm the modeled cache with one pass, then measure. *)
+  for _ = 1 to ops do
+    profile sim ~n ~rank:(Xutil.Rng.int rng n)
+  done;
+  Memsim.Model.reset sim;
+  for _ = 1 to ops do
+    profile sim ~n ~rank:(Xutil.Rng.int rng n)
+  done;
+  Memsim.Model.cycles_per_op sim
+
+let n = 200_000
+
+let ops = 20_000
+
+let test_prefetch_helps () =
+  let without =
+    run_profile ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.btree_op sim ~n ~rank ~key_len:10 ~prefetch:false ~permuter:true
+          Memsim.Profiles.Get)
+  in
+  let with_pf =
+    run_profile ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.btree_op sim ~n ~rank ~key_len:10 ~prefetch:true ~permuter:true
+          Memsim.Profiles.Get)
+  in
+  check_bool
+    (Printf.sprintf "prefetch %.0f < no-prefetch %.0f cycles" with_pf without)
+    true (with_pf < without)
+
+let test_binary_deeper_than_4tree () =
+  let binary =
+    run_profile ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.binary_op sim ~n ~rank ~key_len:10 Memsim.Profiles.Get)
+  in
+  let four =
+    run_profile ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.four_tree_op sim ~n ~rank ~key_len:10 Memsim.Profiles.Get)
+  in
+  check_bool "4-tree cheaper than binary" true (four < binary)
+
+let test_masstree_beats_btree_on_long_keys () =
+  (* Figure 9: 40-byte keys sharing a 32-byte prefix. *)
+  let btree =
+    run_profile ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.btree_op sim ~n ~rank ~key_len:40 ~prefetch:true ~permuter:true
+          Memsim.Profiles.Get)
+  in
+  let masstree =
+    run_profile ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.masstree_op sim ~n ~rank ~key_len:40 ~layer_frac:0.0
+          ~shared_prefix_layers:4 Memsim.Profiles.Get)
+  in
+  check_bool
+    (Printf.sprintf "masstree %.0f much cheaper than btree %.0f on long keys" masstree btree)
+    true
+    (masstree *. 1.5 < btree)
+
+let test_hash_cheapest () =
+  let hash =
+    run_profile ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.hash_op sim ~n ~rank ~key_len:8 Memsim.Profiles.Get)
+  in
+  let masstree =
+    run_profile ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.masstree_op sim ~n ~rank ~key_len:8 ~layer_frac:0.0
+          Memsim.Profiles.Get)
+  in
+  check_bool "hash beats masstree on gets" true (hash < masstree)
+
+let test_superpages_help () =
+  let base = Memsim.Model.Config.default in
+  let sp = Memsim.Model.Config.with_superpages base in
+  let cost cfg =
+    run_profile ~config:cfg ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.binary_op sim ~n ~rank ~key_len:10 Memsim.Profiles.Get)
+  in
+  check_bool "superpages reduce cost" true (cost sp < cost base)
+
+let test_int_compare_helps () =
+  let base = Memsim.Model.Config.default in
+  let ic = Memsim.Model.Config.with_int_compare base in
+  let cost cfg =
+    run_profile ~config:cfg ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.binary_op sim ~n ~rank ~key_len:10 Memsim.Profiles.Get)
+  in
+  check_bool "integer comparison reduces cost" true (cost ic < cost base)
+
+let test_flow_allocator_helps_puts () =
+  let base = Memsim.Model.Config.default in
+  let flow = Memsim.Model.Config.with_flow_allocator base in
+  let cost cfg =
+    run_profile ~config:cfg ~n ~ops (fun sim ~n ~rank ->
+        Memsim.Profiles.binary_op sim ~n ~rank ~key_len:10 Memsim.Profiles.Put)
+  in
+  check_bool "flow allocator reduces put cost" true (cost flow < cost base)
+
+let test_cache_hits_on_hot_keys () =
+  let sim = Memsim.Model.create () in
+  (* One very hot key path: after warmup everything hits. *)
+  for _ = 1 to 1000 do
+    Memsim.Profiles.masstree_op sim ~n ~rank:42 ~key_len:8 ~layer_frac:0.0
+      Memsim.Profiles.Get
+  done;
+  check_bool "hot path mostly cached" true (Memsim.Model.hit_rate sim > 0.9)
+
+let test_contention_curve () =
+  let sim = Memsim.Model.create () in
+  let rng = Xutil.Rng.create 5L in
+  for _ = 1 to 5000 do
+    Memsim.Profiles.masstree_op sim ~n ~rank:(Xutil.Rng.int rng n) ~key_len:10
+      Memsim.Profiles.Get
+  done;
+  let t1 = Memsim.Model.throughput sim ~cores:1 in
+  let t16 = Memsim.Model.throughput sim ~cores:16 in
+  let speedup = t16 /. t1 in
+  (* The paper measures 12.7x at 16 cores (Figure 10). *)
+  check_bool (Printf.sprintf "16-core speedup %.1f in [10, 15.9]" speedup) true
+    (speedup > 10.0 && speedup < 15.9)
+
+let test_stall_dominates_like_paper () =
+  (* §6.5: ~1000 cycles compute vs ~2050 cycles DRAM stall per get. *)
+  let sim = Memsim.Model.create () in
+  let rng = Xutil.Rng.create 6L in
+  for _ = 1 to 20_000 do
+    Memsim.Profiles.masstree_op sim ~n:1_000_000 ~rank:(Xutil.Rng.int rng 1_000_000)
+      ~key_len:10 Memsim.Profiles.Get
+  done;
+  let stall = Memsim.Model.stall_per_op sim and cpu = Memsim.Model.compute_per_op sim in
+  check_bool
+    (Printf.sprintf "stall %.0f > compute %.0f" stall cpu)
+    true (stall > cpu)
+
+let suite =
+  [
+    Alcotest.test_case "prefetch helps" `Quick test_prefetch_helps;
+    Alcotest.test_case "binary deeper than 4tree" `Quick test_binary_deeper_than_4tree;
+    Alcotest.test_case "masstree beats btree on long keys" `Quick
+      test_masstree_beats_btree_on_long_keys;
+    Alcotest.test_case "hash cheapest" `Quick test_hash_cheapest;
+    Alcotest.test_case "superpages help" `Quick test_superpages_help;
+    Alcotest.test_case "int compare helps" `Quick test_int_compare_helps;
+    Alcotest.test_case "flow allocator helps puts" `Quick test_flow_allocator_helps_puts;
+    Alcotest.test_case "cache hits on hot keys" `Quick test_cache_hits_on_hot_keys;
+    Alcotest.test_case "contention curve" `Quick test_contention_curve;
+    Alcotest.test_case "stall dominates" `Quick test_stall_dominates_like_paper;
+  ]

@@ -1,0 +1,103 @@
+(* The permutation word against a reference list model. *)
+
+open Masstree_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_empty () =
+  let p = Permutation.empty in
+  check_int "size" 0 (Permutation.size p);
+  check_bool "check" true (Permutation.check p);
+  check_bool "not full" false (Permutation.is_full p)
+
+let test_sorted () =
+  let p = Permutation.sorted 5 in
+  check_int "size" 5 (Permutation.size p);
+  for i = 0 to 4 do
+    check_int "identity" i (Permutation.get p i)
+  done;
+  check_int "free slot" 5 (Permutation.free_slot p)
+
+let test_insert_front () =
+  let p = Permutation.insert Permutation.empty ~pos:0 in
+  check_int "size" 1 (Permutation.size p);
+  check_int "slot" 0 (Permutation.get p 0);
+  let p2 = Permutation.insert p ~pos:0 in
+  (* Second insert claims slot 1 but sits at position 0. *)
+  check_int "pos0 slot" 1 (Permutation.get p2 0);
+  check_int "pos1 slot" 0 (Permutation.get p2 1)
+
+let test_fill_and_remove () =
+  let p = ref Permutation.empty in
+  for _ = 1 to Permutation.width do
+    p := Permutation.insert !p ~pos:(Permutation.size !p)
+  done;
+  check_bool "full" true (Permutation.is_full !p);
+  check_bool "valid" true (Permutation.check !p);
+  (* Remove position 3; its slot must be the next free slot. *)
+  let victim = Permutation.get !p 3 in
+  let q = Permutation.remove !p ~pos:3 in
+  check_int "size after remove" (Permutation.width - 1) (Permutation.size q);
+  check_int "freed slot reused next" victim (Permutation.free_slot q);
+  check_bool "valid after remove" true (Permutation.check q)
+
+let test_keep_prefix () =
+  let p = Permutation.sorted 10 in
+  let q = Permutation.keep_prefix p ~n:4 in
+  check_int "size" 4 (Permutation.size q);
+  for i = 0 to 3 do
+    check_int "prefix preserved" (Permutation.get p i) (Permutation.get q i)
+  done;
+  check_bool "valid" true (Permutation.check q)
+
+(* Model-based property: a random sequence of inserts/removes matches a
+   reference implementation that tracks (slot) lists directly. *)
+let prop_model =
+  let open QCheck in
+  Test.make ~name:"permutation matches list model" ~count:1000
+    (list (pair bool (int_bound (Permutation.width - 1))))
+    (fun ops ->
+      let p = ref Permutation.empty in
+      (* model: live slots in order :: free slots in order *)
+      let live = ref [] and free = ref (List.init Permutation.width Fun.id) in
+      List.iter
+        (fun (is_insert, pos) ->
+          if is_insert && not (Permutation.is_full !p) then begin
+            let pos = min pos (List.length !live) in
+            match !free with
+            | [] -> assert false
+            | slot :: rest ->
+                free := rest;
+                let rec ins i = function
+                  | l when i = 0 -> slot :: l
+                  | x :: l -> x :: ins (i - 1) l
+                  | [] -> [ slot ]
+                in
+                live := ins pos !live;
+                p := Permutation.insert !p ~pos
+          end
+          else if (not is_insert) && Permutation.size !p > 0 then begin
+            let pos = min pos (List.length !live - 1) in
+            let slot = List.nth !live pos in
+            live := List.filteri (fun i _ -> i <> pos) !live;
+            free := slot :: !free;
+            p := Permutation.remove !p ~pos
+          end)
+        ops;
+      Permutation.check !p
+      && Permutation.size !p = List.length !live
+      && List.for_all2
+           (fun slot i -> Permutation.get !p i = slot)
+           !live
+           (List.init (List.length !live) Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "sorted" `Quick test_sorted;
+    Alcotest.test_case "insert front" `Quick test_insert_front;
+    Alcotest.test_case "fill and remove" `Quick test_fill_and_remove;
+    Alcotest.test_case "keep prefix" `Quick test_keep_prefix;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

@@ -1,0 +1,137 @@
+(* getrange semantics: ordering, bounds, limits, cross-layer traversal,
+   and reverse scans — checked against a sorted reference. *)
+
+open Masstree_core
+
+let check_int = Alcotest.(check int)
+
+let collect t ?start ?stop limit =
+  let acc = ref [] in
+  let n = Tree.scan t ?start ?stop ~limit (fun k v -> acc := (k, v) :: !acc) in
+  (n, List.rev !acc)
+
+let collect_rev t ?start ?stop limit =
+  let acc = ref [] in
+  let n = Tree.scan_rev t ?start ?stop ~limit (fun k v -> acc := (k, v) :: !acc) in
+  (n, List.rev !acc)
+
+let build keys =
+  let t = Tree.create () in
+  List.iter (fun k -> ignore (Tree.put t k k)) keys;
+  t
+
+let expect_keys what expected actual =
+  let pp l = String.concat "," (List.map (fun (k, _) -> Printf.sprintf "%S" k) l) in
+  if List.map fst actual <> expected then
+    Alcotest.failf "%s: expected [%s] got [%s]" what
+      (String.concat "," (List.map (fun k -> Printf.sprintf "%S" k) expected))
+      (pp actual)
+
+let test_basic_order () =
+  let keys = [ "delta"; "alpha"; "charlie"; "bravo"; "echo" ] in
+  let t = build keys in
+  let n, items = collect t 100 in
+  check_int "count" 5 n;
+  expect_keys "sorted" [ "alpha"; "bravo"; "charlie"; "delta"; "echo" ] items
+
+let test_start_bound () =
+  let t = build [ "a"; "b"; "c"; "d" ] in
+  let _, items = collect t ~start:"b" 100 in
+  expect_keys "from b inclusive" [ "b"; "c"; "d" ] items;
+  let _, items = collect t ~start:"bb" 100 in
+  expect_keys "from bb" [ "c"; "d" ] items
+
+let test_stop_bound () =
+  let t = build [ "a"; "b"; "c"; "d" ] in
+  let _, items = collect t ~stop:"c" 100 in
+  expect_keys "stop exclusive" [ "a"; "b" ] items
+
+let test_limit () =
+  let t = build (List.init 100 (fun i -> Printf.sprintf "%03d" i)) in
+  let n, items = collect t 7 in
+  check_int "limit honored" 7 n;
+  expect_keys "first seven" (List.init 7 (fun i -> Printf.sprintf "%03d" i)) items
+
+let test_cross_layer () =
+  (* Keys with shared prefixes interleaved with short keys: the scan must
+     weave in and out of trie layers in global order. *)
+  let keys =
+    [ "m"; "mmmmmmmm"; "mmmmmmmmA"; "mmmmmmmmB"; "mmmmmmmmBzzzzzzzzzz"; "n"; "a" ]
+  in
+  let t = build keys in
+  let _, items = collect t 100 in
+  expect_keys "interleaved layers"
+    [ "a"; "m"; "mmmmmmmm"; "mmmmmmmmA"; "mmmmmmmmB"; "mmmmmmmmBzzzzzzzzzz"; "n" ]
+    items;
+  (* Range scan inside the shared-prefix region. *)
+  let _, items = collect t ~start:"mmmmmmmmB" 2 in
+  expect_keys "in-layer range" [ "mmmmmmmmB"; "mmmmmmmmBzzzzzzzzzz" ] items
+
+let test_large_scan_matches_reference () =
+  let rng = Xutil.Rng.create 7L in
+  let keys =
+    List.init 2000 (fun _ -> string_of_int (Xutil.Rng.int rng 1_000_000_000))
+  in
+  let t = build keys in
+  let dedup = List.sort_uniq compare keys in
+  let _, items = collect t max_int in
+  expect_keys "full scan = sorted uniq reference" dedup items
+
+let test_scan_empty_and_degenerate () =
+  let t : string Tree.t = Tree.create () in
+  let n, _ = collect t 10 in
+  check_int "empty tree" 0 n;
+  ignore (Tree.put t "x" "x");
+  let n, _ = collect t 0 in
+  check_int "limit 0" 0 n;
+  let n, _ = collect t ~start:"zzz" 10 in
+  check_int "start beyond max" 0 n
+
+let test_reverse_basic () =
+  let t = build [ "a"; "b"; "c"; "d" ] in
+  let _, items = collect_rev t 100 in
+  expect_keys "reverse all" [ "d"; "c"; "b"; "a" ] items;
+  let _, items = collect_rev t ~start:"c" 100 in
+  expect_keys "reverse from c" [ "c"; "b"; "a" ] items;
+  let _, items = collect_rev t ~start:"c" ~stop:"b" 100 in
+  expect_keys "reverse bounded" [ "c"; "b" ] items;
+  let _, items = collect_rev t 2 in
+  expect_keys "reverse limit" [ "d"; "c" ] items
+
+let test_reverse_cross_layer () =
+  let keys = [ "m"; "mmmmmmmmA"; "mmmmmmmmB"; "n"; "a" ] in
+  let t = build keys in
+  let _, items = collect_rev t 100 in
+  expect_keys "reverse layers" [ "n"; "mmmmmmmmB"; "mmmmmmmmA"; "m"; "a" ] items
+
+let test_reverse_matches_reference () =
+  let rng = Xutil.Rng.create 11L in
+  let keys = List.init 500 (fun _ -> string_of_int (Xutil.Rng.int rng 100_000)) in
+  let t = build keys in
+  let dedup = List.rev (List.sort_uniq compare keys) in
+  let _, items = collect_rev t max_int in
+  expect_keys "reverse full = reverse sorted reference" dedup items
+
+let test_scan_after_removals () =
+  let t = build (List.init 300 (fun i -> Printf.sprintf "%04d" i)) in
+  for i = 0 to 299 do
+    if i mod 3 <> 0 then ignore (Tree.remove t (Printf.sprintf "%04d" i))
+  done;
+  let expected = List.init 100 (fun i -> Printf.sprintf "%04d" (3 * i)) in
+  let _, items = collect t max_int in
+  expect_keys "post-removal scan" expected items
+
+let suite =
+  [
+    Alcotest.test_case "basic order" `Quick test_basic_order;
+    Alcotest.test_case "start bound" `Quick test_start_bound;
+    Alcotest.test_case "stop bound" `Quick test_stop_bound;
+    Alcotest.test_case "limit" `Quick test_limit;
+    Alcotest.test_case "cross layer" `Quick test_cross_layer;
+    Alcotest.test_case "matches reference" `Quick test_large_scan_matches_reference;
+    Alcotest.test_case "empty and degenerate" `Quick test_scan_empty_and_degenerate;
+    Alcotest.test_case "reverse basic" `Quick test_reverse_basic;
+    Alcotest.test_case "reverse cross layer" `Quick test_reverse_cross_layer;
+    Alcotest.test_case "reverse matches reference" `Quick test_reverse_matches_reference;
+    Alcotest.test_case "scan after removals" `Quick test_scan_after_removals;
+  ]

@@ -1,0 +1,119 @@
+(* Scans racing structural changes: forward and reverse scans must stay
+   ordered and duplicate-free while nodes split and get deleted under
+   them, including across trie-layer boundaries. *)
+
+let check_int = Alcotest.(check int)
+
+open Masstree_core
+
+let test_forward_scan_vs_node_deletion () =
+  let t = Tree.create () in
+  (* Backbone that stays; filler that is churned to force node deletion
+     in the scanned region. *)
+  for i = 0 to 149 do
+    ignore (Tree.put t (Printf.sprintf "key%04d!" i) i)
+  done;
+  let stop = Atomic.make false in
+  let anomalies = Atomic.make 0 in
+  ignore
+    (Xutil.Domain_pool.run 3 (fun who ->
+         if who = 0 then begin
+           let rng = Xutil.Rng.create 9L in
+           for _ = 1 to 1_000 do
+             (* Insert and remove whole slice-group clusters so border
+                nodes empty out and get deleted. *)
+             let base = Xutil.Rng.int rng 300 in
+             for j = 0 to 5 do
+               ignore (Tree.put t (Printf.sprintf "key%04d~%02d" base j) j)
+             done;
+             for j = 0 to 5 do
+               ignore (Tree.remove t (Printf.sprintf "key%04d~%02d" base j))
+             done
+           done;
+           Atomic.set stop true
+         end
+         else
+           while not (Atomic.get stop) do
+             let prev = ref "" in
+             let backbone = ref 0 in
+             ignore
+               (Tree.scan t ~limit:max_int (fun k _ ->
+                    if !prev <> "" && String.compare k !prev <= 0 then
+                      Atomic.incr anomalies;
+                    prev := k;
+                    if String.length k = 8 && k.[7] = '!' then incr backbone));
+             if !backbone <> 150 then Atomic.incr anomalies
+           done));
+  check_int "ordered, complete forward scans under churn" 0 (Atomic.get anomalies)
+
+let test_reverse_scan_vs_inserts () =
+  let t = Tree.create () in
+  for i = 0 to 199 do
+    ignore (Tree.put t (Printf.sprintf "stable%03d" i) i)
+  done;
+  let stop = Atomic.make false in
+  let anomalies = Atomic.make 0 in
+  ignore
+    (Xutil.Domain_pool.run 2 (fun who ->
+         if who = 0 then begin
+           let rng = Xutil.Rng.create 10L in
+           for _ = 1 to 8_000 do
+             let k = Printf.sprintf "vol%06d" (Xutil.Rng.int rng 5_000) in
+             if Xutil.Rng.bool rng then ignore (Tree.put t k 0)
+             else ignore (Tree.remove t k)
+           done;
+           Atomic.set stop true
+         end
+         else
+           while not (Atomic.get stop) do
+             let prev = ref None in
+             let backbone = ref 0 in
+             ignore
+               (Tree.scan_rev t ~limit:max_int (fun k _ ->
+                    (match !prev with
+                    | Some p when String.compare k p >= 0 -> Atomic.incr anomalies
+                    | _ -> ());
+                    prev := Some k;
+                    if String.length k = 9 && String.sub k 0 6 = "stable" then
+                      incr backbone));
+             if !backbone <> 200 then Atomic.incr anomalies
+           done));
+  check_int "ordered, complete reverse scans under churn" 0 (Atomic.get anomalies)
+
+let test_scan_stop_mid_layer () =
+  let t = Tree.create () in
+  (* Keys spanning several layers; stop bound inside a deep layer. *)
+  let keys =
+    [ "PPPPPPPPa"; "PPPPPPPPb"; "PPPPPPPPQQQQQQQQx"; "PPPPPPPPQQQQQQQQy"; "Z" ]
+  in
+  List.iter (fun k -> ignore (Tree.put t k k)) keys;
+  (* Lexicographic order puts the 'Q' layer subtree before the 'a'/'b'
+     suffix entries ('Q' < 'a'). *)
+  let seen = ref [] in
+  ignore
+    (Tree.scan t ~stop:"PPPPPPPPb" ~limit:max_int (fun k _ -> seen := k :: !seen));
+  Alcotest.(check (list string))
+    "stop bound inside layer"
+    [ "PPPPPPPPa"; "PPPPPPPPQQQQQQQQy"; "PPPPPPPPQQQQQQQQx" ]
+    !seen
+
+let test_scan_start_within_suffix () =
+  let t = Tree.create () in
+  ignore (Tree.put t "ABCDEFGHsuffix1" 1);
+  ignore (Tree.put t "ABCDEFGHsuffix2" 2);
+  ignore (Tree.put t "ABCDEFGHzz" 3);
+  let seen = ref [] in
+  ignore (Tree.scan t ~start:"ABCDEFGHsuffix2" ~limit:10 (fun k _ -> seen := k :: !seen));
+  Alcotest.(check (list string))
+    "start bound lands between suffix entries"
+    [ "ABCDEFGHzz"; "ABCDEFGHsuffix2" ]
+    !seen
+
+let suite =
+  [
+    Alcotest.test_case "forward scan vs node deletion" `Slow
+      test_forward_scan_vs_node_deletion;
+    Alcotest.test_case "reverse scan vs inserts" `Slow test_reverse_scan_vs_inserts;
+    Alcotest.test_case "stop mid-layer" `Quick test_scan_stop_mid_layer;
+    Alcotest.test_case "start within suffix group" `Quick test_scan_start_within_suffix;
+  ]

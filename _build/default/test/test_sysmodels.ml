@@ -1,0 +1,99 @@
+(* Architectural models: feature matrix, operational correctness, and the
+   modeled Figure 13 orderings. *)
+
+let check_bool = Alcotest.(check bool)
+
+open Sysmodels
+
+let test_feature_matrix () =
+  let f s = System.features s in
+  check_bool "redis: no range" false (f (System.redis ())).System.range_query;
+  check_bool "memcached: no range" false (f (System.memcached ())).System.range_query;
+  check_bool "memcached: no column update" false (f (System.memcached ())).System.column_update;
+  check_bool "voltdb: range" true (f (System.voltdb ())).System.range_query;
+  check_bool "mongodb: range" true (f (System.mongodb ())).System.range_query;
+  check_bool "memcached: puts unbatched" false (f (System.memcached ())).System.batched_put
+
+let test_operational () =
+  List.iter
+    (fun s ->
+      check_bool (System.name s ^ " put") true (System.op_put s "k1" [| "a"; "b" |]);
+      check_bool (System.name s ^ " get") true (System.op_get s "k1" = Some [| "a"; "b" |]);
+      check_bool (System.name s ^ " miss") true (System.op_get s "nope" = None))
+    (System.all ())
+
+let test_column_update () =
+  let r = System.redis () in
+  ignore (System.op_put r "k" [| "a"; "b" |]);
+  check_bool "redis col update" true (System.op_put_column r "k" 1 "B");
+  check_bool "applied" true (System.op_get r "k" = Some [| "a"; "B" |]);
+  let m = System.memcached () in
+  ignore (System.op_put m "k" [| "a" |]);
+  check_bool "memcached col update unsupported" false (System.op_put_column m "k" 0 "x")
+
+let test_getrange () =
+  let v = System.voltdb () in
+  for i = 0 to 49 do
+    ignore (System.op_put v (Printf.sprintf "%03d" i) [| string_of_int i |])
+  done;
+  (match System.op_getrange v ~start:"010" ~limit:5 with
+  | Some items ->
+      check_bool "ordered cross-partition merge" true
+        (List.map fst items = [ "010"; "011"; "012"; "013"; "014" ])
+  | None -> Alcotest.fail "voltdb should scan");
+  check_bool "redis can't scan" true (System.op_getrange (System.redis ()) ~start:"" ~limit:5 = None)
+
+let mt t w ~cores = Option.get (System.modeled_throughput t w ~cores)
+
+let test_figure13_orderings () =
+  let redis = System.redis () and memcached = System.memcached () in
+  let voltdb = System.voltdb () and mongodb = System.mongodb () in
+  (* Uniform gets, 16 cores: memcached > redis >> voltdb > mongodb. *)
+  let g16 s = mt s System.Uniform_get ~cores:16 in
+  check_bool "memcached > redis" true (g16 memcached > g16 redis);
+  check_bool "redis >> voltdb" true (g16 redis > 10.0 *. g16 voltdb);
+  check_bool "voltdb > mongodb" true (g16 voltdb > g16 mongodb);
+  (* memcached's unbatched puts crater its put rate (§7). *)
+  check_bool "memcached put << get" true
+    (mt memcached System.Uniform_put ~cores:16 < 0.25 *. g16 memcached);
+  (* N/A cells. *)
+  check_bool "memcached can't run MYCSB-A" true
+    (System.modeled_throughput memcached (System.Mycsb Workload.Ycsb.A) ~cores:16 = None);
+  check_bool "redis can't run MYCSB-E" true
+    (System.modeled_throughput redis (System.Mycsb Workload.Ycsb.E) ~cores:16 = None);
+  check_bool "memcached can't run MYCSB-E" true
+    (System.modeled_throughput memcached (System.Mycsb Workload.Ycsb.E) ~cores:16 = None)
+
+let test_zipfian_hurts_partitioned () =
+  (* Redis: uniform get vs Zipfian MYCSB-C — the hot partition caps it
+     (paper: 5.97M uniform vs 2.70M on C). *)
+  let redis = System.redis () in
+  let uni = mt redis System.Uniform_get ~cores:16 in
+  let zipf = mt redis (System.Mycsb Workload.Ycsb.C) ~cores:16 in
+  check_bool
+    (Printf.sprintf "zipf %.2fM < 0.7 * uniform %.2fM" (zipf /. 1e6) (uni /. 1e6))
+    true
+    (zipf < 0.7 *. uni)
+
+let test_one_core_matches_calibration () =
+  (* 1-core rows are the calibration inputs; the model must return them. *)
+  let close a b = Float.abs (a -. b) /. b < 0.05 in
+  check_bool "redis 1-core get" true
+    (close (mt (System.redis ()) System.Uniform_get ~cores:1) 0.54e6);
+  check_bool "memcached 1-core get" true
+    (close (mt (System.memcached ()) System.Uniform_get ~cores:1) 0.77e6);
+  check_bool "voltdb 1-core get" true
+    (close (mt (System.voltdb ()) System.Uniform_get ~cores:1) 0.02e6);
+  check_bool "mongodb 1-core put" true
+    (close (mt (System.mongodb ()) System.Uniform_put ~cores:1) 0.04e6)
+
+let suite =
+  [
+    Alcotest.test_case "feature matrix" `Quick test_feature_matrix;
+    Alcotest.test_case "operational" `Quick test_operational;
+    Alcotest.test_case "column update" `Quick test_column_update;
+    Alcotest.test_case "getrange" `Quick test_getrange;
+    Alcotest.test_case "figure 13 orderings" `Quick test_figure13_orderings;
+    Alcotest.test_case "zipfian hurts partitioned" `Quick test_zipfian_hurts_partitioned;
+    Alcotest.test_case "one-core calibration" `Quick test_one_core_matches_calibration;
+  ]

@@ -1,0 +1,109 @@
+(* Version word semantics: bit independence, counter bumps on unlock,
+   change detection ignoring only the lock bit. *)
+
+open Masstree_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_fresh () =
+  let v = Version.make ~isroot:true ~isborder:true in
+  check_bool "root" true (Version.is_root v);
+  check_bool "border" true (Version.is_border v);
+  check_bool "unlocked" false (Version.locked v);
+  check_bool "clean" false (Version.dirty v);
+  check_int "vinsert" 0 (Version.vinsert v);
+  check_int "vsplit" 0 (Version.vsplit v)
+
+let test_lock_unlock () =
+  let a = Atomic.make (Version.make ~isroot:false ~isborder:true) in
+  Version.lock a;
+  check_bool "locked" true (Version.locked (Atomic.get a));
+  check_bool "trylock fails" false (Version.try_lock a);
+  Version.unlock a;
+  check_bool "unlocked" false (Version.locked (Atomic.get a));
+  check_int "no insert bump" 0 (Version.vinsert (Atomic.get a))
+
+let test_insert_bump () =
+  let a = Atomic.make (Version.make ~isroot:false ~isborder:true) in
+  Version.lock a;
+  Version.mark_inserting a;
+  check_bool "dirty" true (Version.dirty (Atomic.get a));
+  Version.unlock a;
+  let v = Atomic.get a in
+  check_bool "clean after unlock" false (Version.dirty v);
+  check_int "vinsert bumped" 1 (Version.vinsert v);
+  check_int "vsplit unchanged" 0 (Version.vsplit v)
+
+let test_split_bump () =
+  let a = Atomic.make (Version.make ~isroot:false ~isborder:true) in
+  Version.lock a;
+  Version.mark_splitting a;
+  Version.unlock a;
+  check_int "vsplit bumped" 1 (Version.vsplit (Atomic.get a));
+  check_int "vinsert unchanged" 0 (Version.vinsert (Atomic.get a))
+
+let test_changed () =
+  let v0 = Version.make ~isroot:false ~isborder:true in
+  let a = Atomic.make v0 in
+  Version.lock a;
+  (* Lock bit alone is not a change. *)
+  check_bool "lock not a change" false (Version.changed v0 (Atomic.get a));
+  Version.mark_inserting a;
+  check_bool "dirty is a change" true (Version.changed v0 (Atomic.get a));
+  Version.unlock a;
+  check_bool "counter bump is a change" true (Version.changed v0 (Atomic.get a))
+
+let test_deleted () =
+  let a = Atomic.make (Version.make ~isroot:false ~isborder:true) in
+  Version.lock a;
+  Version.mark_deleted a;
+  check_bool "deleted" true (Version.deleted (Atomic.get a));
+  check_bool "deleted implies splitting" true (Version.splitting (Atomic.get a));
+  Version.unlock a;
+  check_bool "deleted persists" true (Version.deleted (Atomic.get a));
+  check_int "vsplit bumped by delete" 1 (Version.vsplit (Atomic.get a))
+
+let test_stable_skips_dirty () =
+  let a = Atomic.make (Version.make ~isroot:false ~isborder:true) in
+  Version.lock a;
+  Version.mark_inserting a;
+  (* stable must wait for the dirty bit to clear; clear it from another
+     thread after a short delay. *)
+  let t = Thread.create (fun () -> Thread.delay 0.02; Version.unlock a) () in
+  let v = Version.stable a in
+  Thread.join t;
+  check_bool "stable is clean" false (Version.dirty v)
+
+let test_counter_wrap () =
+  let a = Atomic.make (Version.make ~isroot:false ~isborder:true) in
+  (* Drive vinsert to its 24-bit maximum and wrap; vsplit must stay 0. *)
+  for _ = 1 to 5 do
+    Version.lock a;
+    Version.mark_inserting a;
+    Version.unlock a
+  done;
+  check_int "five bumps" 5 (Version.vinsert (Atomic.get a));
+  check_int "vsplit untouched" 0 (Version.vsplit (Atomic.get a))
+
+let test_set_root () =
+  let a = Atomic.make (Version.make ~isroot:true ~isborder:true) in
+  Version.lock a;
+  Version.set_root a false;
+  check_bool "cleared" false (Version.is_root (Atomic.get a));
+  Version.set_root a true;
+  check_bool "set" true (Version.is_root (Atomic.get a));
+  Version.unlock a
+
+let suite =
+  [
+    Alcotest.test_case "fresh" `Quick test_fresh;
+    Alcotest.test_case "lock/unlock" `Quick test_lock_unlock;
+    Alcotest.test_case "insert bump" `Quick test_insert_bump;
+    Alcotest.test_case "split bump" `Quick test_split_bump;
+    Alcotest.test_case "changed" `Quick test_changed;
+    Alcotest.test_case "deleted" `Quick test_deleted;
+    Alcotest.test_case "stable skips dirty" `Quick test_stable_skips_dirty;
+    Alcotest.test_case "counter increments" `Quick test_counter_wrap;
+    Alcotest.test_case "set_root" `Quick test_set_root;
+  ]

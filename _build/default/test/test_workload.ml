@@ -1,0 +1,178 @@
+(* Workload generators: distribution shapes, determinism, and mix ratios. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_decimal_1_10 () =
+  let gen = Workload.Keygen.decimal_1_10 ~range:(1 lsl 31) in
+  let rng = Xutil.Rng.create 1L in
+  let long = ref 0 and n = 20_000 in
+  for _ = 1 to n do
+    let k = gen rng in
+    let len = String.length k in
+    if len < 1 || len > 10 then Alcotest.failf "length %d out of range" len;
+    String.iter (fun c -> if c < '0' || c > '9' then Alcotest.fail "non-decimal") k;
+    if len >= 9 then incr long
+  done;
+  (* Uniform over [0, 2^31): 95.3% of values have 9-10 digits.  (The
+     paper quotes "80%", which does not match a uniform draw; we keep the
+     generator exactly as described and test the true distribution.) *)
+  let frac = float_of_int !long /. float_of_int n in
+  check_bool (Printf.sprintf "9-10 byte fraction %.2f near 0.95" frac) true
+    (frac > 0.90 && frac < 0.99)
+
+let test_fixed8 () =
+  let gen = Workload.Keygen.decimal_fixed8 in
+  let rng = Xutil.Rng.create 2L in
+  for _ = 1 to 1000 do
+    if String.length (gen rng) <> 8 then Alcotest.fail "not 8 bytes"
+  done
+
+let test_prefixed () =
+  let gen = Workload.Keygen.prefixed ~prefix_len:24 in
+  let rng = Xutil.Rng.create 3L in
+  let a = gen rng and b = gen rng in
+  check_int "length" 32 (String.length a);
+  check_bool "shared prefix" true (String.sub a 0 24 = String.sub b 0 24)
+
+let test_sequential () =
+  let gen = Workload.Keygen.sequential () in
+  let rng = Xutil.Rng.create 4L in
+  let prev = ref "" in
+  for _ = 1 to 100 do
+    let k = gen rng in
+    check_bool "increasing" true (String.compare k !prev > 0);
+    prev := k
+  done
+
+let test_permuted_url () =
+  let gen = Workload.Keygen.permuted_url ~hosts:50 in
+  let rng = Xutil.Rng.create 5L in
+  for _ = 1 to 200 do
+    let k = gen rng in
+    check_bool "has permuted shape" true (String.contains k '.' && String.contains k '/')
+  done
+
+let test_zipf_skew () =
+  let z = Workload.Zipf.create ~n:10_000 () in
+  let rng = Xutil.Rng.create 6L in
+  let n = 100_000 in
+  let top100 = ref 0 in
+  for _ = 1 to n do
+    if Workload.Zipf.sample z rng < 100 then incr top100
+  done;
+  let measured = float_of_int !top100 /. float_of_int n in
+  let expected = Workload.Zipf.expected_top_fraction z 100 in
+  check_bool
+    (Printf.sprintf "top-100 mass: measured %.3f expected %.3f" measured expected)
+    true
+    (Float.abs (measured -. expected) < 0.05)
+
+let test_zipf_rank_order () =
+  (* Rank 0 must be sampled more often than rank 100+. *)
+  let z = Workload.Zipf.create ~n:1000 () in
+  let rng = Xutil.Rng.create 7L in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 200_000 do
+    let r = Workload.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  check_bool "rank 0 most popular" true (counts.(0) > counts.(100));
+  check_bool "rank bounds" true (Array.for_all (fun c -> c >= 0) counts)
+
+let test_zipf_scramble_spreads () =
+  let z = Workload.Zipf.create ~n:1000 () in
+  let rng = Xutil.Rng.create 8L in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 10_000 do
+    Hashtbl.replace seen (Workload.Zipf.scramble z rng) ()
+  done;
+  check_bool "many distinct scrambled keys" true (Hashtbl.length seen > 200)
+
+let test_ycsb_mix_ratios () =
+  let open Workload.Ycsb in
+  let count_mix m =
+    let t = create ~records:1000 m in
+    let rng = Xutil.Rng.create 9L in
+    let gets = ref 0 and puts = ref 0 and scans = ref 0 in
+    for _ = 1 to 20_000 do
+      match next t rng with
+      | Get _ -> incr gets
+      | Put _ -> incr puts
+      | Getrange _ -> incr scans
+    done;
+    (!gets, !puts, !scans)
+  in
+  let near x pct = abs (x - (20_000 * pct / 100)) < 500 in
+  let g, p, s = count_mix A in
+  check_bool "A: 50/50" true (near g 50 && near p 50 && s = 0);
+  let g, p, s = count_mix B in
+  check_bool "B: 95/5" true (near g 95 && near p 5 && s = 0);
+  let g, p, s = count_mix C in
+  check_bool "C: all get" true (g = 20_000 && p = 0 && s = 0);
+  let g, p, s = count_mix E in
+  check_bool "E: 95 scan/5 put" true (near s 95 && near p 5 && g = 0)
+
+let test_ycsb_values () =
+  let open Workload.Ycsb in
+  let t = create ~records:100 C in
+  let rng = Xutil.Rng.create 10L in
+  let v = initial_value t rng in
+  check_int "columns" columns (Array.length v);
+  Array.iter (fun c -> check_int "column size" column_size (String.length c)) v;
+  (* scan lengths are 1..100 *)
+  let t = create ~records:100 E in
+  for _ = 1 to 1000 do
+    match next t rng with
+    | Getrange (_, n, col) ->
+        if n < 1 || n > 100 then Alcotest.fail "scan length";
+        if col < 0 || col >= columns then Alcotest.fail "column index"
+    | Get _ | Put _ -> ()
+  done
+
+let test_skew_fractions () =
+  let s = Workload.Skew.create ~parts:16 ~delta:9.0 in
+  (* The paper's example: at delta=9, hot partition gets 40%, others 4%. *)
+  check_bool "hot = 40%" true (Float.abs (Workload.Skew.hot_fraction s -. 0.4) < 1e-9);
+  check_bool "cold = 4%" true (Float.abs (Workload.Skew.fraction s 0 -. 0.04) < 1e-9);
+  let total = ref 0.0 in
+  for p = 0 to 15 do
+    total := !total +. Workload.Skew.fraction s p
+  done;
+  check_bool "fractions sum to 1" true (Float.abs (!total -. 1.0) < 1e-9)
+
+let test_skew_sampling () =
+  let s = Workload.Skew.create ~parts:16 ~delta:9.0 in
+  let rng = Xutil.Rng.create 11L in
+  let counts = Array.make 16 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let p = Workload.Skew.pick s rng in
+    counts.(p) <- counts.(p) + 1
+  done;
+  let hot = float_of_int counts.(15) /. float_of_int n in
+  check_bool (Printf.sprintf "hot sampled %.3f near 0.40" hot) true (Float.abs (hot -. 0.4) < 0.02);
+  let cold = float_of_int counts.(0) /. float_of_int n in
+  check_bool "cold sampled near 0.04" true (Float.abs (cold -. 0.04) < 0.01)
+
+let test_skew_uniform () =
+  let s = Workload.Skew.create ~parts:16 ~delta:0.0 in
+  check_bool "uniform fractions" true
+    (Float.abs (Workload.Skew.hot_fraction s -. (1.0 /. 16.0)) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "decimal 1-10" `Quick test_decimal_1_10;
+    Alcotest.test_case "fixed8" `Quick test_fixed8;
+    Alcotest.test_case "prefixed" `Quick test_prefixed;
+    Alcotest.test_case "sequential" `Quick test_sequential;
+    Alcotest.test_case "permuted url" `Quick test_permuted_url;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf rank order" `Quick test_zipf_rank_order;
+    Alcotest.test_case "zipf scramble" `Quick test_zipf_scramble_spreads;
+    Alcotest.test_case "ycsb mix ratios" `Quick test_ycsb_mix_ratios;
+    Alcotest.test_case "ycsb values" `Quick test_ycsb_values;
+    Alcotest.test_case "skew fractions" `Quick test_skew_fractions;
+    Alcotest.test_case "skew sampling" `Quick test_skew_sampling;
+    Alcotest.test_case "skew uniform" `Quick test_skew_uniform;
+  ]
