@@ -20,6 +20,7 @@ let experiments =
     ("ckpt", "§5: checkpoint and recovery costs", Ckpt.run);
     ("retries", "§6.2: retry rates under concurrent inserts", Retries.run);
     ("ablation", "ablations: node size, permuter, retries", Ablation.run);
+    ("obs", "lib/obs telemetry overhead on the loopback path", Obs_overhead.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

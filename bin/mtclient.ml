@@ -31,6 +31,8 @@ let pp_response = function
         items;
       Printf.printf "(%d keys)\n" (List.length items)
   | Kvserver.Protocol.Failed m -> Printf.printf "error: %s\n" m
+  | Kvserver.Protocol.Stats_reply snap ->
+      Format.printf "%a@." Obs.Snapshot.pp snap
 
 let make_req keygen rng mix =
   match mix with
@@ -114,10 +116,12 @@ let run unix_sock connect ops batch clients args =
         (Kvserver.Tcp.call client
            [ Kvserver.Protocol.Getrange
                { start; count = int_of_string count; columns = [] } ])
+  | [ "stats" ] ->
+      List.iter pp_response (Kvserver.Tcp.call client [ Kvserver.Protocol.Stats ])
   | [ "bench"; mix ] -> run_bench addr client ops mix batch clients
   | _ ->
       prerr_endline
-        "usage: mtclient [--connect HOST:PORT | --unix PATH] (get K | put K V... | remove K | scan START N | bench get|put|scan)";
+        "usage: mtclient [--connect HOST:PORT | --unix PATH] (get K | put K V... | remove K | scan START N | stats | bench get|put|scan)";
       exit 2);
   Kvserver.Tcp.disconnect client
 

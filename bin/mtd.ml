@@ -30,7 +30,8 @@ let find_checkpoints data_dir =
     |> List.filter (fun f -> String.length f > 5 && String.sub f 0 5 = "ckpt-")
     |> List.map (Filename.concat data_dir)
 
-let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports verbose =
+let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interval slow_us
+    verbose =
   let log fmt =
     if verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
   in
@@ -73,6 +74,10 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports verbose =
                Kvstore.Store.put s k cols));
         s
   in
+  (* Live telemetry: the engine records per-request metrics on its own;
+     gauges for the index and log buffers come from the store. *)
+  Kvstore.Store.register_obs store;
+  Obs.Trace.set_threshold_us (Obs.Registry.trace Obs.Registry.global) slow_us;
   let addr =
     match (unix_sock, listen) with
     | Some path, _ -> Kvserver.Tcp.Unix_sock path
@@ -106,6 +111,21 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports verbose =
   in
   (* Periodic checkpoints. *)
   let stop = Atomic.make false in
+  let stats_thread =
+    if stats_interval <= 0.0 then None
+    else
+      Some
+        (Thread.create
+           (fun () ->
+             while not (Atomic.get stop) do
+               Thread.delay stats_interval;
+               if not (Atomic.get stop) then
+                 Format.eprintf "--- stats %.0fs ---@.%a@." stats_interval
+                   Obs.Snapshot.pp
+                   (Obs.Registry.snapshot Obs.Registry.global)
+             done)
+           ())
+  in
   let ckpt_thread =
     Thread.create
       (fun () ->
@@ -158,6 +178,7 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports verbose =
   print_endline "shutting down";
   Atomic.set stop true;
   Thread.join ckpt_thread;
+  (match stats_thread with Some t -> Thread.join t | None -> ());
   (match udp with Some u -> Kvserver.Udp.shutdown u | None -> ());
   Kvserver.Tcp.shutdown server;
   Kvstore.Store.close store
@@ -179,11 +200,19 @@ let ckpt_t =
 let udp_t =
   Arg.(value & opt int 0 & info [ "udp-ports" ] ~docv:"N" ~doc:"Also serve N per-core UDP ports; 0 disables.")
 
+let stats_t =
+  Arg.(value & opt float 0.0 & info [ "stats-interval" ] ~docv:"S" ~doc:"Print a telemetry snapshot to stderr every S seconds; 0 disables.")
+
+let slow_t =
+  Arg.(value & opt int 1000 & info [ "slow-us" ] ~docv:"US" ~doc:"Requests slower than US microseconds land in the slow-op trace ring.")
+
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
 let cmd =
   Cmd.v
     (Cmd.info "mtd" ~doc:"Masstree key-value server daemon")
-    Term.(const run $ listen_t $ unix_t $ data_t $ logs_t $ ckpt_t $ udp_t $ verbose_t)
+    Term.(
+      const run $ listen_t $ unix_t $ data_t $ logs_t $ ckpt_t $ udp_t $ stats_t
+      $ slow_t $ verbose_t)
 
 let () = exit (Cmd.eval cmd)

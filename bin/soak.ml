@@ -16,7 +16,7 @@
 
 open Cmdliner
 
-let run seconds domains keyspace checkpoint_every verbose =
+let run seconds domains keyspace checkpoint_every stats_interval verbose =
   let dir = Filename.temp_file "soak" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
@@ -30,6 +30,23 @@ let run seconds domains keyspace checkpoint_every verbose =
   let oracles = Array.init domains (fun _ -> Hashtbl.create 1024) in
   let op_counts = Array.make domains 0 in
   let stop = Atomic.make false in
+  (* Soak drives the store directly (no network engine), so the live
+     telemetry here is the index gauges + logger metrics. *)
+  Kvstore.Store.register_obs store;
+  let stats_thread =
+    if stats_interval <= 0.0 then None
+    else
+      Some
+        (Thread.create
+           (fun () ->
+             while not (Atomic.get stop) do
+               Thread.delay stats_interval;
+               if not (Atomic.get stop) then
+                 Format.eprintf "--- stats ---@.%a@." Obs.Snapshot.pp
+                   (Obs.Registry.snapshot Obs.Registry.global)
+             done)
+           ())
+  in
   let checkpoints = ref [] in
   let ckpt_thread =
     Thread.create
@@ -116,6 +133,7 @@ let run seconds domains keyspace checkpoint_every verbose =
          done));
   Atomic.set stop true;
   Thread.join ckpt_thread;
+  (match stats_thread with Some t -> Thread.join t | None -> ());
   let total_ops = Array.fold_left ( + ) 0 op_counts in
   Printf.printf "soak: %d ops across %d domains\n%!" total_ops domains;
   (* 1. structural invariants *)
@@ -168,11 +186,14 @@ let keys_t = Arg.(value & opt int 20_000 & info [ "keys" ] ~docv:"N" ~doc:"Keysp
 let ckpt_t =
   Arg.(value & opt float 2.0 & info [ "checkpoint-every" ] ~docv:"S" ~doc:"Concurrent checkpoint interval; 0 disables.")
 
+let stats_t =
+  Arg.(value & opt float 0.0 & info [ "stats-interval" ] ~docv:"S" ~doc:"Print a telemetry snapshot to stderr every S seconds; 0 disables.")
+
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress output.")
 
 let cmd =
   Cmd.v
     (Cmd.info "soak" ~doc:"Randomized concurrency + persistence soak test")
-    Term.(const run $ seconds_t $ domains_t $ keys_t $ ckpt_t $ verbose_t)
+    Term.(const run $ seconds_t $ domains_t $ keys_t $ ckpt_t $ stats_t $ verbose_t)
 
 let () = exit (Cmd.eval' cmd)

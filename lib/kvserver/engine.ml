@@ -1,4 +1,39 @@
-let execute ~worker store req =
+(* Telemetry handles, resolved once at module load.  Recording is gated
+   on the global registry's enabled flag, so a disabled registry costs
+   one atomic load per request. *)
+
+let reg = Obs.Registry.global
+
+let kind_names = [| "get"; "put"; "put_cols"; "remove"; "scan"; "stats" |]
+
+let kind_of = function
+  | Protocol.Get _ -> 0
+  | Protocol.Put _ -> 1
+  | Protocol.Put_cols _ -> 2
+  | Protocol.Remove _ -> 3
+  | Protocol.Getrange _ | Protocol.Getrange_rev _ -> 4
+  | Protocol.Stats -> 5
+
+let key_of = function
+  | Protocol.Get { key; _ }
+  | Protocol.Put { key; _ }
+  | Protocol.Put_cols { key; _ }
+  | Protocol.Remove key ->
+      key
+  | Protocol.Getrange { start; _ } | Protocol.Getrange_rev { start; _ } -> start
+  | Protocol.Stats -> ""
+
+let op_counters = Array.map (fun k -> Obs.Registry.counter reg ("ops." ^ k)) kind_names
+
+let lat_histos = Array.map (fun k -> Obs.Registry.histogram reg ("lat_us." ^ k)) kind_names
+
+let failed_counter = Obs.Registry.counter reg "ops.failed"
+
+let batches_counter = Obs.Registry.counter reg "ops.batches"
+
+let multiget_hist = Obs.Registry.histogram reg "lat_us.multiget_batch"
+
+let execute_op ~worker store req =
   match req with
   | Protocol.Get { key; columns = [] } -> Protocol.Value (Kvstore.Store.get store key)
   | Protocol.Get { key; columns } ->
@@ -25,15 +60,36 @@ let execute ~worker store req =
         (Kvstore.Store.getrange_rev store ?start ?columns:cols ~limit:count (fun k v ->
              acc := (k, v) :: !acc));
       Protocol.Range (List.rev !acc)
+  | Protocol.Stats -> Protocol.Stats_reply (Obs.Registry.snapshot reg)
+
+let execute_op ~worker store req =
+  try execute_op ~worker store req
+  with e -> Protocol.Failed (Printexc.to_string e)
 
 let execute ~worker store req =
-  try execute ~worker store req
-  with e -> Protocol.Failed (Printexc.to_string e)
+  if not (Obs.Registry.is_enabled reg) then execute_op ~worker store req
+  else begin
+    let t0 = Xutil.Clock.now_ns () in
+    let resp = execute_op ~worker store req in
+    let dur_us = Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) t0) / 1000 in
+    let k = kind_of req in
+    Obs.Registry.incr ~worker op_counters.(k);
+    Obs.Registry.observe ~worker lat_histos.(k) dur_us;
+    (match resp with
+    | Protocol.Failed _ -> Obs.Registry.incr ~worker failed_counter
+    | _ -> ());
+    Obs.Trace.maybe_record (Obs.Registry.trace reg) ~worker ~op:kind_names.(k)
+      ~key:(key_of req) ~dur_us;
+    resp
+  end
 
 (* Get-only batches take the interleaved multi-lookup path (§4.8): one
    wave-based traversal for the whole message instead of independent
-   descents. *)
+   descents.  The traversal is shared, so telemetry records the batch as
+   one [lat_us.multiget_batch] sample plus one [ops.get] count per key. *)
 let execute_batch ~worker store reqs =
+  let telemetry = Obs.Registry.is_enabled reg in
+  if telemetry then Obs.Registry.incr ~worker batches_counter;
   let all_full_gets =
     reqs <> []
     && List.for_all
@@ -47,8 +103,17 @@ let execute_batch ~worker store reqs =
            (function Protocol.Get { key; _ } -> key | _ -> assert false)
            reqs)
     in
+    let t0 = Xutil.Clock.now_ns () in
     match Kvstore.Store.multi_get store keys with
-    | results -> Array.to_list (Array.map (fun r -> Protocol.Value r) results)
+    | results ->
+        if telemetry then begin
+          let dur_us = Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) t0) / 1000 in
+          Obs.Registry.add ~worker op_counters.(0) (Array.length keys);
+          Obs.Registry.observe ~worker multiget_hist dur_us;
+          Obs.Trace.maybe_record (Obs.Registry.trace reg) ~worker ~op:"multiget"
+            ~key:keys.(0) ~dur_us
+        end;
+        Array.to_list (Array.map (fun r -> Protocol.Value r) results)
     | exception e -> List.map (fun _ -> Protocol.Failed (Printexc.to_string e)) reqs
   end
   else List.map (execute ~worker store) reqs

@@ -4,7 +4,13 @@
 val execute : worker:int -> Kvstore.Store.t -> Protocol.request -> Protocol.response
 (** [execute ~worker store req] runs one request; [worker] selects the
     update log (one per query worker, §5).  Never raises: failures come
-    back as [Failed]. *)
+    back as [Failed].
+
+    When {!Obs.Registry.global} is enabled (the default), every request
+    also records its latency and outcome per worker — [ops.<kind>] /
+    [ops.failed] counters, [lat_us.<kind>] histograms — and requests
+    slower than the trace threshold land in the slow-op ring.  A [Stats]
+    request returns a {!Obs.Snapshot.t} of all of it. *)
 
 val execute_batch :
   worker:int -> Kvstore.Store.t -> Protocol.request list -> Protocol.response list

@@ -7,6 +7,7 @@ type request =
   | Remove of string
   | Getrange of { start : string; count : int; columns : int list }
   | Getrange_rev of { start : string; count : int; columns : int list }
+  | Stats
 
 type response =
   | Value of string array option
@@ -14,6 +15,7 @@ type response =
   | Removed of bool
   | Range of (string * string array) list
   | Failed of string
+  | Stats_reply of Obs.Snapshot.t
 
 let write_int_list w l =
   Binio.write_varint w (List.length l);
@@ -63,6 +65,7 @@ let encode_request w = function
       Binio.write_string w start;
       Binio.write_varint w count;
       write_int_list w columns
+  | Stats -> Binio.write_u8 w 7
 
 let decode_request r =
   match Binio.read_u8 r with
@@ -91,6 +94,7 @@ let decode_request r =
       let start = Binio.read_string r in
       let count = Binio.read_varint r in
       Getrange_rev { start; count; columns = read_int_list r }
+  | 7 -> Stats
   | _ -> raise Binio.Truncated
 
 let encode_response w = function
@@ -113,6 +117,9 @@ let encode_response w = function
   | Failed msg ->
       Binio.write_u8 w 6;
       Binio.write_string w msg
+  | Stats_reply snap ->
+      Binio.write_u8 w 7;
+      Obs.Snapshot.write w snap
 
 let decode_response r =
   match Binio.read_u8 r with
@@ -127,6 +134,7 @@ let decode_response r =
              let k = Binio.read_string r in
              (k, read_cols r)))
   | 6 -> Failed (Binio.read_string r)
+  | 7 -> Stats_reply (Obs.Snapshot.read r)
   | _ -> raise Binio.Truncated
 
 let encode_batch encode items =
@@ -196,3 +204,4 @@ let pp_request fmt = function
   | Remove key -> Format.fprintf fmt "remove %S" key
   | Getrange { start; count; _ } -> Format.fprintf fmt "getrange %S %d" start count
   | Getrange_rev { start; count; _ } -> Format.fprintf fmt "getrange_rev %S %d" start count
+  | Stats -> Format.fprintf fmt "stats"

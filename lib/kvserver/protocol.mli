@@ -17,6 +17,9 @@ type request =
   | Getrange of { start : string; count : int; columns : int list }
   | Getrange_rev of { start : string; count : int; columns : int list }
       (** descending scan; [start = ""] means from the maximum key *)
+  | Stats
+      (** telemetry snapshot: live op counters, latency percentiles,
+          index/logger metrics, recent slow ops (lib/obs) *)
 
 type response =
   | Value of string array option (** for Get *)
@@ -24,6 +27,7 @@ type response =
   | Removed of bool (** for Remove *)
   | Range of (string * string array) list (** for Getrange *)
   | Failed of string
+  | Stats_reply of Obs.Snapshot.t (** for Stats *)
 
 val encode_requests : request list -> string
 (** A complete frame. *)

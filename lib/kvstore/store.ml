@@ -217,6 +217,24 @@ let cardinal t =
 
 let tree_stats t = Tree.stats t.tree
 
+(* Publish this store's live tree counters (and its loggers' buffer
+   occupancy) as gauges on the global registry.  Gauge registration
+   replaces by name, so the most recently registered store owns the
+   [masstree.*] names — exactly what a server process wants after
+   recovery swaps stores. *)
+let register_obs t =
+  let g = Obs.Registry.global in
+  let st = Tree.stats t.tree in
+  List.iter
+    (fun c ->
+      Obs.Registry.gauge g
+        ("masstree." ^ Stats.name c)
+        (fun () -> Stats.read st c))
+    Stats.all;
+  if Array.length t.logs > 0 then
+    Obs.Registry.gauge g "log.buffered_bytes" (fun () ->
+        Array.fold_left (fun a l -> a + Persist.Logger.buffered_bytes l) 0 t.logs)
+
 let check t = Tree.check t.tree
 
 (* ---- replay entry points (version-guarded, tombstone-aware) ---- *)

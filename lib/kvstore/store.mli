@@ -75,6 +75,14 @@ val cardinal : t -> int
 
 val tree_stats : t -> Masstree_core.Stats.t
 
+val register_obs : t -> unit
+(** Publish this store's live telemetry on {!Obs.Registry.global}: one
+    [masstree.<counter>] gauge per {!Masstree_core.Stats} counter
+    (retries, splits, layer creations, …) and, when the store logs, a
+    [log.buffered_bytes] gauge summing its loggers' unflushed bytes.
+    Registration replaces by name, so the most recently registered store
+    is the one reporting — call it again after recovery swaps stores. *)
+
 (** {1 Persistence (§5)} *)
 
 val checkpoint : t -> dir:string -> writers:int -> (string, string) result

@@ -54,6 +54,8 @@ let incr t c = ignore (Atomic.fetch_and_add t.(index c) 1)
 
 let read t c = Atomic.get t.(index c)
 
+let to_list t = List.map (fun c -> (c, read t c)) all
+
 let reset t = Array.iter (fun a -> Atomic.set a 0) t
 
 let pp fmt t =

@@ -27,6 +27,16 @@ val incr : t -> counter -> unit
 
 val read : t -> counter -> int
 
+val to_list : t -> (counter * int) list
+(** Every counter with its current value, in declaration order — lets a
+    metrics registry (or a test) enumerate the set without matching each
+    variant at the call site. *)
+
+val name : counter -> string
+(** Stable snake_case identifier, e.g. ["root_retries"]. *)
+
+val all : counter list
+
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit

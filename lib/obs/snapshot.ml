@@ -1,0 +1,156 @@
+open Xutil
+
+type hist_summary = {
+  count : int;
+  sum : int;
+  minimum : int;
+  maximum : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;
+}
+
+type slow_op = {
+  at_us : int64;
+  worker : int;
+  op : string;
+  key : string;
+  dur_us : int;
+}
+
+type t = {
+  taken_at_us : int64;
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  hists : (string * hist_summary) list;
+  slow : slow_op list;
+}
+
+let empty =
+  { taken_at_us = 0L; counters = []; gauges = []; hists = []; slow = [] }
+
+let summarize h =
+  {
+    count = Histogram.count h;
+    sum = Histogram.total h;
+    minimum = Histogram.min_value h;
+    maximum = Histogram.max_value h;
+    p50 = Histogram.percentile h 50.0;
+    p90 = Histogram.percentile h 90.0;
+    p99 = Histogram.percentile h 99.0;
+    p999 = Histogram.percentile h 99.9;
+  }
+
+(* Zigzag for gauge values, which (unlike counters) may go negative. *)
+let write_zig w v = Binio.write_varint w (if v >= 0 then 2 * v else (-2 * v) - 1)
+
+let read_zig r =
+  let z = Binio.read_varint r in
+  if z land 1 = 0 then z / 2 else -((z + 1) / 2)
+
+let write_assoc w write_v l =
+  Binio.write_varint w (List.length l);
+  List.iter
+    (fun (name, v) ->
+      Binio.write_string w name;
+      write_v w v)
+    l
+
+let read_assoc r read_v =
+  let n = Binio.read_varint r in
+  if n > 1 lsl 16 then raise Binio.Truncated;
+  List.init n (fun _ ->
+      let name = Binio.read_string r in
+      (name, read_v r))
+
+let write_summary w s =
+  Binio.write_varint w s.count;
+  Binio.write_varint w s.sum;
+  Binio.write_varint w s.minimum;
+  Binio.write_varint w s.maximum;
+  Binio.write_varint w s.p50;
+  Binio.write_varint w s.p90;
+  Binio.write_varint w s.p99;
+  Binio.write_varint w s.p999
+
+let read_summary r =
+  let count = Binio.read_varint r in
+  let sum = Binio.read_varint r in
+  let minimum = Binio.read_varint r in
+  let maximum = Binio.read_varint r in
+  let p50 = Binio.read_varint r in
+  let p90 = Binio.read_varint r in
+  let p99 = Binio.read_varint r in
+  let p999 = Binio.read_varint r in
+  { count; sum; minimum; maximum; p50; p90; p99; p999 }
+
+let write_slow w s =
+  Binio.write_u64 w s.at_us;
+  Binio.write_varint w s.worker;
+  Binio.write_string w s.op;
+  Binio.write_string w s.key;
+  Binio.write_varint w s.dur_us
+
+let read_slow r =
+  let at_us = Binio.read_u64 r in
+  let worker = Binio.read_varint r in
+  let op = Binio.read_string r in
+  let key = Binio.read_string r in
+  let dur_us = Binio.read_varint r in
+  { at_us; worker; op; key; dur_us }
+
+let write w t =
+  Binio.write_u64 w t.taken_at_us;
+  write_assoc w Binio.write_varint t.counters;
+  write_assoc w write_zig t.gauges;
+  write_assoc w write_summary t.hists;
+  Binio.write_varint w (List.length t.slow);
+  List.iter (write_slow w) t.slow
+
+let read r =
+  let taken_at_us = Binio.read_u64 r in
+  let counters = read_assoc r Binio.read_varint in
+  let gauges = read_assoc r read_zig in
+  let hists = read_assoc r read_summary in
+  let n = Binio.read_varint r in
+  if n > 1 lsl 16 then raise Binio.Truncated;
+  let slow = List.init n (fun _ -> read_slow r) in
+  { taken_at_us; counters; gauges; hists; slow }
+
+let pp fmt t =
+  let sorted l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  Format.fprintf fmt "@[<v>";
+  if t.counters <> [] then begin
+    Format.fprintf fmt "counters:@,";
+    List.iter
+      (fun (n, v) -> Format.fprintf fmt "  %-28s %d@," n v)
+      (sorted t.counters)
+  end;
+  if t.gauges <> [] then begin
+    Format.fprintf fmt "gauges:@,";
+    List.iter
+      (fun (n, v) -> Format.fprintf fmt "  %-28s %d@," n v)
+      (sorted t.gauges)
+  end;
+  if t.hists <> [] then begin
+    Format.fprintf fmt "latency (us):@,";
+    Format.fprintf fmt "  %-22s %10s %8s %8s %8s %8s %8s@," "" "count" "p50"
+      "p99" "p99.9" "max" "mean";
+    List.iter
+      (fun (n, s) ->
+        if s.count > 0 then
+          Format.fprintf fmt "  %-22s %10d %8d %8d %8d %8d %8.0f@," n s.count
+            s.p50 s.p99 s.p999 s.maximum
+            (float_of_int s.sum /. float_of_int s.count))
+      (sorted t.hists)
+  end;
+  if t.slow <> [] then begin
+    Format.fprintf fmt "recent slow ops:@,";
+    List.iter
+      (fun s ->
+        Format.fprintf fmt "  w%-2d %-9s %8dus  %S@," s.worker s.op s.dur_us
+          s.key)
+      t.slow
+  end;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,45 @@
+(** A point-in-time view of the telemetry registry: plain data, no
+    references back into live metric structures, so it can travel over the
+    wire (the protocol's [Stats] response body is one of these) and be
+    compared structurally in tests. *)
+
+type hist_summary = {
+  count : int;
+  sum : int;
+  minimum : int;
+  maximum : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;
+}
+
+type slow_op = {
+  at_us : int64; (** wall-clock capture time, microseconds *)
+  worker : int;
+  op : string; (** operation kind, e.g. ["get"] *)
+  key : string; (** key prefix (truncated, see {!Trace.key_prefix_len}) *)
+  dur_us : int;
+}
+
+type t = {
+  taken_at_us : int64;
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  hists : (string * hist_summary) list;
+  slow : slow_op list; (** newest first *)
+}
+
+val empty : t
+
+val summarize : Xutil.Histogram.t -> hist_summary
+
+val write : Xutil.Binio.writer -> t -> unit
+(** Wire encoding (see docs/PROTOCOL.md, response tag 7). *)
+
+val read : Xutil.Binio.reader -> t
+(** @raise Xutil.Binio.Truncated on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line dump ([mtclient stats], [--stats-interval]
+    reporters). *)

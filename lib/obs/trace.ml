@@ -1,0 +1,67 @@
+let key_prefix_len = 16
+
+type ring = {
+  slots : Snapshot.slow_op option array;
+  mutable cursor : int; (* next write position, monotonically increasing *)
+}
+
+type t = {
+  rings : ring array;
+  mask : int; (* capacity - 1 *)
+  threshold : int Atomic.t;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(workers = 64) ?(capacity = 16) ?(threshold_us = 1000) () =
+  let cap = next_pow2 (max 1 capacity) in
+  {
+    rings =
+      Array.init (max 1 workers) (fun _ ->
+          { slots = Array.make cap None; cursor = 0 });
+    mask = cap - 1;
+    threshold = Atomic.make threshold_us;
+  }
+
+let threshold_us t = Atomic.get t.threshold
+
+let set_threshold_us t v = Atomic.set t.threshold v
+
+let record t ~worker ~op ~key ~dur_us =
+  let key =
+    if String.length key <= key_prefix_len then key
+    else String.sub key 0 key_prefix_len
+  in
+  let entry =
+    { Snapshot.at_us = Xutil.Clock.wall_us (); worker; op; key; dur_us }
+  in
+  let r = t.rings.(worker mod Array.length t.rings) in
+  r.slots.(r.cursor land t.mask) <- Some entry;
+  r.cursor <- r.cursor + 1
+
+let maybe_record t ~worker ~op ~key ~dur_us =
+  if dur_us >= Atomic.get t.threshold then record t ~worker ~op ~key ~dur_us
+
+let recent ?(limit = 32) t =
+  let all = ref [] in
+  Array.iter
+    (fun r ->
+      Array.iter
+        (function Some e -> all := e :: !all | None -> ())
+        r.slots)
+    t.rings;
+  let newest_first =
+    List.sort
+      (fun a b -> Int64.compare b.Snapshot.at_us a.Snapshot.at_us)
+      !all
+  in
+  List.filteri (fun i _ -> i < limit) newest_first
+
+let clear t =
+  Array.iter
+    (fun r ->
+      Array.fill r.slots 0 (Array.length r.slots) None;
+      r.cursor <- 0)
+    t.rings

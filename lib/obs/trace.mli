@@ -1,0 +1,45 @@
+(** Fixed-size per-worker slow-operation trace rings.
+
+    Each worker owns one ring (single writer, like the loopback
+    transport's {!Xutil.Spsc_ring} queues), so recording is a bounds
+    check, an array store, and a cursor bump — no locks, no allocation
+    beyond the captured entry.  When a ring is full the oldest entry is
+    overwritten: the ring always holds the most recent [capacity] slow
+    ops per worker.
+
+    Readers ([recent], feeding {!Snapshot.t}) scan the rings racily; a
+    snapshot taken concurrently with recording may miss or duplicate the
+    entry being written this instant, never anything older. *)
+
+type t
+
+val key_prefix_len : int
+(** Captured keys are truncated to this many bytes (16): enough to
+    identify the key range, bounded so tracing never hauls large keys
+    around. *)
+
+val create : ?workers:int -> ?capacity:int -> ?threshold_us:int -> unit -> t
+(** [create ()] makes rings for [workers] (default 64; worker ids are
+    folded onto the rings by modulo) of [capacity] entries each (default
+    16, rounded up to a power of two).  Operations slower than
+    [threshold_us] (default 1000) are captured by {!maybe_record}. *)
+
+val threshold_us : t -> int
+
+val set_threshold_us : t -> int -> unit
+(** Takes effect for subsequent records; settable at runtime
+    ([mtd --slow-us]). *)
+
+val record : t -> worker:int -> op:string -> key:string -> dur_us:int -> unit
+(** Unconditionally capture one entry (the key is truncated to
+    {!key_prefix_len}). *)
+
+val maybe_record :
+  t -> worker:int -> op:string -> key:string -> dur_us:int -> unit
+(** Capture only if [dur_us >= threshold_us t]. *)
+
+val recent : ?limit:int -> t -> Snapshot.slow_op list
+(** Up to [limit] (default 32) most recent captured entries across all
+    workers, newest first. *)
+
+val clear : t -> unit

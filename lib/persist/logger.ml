@@ -6,6 +6,8 @@ type t = {
   buf : Buffer.t;
   mutable nappended : int;
   mutable nsynced_bytes : int;
+  mutable nflushes : int;
+  mutable oldest_us : int64; (* wall time of the first append in [buf]; 0 = empty *)
   sync_interval_s : float;
   buffer_limit : int;
   synchronous : bool;
@@ -13,6 +15,18 @@ type t = {
   flush_request : bool Atomic.t;
   mutable flusher : Thread.t option;
 }
+
+(* Process-wide log telemetry (lib/obs): shared names, so a store's whole
+   logger set aggregates naturally.  Per-logger figures stay available
+   through the accessors below. *)
+let flushes_c = Obs.Registry.counter Obs.Registry.global "log.flushes"
+let flushed_bytes_c = Obs.Registry.counter Obs.Registry.global "log.flushed_bytes"
+let fsync_h = Obs.Registry.histogram Obs.Registry.global "log.fsync_us"
+
+(* Group-commit lag: first buffered append -> durable on disk.  The
+   paper's safety story bounds this by the 200 ms sync interval; the
+   histogram shows where it actually sits. *)
+let lag_h = Obs.Registry.histogram Obs.Registry.global "log.commit_lag_us"
 
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
@@ -34,17 +48,30 @@ let flush_now t =
         else begin
           let d = Buffer.contents t.buf in
           Buffer.clear t.buf;
-          Some d
+          let oldest = t.oldest_us in
+          t.oldest_us <- 0L;
+          Some (d, oldest)
         end)
   in
   match data with
   | None -> ()
-  | Some d ->
+  | Some (d, oldest) ->
       Mutex.lock t.io_lock;
       write_all t.fd d;
+      let s = Xutil.Clock.now_ns () in
       Unix.fsync t.fd;
+      let fsync_us =
+        Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) s) / 1000
+      in
       Mutex.unlock t.io_lock;
-      t.nsynced_bytes <- t.nsynced_bytes + String.length d
+      t.nsynced_bytes <- t.nsynced_bytes + String.length d;
+      t.nflushes <- t.nflushes + 1;
+      Obs.Registry.incr flushes_c;
+      Obs.Registry.add flushed_bytes_c (String.length d);
+      Obs.Registry.observe fsync_h fsync_us;
+      if oldest <> 0L then
+        Obs.Registry.observe lag_h
+          (max 0 (Int64.to_int (Int64.sub (Xutil.Clock.wall_us ()) oldest)))
 
 let flusher_loop t () =
   let tick = min 0.01 (t.sync_interval_s /. 4.0) in
@@ -72,6 +99,8 @@ let create ?(buffer_limit = 1 lsl 20) ?(sync_interval_s = 0.2) ?(synchronous = f
       buf = Buffer.create 4096;
       nappended = 0;
       nsynced_bytes = 0;
+      nflushes = 0;
+      oldest_us = 0L;
       sync_interval_s;
       buffer_limit;
       synchronous;
@@ -87,6 +116,7 @@ let append t record =
   let encoded = Logrec.encode_string record in
   let over =
     Xutil.Spinlock.with_lock t.lock (fun () ->
+        if Buffer.length t.buf = 0 then t.oldest_us <- Xutil.Clock.wall_us ();
         Buffer.add_string t.buf encoded;
         t.nappended <- t.nappended + 1;
         Buffer.length t.buf >= t.buffer_limit)
@@ -131,6 +161,11 @@ let path t = t.lpath
 let appended t = t.nappended
 
 let synced_bytes t = t.nsynced_bytes
+
+let flushes t = t.nflushes
+
+(* Racy by design: sampled by an obs gauge while appenders run. *)
+let buffered_bytes t = Buffer.length t.buf
 
 let read_records path =
   let ic = open_in_bin path in

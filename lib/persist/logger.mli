@@ -45,5 +45,18 @@ val appended : t -> int
 val synced_bytes : t -> int
 (** Bytes durably written (for tests and stats). *)
 
+val flushes : t -> int
+(** Completed flush+fsync cycles on this logger.
+
+    Loggers also publish process-wide telemetry into
+    {!Obs.Registry.global}: counters [log.flushes] / [log.flushed_bytes]
+    and histograms [log.fsync_us] (fsync call latency) and
+    [log.commit_lag_us] (first buffered append to durable — the
+    group-commit lag the 200 ms sync interval bounds). *)
+
+val buffered_bytes : t -> int
+(** Bytes currently buffered and not yet flushed (racy estimate; the
+    [Obs] gauge source). *)
+
 val read_records : string -> Logrec.t list * [ `Clean | `Truncated | `Corrupt ]
 (** [read_records path] loads a log file from disk (recovery side). *)

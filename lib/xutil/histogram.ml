@@ -11,10 +11,12 @@ type t = {
   mutable total_count : int;
   mutable total_sum : int;
   mutable maximum : int;
+  mutable minimum : int; (* max_int when empty *)
 }
 
 let create () =
-  { counts = Array.make n_buckets 0; total_count = 0; total_sum = 0; maximum = 0 }
+  { counts = Array.make n_buckets 0; total_count = 0; total_sum = 0; maximum = 0;
+    minimum = max_int }
 
 let bucket_of v =
   let v = if v < 1 then 1 else v in
@@ -42,12 +44,14 @@ let add h v =
   h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
   h.total_count <- h.total_count + 1;
   h.total_sum <- h.total_sum + v;
-  if v > h.maximum then h.maximum <- v
+  if v > h.maximum then h.maximum <- v;
+  if v < h.minimum then h.minimum <- v
 
 let count h = h.total_count
 let total h = h.total_sum
 let mean h = if h.total_count = 0 then 0.0 else float_of_int h.total_sum /. float_of_int h.total_count
 let max_value h = h.maximum
+let min_value h = if h.total_count = 0 then 0 else h.minimum
 
 let percentile h p =
   if h.total_count = 0 then 0
@@ -56,11 +60,17 @@ let percentile h p =
       let t = int_of_float (ceil (p /. 100.0 *. float_of_int h.total_count)) in
       if t < 1 then 1 else if t > h.total_count then h.total_count else t
     in
+    (* Clamp into [minimum, maximum]: a bucket's upper bound can exceed the
+       largest sample it holds, and the overflow bucket's bound can sit
+       *below* a huge clamped sample — either way the true quantile lies
+       within the observed range.  This also makes every percentile of a
+       single-sample histogram exactly that sample. *)
     let rec go idx seen =
       if idx >= n_buckets then h.maximum
       else begin
         let seen = seen + h.counts.(idx) in
-        if seen >= target then min (value_of_bucket idx) h.maximum else go (idx + 1) seen
+        if seen >= target then max h.minimum (min (value_of_bucket idx) h.maximum)
+        else go (idx + 1) seen
       end
     in
     go 0 0
@@ -72,10 +82,12 @@ let merge_into ~dst src =
   done;
   dst.total_count <- dst.total_count + src.total_count;
   dst.total_sum <- dst.total_sum + src.total_sum;
-  if src.maximum > dst.maximum then dst.maximum <- src.maximum
+  if src.maximum > dst.maximum then dst.maximum <- src.maximum;
+  if src.minimum < dst.minimum then dst.minimum <- src.minimum
 
 let clear h =
   Array.fill h.counts 0 n_buckets 0;
   h.total_count <- 0;
   h.total_sum <- 0;
-  h.maximum <- 0
+  h.maximum <- 0;
+  h.minimum <- max_int

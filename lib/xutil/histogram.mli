@@ -18,9 +18,19 @@ val mean : t -> float
 
 val percentile : t -> float -> int
 (** [percentile h p] is an upper bound on the [p]-quantile sample
-    ([p] in \[0,100\]).  Returns 0 when empty. *)
+    ([p] in \[0,100\]): the upper edge of the bucket holding that
+    quantile, clamped into \[[min_value h], [max_value h]\].  The result
+    therefore never exceeds the largest sample and never undershoots the
+    smallest — in particular, on a single-sample histogram every
+    percentile is exactly that sample, even when the sample landed in the
+    overflow bucket.  Returns 0 when empty. *)
 
 val max_value : t -> int
+
+val min_value : t -> int
+(** [min_value h] is the smallest recorded sample (after clamping
+    negatives to 0); 0 when empty. *)
+
 val merge_into : dst:t -> t -> unit
 (** [merge_into ~dst src] adds [src]'s samples into [dst]. *)
 

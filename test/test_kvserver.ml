@@ -16,6 +16,7 @@ let test_codec_roundtrip () =
       Protocol.Remove "gone";
       Protocol.Getrange { start = "s"; count = 17; columns = [ 1 ] };
       Protocol.Getrange_rev { start = ""; count = 3; columns = [] };
+      Protocol.Stats;
     ]
   in
   check_bool "requests" true (Protocol.decode_requests (Protocol.encode_requests reqs) = reqs);
@@ -28,6 +29,7 @@ let test_codec_roundtrip () =
       Protocol.Removed false;
       Protocol.Range [ ("k1", [| "v" |]); ("k2", [||]) ];
       Protocol.Failed "oops";
+      Protocol.Stats_reply Obs.Snapshot.empty;
     ]
   in
   check_bool "responses" true

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "masstree"
     [
       ("xutil", Test_xutil.suite);
+      ("obs", Test_obs.suite);
       ("key", Test_key.suite);
       ("keycodec", Test_keycodec.suite);
       ("permutation", Test_permutation.suite);

@@ -155,7 +155,31 @@ let test_histogram_merge () =
   Xutil.Histogram.add b 1000;
   Xutil.Histogram.merge_into ~dst:a b;
   check_int "merged count" 2 (Xutil.Histogram.count a);
-  check_int "merged max" 1000 (Xutil.Histogram.max_value a)
+  check_int "merged max" 1000 (Xutil.Histogram.max_value a);
+  check_int "merged min" 10 (Xutil.Histogram.min_value a)
+
+(* Pins the mli's percentile contract: results are clamped into
+   [min_value, max_value], so a single-sample histogram reports that
+   sample at every percentile — including samples past the bucket range,
+   whose overflow-bucket upper edge sits *below* the sample. *)
+let test_histogram_single_sample () =
+  List.iter
+    (fun v ->
+      let h = Xutil.Histogram.create () in
+      Xutil.Histogram.add h v;
+      check_int "min = sample" v (Xutil.Histogram.min_value h);
+      check_int "max = sample" v (Xutil.Histogram.max_value h);
+      List.iter
+        (fun p ->
+          check_int
+            (Printf.sprintf "p%.1f of single sample %d" p v)
+            v
+            (Xutil.Histogram.percentile h p))
+        [ 0.0; 0.1; 50.0; 99.0; 99.9; 100.0 ])
+    [ 1; 7; 1000; 123_456_789; max_int / 2 ];
+  let empty = Xutil.Histogram.create () in
+  check_int "empty min" 0 (Xutil.Histogram.min_value empty);
+  check_int "empty percentile" 0 (Xutil.Histogram.percentile empty 50.0)
 
 (* --- Queues, locks, barrier under domains --- *)
 
@@ -279,6 +303,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_binio_strings;
     Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram single sample" `Quick test_histogram_single_sample;
     Alcotest.test_case "mpsc fifo" `Quick test_mpsc_fifo;
     Alcotest.test_case "mpsc concurrent" `Quick test_mpsc_concurrent;
     Alcotest.test_case "spsc ring" `Quick test_spsc_ring;
