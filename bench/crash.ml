@@ -1,0 +1,44 @@
+(* Crash-torture sweep (§5 durability): run the scripted two-incarnation
+   workload on the simulated disk, crashing at every registered failpoint
+   at several hit counts and crash-loss variants, recovering each time and
+   checking the durability contract.  Exits nonzero on any violation, or
+   if fewer crash points fired than the harness is expected to cover. *)
+
+let min_crash_points = 20
+
+let run (_ : Bench_util.scale) =
+  Printf.printf "\n=== crash: systematic crash-point sweep over the persist stack ===\n%!";
+  let t0 = Xutil.Clock.wall_us () in
+  let s = Torture.run_sweep ~seed:42L ~hits:[ 1; 2 ] ~variants:[ 0; 1; 2 ] () in
+  let elapsed_ms = Int64.to_float (Int64.sub (Xutil.Clock.wall_us ()) t0) /. 1000. in
+  let total = List.length s.Torture.cases in
+  let count f = List.length (List.filter f s.Torture.cases) in
+  let crashed = count (fun c -> c.Torture.outcome = Torture.Crashed_ok) in
+  let clean = count (fun c -> c.Torture.outcome = Torture.Clean) in
+  Printf.printf "%-32s %s\n" "crash point" "crashes verified";
+  List.iter
+    (fun (p, n) -> Printf.printf "%-32s %d\n" p n)
+    s.Torture.crash_points;
+  Printf.printf
+    "\n%d cases in %.0f ms: %d crashed+recovered, %d clean (point not reached), %d violations; %d distinct crash points\n"
+    total elapsed_ms crashed clean
+    (List.length s.Torture.violations)
+    (List.length s.Torture.crash_points);
+  List.iter
+    (fun (c : Torture.case) ->
+      match c.outcome with
+      | Torture.Violation errs ->
+          Printf.printf "VIOLATION at %s hit %d variant %d:\n" c.point c.at c.variant;
+          List.iter (fun e -> Printf.printf "  - %s\n" e) errs
+      | _ -> ())
+    s.Torture.violations;
+  if s.Torture.violations <> [] then begin
+    Printf.printf "crash sweep FAILED: durability violations\n";
+    exit 1
+  end;
+  if List.length s.Torture.crash_points < min_crash_points then begin
+    Printf.printf "crash sweep FAILED: only %d crash points fired (expected >= %d)\n"
+      (List.length s.Torture.crash_points) min_crash_points;
+    exit 1
+  end;
+  Printf.printf "crash sweep OK\n%!"

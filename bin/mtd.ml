@@ -36,6 +36,29 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
     if verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
   in
   (try Unix.mkdir data_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* Bind the listen socket(s) before touching any on-disk state: a
+     startup failure like EADDRINUSE must not leave fresh empty log
+     files behind (an empty log used to zero the recovery cutoff and
+     make every record in the other logs unrecoverable). *)
+  let addr =
+    match (unix_sock, listen) with
+    | Some path, _ -> Kvserver.Tcp.Unix_sock path
+    | None, Some hostport -> (
+        match String.index_opt hostport ':' with
+        | Some i ->
+            Kvserver.Tcp.Tcp
+              ( String.sub hostport 0 i,
+                int_of_string (String.sub hostport (i + 1) (String.length hostport - i - 1)) )
+        | None -> Kvserver.Tcp.Tcp (hostport, 7171))
+    | None, None -> Kvserver.Tcp.Tcp ("127.0.0.1", 7171)
+  in
+  let listener =
+    match Kvserver.Tcp.bind addr with
+    | l -> l
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "mtd: cannot listen: %s\n%!" (Unix.error_message e);
+        exit 1
+  in
   (* Recover from any previous incarnation's logs + checkpoints. *)
   let old_logs = find_logs data_dir in
   let old_ckpts = find_checkpoints data_dir in
@@ -60,15 +83,22 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
   let epoch_tag = Int64.to_string (Xutil.Clock.wall_us ()) in
   let logs =
     Array.init n_logs (fun i ->
-        Persist.Logger.create
+        (* idle_markers: an idle worker's log keeps advancing its durable
+           timestamp so it never pins the recovery cutoff in the past. *)
+        Persist.Logger.create ~idle_markers:true
           (Filename.concat data_dir (Printf.sprintf "log-%s-%d" epoch_tag i)))
   in
   let store =
     match recovered with
     | None -> Kvstore.Store.create ~logs ()
     | Some old ->
-        (* Migrate recovered state into the logged store. *)
+        (* Migrate recovered state into the logged store.  The fresh
+           store must continue the old incarnation's version clock: its
+           logs coexist with the old ones until the first checkpoint
+           reclaim, and restarting versions near 1 would let stale
+           high-version records shadow new updates on the next replay. *)
         let s = Kvstore.Store.create ~logs () in
+        Kvstore.Store.ensure_version_above s (Kvstore.Store.max_version old);
         ignore
           (Kvstore.Store.getrange old ~start:"" ~limit:max_int (fun k cols ->
                Kvstore.Store.put s k cols));
@@ -78,19 +108,7 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
      gauges for the index and log buffers come from the store. *)
   Kvstore.Store.register_obs store;
   Obs.Trace.set_threshold_us (Obs.Registry.trace Obs.Registry.global) slow_us;
-  let addr =
-    match (unix_sock, listen) with
-    | Some path, _ -> Kvserver.Tcp.Unix_sock path
-    | None, Some hostport -> (
-        match String.index_opt hostport ':' with
-        | Some i ->
-            Kvserver.Tcp.Tcp
-              ( String.sub hostport 0 i,
-                int_of_string (String.sub hostport (i + 1) (String.length hostport - i - 1)) )
-        | None -> Kvserver.Tcp.Tcp (hostport, 7171))
-    | None, None -> Kvserver.Tcp.Tcp ("127.0.0.1", 7171)
-  in
-  let server = Kvserver.Tcp.serve addr store in
+  let server = Kvserver.Tcp.start listener store in
   (match Kvserver.Tcp.bound_addr server with
   | Kvserver.Tcp.Tcp (h, p) -> Printf.printf "mtd listening on %s:%d\n%!" h p
   | Kvserver.Tcp.Unix_sock p -> Printf.printf "mtd listening on %s\n%!" p);
@@ -152,6 +170,13 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
                     Persist.Logger.rotate l
                       (Filename.concat data_dir (Printf.sprintf "log-%s-%d" tag i)))
                   logs;
+                (* Durable barrier before deleting anything: a marker in
+                   every fresh log pushes the recovery cutoff past the
+                   checkpoint's completion time, so if we crash midway
+                   through the deletions below, recovery selects this
+                   checkpoint instead of depending on the half-deleted
+                   log set. *)
+                Array.iter Persist.Logger.mark logs;
                 let current = Array.to_list (Array.map Persist.Logger.path logs) in
                 List.iter
                   (fun f ->

@@ -1,0 +1,97 @@
+exception Crash of string
+
+type action = Crash_process | Inject_eio
+
+type spec = { at : int; every : int option; action : action }
+
+type t = { pname : string; count : int Atomic.t; mutable spec : spec option }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let reg_lock = Mutex.create ()
+
+(* Fast-path gate: number of currently armed points.  When zero (always,
+   in production) a hit is one atomic increment and one atomic load. *)
+let armed = Atomic.make 0
+
+let crash_hook : (string -> unit) ref = ref (fun _ -> ())
+
+let set_crash_hook f = crash_hook := f
+
+let clear_crash_hook () = crash_hook := fun _ -> ()
+
+let define pname =
+  Mutex.lock reg_lock;
+  let p =
+    match Hashtbl.find_opt registry pname with
+    | Some p -> p
+    | None ->
+        let p = { pname; count = Atomic.make 0; spec = None } in
+        Hashtbl.add registry pname p;
+        p
+  in
+  Mutex.unlock reg_lock;
+  p
+
+let name p = p.pname
+
+let fire p spec n =
+  let due =
+    n = spec.at
+    ||
+    match spec.every with
+    | Some k -> n > spec.at && (n - spec.at) mod k = 0
+    | None -> false
+  in
+  if due then begin
+    match spec.action with
+    | Crash_process ->
+        !crash_hook p.pname;
+        raise (Crash p.pname)
+    | Inject_eio -> raise (Unix.Unix_error (Unix.EIO, "faultsim", p.pname))
+  end
+
+let hit p =
+  let n = 1 + Atomic.fetch_and_add p.count 1 in
+  if Atomic.get armed > 0 then
+    match p.spec with None -> () | Some spec -> fire p spec n
+
+let names () =
+  Mutex.lock reg_lock;
+  let ns = Hashtbl.fold (fun n _ acc -> n :: acc) registry [] in
+  Mutex.unlock reg_lock;
+  List.sort compare ns
+
+let hits pname =
+  Mutex.lock reg_lock;
+  let n =
+    match Hashtbl.find_opt registry pname with
+    | Some p -> Atomic.get p.count
+    | None -> 0
+  in
+  Mutex.unlock reg_lock;
+  n
+
+let arm pname ?every ~at action =
+  let p = define pname in
+  Mutex.lock reg_lock;
+  if p.spec = None then Atomic.incr armed;
+  p.spec <- Some { at; every; action };
+  Mutex.unlock reg_lock
+
+let disarm_all () =
+  Mutex.lock reg_lock;
+  Hashtbl.iter
+    (fun _ p ->
+      if p.spec <> None then begin
+        p.spec <- None;
+        Atomic.decr armed
+      end)
+    registry;
+  Mutex.unlock reg_lock
+
+let reset () =
+  disarm_all ();
+  Mutex.lock reg_lock;
+  Hashtbl.iter (fun _ p -> Atomic.set p.count 0) registry;
+  Mutex.unlock reg_lock

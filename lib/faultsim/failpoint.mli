@@ -1,0 +1,60 @@
+(** Named, deterministic fault-injection points.
+
+    The persist stack declares its crash windows statically with
+    {!define} (e.g. ["log.flush.after_write"], ["ckpt.manifest.begin"])
+    and calls {!hit} when execution passes through one.  Disarmed — the
+    permanent production state — a hit is a single atomic increment.  A
+    torture harness arms a point with {!arm} to either simulate a process
+    crash (raise {!Crash} after running the crash hook, which freezes the
+    simulated disk so no post-crash write can leak into durable state) or
+    inject an I/O error ([Unix.EIO]).
+
+    Hit counting is per point and global; [arm ~at:n] fires on the n-th
+    hit, which makes a crash-point enumeration deterministic for a
+    deterministic workload. *)
+
+type t
+(** A registered point (get one with {!define}). *)
+
+exception Crash of string
+(** Simulated process death at the named point.  Nothing after this point
+    executed; the torture harness catches it, applies the simulated
+    disk's crash loss model, and recovers. *)
+
+type action =
+  | Crash_process  (** run the crash hook, then raise {!Crash}. *)
+  | Inject_eio  (** raise [Unix.Unix_error (EIO, "faultsim", point)]. *)
+
+val define : string -> t
+(** Register (or look up) the point with this name.  Idempotent; points
+    are expected to be defined at module-initialization time so that
+    {!names} enumerates every crash window in the linked program. *)
+
+val name : t -> string
+
+val hit : t -> unit
+(** Mark execution passing through the point; fires its armed action if
+    the hit count matches. *)
+
+val names : unit -> string list
+(** All defined points, sorted. *)
+
+val hits : string -> int
+(** Times the named point has been hit since the last {!reset}. *)
+
+val arm : string -> ?every:int -> at:int -> action -> unit
+(** Fire [action] on the [at]-th hit (1-based) of the named point; with
+    [every:k], also on every k-th hit after that.  Defines the point if
+    needed.  Replaces any previous arming of the point. *)
+
+val disarm_all : unit -> unit
+
+val reset : unit -> unit
+(** Disarm everything and zero all hit counters. *)
+
+val set_crash_hook : (string -> unit) -> unit
+(** Called with the point name just before {!Crash} is raised — from
+    whichever thread hit the point — so the harness can freeze the
+    simulated disk before any concurrent thread writes again. *)
+
+val clear_crash_hook : unit -> unit

@@ -1,0 +1,180 @@
+type sfile = { mutable data : Buffer.t; mutable synced : int }
+
+type t = {
+  lock : Mutex.t;
+  files : (string, sfile) Hashtbl.t;
+  dirs : (string, unit) Hashtbl.t;
+  rng : Xutil.Rng.t;
+  mutable frozen : bool;
+  mutable generation : int; (* bumped at crash; handles check it *)
+  mutable write_chunk : int option;
+  mutable writes : int;
+  mutable fsyncs : int;
+  mutable ncrashes : int;
+}
+
+type stats = { files : int; writes : int; fsyncs : int; crashes : int }
+
+let create ~seed =
+  {
+    lock = Mutex.create ();
+    files = Hashtbl.create 32;
+    dirs = Hashtbl.create 8;
+    rng = Xutil.Rng.create seed;
+    frozen = false;
+    generation = 0;
+    write_chunk = None;
+    writes = 0;
+    fsyncs = 0;
+    ncrashes = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let freeze t = with_lock t (fun () -> t.frozen <- true)
+
+let set_write_chunk t k = with_lock t (fun () -> t.write_chunk <- k)
+
+(* Loss model for one file's volatile suffix.  Three deterministic-from-
+   seed regimes so a sweep over variants covers "everything unsynced
+   lost", "everything survived" (crash before the cache was dropped), and
+   "torn at an arbitrary byte" (the interesting one: a record cut in
+   half). *)
+let surviving_volatile t vol =
+  if vol = 0 then 0
+  else
+    match Xutil.Rng.int t.rng 4 with
+    | 0 -> 0
+    | 1 -> vol
+    | _ -> Xutil.Rng.int t.rng (vol + 1)
+
+let crash t =
+  with_lock t (fun () ->
+      t.ncrashes <- t.ncrashes + 1;
+      t.generation <- t.generation + 1;
+      t.frozen <- false;
+      (* Sort for determinism: hash-table order must not leak into the
+         per-file RNG draws. *)
+      let names = Hashtbl.fold (fun n _ a -> n :: a) t.files [] in
+      List.iter
+        (fun n ->
+          let f = Hashtbl.find t.files n in
+          let len = Buffer.length f.data in
+          let keep = f.synced + surviving_volatile t (len - f.synced) in
+          if keep < len then begin
+            let surv = Buffer.sub f.data 0 keep in
+            let b = Buffer.create (max 64 keep) in
+            Buffer.add_string b surv;
+            f.data <- b
+          end;
+          f.synced <- min f.synced keep)
+        (List.sort compare names))
+
+let open_out t path =
+  with_lock t (fun () ->
+      let gen = t.generation in
+      if not t.frozen then
+        Hashtbl.replace t.files path { data = Buffer.create 256; synced = 0 };
+      let live () = (not t.frozen) && gen = t.generation in
+      {
+        Vfs.write =
+          (fun buf off len ->
+            with_lock t (fun () ->
+                if not (live ()) then len (* dead process: bytes go nowhere *)
+                else begin
+                  let n =
+                    match t.write_chunk with
+                    | Some k -> max 1 (min k len)
+                    | None -> len
+                  in
+                  (match Hashtbl.find_opt t.files path with
+                  | Some f -> Buffer.add_subbytes f.data buf off n
+                  | None -> ());
+                  t.writes <- t.writes + 1;
+                  n
+                end));
+        fsync =
+          (fun () ->
+            with_lock t (fun () ->
+                if live () then begin
+                  (match Hashtbl.find_opt t.files path with
+                  | Some f -> f.synced <- Buffer.length f.data
+                  | None -> ());
+                  t.fsyncs <- t.fsyncs + 1
+                end));
+        close = (fun () -> ());
+      })
+
+let read_file t path =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.files path with
+      | Some f -> Buffer.contents f.data
+      | None -> raise (Sys_error (path ^ ": No such file or directory")))
+
+let exists t path =
+  with_lock t (fun () -> Hashtbl.mem t.files path || Hashtbl.mem t.dirs path)
+
+let mkdir t path =
+  with_lock t (fun () -> if not t.frozen then Hashtbl.replace t.dirs path ())
+
+let readdir t path =
+  with_lock t (fun () ->
+      let under n = Filename.dirname n = path in
+      let acc = ref [] in
+      Hashtbl.iter (fun n _ -> if under n then acc := Filename.basename n :: !acc) t.files;
+      Hashtbl.iter (fun n _ -> if under n then acc := Filename.basename n :: !acc) t.dirs;
+      Array.of_list (List.sort compare !acc))
+
+let remove t path =
+  with_lock t (fun () ->
+      if not t.frozen then begin
+        Hashtbl.remove t.files path;
+        Hashtbl.remove t.dirs path
+      end)
+
+let rename t src dst =
+  with_lock t (fun () ->
+      if not t.frozen then begin
+        match Hashtbl.find_opt t.files src with
+        | Some f ->
+            Hashtbl.remove t.files src;
+            Hashtbl.replace t.files dst f
+        | None -> (
+            match Hashtbl.find_opt t.dirs src with
+            | Some () ->
+                Hashtbl.remove t.dirs src;
+                Hashtbl.replace t.dirs dst ()
+            | None -> raise (Sys_error (src ^ ": No such file or directory")))
+      end)
+
+let vfs t =
+  {
+    Vfs.open_out = open_out t;
+    read_file = read_file t;
+    exists = exists t;
+    mkdir = mkdir t;
+    readdir = readdir t;
+    remove = remove t;
+    rename = rename t;
+  }
+
+let durable_size t path =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.files path with Some f -> f.synced | None -> 0)
+
+let total_size t path =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.files path with
+      | Some f -> Buffer.length f.data
+      | None -> 0)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        files = Hashtbl.length t.files;
+        writes = t.writes;
+        fsyncs = t.fsyncs;
+        crashes = t.ncrashes;
+      })

@@ -1,0 +1,48 @@
+(** In-memory disk model with crash semantics.
+
+    Each file carries its full written content plus a durable watermark:
+    bytes before the watermark survived an [fsync]; bytes after it are
+    volatile (page cache).  {!crash} simulates a machine/process crash:
+    per file, the volatile suffix is either dropped entirely, kept
+    entirely, or torn at an arbitrary byte — chosen deterministically
+    from the model's seed — and every handle opened before the crash
+    goes stale (its writes and fsyncs silently do nothing, like a dead
+    process's).  Metadata (create, rename, remove, mkdir) is modeled as
+    immediately durable, which is the adversarial direction for a
+    durability test: deletions take effect even if the data they orphan
+    was never superseded.
+
+    {!freeze} (normally invoked from the {!Failpoint} crash hook) stops
+    all mutation instantly, so threads still running at the simulated
+    crash instant — checkpoint part writers, the group-commit flusher —
+    cannot move durable state after the "process" died. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val vfs : t -> Vfs.t
+
+val freeze : t -> unit
+(** Stop accepting mutation (writes, fsyncs, creates, deletes become
+    no-ops).  Idempotent; {!crash} unfreezes. *)
+
+val crash : t -> unit
+(** Apply the loss model to every file's volatile bytes, mark all
+    existing handles stale, and unfreeze: the disk now shows exactly the
+    state a restarted process would find. *)
+
+val set_write_chunk : t -> int option -> unit
+(** [set_write_chunk t (Some k)] makes every write return at most [k]
+    bytes — short-write injection to exercise write loops.  [None]
+    restores full writes. *)
+
+val durable_size : t -> string -> int
+(** Durable bytes of a file (0 if absent). *)
+
+val total_size : t -> string -> int
+(** Written bytes including the volatile tail (0 if absent). *)
+
+type stats = { files : int; writes : int; fsyncs : int; crashes : int }
+
+val stats : t -> stats

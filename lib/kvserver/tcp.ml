@@ -39,24 +39,35 @@ let rec accept_loop server () =
         accept_loop server ()
       end
 
-let serve addr store =
+type listener = { lfd : Unix.file_descr; lactual : addr }
+
+let bind addr =
   let domain = match addr with Tcp _ -> Unix.PF_INET | Unix_sock _ -> Unix.PF_UNIX in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   (match addr with
   | Unix_sock path when Sys.file_exists path -> Unix.unlink path
   | _ -> ());
-  Unix.bind fd (sockaddr_of addr);
+  (match Unix.bind fd (sockaddr_of addr) with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
   Unix.listen fd 64;
   let actual =
     match (addr, Unix.getsockname fd) with
     | Tcp (host, _), Unix.ADDR_INET (_, port) -> Tcp (host, port)
     | a, _ -> a
   in
+  { lfd = fd; lactual = actual }
+
+let listener_addr l = l.lactual
+
+let start l store =
   let server =
     {
-      fd;
-      actual;
+      fd = l.lfd;
+      actual = l.lactual;
       stopping = Atomic.make false;
       accept_thread = None;
       store;
@@ -65,6 +76,8 @@ let serve addr store =
   in
   server.accept_thread <- Some (Thread.create (accept_loop server) ());
   server
+
+let serve addr store = start (bind addr) store
 
 let bound_addr s = s.actual
 

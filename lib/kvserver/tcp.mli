@@ -11,7 +11,23 @@ type addr = Tcp of string * int | Unix_sock of string
 type server
 
 val serve : addr -> Kvstore.Store.t -> server
-(** Bind, listen, and start the accept loop in a background thread. *)
+(** Bind, listen, and start the accept loop in a background thread
+    ({!bind} + {!start}). *)
+
+type listener
+
+val bind : addr -> listener
+(** Bind and listen without accepting yet.  Raising here (e.g.
+    [EADDRINUSE]) happens before the caller has created any on-disk
+    state, so a failed startup leaves no empty log files behind — the
+    server daemon binds first and creates its fresh epoch logs only
+    afterwards. *)
+
+val listener_addr : listener -> addr
+(** Actual bound address (resolves port 0). *)
+
+val start : listener -> Kvstore.Store.t -> server
+(** Start the accept loop on an already-bound listener. *)
 
 val bound_addr : server -> addr
 (** Actual address (resolves port 0 to the assigned port). *)

@@ -77,6 +77,8 @@ let close t =
 
 let next_version t = Int64.of_int (Atomic.fetch_and_add t.clock 1)
 
+let max_version t = Int64.of_int (Atomic.get t.clock - 1)
+
 let logger_for t worker =
   if Array.length t.logs = 0 then None
   else Some t.logs.(worker mod Array.length t.logs)
@@ -247,6 +249,14 @@ let bump_clock t version =
   in
   go ()
 
+(* A store populated by copying another store's live bindings (the server
+   daemon's startup migration) must continue the source's version clock:
+   its fresh logs coexist on disk with the previous incarnation's until
+   the first checkpoint reclaim, and if the new store restarted versions
+   near 1, replaying both log sets would let stale high-version records
+   shadow newer acked updates. *)
+let ensure_version_above t version = bump_clock t version
+
 let apply_put t ~key ~version ~columns =
   bump_clock t version;
   ignore
@@ -265,7 +275,7 @@ let apply_remove t ~key ~version =
 
 (* ---- checkpoint / recovery ---- *)
 
-let checkpoint t ~dir ~writers =
+let checkpoint ?vfs t ~dir ~writers =
   let began_us = Xutil.Clock.wall_us () in
   (* Pull-based snapshot stream: the scan runs concurrently with normal
      operation; each entry is some committed version of its key. *)
@@ -288,7 +298,7 @@ let checkpoint t ~dir ~writers =
             remaining := rest;
             Some e)
   in
-  Persist.Checkpoint.write ~dir ~writers ~began_us next
+  Persist.Checkpoint.write ?vfs ~dir ~writers ~began_us next
 
 let sweep_tombstones t =
   let tombs = ref [] in
@@ -297,10 +307,10 @@ let sweep_tombstones t =
          match v.scontent with None -> tombs := k :: !tombs | Some _ -> ()));
   List.iter (fun k -> ignore (Tree.remove t.tree k)) !tombs
 
-let recover ?logs ?layout ?replay_domains ~log_paths ~checkpoint_dirs () =
+let recover ?vfs ?logs ?layout ?replay_domains ~log_paths ~checkpoint_dirs () =
   let t = create ?logs ?layout () in
   match
-    Persist.Recovery.recover ?replay_domains ~log_paths ~checkpoint_dirs
+    Persist.Recovery.recover ?vfs ?replay_domains ~log_paths ~checkpoint_dirs
       ~put:(fun ~key ~version ~columns -> apply_put t ~key ~version ~columns)
       ~remove:(fun ~key ~version -> apply_remove t ~key ~version)
       ()

@@ -85,12 +85,16 @@ val register_obs : t -> unit
 
 (** {1 Persistence (§5)} *)
 
-val checkpoint : t -> dir:string -> writers:int -> (string, string) result
+val checkpoint :
+  ?vfs:Faultsim.Vfs.t -> t -> dir:string -> writers:int -> (string, string) result
 (** Dump a consistent-enough snapshot (the paper's checkpoints run
     concurrently with writers; each key's entry is some committed
-    version) and return the manifest path. *)
+    version) and return the manifest path.  [vfs] (default: the real
+    filesystem) is how the crash-torture harness redirects checkpoint
+    I/O onto a simulated disk. *)
 
 val recover :
+  ?vfs:Faultsim.Vfs.t ->
   ?logs:Persist.Logger.t array ->
   ?layout:layout ->
   ?replay_domains:int ->
@@ -104,6 +108,16 @@ val recover :
 val check : t -> (unit, string) result
 (** Deep structural check of the underlying index (quiescent callers
     only); see {!Masstree_core.Tree.check}. *)
+
+val max_version : t -> int64
+(** Largest version this store has issued or observed. *)
+
+val ensure_version_above : t -> int64 -> unit
+(** Make every future version exceed [version].  A store populated by
+    migrating another store's bindings (the daemon's startup path) must
+    inherit the source's clock, or records in the previous incarnation's
+    still-present logs would out-version — and silently shadow — newer
+    updates during a subsequent recovery. *)
 
 (** {1 Internal (replay + tests)} *)
 

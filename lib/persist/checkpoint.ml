@@ -8,6 +8,20 @@ type manifest = { began : int64; finished : int64; parts : string list }
 
 let part_magic = 0x4D545054 (* "MTPT" *)
 
+(* Crash windows (lib/faultsim): the part-writer path runs in worker
+   threads, the manifest path in the caller.  A crash before
+   [ckpt.manifest.begin] leaves a directory with no manifest, which
+   recovery ignores — the paper's "latest checkpoint that completed"
+   rule. *)
+let fp_begin = Faultsim.Failpoint.define "ckpt.begin"
+let fp_part_open = Faultsim.Failpoint.define "ckpt.part.open"
+let fp_part_write_chunk = Faultsim.Failpoint.define "ckpt.part.write_chunk"
+let fp_part_after_write = Faultsim.Failpoint.define "ckpt.part.after_write"
+let fp_part_after_fsync = Faultsim.Failpoint.define "ckpt.part.after_fsync"
+let fp_manifest_begin = Faultsim.Failpoint.define "ckpt.manifest.begin"
+let fp_manifest_after_write = Faultsim.Failpoint.define "ckpt.manifest.after_write"
+let fp_manifest_after_fsync = Faultsim.Failpoint.define "ckpt.manifest.after_fsync"
+
 let encode_entry w e =
   let pw = Binio.writer () in
   Binio.write_u64 pw e.version;
@@ -49,15 +63,17 @@ let decode_entries data =
   in
   go 0 []
 
-let write ~dir ~writers ~began_us next =
+let write ?(vfs = Faultsim.Vfs.real) ~dir ~writers ~began_us next =
   assert (writers >= 1);
-  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  vfs.Faultsim.Vfs.mkdir dir;
+  Faultsim.Failpoint.hit fp_begin;
   let part_name i = Printf.sprintf "part-%03d" i in
   let errors = Atomic.make None in
   let worker i () =
     try
       let path = Filename.concat dir (part_name i) in
-      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      let file = vfs.Faultsim.Vfs.open_out path in
+      Faultsim.Failpoint.hit fp_part_open;
       let w = Binio.writer ~capacity:(1 lsl 16) () in
       Binio.write_u32 w part_magic;
       let rec drain () =
@@ -68,23 +84,17 @@ let write ~dir ~writers ~began_us next =
             if Binio.length w > 1 lsl 20 then begin
               let data = Binio.contents w in
               Binio.reset w;
-              let b = Bytes.of_string data in
-              let rec put off =
-                if off < Bytes.length b then put (off + Unix.write fd b off (Bytes.length b - off))
-              in
-              put 0
+              Faultsim.Failpoint.hit fp_part_write_chunk;
+              Faultsim.Vfs.write_all file data
             end;
             drain ()
       in
       drain ();
-      let data = Binio.contents w in
-      let b = Bytes.of_string data in
-      let rec put off =
-        if off < Bytes.length b then put (off + Unix.write fd b off (Bytes.length b - off))
-      in
-      put 0;
-      Unix.fsync fd;
-      Unix.close fd
+      Faultsim.Vfs.write_all file (Binio.contents w);
+      Faultsim.Failpoint.hit fp_part_after_write;
+      file.Faultsim.Vfs.fsync ();
+      Faultsim.Failpoint.hit fp_part_after_fsync;
+      file.Faultsim.Vfs.close ()
     with e -> ignore (Atomic.compare_and_set errors None (Some (Printexc.to_string e)))
   in
   let threads = List.init writers (fun i -> Thread.create (worker i) ()) in
@@ -93,6 +103,7 @@ let write ~dir ~writers ~began_us next =
   | Some e -> Error e
   | None ->
       (* All parts durable: publish the manifest. *)
+      Faultsim.Failpoint.hit fp_manifest_begin;
       let finished = Clock.wall_us () in
       let w = Binio.writer () in
       Binio.write_u64 w began_us;
@@ -102,32 +113,23 @@ let write ~dir ~writers ~began_us next =
       let payload = Binio.contents w in
       let crc = Crc32c.mask (Crc32c.digest_string payload) in
       let mpath = Filename.concat dir manifest_file in
-      let fd = Unix.openfile mpath [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      let file = vfs.Faultsim.Vfs.open_out mpath in
       let fw = Binio.writer () in
       Binio.write_u32 fw (Int32.to_int crc land 0xFFFFFFFF);
       Binio.write_u32 fw (String.length payload);
       Binio.write_raw fw payload;
-      let b = Bytes.of_string (Binio.contents fw) in
-      let rec put off =
-        if off < Bytes.length b then put (off + Unix.write fd b off (Bytes.length b - off))
-      in
-      put 0;
-      Unix.fsync fd;
-      Unix.close fd;
+      Faultsim.Vfs.write_all file (Binio.contents fw);
+      Faultsim.Failpoint.hit fp_manifest_after_write;
+      file.Faultsim.Vfs.fsync ();
+      Faultsim.Failpoint.hit fp_manifest_after_fsync;
+      file.Faultsim.Vfs.close ();
       Ok mpath
 
-let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let data = really_input_string ic len in
-  close_in ic;
-  data
-
-let read_manifest ~dir =
+let read_manifest ?(vfs = Faultsim.Vfs.real) ~dir () =
   let mpath = Filename.concat dir manifest_file in
-  if not (Sys.file_exists mpath) then Error "no manifest"
+  if not (vfs.Faultsim.Vfs.exists mpath) then Error "no manifest"
   else begin
-    match read_file mpath with
+    match vfs.Faultsim.Vfs.read_file mpath with
     | exception e -> Error (Printexc.to_string e)
     | data -> (
         if String.length data < 8 then Error "manifest too short"
@@ -185,12 +187,12 @@ let iter_part data f =
   in
   go 0 0
 
-let iter_entries ~dir m f =
+let iter_entries ?(vfs = Faultsim.Vfs.real) ~dir m f =
   let rec go parts n =
     match parts with
     | [] -> Ok n
     | p :: rest -> (
-        match read_file (Filename.concat dir p) with
+        match vfs.Faultsim.Vfs.read_file (Filename.concat dir p) with
         | exception e -> Error (Printexc.to_string e)
         | data ->
             if String.length data < 4 then Error "part too short"
@@ -207,12 +209,12 @@ let iter_entries ~dir m f =
   in
   go m.parts 0
 
-let read_entries ~dir m =
+let read_entries ?(vfs = Faultsim.Vfs.real) ~dir m =
   let rec go parts acc =
     match parts with
     | [] -> Ok (List.concat (List.rev acc))
     | p :: rest -> (
-        match read_file (Filename.concat dir p) with
+        match vfs.Faultsim.Vfs.read_file (Filename.concat dir p) with
         | exception e -> Error (Printexc.to_string e)
         | data ->
             if String.length data < 4 then Error "part too short"
@@ -229,8 +231,8 @@ let read_entries ~dir m =
   in
   go m.parts []
 
-let load ~dir =
-  match read_manifest ~dir with
+let load ?vfs ~dir () =
+  match read_manifest ?vfs ~dir () with
   | Error e -> Error e
   | Ok m -> (
-      match read_entries ~dir m with Ok es -> Ok (m, es) | Error e -> Error e)
+      match read_entries ?vfs ~dir m with Ok es -> Ok (m, es) | Error e -> Error e)

@@ -8,11 +8,17 @@
     must resume from) and completion marker; a crash mid-checkpoint leaves
     no manifest and recovery falls back to the previous checkpoint, which
     is exactly the paper's "latest valid checkpoint that completed before
-    the log recovery time" rule. *)
+    the log recovery time" rule.
+
+    All I/O goes through an optional {!Faultsim.Vfs.t} (default: the real
+    filesystem) and passes named {!Faultsim.Failpoint} crash windows
+    ([ckpt.begin], [ckpt.part.*], [ckpt.manifest.*]) for the torture
+    harness. *)
 
 type entry = { key : string; version : int64; columns : string array }
 
 val write :
+  ?vfs:Faultsim.Vfs.t ->
   dir:string ->
   writers:int ->
   began_us:int64 ->
@@ -26,17 +32,25 @@ val manifest_file : string
 
 type manifest = { began : int64; finished : int64; parts : string list }
 
-val read_manifest : dir:string -> (manifest, string) result
+val read_manifest :
+  ?vfs:Faultsim.Vfs.t -> dir:string -> unit -> (manifest, string) result
 
-val read_entries : dir:string -> manifest -> (entry list, string) result
+val read_entries :
+  ?vfs:Faultsim.Vfs.t -> dir:string -> manifest -> (entry list, string) result
 (** Load and CRC-verify all parts. *)
 
-val iter_entries : dir:string -> manifest -> (entry -> unit) -> (int, string) result
+val iter_entries :
+  ?vfs:Faultsim.Vfs.t ->
+  dir:string ->
+  manifest ->
+  (entry -> unit) ->
+  (int, string) result
 (** Stream entries to the callback one at a time, part by part — recovery
     of large checkpoints without materializing the entry list.  Returns
     the number of entries applied; stops with [Error] at the first
     corrupt record (after the callback has seen the valid prefix of each
     earlier part). *)
 
-val load : dir:string -> (manifest * entry list, string) result
+val load :
+  ?vfs:Faultsim.Vfs.t -> dir:string -> unit -> (manifest * entry list, string) result
 (** [read_manifest] + [read_entries]. *)

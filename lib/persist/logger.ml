@@ -1,7 +1,8 @@
 type t = {
+  vfs : Faultsim.Vfs.t;
   mutable lpath : string;
-  mutable fd : Unix.file_descr;
-  io_lock : Mutex.t; (* serializes fd writes/fsync with rotation *)
+  mutable file : Faultsim.Vfs.file;
+  io_lock : Mutex.t; (* serializes file writes/fsync with rotation *)
   lock : Xutil.Spinlock.t;
   buf : Buffer.t;
   mutable nappended : int;
@@ -11,6 +12,7 @@ type t = {
   sync_interval_s : float;
   buffer_limit : int;
   synchronous : bool;
+  idle_markers : bool;
   stop : bool Atomic.t;
   flush_request : bool Atomic.t;
   mutable flusher : Thread.t option;
@@ -28,16 +30,17 @@ let fsync_h = Obs.Registry.histogram Obs.Registry.global "log.fsync_us"
    histogram shows where it actually sits. *)
 let lag_h = Obs.Registry.histogram Obs.Registry.global "log.commit_lag_us"
 
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let len = Bytes.length b in
-  let rec go off =
-    if off < len then begin
-      let n = Unix.write fd b off (len - off) in
-      go (off + n)
-    end
-  in
-  go 0
+(* Crash windows (lib/faultsim).  Disarmed these cost one atomic
+   increment; the torture harness arms them to die mid-flush or
+   mid-rotation. *)
+let fp_append = Faultsim.Failpoint.define "log.append"
+let fp_flush_begin = Faultsim.Failpoint.define "log.flush.begin"
+let fp_flush_after_write = Faultsim.Failpoint.define "log.flush.after_write"
+let fp_flush_after_fsync = Faultsim.Failpoint.define "log.flush.after_fsync"
+let fp_rotate_begin = Faultsim.Failpoint.define "log.rotate.begin"
+let fp_rotate_after_drain = Faultsim.Failpoint.define "log.rotate.after_drain"
+let fp_rotate_after_fsync = Faultsim.Failpoint.define "log.rotate.after_fsync"
+let fp_rotate_after_open = Faultsim.Failpoint.define "log.rotate.after_open"
 
 (* Swap the buffer out under the lock, write + fsync outside it so
    appenders are never blocked on the disk. *)
@@ -57,13 +60,18 @@ let flush_now t =
   | None -> ()
   | Some (d, oldest) ->
       Mutex.lock t.io_lock;
-      write_all t.fd d;
-      let s = Xutil.Clock.now_ns () in
-      Unix.fsync t.fd;
       let fsync_us =
-        Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) s) / 1000
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.io_lock)
+          (fun () ->
+            Faultsim.Failpoint.hit fp_flush_begin;
+            Faultsim.Vfs.write_all t.file d;
+            Faultsim.Failpoint.hit fp_flush_after_write;
+            let s = Xutil.Clock.now_ns () in
+            t.file.Faultsim.Vfs.fsync ();
+            Faultsim.Failpoint.hit fp_flush_after_fsync;
+            Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) s) / 1000)
       in
-      Mutex.unlock t.io_lock;
       t.nsynced_bytes <- t.nsynced_bytes + String.length d;
       t.nflushes <- t.nflushes + 1;
       Obs.Registry.incr flushes_c;
@@ -72,6 +80,14 @@ let flush_now t =
       if oldest <> 0L then
         Obs.Registry.observe lag_h
           (max 0 (Int64.to_int (Int64.sub (Xutil.Clock.wall_us ()) oldest)))
+
+let append_record t record =
+  let encoded = Logrec.encode_string record in
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      if Buffer.length t.buf = 0 then t.oldest_us <- Xutil.Clock.wall_us ();
+      Buffer.add_string t.buf encoded;
+      t.nappended <- t.nappended + 1;
+      Buffer.length t.buf >= t.buffer_limit)
 
 let flusher_loop t () =
   let tick = min 0.01 (t.sync_interval_s /. 4.0) in
@@ -82,18 +98,28 @@ let flusher_loop t () =
     let due = now -. !last_sync >= t.sync_interval_s in
     if due || Atomic.get t.flush_request then begin
       Atomic.set t.flush_request false;
+      (* An idle log regresses the recovery cutoff: its last record's
+         timestamp falls further and further behind the other logs,
+         and the min-over-logs cutoff would discard their newer durable
+         updates.  When enabled, write a sync marker instead of skipping
+         the flush, so every log's durable horizon keeps advancing. *)
+      if t.idle_markers && Buffer.length t.buf = 0 then
+        ignore (append_record t (Logrec.Marker { timestamp = Xutil.Clock.wall_us () }));
       flush_now t;
       last_sync := now
     end
   done;
   flush_now t
 
-let create ?(buffer_limit = 1 lsl 20) ?(sync_interval_s = 0.2) ?(synchronous = false) path =
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+let create ?(vfs = Faultsim.Vfs.real) ?(buffer_limit = 1 lsl 20)
+    ?(sync_interval_s = 0.2) ?(synchronous = false) ?(manual = false)
+    ?(idle_markers = false) path =
+  let file = vfs.Faultsim.Vfs.open_out path in
   let t =
     {
+      vfs;
       lpath = path;
-      fd;
+      file;
       io_lock = Mutex.create ();
       lock = Xutil.Spinlock.create ();
       buf = Buffer.create 4096;
@@ -104,57 +130,74 @@ let create ?(buffer_limit = 1 lsl 20) ?(sync_interval_s = 0.2) ?(synchronous = f
       sync_interval_s;
       buffer_limit;
       synchronous;
+      idle_markers;
       stop = Atomic.make false;
       flush_request = Atomic.make false;
       flusher = None;
     }
   in
-  if not synchronous then t.flusher <- Some (Thread.create (flusher_loop t) ());
+  if not (synchronous || manual) then
+    t.flusher <- Some (Thread.create (flusher_loop t) ());
   t
 
 let append t record =
-  let encoded = Logrec.encode_string record in
-  let over =
-    Xutil.Spinlock.with_lock t.lock (fun () ->
-        if Buffer.length t.buf = 0 then t.oldest_us <- Xutil.Clock.wall_us ();
-        Buffer.add_string t.buf encoded;
-        t.nappended <- t.nappended + 1;
-        Buffer.length t.buf >= t.buffer_limit)
-  in
+  Faultsim.Failpoint.hit fp_append;
+  let over = append_record t record in
   if t.synchronous then flush_now t
   else if over then Atomic.set t.flush_request true
 
 let sync t = flush_now t
 
+let mark t =
+  append t (Logrec.Marker { timestamp = Xutil.Clock.wall_us () });
+  flush_now t
+
 let rotate t new_path =
   (* The buffer lock stops appends from slipping between draining the old
      file and switching to the new one; the io lock waits out any
-     in-flight background flush against the old fd. *)
+     in-flight background flush against the old file. *)
   Xutil.Spinlock.with_lock t.lock (fun () ->
       Mutex.lock t.io_lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.io_lock)
         (fun () ->
+          Faultsim.Failpoint.hit fp_rotate_begin;
           if Buffer.length t.buf > 0 then begin
             let d = Buffer.contents t.buf in
             Buffer.clear t.buf;
-            write_all t.fd d;
+            Faultsim.Vfs.write_all t.file d;
             t.nsynced_bytes <- t.nsynced_bytes + String.length d
           end;
-          Unix.fsync t.fd;
-          Unix.close t.fd;
-          t.fd <- Unix.openfile new_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644;
-          t.lpath <- new_path))
+          Faultsim.Failpoint.hit fp_rotate_after_drain;
+          (* Seal the outgoing file: nothing can ever be appended to it
+             again (appends racing this rotation land in the new file),
+             so it is complete and recovery must exempt it from the
+             cutoff.  Without this, a crash that interrupts deleting
+             rotated-away files leaves them pinning the cutoff below the
+             checkpoint that superseded them, and recovery falls back to
+             an older checkpoint — resurrecting removes whose records
+             sat in an already-deleted sibling log. *)
+          let s =
+            Logrec.encode_string (Logrec.Seal { timestamp = Xutil.Clock.wall_us () })
+          in
+          Faultsim.Vfs.write_all t.file s;
+          t.nsynced_bytes <- t.nsynced_bytes + String.length s;
+          t.file.Faultsim.Vfs.fsync ();
+          Faultsim.Failpoint.hit fp_rotate_after_fsync;
+          t.file.Faultsim.Vfs.close ();
+          t.file <- t.vfs.Faultsim.Vfs.open_out new_path;
+          t.lpath <- new_path;
+          Faultsim.Failpoint.hit fp_rotate_after_open))
 
 let seal t =
-  append t (Logrec.Marker { timestamp = Xutil.Clock.wall_us () });
+  append t (Logrec.Seal { timestamp = Xutil.Clock.wall_us () });
   flush_now t
 
 let close t =
   Atomic.set t.stop true;
   (match t.flusher with Some th -> Thread.join th | None -> ());
   flush_now t;
-  Unix.close t.fd
+  t.file.Faultsim.Vfs.close ()
 
 let path t = t.lpath
 
@@ -167,9 +210,13 @@ let flushes t = t.nflushes
 (* Racy by design: sampled by an obs gauge while appenders run. *)
 let buffered_bytes t = Buffer.length t.buf
 
-let read_records path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let data = really_input_string ic len in
-  close_in ic;
-  Logrec.decode_all data
+type tail = { ending : [ `Clean | `Truncated | `Corrupt ]; skipped_bytes : int }
+
+let read_records_full ?(vfs = Faultsim.Vfs.real) path =
+  let data = vfs.Faultsim.Vfs.read_file path in
+  let records, ending, consumed = Logrec.decode_all_counted data in
+  (records, { ending; skipped_bytes = String.length data - consumed })
+
+let read_records ?vfs path =
+  let records, tail = read_records_full ?vfs path in
+  (records, tail.ending)

@@ -5,17 +5,37 @@
     into an in-memory buffer and returns — the paper's puts respond to the
     client without forcing the log.  A background flusher thread writes
     buffers out in batches and fsyncs at least every [sync_interval]
-    (default 200 ms, the paper's safety bound). *)
+    (default 200 ms, the paper's safety bound).
+
+    All disk I/O goes through a {!Faultsim.Vfs.t} (default
+    {!Faultsim.Vfs.real}, a thin [Unix] wrapper), and the flush/rotate
+    paths pass through named {!Faultsim.Failpoint} crash windows
+    ([log.append], [log.flush.*], [log.rotate.*]) — disarmed in
+    production, armed by the crash-torture harness. *)
 
 type t
 
 val create :
-  ?buffer_limit:int -> ?sync_interval_s:float -> ?synchronous:bool -> string -> t
+  ?vfs:Faultsim.Vfs.t ->
+  ?buffer_limit:int ->
+  ?sync_interval_s:float ->
+  ?synchronous:bool ->
+  ?manual:bool ->
+  ?idle_markers:bool ->
+  string ->
+  t
 (** [create path] opens (creating or truncating) a log at [path] and
     starts its flusher.  [buffer_limit] (default 1 MiB) forces a flush
     when exceeded.  [synchronous] (default false) makes every append
     flush+fsync before returning — used by tests and the durability
-    comparison bench. *)
+    comparison bench.  [manual] (default false) starts no flusher
+    thread: nothing reaches disk until an explicit {!sync}/{!mark}/
+    {!seal} — the crash-torture harness uses this to place group-commit
+    barriers deterministically.  [idle_markers] (default false) makes the
+    background flusher write a {!Logrec.Marker} when a sync interval
+    elapses with nothing buffered, so an idle log keeps advancing its
+    durable timestamp instead of pinning the recovery cutoff in the past
+    (the server daemon enables this). *)
 
 val append : t -> Logrec.t -> unit
 (** Thread-safe; returns after buffering. *)
@@ -23,16 +43,27 @@ val append : t -> Logrec.t -> unit
 val sync : t -> unit
 (** Force everything appended so far to stable storage. *)
 
+val mark : t -> unit
+(** Append a {!Logrec.Marker} with the current time and sync.  A durable
+    group-commit barrier: after [mark] on every log, the recovery cutoff
+    cannot fall below this instant, so everything synced earlier is
+    guaranteed to be replayed.  The server daemon marks its fresh logs
+    after a checkpoint-rotate before deleting the superseded files. *)
+
 val seal : t -> unit
-(** Append a {!Logrec.Marker} with the current time and sync: clean
-    shutdown, after which recovery's cutoff cannot discard anything
-    already in this log set. *)
+(** Append a {!Logrec.Seal} and sync: clean shutdown.  A sealed log is
+    complete — recovery exempts it from the cutoff computation, so stale
+    sealed logs from an earlier incarnation can never discard a newer
+    log's records. *)
 
 val rotate : t -> string -> unit
 (** [rotate l new_path] atomically (with respect to concurrent appends)
-    flushes and closes the current file and continues logging into
+    flushes, seals and closes the current file and continues logging into
     [new_path].  With checkpoints this is how log space is reclaimed
-    (§5): checkpoint, rotate, delete the pre-checkpoint files. *)
+    (§5): checkpoint, rotate, delete the pre-checkpoint files.  The seal
+    matters for crash safety: a rotated-away file is complete, and if a
+    crash interrupts the deletions it must not pin the recovery cutoff
+    below the checkpoint that superseded it. *)
 
 val close : t -> unit
 (** Flush, sync, stop the flusher, close the file. *)
@@ -58,5 +89,14 @@ val buffered_bytes : t -> int
 (** Bytes currently buffered and not yet flushed (racy estimate; the
     [Obs] gauge source). *)
 
-val read_records : string -> Logrec.t list * [ `Clean | `Truncated | `Corrupt ]
-(** [read_records path] loads a log file from disk (recovery side). *)
+type tail = { ending : [ `Clean | `Truncated | `Corrupt ]; skipped_bytes : int }
+
+val read_records_full :
+  ?vfs:Faultsim.Vfs.t -> string -> Logrec.t list * tail
+(** [read_records_full path] loads a log file (recovery side): the valid
+    record prefix plus how the file ended and how many trailing bytes
+    (torn or corrupt) were skipped. *)
+
+val read_records :
+  ?vfs:Faultsim.Vfs.t -> string -> Logrec.t list * [ `Clean | `Truncated | `Corrupt ]
+(** {!read_records_full} without the byte accounting. *)

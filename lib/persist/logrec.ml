@@ -4,19 +4,26 @@ type t =
   | Put of { key : string; version : int64; timestamp : int64; columns : string array }
   | Remove of { key : string; version : int64; timestamp : int64 }
   | Marker of { timestamp : int64 }
+  | Seal of { timestamp : int64 }
 
 let timestamp = function
-  | Put { timestamp; _ } | Remove { timestamp; _ } | Marker { timestamp } -> timestamp
+  | Put { timestamp; _ } | Remove { timestamp; _ } | Marker { timestamp } | Seal { timestamp }
+    ->
+      timestamp
 
-let version = function Put { version; _ } | Remove { version; _ } -> version | Marker _ -> 0L
+let version = function
+  | Put { version; _ } | Remove { version; _ } -> version
+  | Marker _ | Seal _ -> 0L
 
-let key = function Put { key; _ } | Remove { key; _ } -> key | Marker _ -> ""
+let key = function Put { key; _ } | Remove { key; _ } -> key | Marker _ | Seal _ -> ""
 
 let put_kind = 1
 
 let remove_kind = 2
 
 let marker_kind = 3
+
+let seal_kind = 4
 
 let encode_payload w r =
   match r with
@@ -34,6 +41,9 @@ let encode_payload w r =
       Binio.write_string w key
   | Marker { timestamp } ->
       Binio.write_u8 w marker_kind;
+      Binio.write_u64 w timestamp
+  | Seal { timestamp } ->
+      Binio.write_u8 w seal_kind;
       Binio.write_u64 w timestamp
 
 let encode w r =
@@ -57,6 +67,7 @@ let decode_payload payload =
   let kind = Binio.read_u8 r in
   let timestamp = Binio.read_u64 r in
   if kind = marker_kind then Marker { timestamp }
+  else if kind = seal_kind then Seal { timestamp }
   else begin
   let version = Binio.read_u64 r in
   let key = Binio.read_string r in
@@ -89,13 +100,17 @@ let decode buf ~pos =
     end
   end
 
-let decode_all buf =
+let decode_all_counted buf =
   let rec go pos acc =
-    if pos >= String.length buf then (List.rev acc, `Clean)
+    if pos >= String.length buf then (List.rev acc, `Clean, pos)
     else
       match decode buf ~pos with
       | Record (r, consumed) -> go (pos + consumed) (r :: acc)
-      | Need_more -> (List.rev acc, `Truncated)
-      | Corrupt -> (List.rev acc, `Corrupt)
+      | Need_more -> (List.rev acc, `Truncated, pos)
+      | Corrupt -> (List.rev acc, `Corrupt, pos)
   in
   go 0 []
+
+let decode_all buf =
+  let records, ending, _consumed = decode_all_counted buf in
+  (records, ending)

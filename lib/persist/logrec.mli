@@ -19,16 +19,20 @@ type t =
   | Remove of { key : string; version : int64; timestamp : int64 }
   | Marker of { timestamp : int64 }
       (** Sync marker: carries no update, only advances the log's last
-          timestamp.  Sealing a log on clean shutdown with a marker keeps
-          the recovery cutoff from discarding durable updates that merely
-          happen to be the newest in the whole set of logs. *)
+          timestamp, so an idle log does not pin the recovery cutoff in
+          the past and discard other logs' durable updates. *)
+  | Seal of { timestamp : int64 }
+      (** Terminal marker written on clean close.  A log whose last valid
+          record is a seal is {e complete} — nothing was ever appended
+          after it — so recovery exempts it from the cutoff computation
+          entirely instead of constraining the cutoff at its seal time. *)
 
 val timestamp : t -> int64
 val version : t -> int64
-(** 0 for markers. *)
+(** 0 for markers and seals. *)
 
 val key : t -> string
-(** "" for markers. *)
+(** "" for markers and seals. *)
 
 val encode : Xutil.Binio.writer -> t -> unit
 (** [encode w r] appends the framed record to [w]. *)
@@ -46,3 +50,9 @@ val decode : string -> pos:int -> decode_result
 val decode_all : string -> t list * [ `Clean | `Truncated | `Corrupt ]
 (** [decode_all buf] reads records until the end of buffer, a truncated
     tail, or corruption; returns the good prefix and how it ended. *)
+
+val decode_all_counted :
+  string -> t list * [ `Clean | `Truncated | `Corrupt ] * int
+(** Like {!decode_all} but also returns how many bytes of valid prefix
+    were consumed, so callers can report how much of a torn tail was
+    skipped. *)

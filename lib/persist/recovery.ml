@@ -4,27 +4,63 @@ type stats = {
   records_applied : int;
   records_dropped_after_cutoff : int;
   corrupt_tails : int;
+  torn_records : int;
+  skipped_bytes : int;
   cutoff : int64;
   checkpoint_entries : int;
+  checkpoint_dir : string option;
 }
 
+(* Last-recovery tail damage, surfaced as gauges so a server's Stats
+   output shows what replay had to skip. *)
+let last_torn = ref 0
+
+let last_skipped = ref 0
+
+let () =
+  Obs.Registry.gauge Obs.Registry.global "recovery.torn_records" (fun () -> !last_torn);
+  Obs.Registry.gauge Obs.Registry.global "recovery.skipped_bytes" (fun () -> !last_skipped)
+
+let fp_begin = Faultsim.Failpoint.define "recovery.begin"
+let fp_logs_read = Faultsim.Failpoint.define "recovery.logs_read"
+let fp_ckpt_loaded = Faultsim.Failpoint.define "recovery.checkpoint_loaded"
+let fp_mid_replay = Faultsim.Failpoint.define "recovery.mid_replay"
+let fp_done = Faultsim.Failpoint.define "recovery.done"
+
+(* What a log's contents say about the global replay cutoff.  [None]
+   means the log constrains nothing:
+
+   - An {e empty} log lost nothing (it never had a synced record), so it
+     must not drag the cutoff to 0 — the pre-fix behavior that made a
+     crash-before-first-flush discard every other log's records (the
+     ROADMAP data-loss hazard).
+   - A log whose last valid record is a {!Logrec.Seal} is {e complete}:
+     nothing was ever appended after the seal, so no suffix can be
+     missing.  Without this, a stale sealed log from a dead incarnation
+     pins the cutoff at its seal time and discards newer incarnations'
+     durable records (e.g. a crash midway through post-checkpoint log
+     reclamation). *)
+let log_bound records =
+  match records with
+  | [] -> None
+  | _ -> (
+      let last = List.nth records (List.length records - 1) in
+      match last with
+      | Logrec.Seal _ -> None
+      | _ ->
+          Some (List.fold_left (fun m r -> max m (Logrec.timestamp r)) 0L records))
+
 let cutoff_of_logs logs =
-  match logs with
-  | [] -> Int64.max_int
-  | _ ->
-      List.fold_left
-        (fun acc records ->
-          let last =
-            List.fold_left (fun m r -> max m (Logrec.timestamp r)) 0L records
-          in
-          min acc last)
-        Int64.max_int logs
+  List.fold_left
+    (fun acc records ->
+      match log_bound records with None -> acc | Some b -> min acc b)
+    Int64.max_int logs
 
 (* Latest checkpoint that completed before the cutoff. *)
-let pick_checkpoint dirs cutoff =
+let pick_checkpoint ?vfs dirs cutoff =
   List.fold_left
     (fun best dir ->
-      match Checkpoint.read_manifest ~dir with
+      match Checkpoint.read_manifest ?vfs ~dir () with
       | Error _ -> best
       | Ok m ->
           if Int64.compare m.finished cutoff <= 0 then begin
@@ -35,81 +71,101 @@ let pick_checkpoint dirs cutoff =
           else best)
     None dirs
 
-let recover ?replay_domains ~log_paths ~checkpoint_dirs ~put ~remove () =
-  let corrupt = ref 0 in
+let recover ?vfs ?replay_domains ~log_paths ~checkpoint_dirs ~put ~remove () =
+  Faultsim.Failpoint.hit fp_begin;
+  let corrupt = ref 0 and torn = ref 0 and skipped = ref 0 in
   let logs =
     List.map
       (fun p ->
-        let records, ending = Logger.read_records p in
-        (match ending with `Corrupt | `Truncated -> incr corrupt | `Clean -> ());
+        let records, tail = Logger.read_records_full ?vfs p in
+        (match tail.Logger.ending with
+        | `Corrupt -> incr corrupt
+        | `Truncated -> incr torn
+        | `Clean -> ());
+        if tail.Logger.skipped_bytes > 0 then begin
+          skipped := !skipped + tail.Logger.skipped_bytes;
+          (* A torn tail is expected after a crash mid-flush: the write
+             tore inside the final record.  Skip it loudly — the valid
+             prefix is all that was ever durable. *)
+          Printf.eprintf "recovery: skipping %d trailing bytes (%s tail) in %s\n%!"
+            tail.Logger.skipped_bytes
+            (match tail.Logger.ending with `Corrupt -> "corrupt" | _ -> "torn")
+            p
+        end;
         records)
       log_paths
   in
+  Faultsim.Failpoint.hit fp_logs_read;
+  last_torn := !torn;
+  last_skipped := !skipped;
   let cutoff = cutoff_of_logs logs in
-  let ckpt = pick_checkpoint checkpoint_dirs cutoff in
+  let ckpt = pick_checkpoint ?vfs checkpoint_dirs cutoff in
   let ckpt_entries = ref 0 in
-  let replay_from =
-    match ckpt with
-    | None -> 0L
-    | Some (dir, m) -> (
-        match
-          Checkpoint.iter_entries ~dir m (fun (e : Checkpoint.entry) ->
-              incr ckpt_entries;
-              put ~key:e.key ~version:e.version ~columns:e.columns)
-        with
-        | Error e -> failwith e
-        | Ok _count -> m.began)
-  in
-  match () with
-  | () ->
-      (* Parallel replay (§5): one domain per log.  Correctness does not
-         depend on cross-log ordering because every applied record carries
-         a version and the apply callbacks keep only the newest. *)
-      let scanned = Atomic.make 0 and applied = Atomic.make 0 and dropped = Atomic.make 0 in
-      let replay_one records =
-        List.iter
-          (fun r ->
-            Atomic.incr scanned;
-            let ts = Logrec.timestamp r in
-            if Int64.compare ts cutoff > 0 then Atomic.incr dropped
-            else if Int64.compare ts replay_from >= 0 then begin
-              (match r with
-              | Logrec.Put { key; version; columns; _ } -> put ~key ~version ~columns
-              | Logrec.Remove { key; version; _ } -> remove ~key ~version
-              | Logrec.Marker _ -> ());
-              Atomic.incr applied
-            end)
-          records
+  match
+    let replay_from =
+      match ckpt with
+      | None -> 0L
+      | Some (dir, m) -> (
+          match
+            Checkpoint.iter_entries ?vfs ~dir m (fun (e : Checkpoint.entry) ->
+                incr ckpt_entries;
+                put ~key:e.key ~version:e.version ~columns:e.columns)
+          with
+          | Error e -> failwith e
+          | Ok _count ->
+              Faultsim.Failpoint.hit fp_ckpt_loaded;
+              m.began)
+    in
+    (* Parallel replay (§5): one domain per log.  Correctness does not
+       depend on cross-log ordering because every applied record carries
+       a version and the apply callbacks keep only the newest. *)
+    let scanned = Atomic.make 0 and applied = Atomic.make 0 and dropped = Atomic.make 0 in
+    let replay_one records =
+      Faultsim.Failpoint.hit fp_mid_replay;
+      List.iter
+        (fun r ->
+          Atomic.incr scanned;
+          let ts = Logrec.timestamp r in
+          if Int64.compare ts cutoff > 0 then Atomic.incr dropped
+          else if Int64.compare ts replay_from >= 0 then begin
+            (match r with
+            | Logrec.Put { key; version; columns; _ } -> put ~key ~version ~columns
+            | Logrec.Remove { key; version; _ } -> remove ~key ~version
+            | Logrec.Marker _ | Logrec.Seal _ -> ());
+            Atomic.incr applied
+          end)
+        records
+    in
+    let logs_arr = Array.of_list logs in
+    let domains =
+      let d =
+        match replay_domains with
+        | Some d -> d
+        | None -> Domain.recommended_domain_count ()
       in
-      let logs_arr = Array.of_list logs in
-      let domains =
-        let d =
-          match replay_domains with
-          | Some d -> d
-          | None -> Domain.recommended_domain_count ()
+      max 1 (min d (Array.length logs_arr))
+    in
+    if domains <= 1 then Array.iter replay_one logs_arr
+    else begin
+      let next = Atomic.make 0 in
+      let worker _ =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < Array.length logs_arr then begin
+            replay_one logs_arr.(i);
+            go ()
+          end
         in
-        max 1 (min d (Array.length logs_arr))
+        go ()
       in
-      if domains <= 1 then Array.iter replay_one logs_arr
-      else begin
-        let next = Atomic.make 0 in
-        let worker _ =
-          let rec go () =
-            let i = Atomic.fetch_and_add next 1 in
-            if i < Array.length logs_arr then begin
-              replay_one logs_arr.(i);
-              go ()
-            end
-          in
-          go ()
-        in
-        let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker ())) in
-        worker ();
-        Array.iter Domain.join spawned
-      end;
-      let scanned = Atomic.get scanned
-      and applied = Atomic.get applied
-      and dropped = Atomic.get dropped in
+      let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker ())) in
+      worker ();
+      Array.iter Domain.join spawned
+    end;
+    Faultsim.Failpoint.hit fp_done;
+    (Atomic.get scanned, Atomic.get applied, Atomic.get dropped)
+  with
+  | scanned, applied, dropped ->
       Ok
         {
           logs_read = List.length logs;
@@ -117,7 +173,10 @@ let recover ?replay_domains ~log_paths ~checkpoint_dirs ~put ~remove () =
           records_applied = applied;
           records_dropped_after_cutoff = dropped;
           corrupt_tails = !corrupt;
+          torn_records = !torn;
+          skipped_bytes = !skipped;
           cutoff;
           checkpoint_entries = !ckpt_entries;
+          checkpoint_dir = Option.map fst ckpt;
         }
   | exception Failure e -> Error e

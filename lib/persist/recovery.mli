@@ -3,10 +3,13 @@
     Inputs: the set of per-core log files and (optionally) checkpoint
     directories.  The paper's procedure, implemented exactly:
 
-    + Read each log's valid prefix (stopping at a torn or corrupt tail).
-    + Compute the recovery cutoff [t = min over logs of the log's last
-      timestamp]: anything newer than [t] may be missing from some other
-      log, so updates with timestamp > [t] are dropped everywhere.
+    + Read each log's valid prefix (stopping at a torn or corrupt tail,
+      which is skipped with a warning and counted — never an abort).
+    + Compute the recovery cutoff [t = min over constraining logs of the
+      log's last timestamp]: anything newer than [t] may be missing from
+      some other log, so updates with timestamp > [t] are dropped
+      everywhere.  Two classes of log constrain nothing (see
+      {!cutoff_of_logs}): empty logs and cleanly sealed logs.
     + Load the latest checkpoint that {e completed} before [t]; replay
       logged updates with timestamp ≥ the checkpoint's begin time.
     + Apply updates per key in increasing value-version order (a replayed
@@ -20,17 +23,31 @@ type stats = {
   records_scanned : int;
   records_applied : int;
   records_dropped_after_cutoff : int;
-  corrupt_tails : int;
+  corrupt_tails : int;  (** logs whose tail failed its CRC *)
+  torn_records : int;  (** logs ending in a truncated (torn-write) record *)
+  skipped_bytes : int;  (** total trailing bytes skipped across all logs *)
   cutoff : int64;
   checkpoint_entries : int;
+  checkpoint_dir : string option;  (** the checkpoint recovery loaded, if any *)
 }
+(** [torn_records] and [skipped_bytes] are also published as
+    [recovery.torn_records] / [recovery.skipped_bytes] gauges on
+    {!Obs.Registry.global} (values from the most recent recovery). *)
 
 val cutoff_of_logs : Logrec.t list list -> int64
-(** [min over logs of max over records of timestamp]; [Int64.max_int]
-    when there are no logs (nothing bounds the cutoff), [0] when some log
-    is empty (nothing after an empty log is guaranteed durable). *)
+(** [min over constraining logs of max over records of timestamp];
+    [Int64.max_int] when no log constrains the cutoff.
+
+    A log constrains nothing when it is {e empty} (it never had a synced
+    record, so nothing can be missing from it — and letting it zero the
+    cutoff would discard every other log's records, the ROADMAP
+    crash-before-first-flush data-loss hazard) or when its last record is
+    a {!Logrec.Seal} (the log is complete; no suffix was ever appended,
+    so stale sealed logs from dead incarnations cannot constrain newer
+    ones). *)
 
 val recover :
+  ?vfs:Faultsim.Vfs.t ->
   ?replay_domains:int ->
   log_paths:string list ->
   checkpoint_dirs:string list ->

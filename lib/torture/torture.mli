@@ -1,0 +1,43 @@
+(** Crash-torture harness for the persist stack.
+
+    Runs a scripted workload — two server incarnations' worth of puts,
+    removes, group-commit barriers, checkpoints, a restart-with-migration
+    and a checkpoint-reclaim pass — through {!Kvstore.Store} on a
+    {!Faultsim.Sim} disk, crashing at a chosen {!Faultsim.Failpoint} hit,
+    then recovering and checking the durability contract:
+
+    - everything acknowledged before the last completed sync barrier is
+      present with a correct value (no regression below the newest
+      completed checkpoint);
+    - writes after the barrier may appear (they were in flight) but only
+      with values that were actually written — no torn record is ever
+      replayed, no phantom bindings;
+    - keys removed before the barrier stay removed.
+
+    {!run_sweep} enumerates every registered failpoint at several hit
+    counts and crash-loss variants; it is the engine behind [bench crash]
+    and [test/test_crash]. *)
+
+type outcome =
+  | Crashed_ok  (** crashed at the armed point; every invariant held. *)
+  | Clean  (** the armed hit was never reached and the full run verified. *)
+  | Violation of string list  (** durability contract broken — the bug list. *)
+
+type case = { point : string; at : int; variant : int; outcome : outcome }
+
+type summary = {
+  cases : case list;
+  crash_points : (string * int) list;
+      (** point name -> number of cases that actually crashed there. *)
+  violations : case list;
+}
+
+val run_case : ?seed:int64 -> point:string -> at:int -> variant:int -> unit -> case
+(** Run the script once, armed to crash at the [at]-th hit of [point].
+    [variant] perturbs the simulated disk's seed, changing which volatile
+    bytes survive the crash (drop all / keep all / torn). *)
+
+val run_sweep :
+  ?seed:int64 -> ?hits:int list -> ?variants:int list -> unit -> summary
+(** Run every registered failpoint x [hits] (default [[1; 2]]) x
+    [variants] (default [[0; 1; 2]]). *)

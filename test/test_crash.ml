@@ -1,0 +1,192 @@
+(* Crash/fault injection: the simulated disk, failpoint arming, the
+   recovery cutoff's crash windows, and a bounded run of the systematic
+   crash-torture sweep (the full sweep is [bench crash]). *)
+
+module Failpoint = Faultsim.Failpoint
+module Sim = Faultsim.Sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh_sim =
+  (* Distinct seeds per test so loss draws are independent. *)
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Failpoint.reset ();
+    Sim.create ~seed:(Int64.of_int (7700 + !n))
+
+let mkrec ?(ts = 100L) ?(ver = 1L) key =
+  Persist.Logrec.Put { key; version = ver; timestamp = ts; columns = [| "v" ^ key |] }
+
+let write_entries vfs dir began entries =
+  let remaining = ref entries in
+  let next () =
+    match !remaining with
+    | [] -> None
+    | e :: r ->
+        remaining := r;
+        Some e
+  in
+  match Persist.Checkpoint.write ~vfs ~dir ~writers:1 ~began_us:began next with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "checkpoint write: %s" e
+
+let entry key version =
+  { Persist.Checkpoint.key; version; columns = [| "c" ^ key |] }
+
+(* The historical data-loss hazard, end to end: a restart creates fresh
+   (empty) log files next to the previous incarnation's sealed logs.  An
+   empty log has no durable suffix to lose, so it must not constrain the
+   recovery cutoff — with the old min-over-all-logs rule the cutoff
+   collapsed to zero and every record in the sealed logs was discarded. *)
+let test_empty_log_cutoff () =
+  let disk = fresh_sim () in
+  let vfs = Sim.vfs disk in
+  vfs.mkdir "d";
+  let logs =
+    Array.init 2 (fun i ->
+        Persist.Logger.create ~vfs ~manual:true (Printf.sprintf "d/log-0-%d" i))
+  in
+  let store = Kvstore.Store.create ~logs () in
+  for i = 1 to 20 do
+    Kvstore.Store.put ~worker:(i mod 2) store (Printf.sprintf "k%02d" i) [| "v" |]
+  done;
+  Kvstore.Store.close store;
+  (* The restart: fresh empty logs appear before anything is written. *)
+  let fresh =
+    Array.init 2 (fun i ->
+        Persist.Logger.create ~vfs ~manual:true (Printf.sprintf "d/log-1-%d" i))
+  in
+  let paths = [ "d/log-0-0"; "d/log-0-1"; "d/log-1-0"; "d/log-1-1" ] in
+  (match Kvstore.Store.recover ~vfs ~replay_domains:1 ~log_paths:paths ~checkpoint_dirs:[] () with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok (s, _) ->
+      check_int "all records recovered despite empty fresh logs" 20
+        (Kvstore.Store.cardinal s));
+  Array.iter Persist.Logger.close fresh
+
+(* A torn final record (an in-flight write caught by the crash) is
+   skipped with accounting, not treated as fatal corruption. *)
+let test_torn_tail_counters () =
+  let disk = fresh_sim () in
+  let vfs = Sim.vfs disk in
+  vfs.mkdir "d";
+  let f = vfs.open_out "d/log-torn" in
+  let whole =
+    Persist.Logrec.encode_string (mkrec ~ts:1L ~ver:1L "a")
+    ^ Persist.Logrec.encode_string (mkrec ~ts:2L ~ver:2L "b")
+  in
+  let partial = Persist.Logrec.encode_string (mkrec ~ts:3L ~ver:3L "c") in
+  let torn = String.sub partial 0 (String.length partial - 4) in
+  Faultsim.Vfs.write_all f whole;
+  Faultsim.Vfs.write_all f torn;
+  f.fsync ();
+  f.close ();
+  match
+    Kvstore.Store.recover ~vfs ~replay_domains:1 ~log_paths:[ "d/log-torn" ]
+      ~checkpoint_dirs:[] ()
+  with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok (s, stats) ->
+      check_int "whole records applied" 2 (Kvstore.Store.cardinal s);
+      check_int "torn log counted" 1 stats.Persist.Recovery.torn_records;
+      check_int "torn bytes accounted" (String.length torn)
+        stats.Persist.Recovery.skipped_bytes
+
+(* Checkpoint crash windows, reconstructed directly: recovery must fall
+   back across checkpoints that died before their manifest. *)
+let test_checkpoint_windows () =
+  let disk = fresh_sim () in
+  let vfs = Sim.vfs disk in
+  vfs.mkdir "d";
+  (* ckpt-a: complete.  ckpt-b: a part but no manifest (died mid-write). *)
+  write_entries vfs "d/ckpt-a" 10L [ entry "k1" 1L; entry "k2" 2L ];
+  vfs.mkdir "d/ckpt-b";
+  let part = vfs.open_out "d/ckpt-b/part-000" in
+  Faultsim.Vfs.write_all part "garbage-partial-part";
+  part.close ();
+  (match
+     Kvstore.Store.recover ~vfs ~replay_domains:1 ~log_paths:[]
+       ~checkpoint_dirs:[ "d/ckpt-a"; "d/ckpt-b" ] ()
+   with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok (s, stats) ->
+      check_bool "manifest-less checkpoint ignored" true
+        (stats.Persist.Recovery.checkpoint_dir = Some "d/ckpt-a");
+      check_int "fallback entries" 2 (Kvstore.Store.cardinal s));
+  (* ckpt-c completes later: recovery prefers the newest completed one. *)
+  write_entries vfs "d/ckpt-c" 20L [ entry "k1" 5L; entry "k2" 6L; entry "k3" 7L ];
+  match
+    Kvstore.Store.recover ~vfs ~replay_domains:1 ~log_paths:[]
+      ~checkpoint_dirs:[ "d/ckpt-a"; "d/ckpt-b"; "d/ckpt-c" ] ()
+  with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok (s, stats) ->
+      check_bool "newest completed checkpoint chosen" true
+        (stats.Persist.Recovery.checkpoint_dir = Some "d/ckpt-c");
+      check_int "newest entries" 3 (Kvstore.Store.cardinal s)
+
+(* EIO injection: a checkpoint that hits a disk error reports it as an
+   Error result; a retry on a healthy disk succeeds. *)
+let test_checkpoint_eio () =
+  let disk = fresh_sim () in
+  let vfs = Sim.vfs disk in
+  vfs.mkdir "d";
+  let store = Kvstore.Store.create () in
+  for i = 1 to 50 do
+    Kvstore.Store.put store (Printf.sprintf "k%02d" i) [| "v" |]
+  done;
+  Failpoint.arm "ckpt.part.after_write" ~at:1 Failpoint.Inject_eio;
+  (match Kvstore.Store.checkpoint ~vfs store ~dir:"d/ckpt-1" ~writers:2 with
+  | Ok _ -> Alcotest.fail "checkpoint succeeded despite EIO"
+  | Error _ -> ());
+  Failpoint.disarm_all ();
+  (match Kvstore.Store.checkpoint ~vfs store ~dir:"d/ckpt-2" ~writers:2 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "retry failed: %s" e);
+  match Persist.Checkpoint.load ~vfs ~dir:"d/ckpt-2" () with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok (_, entries) -> check_int "retried checkpoint complete" 50 (List.length entries)
+
+(* Short-write injection: every vfs write returns at most 3 bytes, so
+   only the write_all loops keep records intact. *)
+let test_short_writes () =
+  let disk = fresh_sim () in
+  let vfs = Sim.vfs disk in
+  Sim.set_write_chunk disk (Some 3);
+  vfs.mkdir "d";
+  let l = Persist.Logger.create ~vfs ~synchronous:true "d/log-short" in
+  for i = 1 to 30 do
+    Persist.Logger.append l (mkrec ~ver:(Int64.of_int i) (string_of_int i))
+  done;
+  Persist.Logger.close l;
+  let records, ending = Persist.Logger.read_records ~vfs "d/log-short" in
+  check_bool "clean despite 3-byte writes" true (ending = `Clean);
+  check_int "all records" 30 (List.length records)
+
+(* Bounded run of the systematic sweep (bench crash runs the full one):
+   every registered failpoint at its first hit, across loss variants. *)
+let test_sweep () =
+  let s = Torture.run_sweep ~seed:7L ~hits:[ 1 ] ~variants:[ 0; 1 ] () in
+  List.iter
+    (fun (c : Torture.case) ->
+      match c.outcome with
+      | Torture.Violation errs ->
+          Alcotest.failf "durability violation at %s hit %d variant %d: %s" c.point
+            c.at c.variant (String.concat "; " errs)
+      | _ -> ())
+    s.Torture.cases;
+  check_bool "at least 20 distinct crash points exercised" true
+    (List.length s.Torture.crash_points >= 20)
+
+let suite =
+  [
+    Alcotest.test_case "empty fresh logs do not discard sealed logs" `Quick
+      test_empty_log_cutoff;
+    Alcotest.test_case "torn tail skipped and counted" `Quick test_torn_tail_counters;
+    Alcotest.test_case "checkpoint crash windows" `Quick test_checkpoint_windows;
+    Alcotest.test_case "checkpoint EIO injection" `Quick test_checkpoint_eio;
+    Alcotest.test_case "short-write injection" `Quick test_short_writes;
+    Alcotest.test_case "torture sweep (bounded)" `Slow test_sweep;
+  ]

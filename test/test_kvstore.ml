@@ -199,7 +199,9 @@ let test_recover_torn_log () =
       | Error e -> Alcotest.failf "recover: %s" e
       | Ok (s2, stats) ->
           check_int "one record lost" 49 (Kvstore.Store.cardinal s2);
-          check_int "tear detected" 1 stats.Persist.Recovery.corrupt_tails)
+          check_int "tear detected" 1 stats.Persist.Recovery.torn_records;
+          check_bool "torn bytes accounted" true
+            (stats.Persist.Recovery.skipped_bytes > 0))
 
 let test_recover_drops_after_cutoff () =
   (* Two logs; one ends earlier.  Later-timestamped updates in the longer
@@ -270,7 +272,7 @@ let test_checkpoint_under_writers () =
   (match results.(1) with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "checkpoint under writers: %s" e);
-  match Persist.Checkpoint.load ~dir:(Filename.concat dir "ck") with
+  match Persist.Checkpoint.load ~dir:(Filename.concat dir "ck") () with
   | Error e -> Alcotest.failf "load: %s" e
   | Ok (_, entries) ->
       let stable =

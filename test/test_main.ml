@@ -14,6 +14,7 @@ let () =
       ("workload", Test_workload.suite);
       ("persist", Test_persist.suite);
       ("kvstore", Test_kvstore.suite);
+      ("crash", Test_crash.suite);
       ("kvserver", Test_kvserver.suite);
       ("memsim", Test_memsim.suite);
       ("sysmodels", Test_sysmodels.suite);

@@ -13,6 +13,13 @@ let tmpdir () =
 let mkrec ?(ts = 100L) ?(ver = 1L) ?(cols = [| "a"; "b" |]) key =
   Persist.Logrec.Put { key; version = ver; timestamp = ts; columns = cols }
 
+(* Rotation seals the outgoing file, so segment record counts must skip
+   the control records (Marker/Seal) to see just the data. *)
+let data_records =
+  List.filter (function
+    | Persist.Logrec.Put _ | Persist.Logrec.Remove _ -> true
+    | Persist.Logrec.Marker _ | Persist.Logrec.Seal _ -> false)
+
 let test_record_roundtrip () =
   let records =
     [
@@ -105,8 +112,12 @@ let test_logger_rotate () =
   let r1, e1 = Persist.Logger.read_records p1 in
   let r2, e2 = Persist.Logger.read_records p2 in
   check_bool "both clean" true (e1 = `Clean && e2 = `Clean);
-  check_int "first segment" 10 (List.length r1);
-  check_int "second segment" 10 (List.length r2)
+  check_int "first segment" 10 (List.length (data_records r1));
+  check_int "second segment" 10 (List.length (data_records r2));
+  (* The rotated-away segment must end in a seal (it is complete and
+     must not constrain the recovery cutoff). *)
+  check_bool "rotated segment sealed" true
+    (match List.rev r1 with Persist.Logrec.Seal _ :: _ -> true | _ -> false)
 
 let test_logger_rotate_concurrent () =
   (* Appends racing a rotation must all land in exactly one segment. *)
@@ -131,7 +142,7 @@ let test_logger_rotate_concurrent () =
     if Sys.file_exists (seg i) then begin
       let rs, ending = Persist.Logger.read_records (seg i) in
       check_bool "segment clean" true (ending = `Clean);
-      count := !count + List.length rs
+      count := !count + List.length (data_records rs)
     end
   done;
   check_int "no record lost or duplicated across segments" (2 * total) !count
@@ -140,10 +151,25 @@ let test_cutoff () =
   let r ts = mkrec ~ts (Printf.sprintf "k%Ld" ts) in
   check_bool "cutoff = min of maxes" true
     (Persist.Recovery.cutoff_of_logs [ [ r 5L; r 9L ]; [ r 3L; r 7L ] ] = 7L);
-  check_bool "empty log pins cutoff at 0" true
-    (Persist.Recovery.cutoff_of_logs [ [ r 9L ]; [] ] = 0L);
+  (* An empty log never had a synced record, so it must not constrain the
+     cutoff (the crash-before-first-flush data-loss hazard). *)
+  check_bool "empty log is ignored" true
+    (Persist.Recovery.cutoff_of_logs [ [ r 9L ]; [] ] = 9L);
+  (* A sealed log is complete: it cannot be missing a suffix, so it does
+     not constrain the cutoff either. *)
+  check_bool "sealed log is ignored" true
+    (Persist.Recovery.cutoff_of_logs
+       [ [ r 9L ]; [ r 3L; Persist.Logrec.Seal { timestamp = 4L } ] ]
+    = 9L);
+  check_bool "unsealed idle log still constrains" true
+    (Persist.Recovery.cutoff_of_logs
+       [ [ r 9L ]; [ r 3L; Persist.Logrec.Marker { timestamp = 4L } ] ]
+    = 4L);
   check_bool "no logs: unbounded" true
-    (Persist.Recovery.cutoff_of_logs [] = Int64.max_int)
+    (Persist.Recovery.cutoff_of_logs [] = Int64.max_int);
+  check_bool "all logs empty or sealed: unbounded" true
+    (Persist.Recovery.cutoff_of_logs [ []; [ Persist.Logrec.Seal { timestamp = 4L } ] ]
+    = Int64.max_int)
 
 let test_checkpoint_roundtrip () =
   let dir = tmpdir () in
@@ -168,7 +194,7 @@ let test_checkpoint_roundtrip () =
   (match Persist.Checkpoint.write ~dir ~writers:3 ~began_us:42L next with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "write: %s" e);
-  match Persist.Checkpoint.load ~dir with
+  match Persist.Checkpoint.load ~dir () with
   | Error e -> Alcotest.failf "load: %s" e
   | Ok (m, loaded) ->
       check_bool "began preserved" true (m.began = 42L);
@@ -182,7 +208,7 @@ let test_checkpoint_roundtrip () =
 let test_checkpoint_missing_manifest () =
   let dir = tmpdir () in
   check_bool "no manifest" true
-    (match Persist.Checkpoint.read_manifest ~dir with Error _ -> true | Ok _ -> false)
+    (match Persist.Checkpoint.read_manifest ~dir () with Error _ -> true | Ok _ -> false)
 
 let test_checkpoint_corrupt_part () =
   let dir = tmpdir () in
@@ -204,7 +230,7 @@ let test_checkpoint_corrupt_part () =
   ignore (Unix.write fd (Bytes.of_string "\xde\xad") 0 2);
   Unix.close fd;
   check_bool "corruption detected" true
-    (match Persist.Checkpoint.load ~dir with Error _ -> true | Ok _ -> false)
+    (match Persist.Checkpoint.load ~dir () with Error _ -> true | Ok _ -> false)
 
 let suite =
   [
