@@ -22,26 +22,38 @@ let experiments =
     ("retries", "§6.2: retry rates under concurrent inserts", Retries.run);
     ("ablation", "ablations: node size, permuter, retries", Ablation.run);
     ("obs", "lib/obs telemetry overhead on the loopback path", Obs_overhead.run);
+    ("netperf", "net front ends: threaded vs reactor vs reactor+pipelining", Netperf.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 
-let run_selected names keys ops seconds domains list_only =
+let run_selected names keys ops seconds domains smoke list_only =
   if list_only then begin
     List.iter (fun (n, doc, _) -> Printf.printf "%-14s %s\n" n doc) experiments;
     0
   end
   else begin
     let scale =
-      {
-        Bench_util.default_scale with
-        keys;
-        ops;
-        seconds;
-        domains =
-          (match domains with
-          | Some d -> max 1 d
-          | None -> Bench_util.default_scale.Bench_util.domains);
-      }
+      if smoke then
+        (* CI-sized: every experiment in seconds, numbers not meaningful. *)
+        {
+          Bench_util.keys = 10_000;
+          model_keys = 1_000_000;
+          ops = 20_000;
+          model_ops = 5_000;
+          domains = 2;
+          seconds = 2.0;
+        }
+      else
+        {
+          Bench_util.default_scale with
+          keys;
+          ops;
+          seconds;
+          domains =
+            (match domains with
+            | Some d -> max 1 d
+            | None -> Bench_util.default_scale.Bench_util.domains);
+        }
     in
     let targets =
       match names with
@@ -91,11 +103,19 @@ let domains_t =
     & opt (some int) None
     & info [ "domains" ] ~docv:"N" ~doc:"Domains for concurrent runs (default: cores).")
 
+let smoke_t =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:"CI scale: tiny keys/ops/time so every experiment finishes in seconds (overrides --keys/--ops/--seconds/--domains).")
+
 let list_t = Arg.(value & flag & info [ "list" ] ~doc:"List experiments and exit.")
 
 let cmd =
   Cmd.v
     (Cmd.info "masstree-bench" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run_selected $ names_t $ keys_t $ ops_t $ seconds_t $ domains_t $ list_t)
+    Term.(
+      const run_selected $ names_t $ keys_t $ ops_t $ seconds_t $ domains_t $ smoke_t
+      $ list_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -41,24 +41,45 @@ let make_req keygen rng mix =
   | "scan" -> Kvserver.Protocol.Getrange { start = keygen rng; count = 10; columns = [] }
   | _ -> failwith "mix must be get | put | scan"
 
-(* One connection's worth of load; returns its latency histogram. *)
-let client_worker addr keygen mix batch per_client seed =
+(* One connection's worth of load; returns its latency histogram.  With
+   [pipeline > 1], keeps that many request frames in flight (the paper's
+   served-traffic mode: batching amortizes per-message cost, pipelining
+   hides the round trip); latency is then recorded per frame as
+   window-time / window-depth. *)
+let client_worker addr keygen mix batch pipeline per_client seed =
   let client = Kvserver.Tcp.connect addr in
   let rng = Xutil.Rng.create seed in
   let remaining = ref per_client in
   let lat = Xutil.Histogram.create () in
   while !remaining > 0 do
-    let n = min batch !remaining in
-    let reqs = List.init n (fun _ -> make_req keygen rng mix) in
-    let s = Xutil.Clock.now_ns () in
-    ignore (Kvserver.Tcp.call client reqs);
-    Xutil.Histogram.add lat (Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) s) / 1000);
-    remaining := !remaining - n
+    if pipeline <= 1 then begin
+      let n = min batch !remaining in
+      let reqs = List.init n (fun _ -> make_req keygen rng mix) in
+      let s = Xutil.Clock.now_ns () in
+      ignore (Kvserver.Tcp.call client reqs);
+      Xutil.Histogram.add lat (Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) s) / 1000);
+      remaining := !remaining - n
+    end
+    else begin
+      let frames = ref [] in
+      let n = ref 0 in
+      while !n < !remaining && List.length !frames < pipeline do
+        let b = min batch (!remaining - !n) in
+        frames := List.init b (fun _ -> make_req keygen rng mix) :: !frames;
+        n := !n + b
+      done;
+      let frames = List.rev !frames in
+      let s = Xutil.Clock.now_ns () in
+      ignore (Kvserver.Tcp.call_pipelined ~window:pipeline client frames);
+      let us = Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) s) / 1000 in
+      List.iter (fun _ -> Xutil.Histogram.add lat (us / List.length frames)) frames;
+      remaining := !remaining - !n
+    end
   done;
   Kvserver.Tcp.disconnect client;
   lat
 
-let run_bench addr client ops mix batch clients =
+let run_bench addr client ops mix batch pipeline clients =
   let keygen = Workload.Keygen.decimal_1_10 ~range:1_000_000 in
   (* Preload for get/scan mixes over the control connection. *)
   if mix <> "put" then begin
@@ -82,7 +103,8 @@ let run_bench addr client ops mix batch clients =
         Thread.create
           (fun () ->
             results.(i) <-
-              client_worker addr keygen mix batch per_client (Int64.of_int (100 + i)))
+              client_worker addr keygen mix batch pipeline per_client
+                (Int64.of_int (100 + i)))
           ())
   in
   List.iter Thread.join threads;
@@ -91,15 +113,15 @@ let run_bench addr client ops mix batch clients =
   let dt = Xutil.Clock.elapsed_s t0 in
   let total = per_client * clients in
   Printf.printf
-    "%d %s ops over %d client(s) in %.2fs: %.0f ops/s (batch=%d, p50=%dus p99=%dus per \
-     batch)\n"
+    "%d %s ops over %d client(s) in %.2fs: %.0f ops/s (batch=%d, pipeline=%d, p50=%dus \
+     p99=%dus per batch)\n"
     total mix clients dt
     (float_of_int total /. dt)
-    batch
+    batch pipeline
     (Xutil.Histogram.percentile lat 50.0)
     (Xutil.Histogram.percentile lat 99.0)
 
-let run unix_sock connect ops batch clients args =
+let run unix_sock connect ops batch pipeline clients args =
   let addr = addr_of unix_sock connect in
   let client = Kvserver.Tcp.connect addr in
   (match args with
@@ -118,7 +140,7 @@ let run unix_sock connect ops batch clients args =
                { start; count = int_of_string count; columns = [] } ])
   | [ "stats" ] ->
       List.iter pp_response (Kvserver.Tcp.call client [ Kvserver.Protocol.Stats ])
-  | [ "bench"; mix ] -> run_bench addr client ops mix batch clients
+  | [ "bench"; mix ] -> run_bench addr client ops mix batch pipeline clients
   | _ ->
       prerr_endline
         "usage: mtclient [--connect HOST:PORT | --unix PATH] (get K | put K V... | remove K | scan START N | stats | bench get|put|scan)";
@@ -135,6 +157,9 @@ let ops_t = Arg.(value & opt int 100_000 & info [ "ops" ] ~docv:"N" ~doc:"Bench 
 
 let batch_t = Arg.(value & opt int 64 & info [ "batch" ] ~docv:"N" ~doc:"Requests per message.")
 
+let pipeline_t =
+  Arg.(value & opt int 1 & info [ "pipeline" ] ~docv:"W" ~doc:"Request frames kept in flight per connection (1 = classic request/response).")
+
 let clients_t =
   Arg.(value & opt int 1 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent bench connections.")
 
@@ -143,6 +168,6 @@ let args_t = Arg.(value & pos_all string [] & info [] ~docv:"COMMAND")
 let cmd =
   Cmd.v
     (Cmd.info "mtclient" ~doc:"Masstree client / load generator")
-    Term.(const run $ unix_t $ connect_t $ ops_t $ batch_t $ clients_t $ args_t)
+    Term.(const run $ unix_t $ connect_t $ ops_t $ batch_t $ pipeline_t $ clients_t $ args_t)
 
 let () = exit (Cmd.eval cmd)

@@ -30,8 +30,22 @@ let find_checkpoints data_dir =
     |> List.filter (fun f -> String.length f > 5 && String.sub f 0 5 = "ckpt-")
     |> List.map (Filename.concat data_dir)
 
+(* The two front ends (threaded accept loop vs event-driven reactor)
+   behind one face for startup/shutdown. *)
+type front =
+  | Threaded of Kvserver.Tcp.server
+  | Reactor of Kvserver.Reactor.t
+
+let front_addr = function
+  | Threaded s -> Kvserver.Tcp.bound_addr s
+  | Reactor r -> Kvserver.Reactor.bound_addr r
+
+let front_shutdown = function
+  | Threaded s -> Kvserver.Tcp.shutdown s
+  | Reactor r -> Kvserver.Reactor.shutdown r
+
 let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interval slow_us
-    verbose =
+    use_reactor net_domains backlog verbose =
   let log fmt =
     if verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
   in
@@ -53,7 +67,7 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
     | None, None -> Kvserver.Tcp.Tcp ("127.0.0.1", 7171)
   in
   let listener =
-    match Kvserver.Tcp.bind addr with
+    match Kvserver.Tcp.bind ~backlog addr with
     | l -> l
     | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "mtd: cannot listen: %s\n%!" (Unix.error_message e);
@@ -108,8 +122,16 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
      gauges for the index and log buffers come from the store. *)
   Kvstore.Store.register_obs store;
   Obs.Trace.set_threshold_us (Obs.Registry.trace Obs.Registry.global) slow_us;
-  let server = Kvserver.Tcp.start listener store in
-  (match Kvserver.Tcp.bound_addr server with
+  let server =
+    if use_reactor then begin
+      let r = Kvserver.Reactor.start ~shards:net_domains listener store in
+      log "reactor front end: %d shard(s), %s poller" net_domains
+        (Kvserver.Reactor.backend r);
+      Reactor r
+    end
+    else Threaded (Kvserver.Tcp.start listener store)
+  in
+  (match front_addr server with
   | Kvserver.Tcp.Tcp (h, p) -> Printf.printf "mtd listening on %s:%d\n%!" h p
   | Kvserver.Tcp.Unix_sock p -> Printf.printf "mtd listening on %s\n%!" p);
   (* Optional per-core UDP ports (paper Â§5). *)
@@ -117,7 +139,7 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
     if udp_ports <= 0 then None
     else begin
       let host, base =
-        match Kvserver.Tcp.bound_addr server with
+        match front_addr server with
         | Kvserver.Tcp.Tcp (h, p) -> (h, p + 1)
         | Kvserver.Tcp.Unix_sock _ -> ("127.0.0.1", 7172)
       in
@@ -205,7 +227,7 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
   Thread.join ckpt_thread;
   (match stats_thread with Some t -> Thread.join t | None -> ());
   (match udp with Some u -> Kvserver.Udp.shutdown u | None -> ());
-  Kvserver.Tcp.shutdown server;
+  front_shutdown server;
   Kvstore.Store.close store
 
 let listen_t =
@@ -231,6 +253,15 @@ let stats_t =
 let slow_t =
   Arg.(value & opt int 1000 & info [ "slow-us" ] ~docv:"US" ~doc:"Requests slower than US microseconds land in the slow-op trace ring.")
 
+let reactor_t =
+  Arg.(value & flag & info [ "reactor" ] ~doc:"Serve with the event-driven reactor (epoll/select, pipelined batches, write coalescing) instead of a thread per connection.")
+
+let net_domains_t =
+  Arg.(value & opt int 2 & info [ "net-domains" ] ~docv:"N" ~doc:"Reactor event-loop shard domains (with --reactor).")
+
+let backlog_t =
+  Arg.(value & opt int 1024 & info [ "backlog" ] ~docv:"N" ~doc:"Listen backlog.")
+
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
 let cmd =
@@ -238,6 +269,6 @@ let cmd =
     (Cmd.info "mtd" ~doc:"Masstree key-value server daemon")
     Term.(
       const run $ listen_t $ unix_t $ data_t $ logs_t $ ckpt_t $ udp_t $ stats_t
-      $ slow_t $ verbose_t)
+      $ slow_t $ reactor_t $ net_domains_t $ backlog_t $ verbose_t)
 
 let () = exit (Cmd.eval cmd)

@@ -12,11 +12,16 @@
    Exit code 0 = clean; anything else prints what broke.  Useful as a CI
    soak and when hacking on the concurrency protocol.
 
-     dune exec bin/soak.exe -- --seconds 10 --domains 4 --keys 50000 *)
+     dune exec bin/soak.exe -- --seconds 10 --domains 4 --keys 50000
+
+   With --net threaded|reactor the same workload travels over a real
+   server front end on a Unix socket, each domain keeping --pipeline
+   frames in flight; oracle expectations are captured at send time, which
+   is exactly the per-connection ordering guarantee the server makes. *)
 
 open Cmdliner
 
-let run seconds domains keyspace checkpoint_every stats_interval verbose =
+let run seconds domains keyspace checkpoint_every stats_interval net pipeline verbose =
   let dir = Filename.temp_file "soak" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
@@ -75,6 +80,114 @@ let run seconds domains keyspace checkpoint_every stats_interval verbose =
         Printf.eprintf "SOAK FAILURE: %s\n%!" m)
       fmt
   in
+  (* Optional network front end: same store, served over a Unix socket. *)
+  let sock_path = Filename.concat dir "soak.sock" in
+  let server =
+    match net with
+    | "off" -> None
+    | "threaded" ->
+        Some (`Threaded (Kvserver.Tcp.serve (Kvserver.Tcp.Unix_sock sock_path) store))
+    | "reactor" ->
+        Some
+          (`Reactor
+            (Kvserver.Reactor.serve ~shards:(max 1 (domains / 2))
+               (Kvserver.Tcp.Unix_sock sock_path) store))
+    | other ->
+        Printf.eprintf "soak: --net must be off|threaded|reactor, not %S\n" other;
+        exit 2
+  in
+  if verbose && server <> None then
+    Printf.printf "soak: traffic via --net %s (pipeline %d) on %s\n%!" net pipeline
+      sock_path;
+  (* Mixed workload over the wire: one frame per op, up to [pipeline]
+     frames in flight per connection.  Each validator captures the oracle
+     expectation at send time; the server's per-connection in-order
+     execution makes that the correct expectation at execute time. *)
+  let net_loop d rng oracle my_key deadline =
+    let module P = Kvserver.Protocol in
+    let c = Kvserver.Tcp.connect (Kvserver.Tcp.Unix_sock sock_path) in
+    let fd = Kvserver.Tcp.client_fd c in
+    let inflight : (P.response list -> unit) Queue.t = Queue.create () in
+    let recv_one () =
+      match P.read_frame fd with
+      | Some body -> (Queue.pop inflight) (P.decode_responses body)
+      | None -> failwith "soak: server closed connection"
+    in
+    let send req validate =
+      P.write_frame fd (P.encode_requests [ req ]);
+      Queue.push validate inflight;
+      while Queue.length inflight >= max 1 pipeline do
+        recv_one ()
+      done
+    in
+    while Int64.compare (Xutil.Clock.now_ns ()) deadline < 0 do
+      op_counts.(d) <- op_counts.(d) + 1;
+      let i = Xutil.Rng.int rng keyspace in
+      let k = my_key i in
+      match Xutil.Rng.int rng 100 with
+      | p when p < 30 ->
+          let expected = Hashtbl.find_opt oracle k in
+          send
+            (P.Get { key = k; columns = [] })
+            (function
+              | [ P.Value got ] ->
+                  let matches =
+                    match (expected, got) with
+                    | None, None -> true
+                    | Some v, Some g -> g = v
+                    | _ -> false
+                  in
+                  if not matches then fail "domain %d: net oracle mismatch on %s" d k
+              | _ -> fail "domain %d: unexpected get reply for %s" d k)
+      | p when p < 55 ->
+          let v = [| string_of_int (Xutil.Rng.int rng 1000); string_of_int d |] in
+          Hashtbl.replace oracle k v;
+          send
+            (P.Put { key = k; columns = v })
+            (function
+              | [ P.Ok_put ] -> () | _ -> fail "domain %d: put failed for %s" d k)
+      | p when p < 70 ->
+          let ci = Xutil.Rng.int rng 4 in
+          let data = string_of_int (Xutil.Rng.int rng 100) in
+          let base = match Hashtbl.find_opt oracle k with Some v -> v | None -> [||] in
+          let w = max (Array.length base) (ci + 1) in
+          let merged = Array.make w "" in
+          Array.blit base 0 merged 0 (Array.length base);
+          merged.(ci) <- data;
+          Hashtbl.replace oracle k merged;
+          send
+            (P.Put_cols { key = k; updates = [ (ci, data) ] })
+            (function
+              | [ P.Ok_put ] -> () | _ -> fail "domain %d: put_cols failed for %s" d k)
+      | p when p < 85 ->
+          Hashtbl.remove oracle k;
+          send (P.Remove k) (function
+            | [ P.Removed _ ] -> ()
+            | _ -> fail "domain %d: remove failed for %s" d k)
+      | p when p < 95 ->
+          let other = Xutil.Rng.int rng domains in
+          send
+            (P.Get { key = Printf.sprintf "d%d-%06d" other i; columns = [] })
+            (fun _ -> ())
+      | _ ->
+          send
+            (P.Getrange { start = k; count = 20; columns = [] })
+            (function
+              | [ P.Range items ] ->
+                  let prev = ref "" in
+                  List.iter
+                    (fun (k', _) ->
+                      if !prev <> "" && String.compare k' !prev <= 0 then
+                        fail "domain %d: net scan order violation at %s" d k';
+                      prev := k')
+                    items
+              | _ -> fail "domain %d: unexpected scan reply" d)
+    done;
+    while not (Queue.is_empty inflight) do
+      recv_one ()
+    done;
+    Kvserver.Tcp.disconnect c
+  in
   ignore
     (Xutil.Domain_pool.run domains (fun d ->
          let rng = Xutil.Rng.create (Int64.of_int (0xBEEF + d)) in
@@ -83,6 +196,8 @@ let run seconds domains keyspace checkpoint_every stats_interval verbose =
          let deadline =
            Int64.add (Xutil.Clock.now_ns ()) (Int64.of_float (float_of_int seconds *. 1e9))
          in
+         if server <> None then net_loop d rng oracle my_key deadline
+         else
          while Int64.compare (Xutil.Clock.now_ns ()) deadline < 0 do
            op_counts.(d) <- op_counts.(d) + 1;
            let i = Xutil.Rng.int rng keyspace in
@@ -134,6 +249,10 @@ let run seconds domains keyspace checkpoint_every stats_interval verbose =
   Atomic.set stop true;
   Thread.join ckpt_thread;
   (match stats_thread with Some t -> Thread.join t | None -> ());
+  (match server with
+  | Some (`Threaded s) -> Kvserver.Tcp.shutdown s
+  | Some (`Reactor r) -> Kvserver.Reactor.shutdown r
+  | None -> ());
   let total_ops = Array.fold_left ( + ) 0 op_counts in
   Printf.printf "soak: %d ops across %d domains\n%!" total_ops domains;
   (* 1. structural invariants *)
@@ -189,11 +308,19 @@ let ckpt_t =
 let stats_t =
   Arg.(value & opt float 0.0 & info [ "stats-interval" ] ~docv:"S" ~doc:"Print a telemetry snapshot to stderr every S seconds; 0 disables.")
 
+let net_t =
+  Arg.(value & opt string "off" & info [ "net" ] ~docv:"MODE" ~doc:"Drive the workload through a server front end on a Unix socket: off (direct store calls), threaded, or reactor.")
+
+let pipeline_t =
+  Arg.(value & opt int 8 & info [ "pipeline" ] ~docv:"W" ~doc:"Request frames kept in flight per connection in --net modes.")
+
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress output.")
 
 let cmd =
   Cmd.v
     (Cmd.info "soak" ~doc:"Randomized concurrency + persistence soak test")
-    Term.(const run $ seconds_t $ domains_t $ keys_t $ ckpt_t $ stats_t $ verbose_t)
+    Term.(
+      const run $ seconds_t $ domains_t $ keys_t $ ckpt_t $ stats_t $ net_t
+      $ pipeline_t $ verbose_t)
 
 let () = exit (Cmd.eval' cmd)

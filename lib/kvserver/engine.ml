@@ -122,3 +122,70 @@ let handle_frame ~worker store body =
   match Protocol.decode_requests body with
   | reqs -> Protocol.encode_responses (execute_batch ~worker store reqs)
   | exception _ -> Protocol.encode_responses [ Protocol.Failed "malformed frame" ]
+
+(* ---- pipelined multi-frame execution (reactor path) ---- *)
+
+let is_full_get = function Protocol.Get { columns = []; _ } -> true | _ -> false
+
+(* A run of consecutive get-only frames shares one interleaved multi_get
+   wave (§4.8): the pipelining client sent independent lookups, so the
+   whole window traverses the trie together instead of frame by frame.
+   Telemetry parity with [execute_batch]: one [ops.batches] per frame,
+   one [lat_us.multiget_batch] sample for the shared wave. *)
+let execute_get_run ~worker store frames emit =
+  let telemetry = Obs.Registry.is_enabled reg in
+  let keys =
+    Array.of_list
+      (List.concat_map
+         (List.map (function Protocol.Get { key; _ } -> key | _ -> assert false))
+         frames)
+  in
+  if telemetry then Obs.Registry.add ~worker batches_counter (List.length frames);
+  let t0 = Xutil.Clock.now_ns () in
+  match Kvstore.Store.multi_get store keys with
+  | results ->
+      if telemetry then begin
+        let dur_us = Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) t0) / 1000 in
+        Obs.Registry.add ~worker op_counters.(0) (Array.length keys);
+        Obs.Registry.observe ~worker multiget_hist dur_us;
+        Obs.Trace.maybe_record (Obs.Registry.trace reg) ~worker ~op:"multiget"
+          ~key:keys.(0) ~dur_us
+      end;
+      let idx = ref 0 in
+      List.iter
+        (fun reqs ->
+          emit
+            (List.map
+               (fun _ ->
+                 let r = results.(!idx) in
+                 incr idx;
+                 Protocol.Value r)
+               reqs))
+        frames
+  | exception e ->
+      let msg = Printexc.to_string e in
+      List.iter (fun reqs -> emit (List.map (fun _ -> Protocol.Failed msg) reqs)) frames
+
+let execute_frames ~worker store ~buf ~frames ~emit =
+  let run = ref [] in
+  let flush_run () =
+    match !run with
+    | [] -> ()
+    | fs ->
+        execute_get_run ~worker store (List.rev fs) emit;
+        run := []
+  in
+  List.iter
+    (fun (pos, len) ->
+      match Protocol.decode_requests_sub buf ~pos ~len with
+      | exception _ ->
+          flush_run ();
+          emit [ Protocol.Failed "malformed frame" ]
+      | reqs ->
+          if reqs <> [] && List.for_all is_full_get reqs then run := reqs :: !run
+          else begin
+            flush_run ();
+            emit (execute_batch ~worker store reqs)
+          end)
+    frames;
+  flush_run ()

@@ -22,3 +22,19 @@ val handle_frame : worker:int -> Kvstore.Store.t -> string -> string
 (** [handle_frame ~worker store body] decodes a request frame body,
     executes it, and encodes the response frame body.  A malformed frame
     yields a single [Failed] response. *)
+
+val execute_frames :
+  worker:int ->
+  Kvstore.Store.t ->
+  buf:string ->
+  frames:(int * int) list ->
+  emit:(Protocol.response list -> unit) -> unit
+(** Pipelined execution for the reactor: every complete frame that
+    arrived in one readable event, decoded in place from the receive
+    buffer ([(pos, len)] body spans into [buf]) and executed as one
+    batch.  Consecutive frames consisting solely of full-value Gets are
+    merged into a single interleaved {!Kvstore.Store.multi_get} wave
+    spanning the whole run — the §4.8 optimization applied across the
+    pipeline window, not just within one message.  [emit] is called once
+    per frame, in order; a malformed frame emits a single [Failed]
+    response and the stream continues. *)

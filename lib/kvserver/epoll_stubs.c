@@ -1,0 +1,112 @@
+/* Minimal epoll bindings for the reactor's poller (lib/kvserver/poller.ml).
+ *
+ * The OCaml side passes file descriptors as ints (their Unix
+ * representation) and a preallocated int array that epoll_wait fills
+ * with (fd, flags) pairs, so the wait path allocates nothing on the
+ * OCaml heap.  On non-Linux hosts every entry point reports
+ * "unsupported" and the poller falls back to select(2).
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/signals.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+#include <errno.h>
+#include <string.h>
+
+#define MT_MAXEV 256
+
+CAMLprim value mt_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(epoll_create1(EPOLL_CLOEXEC));
+}
+
+CAMLprim value mt_epoll_close(value vepfd)
+{
+  close(Int_val(vepfd));
+  return Val_unit;
+}
+
+/* op: 0 = add, 1 = mod, 2 = del.  flags: bit 0 = in, bit 1 = out. */
+CAMLprim value mt_epoll_ctl(value vepfd, value vop, value vfd, value vflags)
+{
+  struct epoll_event ev;
+  int op, flags = Int_val(vflags);
+  memset(&ev, 0, sizeof ev);
+  if (flags & 1) ev.events |= EPOLLIN;
+  if (flags & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(vfd);
+  switch (Int_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  return Val_int(epoll_ctl(Int_val(vepfd), op, Int_val(vfd), &ev));
+}
+
+/* Fills vout with 2*n ints (fd, flags) and returns n; the array bounds
+ * the batch.  Blocks with the runtime lock released so other domains
+ * and threads keep running. */
+CAMLprim value mt_epoll_wait(value vepfd, value vtimeout_ms, value vout)
+{
+  CAMLparam3(vepfd, vtimeout_ms, vout);
+  struct epoll_event evs[MT_MAXEV];
+  int epfd = Int_val(vepfd);
+  int timeout = Int_val(vtimeout_ms);
+  int max = Wosize_val(vout) / 2;
+  int n, i;
+  if (max > MT_MAXEV) max = MT_MAXEV;
+  caml_enter_blocking_section();
+  n = epoll_wait(epfd, evs, max, timeout);
+  caml_leave_blocking_section();
+  if (n < 0) {
+    /* EINTR is a normal wakeup (signals); everything else is fatal for
+     * this poller and surfaces as -1. */
+    CAMLreturn(Val_int(errno == EINTR ? 0 : -1));
+  }
+  for (i = 0; i < n; i++) {
+    int flags = 0;
+    /* Error/hangup conditions surface as readable: the read path sees
+     * EOF or the error and closes the connection. */
+    if (evs[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP))
+      flags |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLERR | EPOLLHUP))
+      flags |= 2;
+    Field(vout, 2 * i) = Val_int(evs[i].data.fd);
+    Field(vout, 2 * i + 1) = Val_int(flags);
+  }
+  CAMLreturn(Val_int(n));
+}
+
+#else /* !__linux__ */
+
+CAMLprim value mt_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(-1);
+}
+
+CAMLprim value mt_epoll_close(value vepfd)
+{
+  (void)vepfd;
+  return Val_unit;
+}
+
+CAMLprim value mt_epoll_ctl(value vepfd, value vop, value vfd, value vflags)
+{
+  (void)vepfd; (void)vop; (void)vfd; (void)vflags;
+  return Val_int(-1);
+}
+
+CAMLprim value mt_epoll_wait(value vepfd, value vtimeout_ms, value vout)
+{
+  (void)vepfd; (void)vtimeout_ms; (void)vout;
+  return Val_int(-1);
+}
+
+#endif

@@ -1,0 +1,77 @@
+(** Per-connection growable network buffers for the reactor path.
+
+    One {!In.t} + {!Out.t} pair per connection, owned by a single reactor
+    shard — nothing synchronizes.  Frames are parsed in place out of the
+    receive buffer and responses are encoded straight into the send
+    buffer behind a back-patched length prefix, so the steady-state
+    request path performs no per-frame allocation for headers or response
+    assembly; {!grows} counts buffer reallocations so that claim is
+    checkable. *)
+
+val grows : unit -> int
+(** Total underlying buffer allocations (initial + growth) across all
+    connections since process start.  A warmed-up connection under a
+    steady workload must not move this counter. *)
+
+module In : sig
+  type t
+
+  val create : ?capacity:int -> ?max_frame:int -> unit -> t
+  (** [max_frame] (default 64 MiB, the protocol ceiling) bounds the
+      length prefix a peer can make us buffer. *)
+
+  type refill = Filled of int | Eof | Blocked
+
+  val refill : t -> Unix.file_descr -> refill
+  (** One [read] into spare buffer space (compacting/growing first as
+      needed).  [Blocked] = EAGAIN on a non-blocking socket; read errors
+      map to [Eof] (the connection is done either way).
+
+      Compaction moves bytes, so frame positions from {!next_frame} are
+      invalidated by the next [refill] — parse and execute everything
+      available, then read again. *)
+
+  type frame =
+    | Frame of int * int  (** body at [(pos, len)] inside {!contents} *)
+    | Partial  (** incomplete; read more *)
+    | Bad_frame  (** negative or oversized length prefix: close *)
+
+  val next_frame : t -> frame
+  (** Consume the next complete [u32 length | body] frame, returning the
+      body's in-buffer position. *)
+
+  val contents : t -> string
+  (** The receive buffer viewed as a string for in-place decoding
+      ([Protocol.decode_requests_sub]).  Valid only until the next
+      {!refill}. *)
+
+  val pending : t -> int
+  (** Unconsumed bytes buffered (nonzero after EOF = truncated frame). *)
+end
+
+module Out : sig
+  type t
+
+  val create : ?budget:int -> unit -> t
+  (** [budget] (default 1 MiB) is the backpressure threshold: the reactor
+      stops reading a connection whose pending output exceeds it. *)
+
+  val writer : t -> Xutil.Binio.writer
+  (** Encode response bodies directly into this. *)
+
+  val begin_frame : t -> int
+  (** Reserve a 4-byte length prefix; returns the marker to pass to
+      {!end_frame} after encoding the body. *)
+
+  val end_frame : t -> int -> unit
+
+  val pending : t -> int
+
+  val over_budget : t -> bool
+
+  type flush = Drained | Blocked | Closed
+
+  val flush : t -> Unix.file_descr -> flush
+  (** Write pending output until drained or the socket blocks.  Write
+      errors map to [Closed]. *)
+end

@@ -1,0 +1,104 @@
+(* Readiness poller behind the reactor: epoll on Linux (see
+   epoll_stubs.c), select(2) everywhere else.  Each poller instance is
+   owned by one reactor shard; interest is tracked in an OCaml table so
+   the epoll backend knows whether a change is an add or a modify, and so
+   the select backend has its fd sets. *)
+
+external raw_create : unit -> int = "mt_epoll_create"
+
+external raw_close : int -> unit = "mt_epoll_close"
+
+external raw_ctl : int -> int -> int -> int -> int = "mt_epoll_ctl"
+
+external raw_wait : int -> int -> int array -> int = "mt_epoll_wait"
+
+(* On Unix, [Unix.file_descr] is the int the kernel knows. *)
+let fd_int : Unix.file_descr -> int = Obj.magic
+
+let int_fd : int -> Unix.file_descr = Obj.magic
+
+let max_events = 256
+
+type backend = Epoll of { epfd : int; out : int array } | Select
+
+type t = {
+  backend : backend;
+  interest : (Unix.file_descr, bool * bool) Hashtbl.t; (* fd -> (read, write) *)
+}
+
+let create () =
+  let epfd = raw_create () in
+  let backend =
+    if epfd >= 0 then Epoll { epfd; out = Array.make (2 * max_events) 0 }
+    else Select
+  in
+  { backend; interest = Hashtbl.create 64 }
+
+let backend_name t = match t.backend with Epoll _ -> "epoll" | Select -> "select"
+
+let flags_of ~read ~write = (if read then 1 else 0) lor (if write then 2 else 0)
+
+let ctl t op fd ~read ~write =
+  match t.backend with
+  | Select -> ()
+  | Epoll { epfd; _ } ->
+      (* A failed ctl (e.g. racing close) leaves the fd out of the epoll
+         set; the interest table is authoritative for our own cleanup. *)
+      ignore (raw_ctl epfd op (fd_int fd) (flags_of ~read ~write))
+
+let set t fd ~read ~write =
+  if (not read) && not write then begin
+    if Hashtbl.mem t.interest fd then begin
+      Hashtbl.remove t.interest fd;
+      ctl t 2 fd ~read ~write
+    end
+  end
+  else begin
+    match Hashtbl.find_opt t.interest fd with
+    | Some (r, w) when r = read && w = write -> ()
+    | Some _ ->
+        Hashtbl.replace t.interest fd (read, write);
+        ctl t 1 fd ~read ~write
+    | None ->
+        Hashtbl.replace t.interest fd (read, write);
+        ctl t 0 fd ~read ~write
+  end
+
+let remove t fd = set t fd ~read:false ~write:false
+
+let wait t ~timeout_ms f =
+  match t.backend with
+  | Epoll { epfd; out } ->
+      let n = raw_wait epfd timeout_ms out in
+      for i = 0 to n - 1 do
+        let fd = int_fd out.(2 * i) in
+        let fl = out.((2 * i) + 1) in
+        (* Only report fds we still track: an earlier callback in this
+           batch may have closed this one. *)
+        match Hashtbl.find_opt t.interest fd with
+        | None -> ()
+        | Some (r, w) ->
+            (* Mask readiness by registered interest; error/hangup set
+               both bits in the stub, so a connection we only watch in
+               one direction still gets torn down by that path. *)
+            let readable = fl land 1 <> 0 && r
+            and writable = fl land 2 <> 0 && w in
+            if readable || writable then f fd readable writable
+      done
+  | Select ->
+      let rd, wr =
+        Hashtbl.fold
+          (fun fd (r, w) (rd, wr) ->
+            ((if r then fd :: rd else rd), if w then fd :: wr else wr))
+          t.interest ([], [])
+      in
+      let timeout = float_of_int timeout_ms /. 1000. in
+      let rd', wr', _ =
+        try Unix.select rd wr [] timeout
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter (fun fd -> f fd true (List.mem fd wr')) rd';
+      List.iter (fun fd -> if not (List.mem fd rd') then f fd false true) wr'
+
+let close t =
+  match t.backend with Epoll { epfd; _ } -> raw_close epfd | Select -> ()

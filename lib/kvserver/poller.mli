@@ -1,0 +1,24 @@
+(** Readiness poller for the reactor: epoll(7) on Linux via C stubs,
+    select(2) fallback elsewhere.  One instance per reactor shard; not
+    thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+val backend_name : t -> string
+(** ["epoll"] or ["select"]. *)
+
+val set : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register, update, or (with both false) drop interest in [fd]. *)
+
+val remove : t -> Unix.file_descr -> unit
+
+val wait :
+  t -> timeout_ms:int -> (Unix.file_descr -> bool -> bool -> unit) -> unit
+(** [wait t ~timeout_ms f] blocks until readiness or timeout and calls
+    [f fd readable writable] per ready descriptor.  Descriptors whose
+    interest was dropped by an earlier callback in the same batch are
+    skipped. *)
+
+val close : t -> unit

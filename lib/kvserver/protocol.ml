@@ -156,6 +156,26 @@ let decode_requests = decode_batch decode_request
 
 let decode_responses = decode_batch decode_response
 
+let encode_responses_into w resps =
+  Binio.write_varint w (List.length resps);
+  List.iter (encode_response w) resps
+
+(* Decode a frame body that lives inside a larger receive buffer, without
+   copying it out first.  The reader can physically see bytes past the
+   frame (the next pipelined frame), so a malformed body could decode
+   "successfully" by straying into them — the final cursor check catches
+   that: the cursor only moves forward, so [pos > stop] at any point
+   implies [pos > stop] at the end. *)
+let decode_requests_sub buf ~pos ~len =
+  let r = Binio.reader ~pos buf in
+  let stop = pos + len in
+  if stop > String.length buf then raise Binio.Truncated;
+  let n = Binio.read_varint r in
+  if n > len then raise Binio.Truncated;
+  let reqs = List.init n (fun _ -> decode_request r) in
+  if r.Binio.pos > stop then raise Binio.Truncated;
+  reqs
+
 (* ---- frame IO over fds ---- *)
 
 let really_write fd b off len =
@@ -184,6 +204,19 @@ let write_frame fd body =
   Bytes.set_int32_le b 0 (Int32.of_int len);
   Bytes.blit_string body 0 b 4 len;
   really_write fd b 0 (4 + len)
+
+let write_frames fd bodies =
+  let total = List.fold_left (fun a b -> a + 4 + String.length b) 0 bodies in
+  let buf = Bytes.create total in
+  let pos = ref 0 in
+  List.iter
+    (fun body ->
+      let len = String.length body in
+      Bytes.set_int32_le buf !pos (Int32.of_int len);
+      Bytes.blit_string body 0 buf (!pos + 4) len;
+      pos := !pos + 4 + len)
+    bodies;
+  really_write fd buf 0 total
 
 let read_frame fd =
   let hdr = Bytes.create 4 in

@@ -40,10 +40,27 @@ val decode_requests : string -> request list
 
 val decode_responses : string -> response list
 
+val encode_responses_into : Xutil.Binio.writer -> response list -> unit
+(** Encode a response batch body into an existing writer — the reactor's
+    per-connection output buffer — instead of allocating a fresh string
+    per frame.  The caller writes the length prefix itself (reserve 4
+    bytes, encode, {!Xutil.Binio.patch_u32}). *)
+
+val decode_requests_sub : string -> pos:int -> len:int -> request list
+(** [decode_requests_sub buf ~pos ~len] decodes a frame body sitting at
+    [\[pos, pos+len)] inside a larger receive buffer, in place.
+    @raise Xutil.Binio.Truncated if the body is malformed or its encoding
+    strays past [len] (e.g. into the next pipelined frame). *)
+
 (** Frame IO helpers over file descriptors (blocking). *)
 
 val write_frame : Unix.file_descr -> string -> unit
 (** [write_frame fd body] sends [u32 length | body]. *)
+
+val write_frames : Unix.file_descr -> string list -> unit
+(** Send several frames with one coalesced write — a pipelining client's
+    burst becomes one syscall (and, with TCP_NODELAY, one packet instead
+    of one per frame). *)
 
 val read_frame : Unix.file_descr -> string option
 (** [read_frame fd] reads one frame body; [None] on clean EOF. *)

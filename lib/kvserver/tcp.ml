@@ -34,6 +34,13 @@ let rec accept_loop server () =
   | client_fd, _ ->
       if Atomic.get server.stopping then (try Unix.close client_fd with _ -> ())
       else begin
+        (* Replies are small and latency-sensitive; without NODELAY the
+           server side of every round trip eats a Nagle delay. *)
+        (match server.actual with
+        | Tcp _ -> (
+            try Unix.setsockopt client_fd Unix.TCP_NODELAY true
+            with Unix.Unix_error _ -> ())
+        | Unix_sock _ -> ());
         let worker = Atomic.fetch_and_add server.worker_counter 1 in
         ignore (Thread.create (connection_loop server.store worker client_fd) ());
         accept_loop server ()
@@ -41,7 +48,7 @@ let rec accept_loop server () =
 
 type listener = { lfd : Unix.file_descr; lactual : addr }
 
-let bind addr =
+let bind ?(backlog = 1024) addr =
   let domain = match addr with Tcp _ -> Unix.PF_INET | Unix_sock _ -> Unix.PF_UNIX in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -53,7 +60,7 @@ let bind addr =
   | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e);
-  Unix.listen fd 64;
+  Unix.listen fd backlog;
   let actual =
     match (addr, Unix.getsockname fd) with
     | Tcp (host, _), Unix.ADDR_INET (_, port) -> Tcp (host, port)
@@ -62,6 +69,8 @@ let bind addr =
   { lfd = fd; lactual = actual }
 
 let listener_addr l = l.lactual
+
+let listener_fd l = l.lfd
 
 let start l store =
   let server =
@@ -106,5 +115,33 @@ let call c reqs =
   match Protocol.read_frame c.cfd with
   | Some body -> Protocol.decode_responses body
   | None -> failwith "connection closed"
+
+(* Pipelined mode: keep up to [window] request frames in flight before
+   reading the oldest response.  The server guarantees in-order responses
+   per connection, so frame i's answer is the i-th frame read back. *)
+let call_pipelined ?(window = 8) c frames =
+  let frames = Array.of_list frames in
+  let n = Array.length frames in
+  let window = max 1 window in
+  let resps = Array.make n [] in
+  let sent = ref 0 and recvd = ref 0 in
+  while !recvd < n do
+    (* Coalesce the whole burst into one write: one syscall — and with
+       TCP_NODELAY one packet — instead of one per frame. *)
+    let burst = ref [] in
+    while !sent < n && !sent - !recvd < window do
+      burst := Protocol.encode_requests frames.(!sent) :: !burst;
+      incr sent
+    done;
+    if !burst <> [] then Protocol.write_frames c.cfd (List.rev !burst);
+    match Protocol.read_frame c.cfd with
+    | Some body ->
+        resps.(!recvd) <- Protocol.decode_responses body;
+        incr recvd
+    | None -> failwith "connection closed"
+  done;
+  Array.to_list resps
+
+let client_fd c = c.cfd
 
 let disconnect c = try Unix.close c.cfd with Unix.Unix_error _ -> ()

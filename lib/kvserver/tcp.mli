@@ -16,15 +16,18 @@ val serve : addr -> Kvstore.Store.t -> server
 
 type listener
 
-val bind : addr -> listener
-(** Bind and listen without accepting yet.  Raising here (e.g.
-    [EADDRINUSE]) happens before the caller has created any on-disk
-    state, so a failed startup leaves no empty log files behind — the
-    server daemon binds first and creates its fresh epoch logs only
-    afterwards. *)
+val bind : ?backlog:int -> addr -> listener
+(** Bind and listen without accepting yet ([backlog] defaults to 1024;
+    [mtd --backlog]).  Raising here (e.g. [EADDRINUSE]) happens before
+    the caller has created any on-disk state, so a failed startup leaves
+    no empty log files behind — the server daemon binds first and creates
+    its fresh epoch logs only afterwards. *)
 
 val listener_addr : listener -> addr
 (** Actual bound address (resolves port 0). *)
+
+val listener_fd : listener -> Unix.file_descr
+(** The listening descriptor, for alternative front ends ({!Reactor}). *)
 
 val start : listener -> Kvstore.Store.t -> server
 (** Start the accept loop on an already-bound listener. *)
@@ -42,5 +45,16 @@ val connect : addr -> client
 
 val call : client -> Protocol.request list -> Protocol.response list
 (** One batched round trip.  @raise Failure on connection loss. *)
+
+val call_pipelined :
+  ?window:int -> client -> Protocol.request list list -> Protocol.response list list
+(** [call_pipelined ~window c frames] sends the frames keeping up to
+    [window] (default 8) in flight before reading the oldest response,
+    and returns one response batch per request frame, in order.  This is
+    what hides the network round trip behind server work (§7's served
+    throughput depends on it).  @raise Failure on connection loss. *)
+
+val client_fd : client -> Unix.file_descr
+(** Raw descriptor (tests use it to exercise partial-frame delivery). *)
 
 val disconnect : client -> unit

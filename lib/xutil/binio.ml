@@ -65,6 +65,19 @@ let write_string w s =
 
 let blit_to_bytes w dst pos = Bytes.blit w.buf 0 dst pos w.len
 
+let patch_u32 w ~pos v =
+  assert (pos >= 0 && pos + 4 <= w.len);
+  Bytes.set_int32_le w.buf pos (Int32.of_int v)
+
+let unsafe_bytes w = w.buf
+
+let drop_prefix w n =
+  assert (n >= 0 && n <= w.len);
+  if n > 0 then begin
+    Bytes.blit w.buf n w.buf 0 (w.len - n);
+    w.len <- w.len - n
+  end
+
 type reader = { buf : string; mutable pos : int }
 
 let reader ?(pos = 0) buf = { buf; pos }

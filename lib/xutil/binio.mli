@@ -34,6 +34,22 @@ val write_raw : writer -> string -> unit
 val blit_to_bytes : writer -> Bytes.t -> int -> unit
 (** [blit_to_bytes w dst pos] copies the accumulated bytes into [dst]. *)
 
+val patch_u32 : writer -> pos:int -> int -> unit
+(** [patch_u32 w ~pos v] overwrites 4 already-written bytes at [pos] with
+    [v] little-endian — back-patching a length prefix reserved earlier
+    (network frame headers reserve 4 bytes, encode the body, then patch). *)
+
+val unsafe_bytes : writer -> Bytes.t
+(** The writer's current underlying buffer; only indexes below {!length}
+    are meaningful.  The reference is invalidated by any subsequent write
+    (growth may reallocate).  Exists so the network stack can hand
+    accumulated output straight to [Unix.write] without copying. *)
+
+val drop_prefix : writer -> int -> unit
+(** [drop_prefix w n] discards the first [n] accumulated bytes, sliding
+    the remainder down in place.  Used by connection output buffers after
+    a partial socket write. *)
+
 type reader = { buf : string; mutable pos : int }
 
 val reader : ?pos:int -> string -> reader

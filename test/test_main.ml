@@ -16,6 +16,7 @@ let () =
       ("kvstore", Test_kvstore.suite);
       ("crash", Test_crash.suite);
       ("kvserver", Test_kvserver.suite);
+      ("netserver", Test_netserver.suite);
       ("memsim", Test_memsim.suite);
       ("sysmodels", Test_sysmodels.suite);
       ("scan", Test_scan.suite);
