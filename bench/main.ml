@@ -19,6 +19,7 @@ let experiments =
     ("flex", "§6.4: cost of variable keys / concurrency / ranges", Flex.run);
     ("ckpt", "§5: checkpoint and recovery costs", Ckpt.run);
     ("crash", "§5: crash-torture sweep over every persist failpoint", Crash.run);
+    ("race", "§4.5-4.7: deterministic interleaving sweep over every schedule point", Race.run);
     ("retries", "§6.2: retry rates under concurrent inserts", Retries.run);
     ("ablation", "ablations: node size, permuter, retries", Ablation.run);
     ("obs", "lib/obs telemetry overhead on the loopback path", Obs_overhead.run);

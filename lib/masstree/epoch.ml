@@ -136,13 +136,21 @@ let tick s =
   collect s;
   if s.pin_depth = 0 then run_tasks s.mgr
 
+(* Schedule point: quiesce can only proceed once concurrently pinned
+   readers exit, so under the deterministic scheduler this wait must
+   yield (lib/schedsim would otherwise never run the pinned tasks). *)
+let sp_quiesce_spin = Schedpoint.define "epoch.quiesce.spin"
+
 let quiesce mgr =
   (* Advance at least two epochs past every current retirement and drain
      everything drainable.  Spins while other participants stay pinned. *)
   let b = Xutil.Backoff.create () in
   let target = Atomic.get mgr.epoch + 3 in
   while Atomic.get mgr.epoch < target do
-    if not (try_advance mgr) then Xutil.Backoff.once b
+    if not (try_advance mgr) then begin
+      Schedpoint.spin sp_quiesce_spin;
+      Xutil.Backoff.once b
+    end
   done;
   List.iter (fun s -> if s.active then collect s) (Atomic.get mgr.slots);
   run_tasks mgr

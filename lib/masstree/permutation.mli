@@ -16,7 +16,14 @@
     the concurrency protocol depends on.
 
     A permutation value is immutable; operations return new words.  The
-    node stores the current word in an [int Atomic.t]. *)
+    node stores the current word in an [int Atomic.t].
+
+    This module is pure, so it carries no schedule points of its own; the
+    two instants that matter — slot contents written but permutation not
+    yet published, and the publishing store itself — are the tree's
+    [tree.put.slot_written] and [tree.put.published] points, which
+    [lib/schedsim] uses to wedge readers into the publish window (see
+    docs/CONCURRENCY.md §3). *)
 
 type t = private int
 
@@ -61,7 +68,9 @@ val keep_prefix : t -> n:int -> t
 val remove : t -> pos:int -> t
 (** [remove p ~pos] unsplices the slot at sorted position [pos], moving it
     to the front of the free region (where the next insert will reuse it),
-    and decrements the size. *)
+    and decrements the size.  The freed slot's key and value stay in place
+    for concurrent readers; the reuse hazard this creates is exercised by
+    schedsim's slot-reuse-vs-get scenario around [tree.remove.cut]. *)
 
 val removed_slot : t -> pos:int -> int
 (** [removed_slot p ~pos] is the slot index that [remove p ~pos] frees. *)

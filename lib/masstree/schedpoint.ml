@@ -1,0 +1,73 @@
+type kind = Step | Spin
+
+type t = { spname : string; count : int Atomic.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let reg_lock = Mutex.create ()
+
+(* Fast-path gate.  In production (and in every benchmark) this stays
+   false forever, so a hit is one atomic load of an immutable word —
+   no counter bump, no shared-line bouncing. *)
+let enabled = Atomic.make false
+
+let hook : (kind -> string -> unit) ref = ref (fun _ _ -> ())
+
+let define spname =
+  Mutex.lock reg_lock;
+  let p =
+    match Hashtbl.find_opt registry spname with
+    | Some p -> p
+    | None ->
+        let p = { spname; count = Atomic.make 0 } in
+        Hashtbl.add registry spname p;
+        p
+  in
+  Mutex.unlock reg_lock;
+  p
+
+let name p = p.spname
+
+let hit p =
+  if Atomic.get enabled then begin
+    Atomic.incr p.count;
+    !hook Step p.spname
+  end
+[@@inline]
+
+let spin p =
+  if Atomic.get enabled then begin
+    Atomic.incr p.count;
+    !hook Spin p.spname
+  end
+[@@inline]
+
+let enable f =
+  hook := f;
+  Atomic.set enabled true
+
+let disable () =
+  Atomic.set enabled false;
+  hook := fun _ _ -> ()
+
+let is_enabled () = Atomic.get enabled
+
+let names () =
+  Mutex.lock reg_lock;
+  let ns = Hashtbl.fold (fun n _ acc -> n :: acc) registry [] in
+  Mutex.unlock reg_lock;
+  List.sort compare ns
+
+let hits pname =
+  Mutex.lock reg_lock;
+  let n =
+    match Hashtbl.find_opt registry pname with
+    | Some p -> Atomic.get p.count
+    | None -> 0
+  in
+  Mutex.unlock reg_lock;
+  n
+
+let reset_counts () =
+  Mutex.lock reg_lock;
+  Hashtbl.iter (fun _ p -> Atomic.set p.count 0) registry;
+  Mutex.unlock reg_lock

@@ -1,0 +1,65 @@
+(** Named schedule points: the concurrency analog of
+    [Faultsim.Failpoint].
+
+    The OCC core declares the steps of its protocols statically with
+    {!define} (e.g. ["ver.lock.acquired"], ["tree.split.linked"]) and
+    calls {!hit} (or {!spin}, from a can't-make-progress retry loop)
+    when execution passes through one.  Disabled — the permanent
+    production state — a hit is a single atomic load of an immutable
+    flag: no counter bump, no store, no fence.  The deterministic
+    schedule-exploration harness ([lib/schedsim]) installs a hook with
+    {!enable}; the hook suspends the calling logical thread so a
+    controlled scheduler can interleave readers and writers at exactly
+    these points.
+
+    Every point marks a window the paper's §4.5–§4.7 argument reasons
+    about: a dirty bit published but not yet cleared, a permutation not
+    yet stored, a split sibling linked but not yet reachable from its
+    parent.  [docs/CONCURRENCY.md] lists each point next to the
+    protocol step it pins. *)
+
+type t
+(** A registered point (get one with {!define}). *)
+
+type kind =
+  | Step  (** an ordinary interleaving opportunity *)
+  | Spin
+      (** emitted from a retry loop that cannot progress until another
+          thread acts (lock spin, dirty-version wait); a controlled
+          scheduler should deschedule the caller rather than treat the
+          yield as a branching choice *)
+
+val define : string -> t
+(** Register (or look up) the point with this name.  Idempotent; points
+    are defined at module-initialization time so that {!names}
+    enumerates every schedule point in the linked program. *)
+
+val name : t -> string
+
+val hit : t -> unit
+(** Mark execution passing through the point.  When a hook is installed
+    it runs (and typically yields control); otherwise this is a no-op
+    after one atomic load. *)
+
+val spin : t -> unit
+(** Like {!hit} but flagged {!Spin}: the caller is in a loop that only
+    another thread can unblock. *)
+
+val enable : (kind -> string -> unit) -> unit
+(** Install the hook and open the gate.  Exclusive: one harness at a
+    time; nothing else may run tree operations concurrently with an
+    enabled hook except under the harness's control. *)
+
+val disable : unit -> unit
+(** Close the gate and drop the hook. *)
+
+val is_enabled : unit -> bool
+
+val names : unit -> string list
+(** All defined points, sorted. *)
+
+val hits : string -> int
+(** Times the named point fired while enabled since {!reset_counts}.
+    The sweep uses this for coverage accounting. *)
+
+val reset_counts : unit -> unit

@@ -5,6 +5,36 @@ exception Restart
    and must restart from the layer-0 root (§4.6.5: "any operation that
    encounters a deleted node retries from the root"). *)
 
+(* Schedule points for lib/schedsim (no-ops in production); each pins one
+   step of the §4.6 protocols.  docs/CONCURRENCY.md maps them to the
+   paper's argument. *)
+let sp_descend_validate = Schedpoint.define "tree.descend.validate"
+
+(* Spin kind: a retry from the layer-0 root only succeeds once the
+   conflicting writer (split, delete, collapse) has moved on, so the
+   deterministic scheduler must deschedule the retrying thread rather
+   than treat the loop as ordinary progress. *)
+let sp_restart_spin = Schedpoint.define "tree.restart.spin"
+let sp_get_read = Schedpoint.define "tree.get.read"
+let sp_get_advance = Schedpoint.define "tree.get.advance"
+let sp_snapshot_read = Schedpoint.define "tree.snapshot.read"
+let sp_multiget_wave = Schedpoint.define "tree.multiget.wave"
+let sp_put_slot_written = Schedpoint.define "tree.put.slot_written"
+let sp_put_published = Schedpoint.define "tree.put.published"
+let sp_put_replaced = Schedpoint.define "tree.put.replaced"
+let sp_layer_published = Schedpoint.define "tree.layer.published"
+let sp_split_begin = Schedpoint.define "tree.split.begin"
+let sp_split_migrated = Schedpoint.define "tree.split.migrated"
+let sp_split_linked = Schedpoint.define "tree.split.linked"
+let sp_split_ascend = Schedpoint.define "tree.split.ascend"
+let sp_split_root = Schedpoint.define "tree.split.root_grown"
+let sp_remove_cut = Schedpoint.define "tree.remove.cut"
+let sp_remove_empty = Schedpoint.define "tree.remove.node_empty"
+let sp_remove_unlinked = Schedpoint.define "tree.remove.unlinked"
+let sp_remove_unlink_spin = Schedpoint.define "tree.remove.unlink_spin"
+let sp_collapse_begin = Schedpoint.define "tree.collapse.begin"
+let sp_collapse_done = Schedpoint.define "tree.collapse.done"
+
 type 'v t = {
   root : 'v node ref; (* layer-0 root hint; refreshed lazily after splits *)
   tstats : Stats.t;
@@ -68,8 +98,14 @@ let stable_root root_ref =
 
 let find_border t root_ref ks =
   let rec from_root () =
+    (* Climb only — never write the climb result back into the hint.  The
+       hint is refreshed by the thread that grows the root (ascend) or
+       swaps a layer root (collapse), under the relevant locks; a reader
+       writing here races with them and can clobber a fresh root with
+       the stale pre-split node it happened to start its climb from
+       (schedsim: split-vs-get).  A stale hint only costs the next
+       descent one extra parent hop. *)
     let n0, v0 = stable_root root_ref in
-    if not (same_node n0 !root_ref) then root_ref := n0;
     descend n0 v0
   and descend n v =
     match n with
@@ -88,6 +124,9 @@ let find_border t root_ref ks =
             revalidate n v
         | Some n' ->
             let v' = Version.stable (version_of n') in
+            (* Hand-over-hand: the child's version is read, the parent's
+               about to be revalidated. *)
+            Schedpoint.hit sp_descend_validate;
             if not (Version.changed v (Atomic.get (version_of n))) then descend n' v'
             else revalidate n v)
   and revalidate n v =
@@ -166,6 +205,9 @@ let rec get_layer t root_ref key off =
           | Layer r -> if rem > 8 then `Layer r else `Notfound
           | Empty -> `Notfound)
     in
+    (* The §4.5 reader window: contents extracted, version not yet
+       revalidated. *)
+    Schedpoint.hit sp_get_read;
     (* Validate the snapshot before trusting the extraction. *)
     if Version.changed v (Atomic.get b.bversion) then begin
       Stats.incr t.tstats Stats.Local_retries;
@@ -183,6 +225,7 @@ let rec get_layer t root_ref key off =
     if Version.deleted v then raise Restart;
     match b.bnext with
     | Some nx when Key.compare_slices ks nx.blowkey >= 0 ->
+        Schedpoint.hit sp_get_advance;
         let v' = Version.stable nx.bversion in
         walk nx v'
     | _ -> forward b v
@@ -196,6 +239,7 @@ let get t key =
         try get_layer t t.root key 0
         with Restart ->
           Stats.incr t.tstats Stats.Root_retries;
+          Schedpoint.spin sp_restart_spin;
           attempt ()
       in
       attempt ())
@@ -247,6 +291,7 @@ let multi_get t keys =
       let fuel = ref 64 in
       while !remaining > 0 && !fuel > 0 do
         decr fuel;
+        Schedpoint.hit sp_multiget_wave;
         Array.iter
           (fun f ->
             if not f.fdone then begin
@@ -311,6 +356,7 @@ let multi_get t keys =
           try get_layer t t.root key 0
           with Restart ->
             Stats.incr t.tstats Stats.Root_retries;
+            Schedpoint.spin sp_restart_spin;
             attempt ()
         in
         attempt ()
@@ -397,7 +443,11 @@ let insert_into_slots t b ~pos e =
     b.bstale <- b.bstale land lnot (1 lsl slot)
   end;
   write_entry b slot e;
-  Atomic.set b.bperm (Permutation.insert perm ~pos :> int)
+  (* §4.6.2: entry written into its slot, not yet published — readers
+     using the old permutation cannot see it. *)
+  Schedpoint.hit sp_put_slot_written;
+  Atomic.set b.bperm (Permutation.insert perm ~pos :> int);
+  Schedpoint.hit sp_put_published
 
 (* Separator choice for a full border node: split near the middle, but
    never inside a group of entries sharing one slice — the concurrency
@@ -440,9 +490,14 @@ let rec ascend t root_ref n nn sepkey =
       set_parent nn (Some p);
       Version.set_root (version_of n) false;
       root_ref := Interior p;
+      (* New root published; the split pair is still locked. *)
+      Schedpoint.hit sp_split_root;
       Version.unlock (version_of n);
       Version.unlock (version_of nn)
   | Some p ->
+      (* Split hand-off (Figure 5): parent locked, new sibling not yet
+         reachable from it. *)
+      Schedpoint.hit sp_split_ascend;
       if p.inkeys < width then begin
         Version.mark_inserting p.iversion;
         let pos = ins_pos_interior p sepkey in
@@ -513,6 +568,7 @@ let rec ascend t root_ref n nn sepkey =
 let split_border t root_ref b ~pos e =
   Stats.incr t.tstats Stats.Splits_border;
   Version.mark_splitting b.bversion;
+  Schedpoint.hit sp_split_begin;
   let perm = border_perm b in
   let nold = Permutation.size perm in
   let combined = Array.make (nold + 1) e in
@@ -540,12 +596,19 @@ let split_border t root_ref b ~pos e =
     insert_into_slots t b ~pos e
   end
   else Atomic.set b.bperm (Permutation.keep_prefix perm ~n:m :> int);
+  (* Entries migrated: the left node's permutation no longer covers them,
+     the right sibling is not yet linked anywhere. *)
+  Schedpoint.hit sp_split_migrated;
   (* Link the new sibling.  nx's prev pointer is protected by the lock of
      its new previous sibling, nb, which we hold. *)
   nb.bnext <- b.bnext;
   nb.bprev <- Some b;
   (match b.bnext with Some nx -> nx.bprev <- Some nb | None -> ());
   b.bnext <- Some nb;
+  (* §4.6.4 hand-off window: the sibling is reachable through the border
+     list but not yet from any parent, and both halves stay
+     split-dirty. *)
+  Schedpoint.hit sp_split_linked;
   ascend t root_ref (Border b) (Border nb) nb.blowkey
 
 (* ------------------------------------------------------------------ *)
@@ -625,6 +688,7 @@ let rec put_layer t root_ref key off compute =
       (* Value replacement is one atomic store: readers see old or new,
          no version bump, no retries (§4.6.1). *)
       b.blv.(slot) <- Value (compute (Some old));
+      Schedpoint.hit sp_put_replaced;
       Version.unlock b.bversion;
       Some old
   | At_layer (_, _, r) ->
@@ -640,6 +704,7 @@ let rec put_layer t root_ref key off compute =
          that read the old Value must still find the matching suffix, and
          layer creation bumps no version to invalidate it (§4.6.3). *)
       b.blv.(slot) <- Layer layer;
+      Schedpoint.hit sp_layer_published;
       Version.unlock b.bversion;
       None
   | Absent pos ->
@@ -667,6 +732,7 @@ let put_with t key compute =
         try put_layer t t.root key 0 compute
         with Restart ->
           Stats.incr t.tstats Stats.Root_retries;
+          Schedpoint.spin sp_restart_spin;
           attempt ()
       in
       attempt ())
@@ -750,15 +816,18 @@ let unlink_from_list b =
           if still_linked then begin
             prev.bnext <- b.bnext;
             (match b.bnext with Some nx -> nx.bprev <- Some prev | None -> ());
-            Version.unlock prev.bversion
+            Version.unlock prev.bversion;
+            Schedpoint.hit sp_remove_unlinked
           end
           else begin
             Version.unlock prev.bversion;
+            Schedpoint.spin sp_remove_unlink_spin;
             Xutil.Backoff.once bo;
             loop ()
           end
         end
         else begin
+          Schedpoint.spin sp_remove_unlink_spin;
           Xutil.Backoff.once bo;
           loop ()
         end
@@ -796,6 +865,7 @@ let layer_root_at t key off_target =
    trigger a collapse of the whole layer; the leftmost border of a tree is
    never deleted (paper invariant); anything else is deleted in place. *)
 let rec handle_empty t b key off =
+  Schedpoint.hit sp_remove_empty;
   let v = Atomic.get b.bversion in
   if Version.is_root v then begin
     Version.unlock b.bversion;
@@ -816,6 +886,7 @@ let rec handle_empty t b key off =
    parent-then-child order (§4.6.5). *)
 and try_collapse_layer t key off =
   assert (off >= 8);
+  Schedpoint.hit sp_collapse_begin;
   match try Some (layer_root_at t key (off - 8)) with Not_found | Restart -> None with
   | None -> ()
   | Some parent_layer -> (
@@ -852,6 +923,7 @@ and try_collapse_layer t key off =
                         Atomic.set b.bperm (Permutation.remove perm ~pos :> int);
                         b.bstale <- b.bstale lor (1 lsl slot);
                         Stats.incr t.tstats Stats.Layer_collapses;
+                        Schedpoint.hit sp_collapse_done;
                         if Permutation.size (border_perm b) = 0 then
                           handle_empty t b key (off - 8)
                         else Version.unlock b.bversion
@@ -885,6 +957,7 @@ let rec remove_layer t root_ref key off =
       (* The slot's contents stay readable for concurrent readers; the
          stale bit forces a vinsert bump if an insert reuses it. *)
       Atomic.set b.bperm (perm' :> int);
+      Schedpoint.hit sp_remove_cut;
       b.bstale <- b.bstale lor (1 lsl slot);
       if Permutation.size perm' = 0 then handle_empty t b key off
       else Version.unlock b.bversion;
@@ -897,6 +970,7 @@ let remove t key =
         try remove_layer t t.root key 0
         with Restart ->
           Stats.incr t.tstats Stats.Root_retries;
+          Schedpoint.spin sp_restart_spin;
           attempt ()
       in
       attempt ())
@@ -909,20 +983,43 @@ exception Scan_done
 
 (* Validated snapshot of a border node: live entries in key order plus the
    next pointer, all consistent with one stable version.  None if the node
-   is deleted (caller re-descends). *)
-let snapshot_border t b =
+   is deleted (caller re-descends).
+
+   [expect]: the stable version the caller's descent validated.  If the
+   node's vsplit has moved past it — including while this function waits
+   out a split in [Version.stable] — the node may no longer cover the
+   range the descent targeted, and accepting it would silently narrow
+   the snapshot: a reverse scan positioned on the pre-split node would
+   lose every key that migrated to the new sibling.  Forward scans may
+   omit [expect]: split migration only moves keys right, where the
+   [bnext] chain still covers them. *)
+let snapshot_border ?expect t b =
+  let stale v =
+    match expect with
+    | Some v0 -> Version.vsplit v <> Version.vsplit v0
+    | None -> false
+  in
   let rec loop () =
     let v = Version.stable b.bversion in
-    if Version.deleted v then None
+    if Version.deleted v || stale v then None
     else begin
       let perm = border_perm b in
       let entries =
         List.map (fun slot -> read_entry b slot) (Permutation.live_slots perm)
       in
       let nxt = b.bnext in
-      if Version.changed v (Atomic.get b.bversion) then begin
+      (* Scan's validation window: a whole node snapshot extracted, not
+         yet checked (the §4.6.5 scan-vs-split/remove hazard). *)
+      Schedpoint.hit sp_snapshot_read;
+      let v' = Atomic.get b.bversion in
+      if Version.changed v v' then begin
         Stats.incr t.tstats Stats.Local_retries;
-        loop ()
+        (* vsplit moved: part of this node's range migrated away (or the
+           node died), so the descent that reached it is stale — the
+           caller must re-descend.  Retrying locally here would return a
+           narrowed node and a reverse scan would silently lose the
+           migrated keys.  Only insert-only changes retry in place. *)
+        if Version.vsplit v' <> Version.vsplit v then None else loop ()
       end
       else Some (entries, nxt)
     end
@@ -1020,6 +1117,7 @@ let scan t ?(start = "") ?stop ~limit f =
           try scan_layer t t.root "" !resume !strict emit
           with Restart ->
             Stats.incr t.tstats Stats.Root_retries;
+            Schedpoint.spin sp_restart_spin;
             attempt ()
         in
         (try attempt () with Scan_done -> ());
@@ -1035,7 +1133,11 @@ let rec scan_rev_layer t root_ref prefix upper emit =
   let rec run slice_bound upper =
     let b, v = find_border t root_ref slice_bound in
     if Version.deleted v then raise Restart;
-    match snapshot_border t b with
+    (* [expect:v] pins the snapshot to the version the descent
+       validated: a split between descent and snapshot re-descends
+       instead of returning a node that no longer covers
+       [slice_bound]. *)
+    match snapshot_border ~expect:v t b with
     | None -> run slice_bound upper (* changed underneath us: re-descend *)
     | Some (entries, _) ->
         process (List.rev entries) upper;
@@ -1103,6 +1205,7 @@ let scan_rev t ?start ?stop ~limit f =
           try scan_rev_layer t t.root "" !bound emit
           with Restart ->
             Stats.incr t.tstats Stats.Root_retries;
+            Schedpoint.spin sp_restart_spin;
             attempt ()
         in
         (try attempt () with Scan_done -> ());

@@ -14,17 +14,37 @@
     simultaneously.  The correctness condition is the paper's "no lost
     keys": a concurrent reader sees, for every key, either the value some
     committed put gave it or its absence if removed — never a mixture or
-    a phantom. *)
+    a phantom.
+
+    That condition is checked mechanically: every ordering-sensitive step
+    of every operation is a named {!Schedpoint} ([tree.descend.validate],
+    [tree.put.published], [tree.split.migrated], [tree.remove.unlinked],
+    … — 21 in this module, plus the [ver.*] and [epoch.*] points), and
+    [lib/schedsim] replays the scenarios in [Scenario.scenarios] under
+    exhaustive and randomized interleavings of those points, validating
+    each read against a sequential oracle ([dune exec bench/main.exe --
+    race]).  With the scheduler disabled — always, outside the harness —
+    each point is a single atomic load.  docs/CONCURRENCY.md maps every
+    point to its protocol step and paper section. *)
 
 type 'v t
 
 val create : unit -> 'v t
 
 val get : 'v t -> Key.t -> 'v option
-(** [get t k] is the current binding of [k], lock-free. *)
+(** [get t k] is the current binding of [k], lock-free.  Schedule points:
+    [tree.get.read] between locating the key and validating the version
+    (the window where a racing writer forces a retry), [tree.get.advance]
+    before each rightward hop past a concurrent split, and
+    [tree.restart.spin] on each from-the-root restart. *)
 
 val put : 'v t -> Key.t -> 'v -> 'v option
-(** [put t k v] binds [k] to [v] and returns the previous binding. *)
+(** [put t k v] binds [k] to [v] and returns the previous binding.
+    Schedule points: [tree.put.replaced] after an in-place value swap,
+    [tree.put.slot_written] after a fresh slot's key/value are written but
+    before the permutation publishes them, [tree.put.published] after the
+    single-store publish, and [tree.layer.published] after linking a new
+    trie layer; splits add the [tree.split.*] sequence. *)
 
 val put_with : 'v t -> Key.t -> ('v option -> 'v) -> 'v option
 (** [put_with t k f] atomically replaces [k]'s binding with
@@ -35,7 +55,13 @@ val put_with : 'v t -> Key.t -> ('v option -> 'v) -> 'v option
 val remove : 'v t -> Key.t -> 'v option
 (** [remove t k] deletes [k]'s binding, returning it if present.  Empty
     nodes are deleted (without rebalancing) and emptied trie layers are
-    collapsed by scheduled maintenance tasks. *)
+    collapsed by scheduled maintenance tasks.  Schedule points:
+    [tree.remove.cut] after the permutation store that hides the key,
+    [tree.remove.node_empty] when a border empties,
+    [tree.remove.unlink_spin] while trylocking the left sibling for the
+    unlink, and [tree.remove.unlinked] after the border list is repaired;
+    layer collapse runs between [tree.collapse.begin] and
+    [tree.collapse.done]. *)
 
 val mem : 'v t -> Key.t -> bool
 
@@ -45,7 +71,9 @@ val multi_get : 'v t -> Key.t array -> 'v option array
     DRAM fetches of a whole wave overlap (the PALM-style optimization of
     §4.8, which the paper measured at up to +34%; on this backend it is
     semantically [Array.map (get t)] with batched traversal).  Keys that
-    hit concurrent splits or layer descents fall back to plain [get]. *)
+    hit concurrent splits or layer descents fall back to plain [get].
+    Schedule point [tree.multiget.wave] fires between waves, so schedsim
+    can land a whole insert burst inside one batch. *)
 
 val scan :
   'v t -> ?start:Key.t -> ?stop:Key.t -> limit:int -> (Key.t -> 'v -> unit) -> int
@@ -53,7 +81,9 @@ val scan :
     [start <= key < stop] in ascending key order and returns the count
     visited.  Like the paper's getrange, the scan is {e not} atomic with
     respect to concurrent inserts and removes: each visited binding was
-    live at some point during the scan. *)
+    live at some point during the scan.  Schedule point
+    [tree.snapshot.read] fires after each per-border snapshot — the
+    instant a concurrent split or remove can invalidate it. *)
 
 val scan_rev :
   'v t -> ?start:Key.t -> ?stop:Key.t -> limit:int -> (Key.t -> 'v -> unit) -> int

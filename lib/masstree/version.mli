@@ -23,7 +23,15 @@
 
     The counters wrap modulo 2^24; a reader would have to be descheduled
     across 16.7M inserts to one node to miss a change, the same practical
-    caveat the paper accepts for its 2^22 window. *)
+    caveat the paper accepts for its 2^22 window.
+
+    Every ordering-sensitive transition here is a named {!Schedpoint}
+    ([ver.stable.snap], [ver.stable.spin], [ver.lock.acquired],
+    [ver.lock.spin], [ver.unlock.release], [ver.unlock.released],
+    [ver.mark.inserting], [ver.mark.splitting], [ver.mark.deleted]) so
+    [lib/schedsim] can interleave tasks at exactly these instants; in
+    production the hooks are disabled and cost one atomic load.  See
+    docs/CONCURRENCY.md for the full map. *)
 
 type t = int
 (** A snapshot of a node's version word. *)
@@ -59,28 +67,37 @@ val changed : t -> t -> bool
 val stable : t Atomic.t -> t
 (** [stable a] spins (with backoff) until the word has no dirty bits and
     returns that snapshot.  Never blocks on the lock bit alone: writers may
-    hold the lock without dirtying. *)
+    hold the lock without dirtying.  Schedule points: [ver.stable.snap]
+    after a clean snapshot, [ver.stable.spin] on each dirty retry (a spin
+    point — the scheduler deschedules the reader until a writer steps). *)
 
 val lock : t Atomic.t -> unit
-(** [lock a] acquires the node spinlock embedded in the word. *)
+(** [lock a] acquires the node spinlock embedded in the word.  Schedule
+    points: [ver.lock.acquired] just after the CAS wins, [ver.lock.spin]
+    on each failed attempt. *)
 
 val try_lock : t Atomic.t -> bool
 
 val unlock : t Atomic.t -> unit
 (** [unlock a] performs the paper's single-write unlock: increments
     [vinsert] if the inserting bit is set, [vsplit] if the splitting bit is
-    set, then clears locked/inserting/splitting together. *)
+    set, then clears locked/inserting/splitting together.  Schedule points:
+    [ver.unlock.release] immediately before the store (the widest dirty
+    window a reader can observe), [ver.unlock.released] after. *)
 
 val mark_inserting : t Atomic.t -> unit
 (** [mark_inserting a] sets the inserting dirty bit.  Caller must hold the
-    lock. *)
+    lock.  Schedule point [ver.mark.inserting] lands right after the store:
+    readers between here and the unlock see a dirty word and spin. *)
 
 val mark_splitting : t Atomic.t -> unit
-(** Sets the splitting dirty bit.  Caller must hold the lock. *)
+(** Sets the splitting dirty bit.  Caller must hold the lock.  Schedule
+    point [ver.mark.splitting]. *)
 
 val mark_deleted : t Atomic.t -> unit
 (** Sets deleted (plus splitting, so the final unlock advances vsplit and
-    waiting readers restart from the root).  Caller must hold the lock. *)
+    waiting readers restart from the root).  Caller must hold the lock.
+    Schedule point [ver.mark.deleted]. *)
 
 val set_root : t Atomic.t -> bool -> unit
 (** Updates the isroot bit.  Caller must hold the lock. *)

@@ -1,0 +1,193 @@
+(* Sequential oracle for schedule exploration.
+
+   Every operation the scenario performs against the tree is recorded
+   with a logical-time window [s, e] (scheduler steps at invocation and
+   return).  Values are unique per write, so a read's result identifies
+   exactly which write it observed, and per-key linearizability reduces
+   to interval reasoning:
+
+     read r over [s, e] is acceptable iff some write w has
+       value(w) = r  ∧  start(w) ≤ e                (w began before r ended)
+       ∧ no write w' has start(w') > end(w) ∧ end(w') < s
+                                  (nothing fully separates w from r)
+
+   Scans additionally check ordering, bounds, per-emission validity at
+   the emission step, and completeness: a key whose acceptable value set
+   over the whole scan window is a singleton [Some v] was present with
+   [v] throughout the scan, so the scan must emit it (unless cut off by
+   [limit]). *)
+
+type value = int
+
+type write = { wid : int; wval : value option; ws : int; we : int }
+
+type read_rec = {
+  rkey : string;
+  rval : value option;
+  rs : int;
+  re : int;
+  rexclude : int;  (* a put/remove checks its prev-result against the
+                      other writes: exclude its own wid *)
+  rwhat : string;
+}
+
+type emit = { ekey : string; eval_ : value; estep : int }
+
+type scan_rec = {
+  srev : bool;
+  sstart : string option;
+  sstop : string option;
+  slimit : int;
+  semits : emit list;
+  scount : int;
+  ss : int;
+  se : int;
+}
+
+type t = {
+  mutable next_wid : int;
+  writes : (string, write list ref) Hashtbl.t;  (* newest first *)
+  mutable reads : read_rec list;
+  mutable scans : scan_rec list;
+}
+
+let create () =
+  { next_wid = 0; writes = Hashtbl.create 64; reads = []; scans = [] }
+
+let record_write o key v ~s ~e =
+  let wid = o.next_wid in
+  o.next_wid <- wid + 1;
+  let w = { wid; wval = v; ws = s; we = e } in
+  (match Hashtbl.find_opt o.writes key with
+  | Some l -> l := w :: !l
+  | None -> Hashtbl.add o.writes key (ref [ w ]));
+  wid
+
+let record_read o key v ~s ~e ~exclude ~what =
+  o.reads <-
+    { rkey = key; rval = v; rs = s; re = e; rexclude = exclude; rwhat = what }
+    :: o.reads
+
+let record_scan o ~rev ~start ~stop ~limit ~emits ~count ~s ~e =
+  o.scans <-
+    {
+      srev = rev;
+      sstart = start;
+      sstop = stop;
+      slimit = limit;
+      semits = emits;
+      scount = count;
+      ss = s;
+      se = e;
+    }
+    :: o.scans
+
+let keys o = Hashtbl.fold (fun k _ acc -> k :: acc) o.writes [] |> List.sort compare
+
+(* The key's full write history, oldest first, with the implicit initial
+   "absent" write. *)
+let history o key =
+  (* wid -2: distinct from every real write id and from the "no
+     exclusion" sentinel -1, so the initial write is never filtered. *)
+  let initial = { wid = -2; wval = None; ws = -1; we = -1 } in
+  match Hashtbl.find_opt o.writes key with
+  | Some l -> initial :: List.rev !l
+  | None -> [ initial ]
+
+let acceptable o key ~exclude ~s ~e =
+  let ws = List.filter (fun w -> w.wid <> exclude) (history o key) in
+  List.filter
+    (fun w ->
+      w.ws <= e
+      && not (List.exists (fun w' -> w'.ws > w.we && w'.we < s) ws))
+    ws
+
+let show_value = function None -> "None" | Some v -> Printf.sprintf "Some %d" v
+
+let show_acceptable acc =
+  "{" ^ String.concat ", " (List.map (fun w -> show_value w.wval) acc) ^ "}"
+
+let check_read o r errs =
+  let acc = acceptable o r.rkey ~exclude:r.rexclude ~s:r.rs ~e:r.re in
+  if not (List.exists (fun w -> w.wval = r.rval) acc) then
+    errs :=
+      Printf.sprintf "%s = %s over [%d,%d] not linearizable; acceptable %s"
+        r.rwhat (show_value r.rval) r.rs r.re (show_acceptable acc)
+      :: !errs
+
+let in_range sc k =
+  if sc.srev then
+    (match sc.sstart with Some st -> k <= st | None -> true)
+    && (match sc.sstop with Some sp -> k >= sp | None -> true)
+  else
+    (match sc.sstart with Some st -> k >= st | None -> true)
+    && (match sc.sstop with Some sp -> k < sp | None -> true)
+
+let scan_id sc =
+  Printf.sprintf "%s[%s,%s) over [%d,%d]"
+    (if sc.srev then "scan_rev" else "scan")
+    (match sc.sstart with Some s -> String.escaped s | None -> "")
+    (match sc.sstop with Some s -> String.escaped s | None -> "")
+    sc.ss sc.se
+
+let check_scan o sc errs =
+  let id = scan_id sc in
+  let err fmt = Printf.ksprintf (fun m -> errs := (id ^ ": " ^ m) :: !errs) fmt in
+  if sc.scount <> List.length sc.semits then
+    err "returned count %d but emitted %d keys" sc.scount
+      (List.length sc.semits);
+  if sc.scount > sc.slimit then err "emitted more than limit %d" sc.slimit;
+  (* Ordering (strict: also rules out duplicates) and range bounds. *)
+  let rec order = function
+    | a :: (b :: _ as rest) ->
+        if (not sc.srev) && a.ekey >= b.ekey then
+          err "out of order: %S before %S" a.ekey b.ekey
+        else if sc.srev && a.ekey <= b.ekey then
+          err "out of order (rev): %S before %S" a.ekey b.ekey;
+        order rest
+    | _ -> ()
+  in
+  order sc.semits;
+  List.iter
+    (fun em ->
+      if not (in_range sc em.ekey) then err "emitted out-of-range key %S" em.ekey)
+    sc.semits;
+  (* Each emission must be a valid read at its emission step: window
+     from scan start (the key can't have been read before the scan
+     began) to the emission step. *)
+  List.iter
+    (fun em ->
+      let acc = acceptable o em.ekey ~exclude:(-1) ~s:sc.ss ~e:em.estep in
+      if not (List.exists (fun w -> w.wval = Some em.eval_) acc) then
+        err "emitted %S = %d, not a valid read at step %d; acceptable %s"
+          em.ekey em.eval_ em.estep (show_acceptable acc))
+    sc.semits;
+  (* Completeness: keys stably present for the whole scan window must
+     appear, unless the scan was cut off by [limit] before reaching
+     them. *)
+  let emitted = List.map (fun em -> em.ekey) sc.semits in
+  let cutoff k =
+    sc.scount >= sc.slimit
+    &&
+    match List.rev emitted with
+    | [] -> true (* limit 0, or hit limit without emitting: vacuous *)
+    | last :: _ -> if sc.srev then k < last else k > last
+  in
+  List.iter
+    (fun k ->
+      if in_range sc k && not (List.mem k emitted) && not (cutoff k) then begin
+        match acceptable o k ~exclude:(-1) ~s:sc.ss ~e:sc.se with
+        | [ { wval = Some _ as v; _ } ] ->
+            err "lost key %S: present as %s for the whole window"
+              k (show_value v)
+        | _ -> ()
+      end)
+    (keys o)
+
+let check o =
+  let errs = ref [] in
+  List.iter (fun r -> check_read o r errs) (List.rev o.reads);
+  List.iter (fun sc -> check_scan o sc errs) (List.rev o.scans);
+  match List.rev !errs with
+  | [] -> Ok ()
+  | es -> Error es

@@ -1,0 +1,50 @@
+(** Sequential oracle: per-key linearizability over logical-time
+    windows.
+
+    Scenario operations record themselves here with the scheduler-clock
+    values at invocation and return.  Writes carry unique values, so a
+    read identifies the write it observed and checking reduces to
+    interval reasoning — a read [r] over [s, e] is acceptable iff some
+    write [w] with [w]'s value began before [e] and no other write fully
+    separates [w] from [s].  Scans are additionally checked for
+    ordering, bounds, per-emission validity and completeness (a key
+    whose acceptable set over the whole scan window is a single present
+    value must be emitted, modulo the [limit] cutoff). *)
+
+type value = int
+
+type t
+
+val create : unit -> t
+
+val record_write : t -> string -> value option -> s:int -> e:int -> int
+(** [record_write o key v ~s ~e] records a put ([Some v]) or remove
+    ([None]) spanning steps [s..e]; returns the write id, for use as a
+    prev-read's [exclude]. *)
+
+val record_read :
+  t -> string -> value option -> s:int -> e:int -> exclude:int -> what:string -> unit
+(** [exclude] is the write id whose own effect the read must not be
+    matched against (a put's prev-result can't see itself); [-1] for
+    plain gets.  [what] labels the failure message. *)
+
+type emit = { ekey : string; eval_ : value; estep : int }
+
+val record_scan :
+  t ->
+  rev:bool ->
+  start:string option ->
+  stop:string option ->
+  limit:int ->
+  emits:emit list ->
+  count:int ->
+  s:int ->
+  e:int ->
+  unit
+
+val keys : t -> string list
+(** Every key ever written (sorted) — the finalizer reads each back for
+    a post-quiescence check. *)
+
+val check : t -> (unit, string list) result
+(** Validate every recorded read and scan against the write history. *)

@@ -1,0 +1,53 @@
+(** Ready-made race scenarios: small multi-writer/multi-reader scripts
+    over one tree, every operation recorded against the {!Oracle} with
+    scheduler-clock windows.
+
+    Each scenario targets a protocol window named in
+    [docs/CONCURRENCY.md]: permutation publish vs point reads, border
+    splits vs scans, node death vs descending scans, stale-slot reuse,
+    trie-layer creation and collapse, split ascent into a full root.
+    [bench race] sweeps all of them; [test/race] pins the
+    satellite-required ones individually. *)
+
+type ctx = {
+  tree : int Masstree_core.Tree.t;
+  oracle : Oracle.t;
+  mutable next_val : int;
+}
+
+(** Recording wrappers — each brackets the tree call with {!Sched.now}
+    and records it.  Usable directly when writing one-off scenarios in
+    tests. *)
+
+val put : ctx -> string -> unit
+val remove : ctx -> string -> unit
+val get : ctx -> string -> unit
+val multi_get : ctx -> string list -> unit
+val scan : ?start:string -> ?stop:string -> ?limit:int -> ctx -> unit
+val scan_rev : ?start:string -> ?stop:string -> ?limit:int -> ctx -> unit
+val maintain : ctx -> unit
+
+val prepop : ctx -> string -> unit
+(** Prepare-phase put, stamped at step 0 (scheduler not yet running). *)
+
+val k : int -> string
+(** [k i] is an exactly-8-byte key: distinct slice per key, no suffixes. *)
+
+val lk : string -> string
+(** [lk suffix] shares an 8-byte prefix with its siblings: forces suffix
+    storage and, on clash, a deeper trie layer. *)
+
+type t = {
+  name : string;
+  descr : string;
+  prepare : ctx -> unit;  (** runs before the scheduler takes control *)
+  tasks : (string * (ctx -> unit)) list;
+}
+
+val mk : t -> Sched.mk
+(** Package for the exploration drivers: fresh tree + oracle per run;
+    the finalizer runs [Tree.check], [Tree.maintain], a final read-back
+    of every written key, and [Oracle.check]. *)
+
+val scenarios : t list
+val find : string -> t option

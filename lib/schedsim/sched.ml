@@ -1,0 +1,376 @@
+(* Deterministic cooperative scheduler over the OCC core's schedule
+   points.
+
+   Logical threads (tasks) run on ONE domain as effect-suspendable
+   computations.  [Schedpoint.hit]/[spin] inside the tree code perform a
+   [Yield] effect; the scheduler catches it, parks the task, and picks
+   the next task to run via a pluggable [pick] policy.  Because the tree
+   code between two schedule points runs atomically with respect to the
+   other tasks, a run is fully determined by the sequence of choices the
+   policy makes — which is what makes exhaustive (DFS) and seeded random
+   exploration, and byte-for-byte replay, possible. *)
+
+open Effect
+open Effect.Deep
+module Schedpoint = Masstree_core.Schedpoint
+
+type _ Effect.t += Yield : Schedpoint.kind * string -> unit Effect.t
+
+type st =
+  | Fresh of (unit -> unit)
+  | Suspended of (unit, unit) continuation
+  | Running
+  | Finished
+
+type task = {
+  tname : string;
+  mutable st : st;
+  (* A [Spin]-kind yield marks the task unable to progress until some
+     other task acts: it leaves the eligible pool until another task has
+     taken a step.  This keeps lock/stable spin loops from exploding the
+     schedule tree (and from livelocking random exploration). *)
+  mutable spinning : bool;
+  mutable last_point : string;
+}
+
+type failure =
+  | Task_exn of { task : string; exn : string; backtrace : string }
+  | Deadlock of { waiting : (string * string) list }
+  | Out_of_steps of { steps : int }
+
+let failure_to_string = function
+  | Task_exn { task; exn; backtrace } ->
+      Printf.sprintf "task %s raised %s%s" task exn
+        (if backtrace = "" then "" else "\n" ^ backtrace)
+  | Deadlock { waiting } ->
+      Printf.sprintf "deadlock: %s"
+        (String.concat ", "
+           (List.map (fun (t, p) -> Printf.sprintf "%s@%s" t p) waiting))
+  | Out_of_steps { steps } -> Printf.sprintf "no completion after %d steps" steps
+
+type run = {
+  steps : int;
+  branches : int array;  (* pool arity at each branch point, in order *)
+  chosen : int array;    (* the choice taken at each branch point *)
+  failure : failure option;
+  trace : (string * string) list;  (* (task, point) per suspension *)
+}
+
+(* Logical time: bumped once per scheduler step.  Operations bracket
+   themselves with [now] to get linearizability windows for the oracle.
+   Not reset by [run_one] so that scenario preparation (which runs before
+   the tasks exist) can stamp its writes after an explicit reset. *)
+let clock = ref 0
+let now () = !clock
+let reset_clock () = clock := 0
+
+(* How many consecutive steps may execute without any task making a
+   non-spin transition before we call it a deadlock.  Spin loops under
+   the cooperative scheduler burn one step per retry, so a genuine
+   deadlock crosses this quickly while a writer briefly holding a lock
+   does not. *)
+let stall_limit = 2000
+
+let run_one ?(max_steps = 100_000) ?(record_trace = false) ~tasks
+    ~(pick : branch:int -> pool:string array -> int) () : run =
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun (tname, f) ->
+           { tname; st = Fresh f; spinning = false; last_point = "(start)" })
+         tasks)
+  in
+  let failure = ref None in
+  let aborting = ref false in
+  let in_task = ref false in
+  let trace = ref [] in
+  let branches = ref [] and chosen = ref [] and nbranch = ref 0 in
+  let handler (task : task) =
+    {
+      retc = (fun () -> task.st <- Finished);
+      exnc =
+        (fun e ->
+          let bt = Printexc.get_backtrace () in
+          task.st <- Finished;
+          if (not !aborting) && !failure = None then
+            failure :=
+              Some
+                (Task_exn
+                   { task = task.tname; exn = Printexc.to_string e; backtrace = bt }));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield (kind, point) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  task.st <- Suspended k;
+                  task.spinning <- kind = Schedpoint.Spin;
+                  task.last_point <- point;
+                  if record_trace then trace := (task.tname, point) :: !trace)
+          | _ -> None);
+    }
+  in
+  let step task =
+    incr clock;
+    in_task := true;
+    (match task.st with
+    | Fresh f ->
+        task.st <- Running;
+        match_with f () (handler task)
+    | Suspended k ->
+        task.st <- Running;
+        (* The deep handler installed by [match_with] stays attached to
+           the continuation, so later yields land back here. *)
+        continue k ()
+    | Running | Finished -> assert false);
+    in_task := false
+  in
+  Schedpoint.enable (fun kind point ->
+      if !in_task then perform (Yield (kind, point)));
+  let steps = ref 0 in
+  let stall = ref 0 in
+  let last_task = ref (-1) in
+  Fun.protect
+    ~finally:(fun () -> Schedpoint.disable ())
+    (fun () ->
+      let finished () =
+        Array.for_all (fun t -> t.st = Finished) tasks
+      in
+      let collect p =
+        let l = ref [] in
+        Array.iteri (fun i t -> if p t then l := i :: !l) tasks;
+        Array.of_list (List.rev !l)
+      in
+      let continue_ = ref true in
+      while !continue_ do
+        if !failure <> None || finished () then continue_ := false
+        else if !steps >= max_steps then begin
+          failure := Some (Out_of_steps { steps = !steps });
+          continue_ := false
+        end
+        else begin
+          let eligible =
+            collect (fun t -> t.st <> Finished && not t.spinning)
+          in
+          let pool =
+            if Array.length eligible > 0 then eligible
+            else collect (fun t -> t.st <> Finished)
+          in
+          if !stall > stall_limit then begin
+            failure :=
+              Some
+                (Deadlock
+                   {
+                     waiting =
+                       Array.to_list pool
+                       |> List.map (fun i ->
+                              (tasks.(i).tname, tasks.(i).last_point));
+                   });
+            continue_ := false
+          end;
+          if !continue_ then begin
+            (* Order the pool with the previously-running task first, so
+               that choice 0 always means "keep going": the DFS all-zeros
+               schedule is then the non-preemptive one, and prefixes
+               read naturally in replays. *)
+            let pool =
+              match Array.find_index (fun i -> i = !last_task) pool with
+              | Some j when j > 0 ->
+                  let p = Array.copy pool in
+                  let cur = p.(j) in
+                  Array.blit p 0 p 1 j;
+                  p.(0) <- cur;
+                  p
+              | _ -> pool
+            in
+            let idx =
+              if Array.length pool = 1 then 0
+              else begin
+                let names =
+                  Array.map (fun i -> tasks.(i).tname) pool
+                in
+                let c = pick ~branch:!nbranch ~pool:names in
+                let c = if c < 0 || c >= Array.length pool then 0 else c in
+                branches := Array.length pool :: !branches;
+                chosen := c :: !chosen;
+                incr nbranch;
+                c
+              end
+            in
+            let ti = pool.(idx) in
+            let t = tasks.(ti) in
+            t.spinning <- false;
+            incr steps;
+            step t;
+            last_task := ti;
+            (* Progress = the stepped task finished or yielded at an
+               ordinary point.  A genuine deadlock (every runnable task
+               in a spin loop) accumulates one stall per step and trips
+               [stall_limit]; a writer briefly holding a lock resets the
+               counter at its next Step yield. *)
+            if t.st = Finished || not t.spinning then stall := 0
+            else incr stall;
+            (* Another task took a step: spinners get to re-check their
+               condition. *)
+            Array.iteri (fun i u -> if i <> ti then u.spinning <- false) tasks
+          end
+        end
+      done;
+      (* Unwind abandoned tasks so their protect-finalizers (epoch unpin
+         etc.) run; their exceptions are expected and ignored. *)
+      if not (finished ()) then begin
+        aborting := true;
+        Array.iter
+          (fun t ->
+            match t.st with
+            | Suspended k -> ( try discontinue k Exit with _ -> ())
+            | _ -> ())
+          tasks
+      end;
+      {
+        steps = !steps;
+        branches = Array.of_list (List.rev !branches);
+        chosen = Array.of_list (List.rev !chosen);
+        failure = !failure;
+        trace = List.rev !trace;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Exploration drivers.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type mk = unit -> (string * (unit -> unit)) list * (unit -> (unit, string) result)
+(* A scenario factory: fresh tasks plus a finalizer that runs the
+   post-conditions (oracle check, structural check).  The finalizer is
+   only invoked after a clean run — after a failed or abandoned run the
+   tree may hold leaked locks, and post-conditions would hang or lie. *)
+
+type case = {
+  ok : (unit, string) result;
+  run : run;
+}
+
+let finish (mk_finalize : unit -> (unit, string) result) (r : run) : case =
+  let ok =
+    match r.failure with
+    | Some f -> Error (failure_to_string f)
+    | None -> mk_finalize ()
+  in
+  { ok; run = r }
+
+let run_choices ~(mk : mk) ~(choices : int array) ?max_steps
+    ?(record_trace = false) () : case =
+  let tasks, finalize = mk () in
+  let pick ~branch ~pool:_ =
+    if branch < Array.length choices then choices.(branch) else 0
+  in
+  let r = run_one ?max_steps ~record_trace ~tasks ~pick () in
+  finish finalize r
+
+type style = Uniform | Pct
+
+let style_to_string = function Uniform -> "uniform" | Pct -> "pct"
+let style_of_string = function
+  | "uniform" -> Some Uniform
+  | "pct" -> Some Pct
+  | _ -> None
+
+let make_pick rng = function
+  | Uniform -> fun ~branch:_ ~pool -> Xutil.Rng.int rng (Array.length pool)
+  | Pct ->
+      (* Probabilistic concurrency testing, after Burckhardt et al.:
+         fixed random per-task priorities, plus a few random change
+         points where the currently-preferred task is demoted below
+         everything seen so far.  Finds bugs that need one long
+         uninterrupted run plus a couple of well-placed preemptions with
+         much higher probability than a uniform walk. *)
+      let prio : (string, float) Hashtbl.t = Hashtbl.create 8 in
+      let demoted = ref 0.0 in
+      let last = ref "" in
+      let ncp = 1 + Xutil.Rng.int rng 3 in
+      let cps = Array.init ncp (fun _ -> Xutil.Rng.int rng 400) in
+      let p nm =
+        match Hashtbl.find_opt prio nm with
+        | Some x -> x
+        | None ->
+            let x = 1.0 +. Xutil.Rng.float rng in
+            Hashtbl.replace prio nm x;
+            x
+      in
+      fun ~branch ~pool ->
+        if Array.exists (fun c -> c = branch) cps && !last <> "" then begin
+          demoted := !demoted -. 1.0;
+          Hashtbl.replace prio !last !demoted
+        end;
+        let best = ref 0 in
+        Array.iteri
+          (fun i nm -> if p nm > p pool.(!best) then best := i)
+          pool;
+        last := pool.(!best);
+        !best
+
+let run_random ~(mk : mk) ~(seed : int64) ?(style = Pct) ?max_steps
+    ?(record_trace = false) () : case =
+  let rng = Xutil.Rng.create seed in
+  let tasks, finalize = mk () in
+  let pick = make_pick rng style in
+  let r = run_one ?max_steps ~record_trace ~tasks ~pick () in
+  finish finalize r
+
+type explore = {
+  explored : int;
+  exhaustive : bool;  (* the DFS closed the whole tree within budget *)
+  fail : (string * int array) option;  (* message, choice prefix to replay *)
+}
+
+let explore_exhaustive ~(mk : mk) ?(max_schedules = 1000) ?max_steps () :
+    explore =
+  (* Iterative-deepening-free DFS by replay: rerun the scenario with a
+     forced choice prefix, then advance the prefix like an odometer whose
+     digit bounds are the branch arities the run actually met.  Scenario
+     determinism guarantees the prefix reproduces the same branch
+     structure up to its last digit. *)
+  let prefix = ref [||] in
+  let explored = ref 0 in
+  let fail = ref None in
+  let complete = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    if !explored >= max_schedules || !fail <> None then continue_ := false
+    else begin
+      let pfx = !prefix in
+      let tasks, finalize = mk () in
+      let pick ~branch ~pool:_ =
+        if branch < Array.length pfx then pfx.(branch) else 0
+      in
+      let r = run_one ?max_steps ~tasks ~pick () in
+      incr explored;
+      (match finish finalize r with
+      | { ok = Error m; run } -> fail := Some (m, run.chosen)
+      | { ok = Ok (); _ } -> ());
+      let n = Array.length r.chosen in
+      let rec back i =
+        if i < 0 then None
+        else if r.chosen.(i) + 1 < r.branches.(i) then Some i
+        else back (i - 1)
+      in
+      match back (n - 1) with
+      | None ->
+          complete := true;
+          continue_ := false
+      | Some i ->
+          prefix :=
+            Array.append (Array.sub r.chosen 0 i) [| r.chosen.(i) + 1 |]
+    end
+  done;
+  { explored = !explored; exhaustive = !complete; fail = !fail }
+
+let choices_to_string c =
+  String.concat "," (List.map string_of_int (Array.to_list c))
+
+let choices_of_string s =
+  if String.trim s = "" then [||]
+  else
+    String.split_on_char ',' s
+    |> List.map (fun x -> int_of_string (String.trim x))
+    |> Array.of_list

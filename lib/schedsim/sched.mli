@@ -1,0 +1,100 @@
+(** Deterministic cooperative scheduler over {!Masstree_core.Schedpoint}.
+
+    Tasks are plain OCaml thunks run on one domain as effect-suspendable
+    computations; every schedule point the OCC core passes through
+    suspends the running task and hands control to a pluggable policy.
+    Code between two schedule points executes atomically with respect to
+    the other tasks, so a run is a pure function of the policy's choice
+    sequence — exhaustive exploration, seeded random exploration and
+    exact replay all follow from that.
+
+    Shape mirrors [Faultsim]: the core declares named points, this
+    module owns the control loop, scenario/oracle live next door. *)
+
+type failure =
+  | Task_exn of { task : string; exn : string; backtrace : string }
+  | Deadlock of { waiting : (string * string) list }
+      (** every unfinished task sat at a Spin point past the stall
+          limit; [(task, point)] pairs locate the cycle *)
+  | Out_of_steps of { steps : int }
+
+val failure_to_string : failure -> string
+
+type run = {
+  steps : int;
+  branches : int array;  (** pool arity at each branch point *)
+  chosen : int array;    (** choice taken at each branch point *)
+  failure : failure option;
+  trace : (string * string) list;
+      (** per suspension: (task, point); empty unless [record_trace] *)
+}
+
+val now : unit -> int
+(** Logical clock: one tick per scheduler step.  Scenario operations
+    bracket themselves with this to build oracle windows. *)
+
+val reset_clock : unit -> unit
+
+val run_one :
+  ?max_steps:int ->
+  ?record_trace:bool ->
+  tasks:(string * (unit -> unit)) list ->
+  pick:(branch:int -> pool:string array -> int) ->
+  unit ->
+  run
+(** Run the tasks to completion under [pick].  [pick] is consulted only
+    when ≥ 2 tasks are eligible; the pool is ordered with the
+    previously-running task first, so choice 0 means "don't preempt".
+    Out-of-range picks clamp to 0.  Tasks abandoned by a failure are
+    unwound (their continuations discontinued) so protect-finalizers
+    run. *)
+
+(** {1 Exploration drivers} *)
+
+type mk = unit -> (string * (unit -> unit)) list * (unit -> (unit, string) result)
+(** Scenario factory: fresh tasks plus a post-condition finalizer.  The
+    finalizer only runs after a clean run — a failed run can leak node
+    locks, and post-conditions would hang on them. *)
+
+type case = { ok : (unit, string) result; run : run }
+
+val run_choices :
+  mk:mk -> choices:int array -> ?max_steps:int -> ?record_trace:bool -> unit -> case
+(** Replay: force the given prefix, default (no preemption) past its
+    end.  [explore_exhaustive] failures are reproduced from exactly
+    this. *)
+
+type style = Uniform | Pct
+
+val style_to_string : style -> string
+val style_of_string : string -> style option
+
+val run_random :
+  mk:mk ->
+  seed:int64 ->
+  ?style:style ->
+  ?max_steps:int ->
+  ?record_trace:bool ->
+  unit ->
+  case
+(** One seeded random schedule.  [Uniform] picks uniformly at every
+    branch; [Pct] is probabilistic concurrency testing — random fixed
+    task priorities plus 1–3 random change points, which concentrates
+    probability on few-preemption bugs.  Same [mk], seed and style ⇒
+    identical run. *)
+
+type explore = {
+  explored : int;
+  exhaustive : bool;  (** the whole schedule tree closed within budget *)
+  fail : (string * int array) option;
+      (** first failure: message plus the choice prefix for
+          {!run_choices} *)
+}
+
+val explore_exhaustive :
+  mk:mk -> ?max_schedules:int -> ?max_steps:int -> unit -> explore
+(** DFS by replay over choice prefixes.  Stops at the first failure or
+    when [max_schedules] runs have been spent. *)
+
+val choices_to_string : int array -> string
+val choices_of_string : string -> int array
