@@ -49,7 +49,7 @@ let measure_masstree scale =
        for _ = 1 to batches do
          let reqs = List.init batch (fun _ -> make_req rng) in
          let frame = Kvserver.Protocol.encode_requests reqs in
-         let resp = Kvserver.Engine.handle_frame ~worker:0 store frame in
+         let resp = Kvserver.Engine.handle_frame ~worker:0 (Kvserver.Engine.single store) frame in
          ignore (Kvserver.Protocol.decode_responses resp);
          sent := !sent + batch;
          if Int64.compare (Xutil.Clock.now_ns ()) deadline > 0 then raise Exit

@@ -24,6 +24,7 @@ let experiments =
     ("ablation", "ablations: node size, permuter, retries", Ablation.run);
     ("obs", "lib/obs telemetry overhead on the loopback path", Obs_overhead.run);
     ("netperf", "net front ends: threaded vs reactor vs reactor+pipelining", Netperf.run);
+    ("shard", "sharded tier: skew collapse + hot-key mitigation (Fig 13)", Shard_bench.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

@@ -101,8 +101,8 @@ let with_front scale kind addr_spec f =
          Kvstore.Store.put store k [| "12345678" |]));
   let front =
     match kind with
-    | `Threaded -> FThreaded (Kvserver.Tcp.serve addr_spec store)
-    | `Reactor -> FReactor (Kvserver.Reactor.serve ~shards:2 addr_spec store)
+    | `Threaded -> FThreaded (Kvserver.Tcp.serve addr_spec (Kvserver.Engine.single store))
+    | `Reactor -> FReactor (Kvserver.Reactor.serve ~shards:2 addr_spec (Kvserver.Engine.single store))
   in
   let r = f front (front_addr front) in
   front_shutdown front;

@@ -49,7 +49,7 @@ let run scale =
   header "lib/obs: telemetry overhead on the loopback hot path";
   let store = Kvstore.Store.create () in
   Kvstore.Store.register_obs store;
-  let server = Kvserver.Loopback.start ~workers:1 store in
+  let server = Kvserver.Loopback.start ~workers:1 (Kvserver.Engine.single store) in
   (* Interleave off/on passes to cancel drift, keep the medians. *)
   let offs = ref [] and ons = ref [] in
   for _ = 1 to 3 do

@@ -1,10 +1,15 @@
 (* mtd: the Masstree server daemon.
 
    Serves the §3 protocol over TCP or a Unix socket, with per-worker
-   update logs, periodic checkpoints, and recovery on restart.
+   update logs, periodic checkpoints, and recovery on restart.  With
+   --shards N the store becomes a sharded tier: N independent store
+   instances behind a keyspace router, each shard with its own log
+   directory and checkpoints; --hot-keys K adds the front-end hot-key
+   cache (Fig 13 skew mitigation) in front of the shards.
 
      mtd --listen 127.0.0.1:7171 --data /var/tmp/mtd
-     mtd --unix /tmp/mtd.sock --data /tmp/mtd --logs 4 --checkpoint-secs 60 *)
+     mtd --unix /tmp/mtd.sock --data /tmp/mtd --logs 4 --checkpoint-secs 60
+     mtd --listen 127.0.0.1:7171 --data /tmp/mtd --shards 4 --hot-keys 1024 *)
 
 open Cmdliner
 
@@ -30,6 +35,38 @@ let find_checkpoints data_dir =
     |> List.filter (fun f -> String.length f > 5 && String.sub f 0 5 = "ckpt-")
     |> List.map (Filename.concat data_dir)
 
+let mkdir_p dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* Recover whatever a directory holds from a previous incarnation.
+   [log] takes a pre-formatted line. *)
+let recover_dir ~log dir =
+  let old_logs = find_logs dir in
+  let old_ckpts = find_checkpoints dir in
+  if old_logs = [] && old_ckpts = [] then None
+  else begin
+    match Kvstore.Store.recover ~log_paths:old_logs ~checkpoint_dirs:old_ckpts () with
+    | Ok (s, stats) ->
+        log
+          (Printf.sprintf "recovered %d keys from %s (%d log records, %d checkpoint entries)"
+             (Kvstore.Store.cardinal s) dir stats.Persist.Recovery.records_applied
+             stats.Persist.Recovery.checkpoint_entries);
+        Some s
+    | Error e ->
+        Printf.eprintf "recovery failed in %s: %s\n%!" dir e;
+        exit 1
+  end
+
+(* Fresh logs for this incarnation in [dir] (a real deployment would
+   rotate; we checkpoint the recovered state first so the old logs can
+   go).  idle_markers: an idle worker's log keeps advancing its durable
+   timestamp so it never pins the recovery cutoff in the past. *)
+let fresh_logs ~n_logs dir =
+  let epoch_tag = Int64.to_string (Xutil.Clock.wall_us ()) in
+  Array.init n_logs (fun i ->
+      Persist.Logger.create ~idle_markers:true
+        (Filename.concat dir (Printf.sprintf "log-%s-%d" epoch_tag i)))
+
 (* The two front ends (threaded accept loop vs event-driven reactor)
    behind one face for startup/shutdown. *)
 type front =
@@ -45,11 +82,12 @@ let front_shutdown = function
   | Reactor r -> Kvserver.Reactor.shutdown r
 
 let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interval slow_us
-    use_reactor net_domains backlog verbose =
+    use_reactor net_domains backlog n_shards hot_keys verbose =
   let log fmt =
     if verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
   in
-  (try Unix.mkdir data_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let n_shards = max 1 n_shards in
+  mkdir_p data_dir;
   (* Bind the listen socket(s) before touching any on-disk state: a
      startup failure like EADDRINUSE must not leave fresh empty log
      files behind (an empty log used to zero the recovery cutoff and
@@ -73,68 +111,126 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
         Printf.eprintf "mtd: cannot listen: %s\n%!" (Unix.error_message e);
         exit 1
   in
-  (* Recover from any previous incarnation's logs + checkpoints. *)
-  let old_logs = find_logs data_dir in
-  let old_ckpts = find_checkpoints data_dir in
-  let recovered =
-    if old_logs = [] && old_ckpts = [] then None
-    else begin
-      match
-        Kvstore.Store.recover ~log_paths:old_logs ~checkpoint_dirs:old_ckpts ()
-      with
-      | Ok (s, stats) ->
-          log "recovered %d keys (%d log records, %d checkpoint entries)"
-            (Kvstore.Store.cardinal s) stats.Persist.Recovery.records_applied
-            stats.Persist.Recovery.checkpoint_entries;
-          Some s
-      | Error e ->
-          Printf.eprintf "recovery failed: %s\n%!" e;
-          exit 1
+  (* Per-shard state this incarnation checkpoints and reclaims: the
+     single-store deployment is the one-shard special case living in the
+     data dir root; shards live in data/shard-<i>/. *)
+  let shard_dirs =
+    if n_shards = 1 then [| data_dir |]
+    else
+      Array.init n_shards (fun i -> Filename.concat data_dir (Printf.sprintf "shard-%d" i))
+  in
+  Array.iter mkdir_p shard_dirs;
+  (* Recover every previous incarnation's state: each shard dir, plus —
+     when switching an existing single-store deployment to --shards — the
+     legacy root-dir logs/checkpoints. *)
+  let log_line s = log "%s" s in
+  let legacy =
+    if n_shards = 1 then None
+    else recover_dir ~log:log_line data_dir (* None unless root-dir state exists *)
+  in
+  (* Orphan shard dirs: left behind by an incarnation with more shards
+     (or by any --shards run, when going back to a single store).  Their
+     keys must re-home through this incarnation's router or a shrinking
+     reshard would silently drop them. *)
+  let orphan_dirs =
+    Sys.readdir data_dir |> Array.to_list
+    |> List.filter (fun f -> String.length f > 6 && String.sub f 0 6 = "shard-")
+    |> List.map (Filename.concat data_dir)
+    |> List.filter (fun d ->
+           Sys.is_directory d && not (Array.exists (String.equal d) shard_dirs))
+    |> List.sort compare
+  in
+  let orphans = List.map (recover_dir ~log:log_line) orphan_dirs in
+  let recovered = Array.map (recover_dir ~log:log_line) shard_dirs in
+  let shard_logs = Array.map (fresh_logs ~n_logs) shard_dirs in
+  let stores = Array.map (fun logs -> Kvstore.Store.create ~logs ()) shard_logs in
+  (* The fresh stores must continue the old incarnation's version clock:
+     their logs coexist with the old ones until the first checkpoint
+     reclaim, and restarting versions near 1 would let stale high-version
+     records shadow new updates on the next replay. *)
+  let max_recovered =
+    let step acc = function Some s -> max acc (Kvstore.Store.max_version s) | None -> acc in
+    List.fold_left step
+      (Array.fold_left step
+         (match legacy with Some s -> Kvstore.Store.max_version s | None -> 0L)
+         recovered)
+      orphans
+  in
+  Array.iter (fun s -> Kvstore.Store.ensure_version_above s max_recovered) stores;
+  let router =
+    if n_shards = 1 then None
+    else
+      Some
+        (Shard.Router.create
+           ?hot:
+             (if hot_keys > 0 then
+                Some { Shard.Router.default_hot_config with Shard.Router.hot_slots = hot_keys }
+              else None)
+           stores)
+  in
+  (* Migrate recovered state in.  Sharded: route every key through the
+     router so data re-homes even if --shards changed since the previous
+     incarnation.  Order is oldest-first — legacy single-store state,
+     then orphan shard dirs, then the live shard dirs — because later
+     puts win overlaps and the live dirs always hold the newest copy of
+     anything that migrated out of a source dir on an earlier restart. *)
+  let migrate old put =
+    ignore (Kvstore.Store.getrange old ~start:"" ~limit:max_int (fun k cols -> put k cols))
+  in
+  let put_routed =
+    match router with
+    | None -> fun k cols -> Kvstore.Store.put stores.(0) k cols
+    | Some r -> fun k cols -> Shard.Router.put r k cols
+  in
+  let migrate_opt = function Some old -> migrate old put_routed | None -> () in
+  (match legacy with Some _ -> migrate_opt legacy | None -> ());
+  List.iter migrate_opt orphans;
+  Array.iter migrate_opt recovered;
+  (* Reclaim the migration sources once the re-homed records are durable:
+     a marker in every fresh log is the group-commit barrier (the same
+     trick the checkpoint-rotate path uses), after which the orphan dirs
+     and the legacy root-dir state are redundant.  If we crash mid-
+     deletion, recovery re-migrates whatever survives and the live shard
+     state — migrated after it — wins every overlap. *)
+  if orphan_dirs <> [] || legacy <> None then begin
+    Array.iter (Array.iter Persist.Logger.mark) shard_logs;
+    List.iter
+      (fun d -> try rm_rf d with Sys_error _ | Unix.Unix_error _ -> ())
+      orphan_dirs;
+    if legacy <> None then begin
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) (find_logs data_dir);
+      List.iter
+        (fun c -> try rm_rf c with Sys_error _ | Unix.Unix_error _ -> ())
+        (find_checkpoints data_dir)
     end
-  in
-  (* Fresh logs for this incarnation (a real deployment would rotate; we
-     checkpoint the recovered state first so the old logs can go). *)
-  let epoch_tag = Int64.to_string (Xutil.Clock.wall_us ()) in
-  let logs =
-    Array.init n_logs (fun i ->
-        (* idle_markers: an idle worker's log keeps advancing its durable
-           timestamp so it never pins the recovery cutoff in the past. *)
-        Persist.Logger.create ~idle_markers:true
-          (Filename.concat data_dir (Printf.sprintf "log-%s-%d" epoch_tag i)))
-  in
-  let store =
-    match recovered with
-    | None -> Kvstore.Store.create ~logs ()
-    | Some old ->
-        (* Migrate recovered state into the logged store.  The fresh
-           store must continue the old incarnation's version clock: its
-           logs coexist with the old ones until the first checkpoint
-           reclaim, and restarting versions near 1 would let stale
-           high-version records shadow new updates on the next replay. *)
-        let s = Kvstore.Store.create ~logs () in
-        Kvstore.Store.ensure_version_above s (Kvstore.Store.max_version old);
-        ignore
-          (Kvstore.Store.getrange old ~start:"" ~limit:max_int (fun k cols ->
-               Kvstore.Store.put s k cols));
-        s
+  end;
+  let backend =
+    match router with
+    | None -> Kvserver.Engine.single stores.(0)
+    | Some r -> Kvserver.Engine.sharded r
   in
   (* Live telemetry: the engine records per-request metrics on its own;
-     gauges for the index and log buffers come from the store. *)
-  Kvstore.Store.register_obs store;
+     gauges for the index and log buffers come from the store/router. *)
+  (match router with
+  | None -> Kvstore.Store.register_obs stores.(0)
+  | Some r ->
+      Shard.Router.register_obs r;
+      log "sharded tier: %d shards, hot-key cache %s" n_shards
+        (if hot_keys > 0 then Printf.sprintf "%d slots" hot_keys else "off"));
   Obs.Trace.set_threshold_us (Obs.Registry.trace Obs.Registry.global) slow_us;
   let server =
     if use_reactor then begin
-      let r = Kvserver.Reactor.start ~shards:net_domains listener store in
-      log "reactor front end: %d shard(s), %s poller" net_domains
+      let r = Kvserver.Reactor.start ~shards:net_domains listener backend in
+      log "reactor front end: %d net domain(s), %s poller" net_domains
         (Kvserver.Reactor.backend r);
       Reactor r
     end
-    else Threaded (Kvserver.Tcp.start listener store)
+    else Threaded (Kvserver.Tcp.start listener backend)
   in
   (match front_addr server with
   | Kvserver.Tcp.Tcp (h, p) -> Printf.printf "mtd listening on %s:%d\n%!" h p
   | Kvserver.Tcp.Unix_sock p -> Printf.printf "mtd listening on %s\n%!" p);
-  (* Optional per-core UDP ports (paper Â§5). *)
+  (* Optional per-core UDP ports (paper §5). *)
   let udp =
     if udp_ports <= 0 then None
     else begin
@@ -143,13 +239,13 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
         | Kvserver.Tcp.Tcp (h, p) -> (h, p + 1)
         | Kvserver.Tcp.Unix_sock _ -> ("127.0.0.1", 7172)
       in
-      let u = Kvserver.Udp.serve ~host ~base_port:base ~workers:udp_ports store in
+      let u = Kvserver.Udp.serve ~host ~base_port:base ~workers:udp_ports backend in
       Printf.printf "mtd udp ports: %s\n%!"
         (String.concat "," (List.map string_of_int (Kvserver.Udp.ports u)));
       Some u
     end
   in
-  (* Periodic checkpoints. *)
+  (* Periodic checkpoints, one pass per shard. *)
   let stop = Atomic.make false in
   let stats_thread =
     if stats_interval <= 0.0 then None
@@ -166,6 +262,37 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
              done)
            ())
   in
+  let checkpoint_shard i =
+    let dir_base = shard_dirs.(i) in
+    let dir =
+      Filename.concat dir_base (Printf.sprintf "ckpt-%Ld" (Xutil.Clock.wall_us ()))
+    in
+    match Kvstore.Store.checkpoint stores.(i) ~dir ~writers:n_logs with
+    | Ok m ->
+        log "checkpoint written: %s" m;
+        (* Reclaim log space (§5): everything before the checkpoint is
+           now redundant.  Rotate each logger to a fresh file and delete
+           the superseded logs and older checkpoints. *)
+        let tag = Int64.to_string (Xutil.Clock.wall_us ()) in
+        let old_files = find_logs dir_base in
+        Array.iteri
+          (fun j l ->
+            Persist.Logger.rotate l
+              (Filename.concat dir_base (Printf.sprintf "log-%s-%d" tag j)))
+          shard_logs.(i);
+        (* Durable barrier before deleting anything: a marker in every
+           fresh log pushes the recovery cutoff past the checkpoint's
+           completion time, so if we crash midway through the deletions
+           below, recovery selects this checkpoint instead of depending
+           on the half-deleted log set. *)
+        Array.iter Persist.Logger.mark shard_logs.(i);
+        let current = Array.to_list (Array.map Persist.Logger.path shard_logs.(i)) in
+        List.iter
+          (fun f -> if not (List.mem f current) then try Sys.remove f with Sys_error _ -> ())
+          old_files;
+        List.iter (fun c -> if c <> dir then rm_rf c) (find_checkpoints dir_base)
+    | Error e -> Printf.eprintf "checkpoint failed: %s\n%!" e
+  in
   let ckpt_thread =
     Thread.create
       (fun () ->
@@ -175,40 +302,9 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
           let elapsed = float_of_int !i *. 0.2 in
           if checkpoint_secs > 0.0 && elapsed >= checkpoint_secs then begin
             i := 0;
-            let dir =
-              Filename.concat data_dir
-                (Printf.sprintf "ckpt-%Ld" (Xutil.Clock.wall_us ()))
-            in
-            match Kvstore.Store.checkpoint store ~dir ~writers:n_logs with
-            | Ok m ->
-                log "checkpoint written: %s" m;
-                (* Reclaim log space (§5): everything before the checkpoint
-                   is now redundant.  Rotate each logger to a fresh file and
-                   delete the superseded logs and older checkpoints. *)
-                let tag = Int64.to_string (Xutil.Clock.wall_us ()) in
-                let old_files = find_logs data_dir in
-                Array.iteri
-                  (fun i l ->
-                    Persist.Logger.rotate l
-                      (Filename.concat data_dir (Printf.sprintf "log-%s-%d" tag i)))
-                  logs;
-                (* Durable barrier before deleting anything: a marker in
-                   every fresh log pushes the recovery cutoff past the
-                   checkpoint's completion time, so if we crash midway
-                   through the deletions below, recovery selects this
-                   checkpoint instead of depending on the half-deleted
-                   log set. *)
-                Array.iter Persist.Logger.mark logs;
-                let current = Array.to_list (Array.map Persist.Logger.path logs) in
-                List.iter
-                  (fun f ->
-                    if not (List.mem f current) then
-                      try Sys.remove f with Sys_error _ -> ())
-                  old_files;
-                List.iter
-                  (fun c -> if c <> dir then rm_rf c)
-                  (find_checkpoints data_dir)
-            | Error e -> Printf.eprintf "checkpoint failed: %s\n%!" e
+            for s = 0 to n_shards - 1 do
+              checkpoint_shard s
+            done
           end
           else incr i
         done)
@@ -228,7 +324,7 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
   (match stats_thread with Some t -> Thread.join t | None -> ());
   (match udp with Some u -> Kvserver.Udp.shutdown u | None -> ());
   front_shutdown server;
-  Kvstore.Store.close store
+  Array.iter Kvstore.Store.close stores
 
 let listen_t =
   Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc:"TCP listen address.")
@@ -239,7 +335,7 @@ let unix_t =
 let data_t =
   Arg.(value & opt string "./mtd-data" & info [ "data" ] ~docv:"DIR" ~doc:"Data directory for logs and checkpoints.")
 
-let logs_t = Arg.(value & opt int 2 & info [ "logs" ] ~docv:"N" ~doc:"Number of per-worker log files.")
+let logs_t = Arg.(value & opt int 2 & info [ "logs" ] ~docv:"N" ~doc:"Number of per-worker log files (per shard).")
 
 let ckpt_t =
   Arg.(value & opt float 0.0 & info [ "checkpoint-secs" ] ~docv:"S" ~doc:"Checkpoint interval; 0 disables.")
@@ -262,6 +358,12 @@ let net_domains_t =
 let backlog_t =
   Arg.(value & opt int 1024 & info [ "backlog" ] ~docv:"N" ~doc:"Listen backlog.")
 
+let shards_t =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc:"Serve a sharded tier of N store instances behind a keyspace router, each with its own log directory (data/shard-<i>).  1 = single shared store (default).  Changing N re-homes recovered keys on startup.")
+
+let hot_keys_t =
+  Arg.(value & opt int 0 & info [ "hot-keys" ] ~docv:"K" ~doc:"With --shards: front-end hot-key cache slots (top-K keys served without touching their shard; invalidated on write).  0 disables.")
+
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
 let cmd =
@@ -269,6 +371,7 @@ let cmd =
     (Cmd.info "mtd" ~doc:"Masstree key-value server daemon")
     Term.(
       const run $ listen_t $ unix_t $ data_t $ logs_t $ ckpt_t $ udp_t $ stats_t
-      $ slow_t $ reactor_t $ net_domains_t $ backlog_t $ verbose_t)
+      $ slow_t $ reactor_t $ net_domains_t $ backlog_t $ shards_t $ hot_keys_t
+      $ verbose_t)
 
 let () = exit (Cmd.eval cmd)

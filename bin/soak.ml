@@ -17,19 +17,41 @@
    With --net threaded|reactor the same workload travels over a real
    server front end on a Unix socket, each domain keeping --pipeline
    frames in flight; oracle expectations are captured at send time, which
-   is exactly the per-connection ordering guarantee the server makes. *)
+   is exactly the per-connection ordering guarantee the server makes.
+
+   With --shards N the target is the sharded tier (keyspace router over N
+   stores, hot-key cache enabled), direct or behind --net; --zipf THETA
+   skews the key draw so the hot-key cache actually fills and its
+   invalidation protocol is exercised under oracle checking. *)
 
 open Cmdliner
 
-let run seconds domains keyspace checkpoint_every stats_interval net pipeline verbose =
+let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_shards
+    zipf_theta verbose =
+  let n_shards = max 1 n_shards in
   let dir = Filename.temp_file "soak" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
-  let log_paths = List.init domains (fun i -> Filename.concat dir (Printf.sprintf "log%d" i)) in
-  let logs = Array.of_list (List.map Persist.Logger.create log_paths) in
-  let store = Kvstore.Store.create ~logs () in
-  if verbose then Printf.printf "soak: %d domains, %ds, keyspace %d, data in %s\n%!"
-      domains seconds keyspace dir;
+  (* Per-shard log files, one per domain so ~worker:d maps to a private
+     log in every shard (shard 0 doubles as the single-store target). *)
+  let shard_log_paths =
+    Array.init n_shards (fun s ->
+        List.init domains (fun d -> Filename.concat dir (Printf.sprintf "s%d-log%d" s d)))
+  in
+  let stores =
+    Array.map
+      (fun paths ->
+        Kvstore.Store.create ~logs:(Array.of_list (List.map Persist.Logger.create paths)) ())
+      shard_log_paths
+  in
+  let store = stores.(0) in
+  let router =
+    if n_shards = 1 then None
+    else Some (Shard.Router.create ~hot:Shard.Router.default_hot_config stores)
+  in
+  if verbose then
+    Printf.printf "soak: %d domains, %ds, keyspace %d, %d shard(s), zipf %.2f, data in %s\n%!"
+      domains seconds keyspace n_shards zipf_theta dir;
   (* Each domain owns a disjoint key slice so it can keep an exact oracle
      of its own keys while everyone also reads/scans the shared space. *)
   let oracles = Array.init domains (fun _ -> Hashtbl.create 1024) in
@@ -37,7 +59,16 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline ve
   let stop = Atomic.make false in
   (* Soak drives the store directly (no network engine), so the live
      telemetry here is the index gauges + logger metrics. *)
-  Kvstore.Store.register_obs store;
+  (match router with
+  | None -> Kvstore.Store.register_obs store
+  | Some r -> Shard.Router.register_obs r);
+  let zipf =
+    if zipf_theta > 0.0 then Some (Workload.Zipf.create ~theta:zipf_theta ~n:keyspace ())
+    else None
+  in
+  let draw rng =
+    match zipf with Some z -> Workload.Zipf.scramble z rng | None -> Xutil.Rng.int rng keyspace
+  in
   let stats_thread =
     if stats_interval <= 0.0 then None
     else
@@ -52,7 +83,7 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline ve
              done)
            ())
   in
-  let checkpoints = ref [] in
+  let checkpoints = Array.make n_shards [] in
   let ckpt_thread =
     Thread.create
       (fun () ->
@@ -61,12 +92,18 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline ve
           Thread.delay 0.1;
           if checkpoint_every > 0.0 && float_of_int !n *. 0.1 >= checkpoint_every then begin
             n := 0;
-            let cd = Filename.concat dir (Printf.sprintf "ck%d" (List.length !checkpoints)) in
-            match Kvstore.Store.checkpoint store ~dir:cd ~writers:2 with
-            | Ok _ ->
-                checkpoints := cd :: !checkpoints;
-                if verbose then Printf.printf "  checkpoint %s\n%!" cd
-            | Error e -> Printf.eprintf "checkpoint failed: %s\n%!" e
+            Array.iteri
+              (fun s st ->
+                let cd =
+                  Filename.concat dir
+                    (Printf.sprintf "s%d-ck%d" s (List.length checkpoints.(s)))
+                in
+                match Kvstore.Store.checkpoint st ~dir:cd ~writers:2 with
+                | Ok _ ->
+                    checkpoints.(s) <- cd :: checkpoints.(s);
+                    if verbose then Printf.printf "  checkpoint %s\n%!" cd
+                | Error e -> Printf.eprintf "checkpoint failed: %s\n%!" e)
+              stores
           end
           else incr n
         done)
@@ -80,18 +117,40 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline ve
         Printf.eprintf "SOAK FAILURE: %s\n%!" m)
       fmt
   in
-  (* Optional network front end: same store, served over a Unix socket. *)
+  (* Direct-mode ops against whichever tier we target; the router calls
+     go through the hot-key cache exactly like served traffic. *)
+  let s_get, s_put, s_put_cols, s_remove, s_getrange =
+    match router with
+    | None ->
+        ( (fun _ k -> Kvstore.Store.get store k),
+          (fun d k v -> Kvstore.Store.put ~worker:d store k v),
+          (fun d k u -> Kvstore.Store.put_columns ~worker:d store k u),
+          (fun d k -> ignore (Kvstore.Store.remove ~worker:d store k)),
+          fun k f -> ignore (Kvstore.Store.getrange store ~start:k ~limit:20 f) )
+    | Some r ->
+        ( (fun d k -> Shard.Router.get ~worker:d r k),
+          (fun d k v -> Shard.Router.put ~worker:d r k v),
+          (fun d k u -> Shard.Router.put_columns ~worker:d r k u),
+          (fun d k -> ignore (Shard.Router.remove ~worker:d r k)),
+          fun k f -> ignore (Shard.Router.getrange r ~start:k ~limit:20 f) )
+  in
+  (* Optional network front end: same tier, served over a Unix socket. *)
+  let backend =
+    match router with
+    | None -> Kvserver.Engine.single store
+    | Some r -> Kvserver.Engine.sharded r
+  in
   let sock_path = Filename.concat dir "soak.sock" in
   let server =
     match net with
     | "off" -> None
     | "threaded" ->
-        Some (`Threaded (Kvserver.Tcp.serve (Kvserver.Tcp.Unix_sock sock_path) store))
+        Some (`Threaded (Kvserver.Tcp.serve (Kvserver.Tcp.Unix_sock sock_path) backend))
     | "reactor" ->
         Some
           (`Reactor
             (Kvserver.Reactor.serve ~shards:(max 1 (domains / 2))
-               (Kvserver.Tcp.Unix_sock sock_path) store))
+               (Kvserver.Tcp.Unix_sock sock_path) backend))
     | other ->
         Printf.eprintf "soak: --net must be off|threaded|reactor, not %S\n" other;
         exit 2
@@ -122,7 +181,7 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline ve
     in
     while Int64.compare (Xutil.Clock.now_ns ()) deadline < 0 do
       op_counts.(d) <- op_counts.(d) + 1;
-      let i = Xutil.Rng.int rng keyspace in
+      let i = draw rng in
       let k = my_key i in
       match Xutil.Rng.int rng 100 with
       | p when p < 30 ->
@@ -200,13 +259,13 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline ve
          else
          while Int64.compare (Xutil.Clock.now_ns ()) deadline < 0 do
            op_counts.(d) <- op_counts.(d) + 1;
-           let i = Xutil.Rng.int rng keyspace in
+           let i = draw rng in
            let k = my_key i in
            match Xutil.Rng.int rng 100 with
            | p when p < 30 ->
                (* own-key get checked against the oracle *)
                let expected = Hashtbl.find_opt oracle k in
-               let got = Kvstore.Store.get store k in
+               let got = s_get d k in
                let matches =
                  match (expected, got) with
                  | None, None -> true
@@ -216,12 +275,12 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline ve
                if not matches then fail "domain %d: oracle mismatch on %s" d k
            | p when p < 55 ->
                let v = [| string_of_int (Xutil.Rng.int rng 1000); string_of_int d |] in
-               Kvstore.Store.put ~worker:d store k v;
+               s_put d k v;
                Hashtbl.replace oracle k v
            | p when p < 70 ->
                let c = Xutil.Rng.int rng 4 in
                let data = string_of_int (Xutil.Rng.int rng 100) in
-               Kvstore.Store.put_columns ~worker:d store k [ (c, data) ];
+               s_put_cols d k [ (c, data) ];
                let base =
                  match Hashtbl.find_opt oracle k with Some v -> v | None -> [||]
                in
@@ -231,20 +290,20 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline ve
                merged.(c) <- data;
                Hashtbl.replace oracle k merged
            | p when p < 85 ->
-               ignore (Kvstore.Store.remove ~worker:d store k);
+               s_remove d k;
                Hashtbl.remove oracle k
            | p when p < 95 ->
                (* cross-domain read: just must not crash or return junk *)
                let other = Xutil.Rng.int rng domains in
-               ignore (Kvstore.Store.get store (Printf.sprintf "d%d-%06d" other i))
+               ignore (s_get d (Printf.sprintf "d%d-%06d" other i))
            | _ ->
-               (* ordered scan over the shared space *)
+               (* ordered scan over the shared space (cross-shard merged
+                  when the target is the router) *)
                let prev = ref "" in
-               ignore
-                 (Kvstore.Store.getrange store ~start:k ~limit:20 (fun k' _ ->
-                      if !prev <> "" && String.compare k' !prev <= 0 then
-                        fail "domain %d: scan order violation at %s" d k';
-                      prev := k'))
+               s_getrange k (fun k' _ ->
+                   if !prev <> "" && String.compare k' !prev <= 0 then
+                     fail "domain %d: scan order violation at %s" d k';
+                   prev := k')
          done));
   Atomic.set stop true;
   Thread.join ckpt_thread;
@@ -255,38 +314,67 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline ve
   | None -> ());
   let total_ops = Array.fold_left ( + ) 0 op_counts in
   Printf.printf "soak: %d ops across %d domains\n%!" total_ops domains;
-  (* 1. structural invariants *)
-  (match Kvstore.Store.check store with
+  (match router with
+  | Some r when verbose -> (
+      match Shard.Router.hot_stats r with
+      | Some st ->
+          Printf.printf "  hot cache: %d hits, %d misses, %d fills, %d invalidations\n%!"
+            st.Shard.Hotcache.s_hits st.Shard.Hotcache.s_misses st.Shard.Hotcache.s_fills
+            st.Shard.Hotcache.s_invalidations
+      | None -> ())
+  | _ -> ());
+  (* 1. structural invariants (all shards) *)
+  (match
+     (match router with Some r -> Shard.Router.check r | None -> Kvstore.Store.check store)
+   with
   | Ok () -> ()
   | Error m -> fail "structural check: %s" m);
-  (* 2. final oracle verification *)
+  (* 2. final oracle verification — through the router (and its cache)
+     when sharded, so cache staleness would be caught here too *)
+  let final_get k =
+    match router with Some r -> Shard.Router.get r k | None -> Kvstore.Store.get store k
+  in
   Array.iteri
     (fun d oracle ->
       Hashtbl.iter
-        (fun k v ->
-          if Kvstore.Store.get store k <> Some v then
-            fail "domain %d: final state lost %s" d k)
+        (fun k v -> if final_get k <> Some v then fail "domain %d: final state lost %s" d k)
         oracle)
     oracles;
-  (* 3. crash recovery equivalence *)
-  Kvstore.Store.close store;
-  (match
-     Kvstore.Store.recover ~log_paths ~checkpoint_dirs:!checkpoints ()
-   with
-  | Error e -> fail "recovery: %s" e
-  | Ok (s2, stats) ->
-      if verbose then
-        Printf.printf "  recovered %d keys (%d records, %d checkpoint entries)\n%!"
-          (Kvstore.Store.cardinal s2)
-          stats.Persist.Recovery.records_applied stats.Persist.Recovery.checkpoint_entries;
-      Array.iteri
-        (fun d oracle ->
-          Hashtbl.iter
-            (fun k v ->
-              if Kvstore.Store.get s2 k <> Some v then
-                fail "domain %d: recovery lost %s" d k)
-            oracle)
-        oracles);
+  (* 3. crash recovery equivalence: recover every shard from its own logs
+     + checkpoints, re-assemble the tier, and verify each oracle again *)
+  (match router with
+  | Some r -> Shard.Router.close r
+  | None -> Kvstore.Store.close store);
+  let recovered =
+    Array.init n_shards (fun s ->
+        match
+          Kvstore.Store.recover ~log_paths:shard_log_paths.(s)
+            ~checkpoint_dirs:checkpoints.(s) ()
+        with
+        | Error e ->
+            fail "recovery (shard %d): %s" s e;
+            None
+        | Ok (s2, stats) ->
+            if verbose then
+              Printf.printf "  shard %d: recovered %d keys (%d records, %d checkpoint entries)\n%!"
+                s (Kvstore.Store.cardinal s2) stats.Persist.Recovery.records_applied
+                stats.Persist.Recovery.checkpoint_entries;
+            Some s2)
+  in
+  (if Array.for_all Option.is_some recovered then
+     let stores2 = Array.map Option.get recovered in
+     let rec_get =
+       if n_shards = 1 then fun k -> Kvstore.Store.get stores2.(0) k
+       else
+         let r2 = Shard.Router.create stores2 in
+         fun k -> Shard.Router.get r2 k
+     in
+     Array.iteri
+       (fun d oracle ->
+         Hashtbl.iter
+           (fun k v -> if rec_get k <> Some v then fail "domain %d: recovery lost %s" d k)
+           oracle)
+       oracles);
   if Atomic.get failures = 0 then begin
     Printf.printf "soak: all invariants held\n";
     0
@@ -314,6 +402,12 @@ let net_t =
 let pipeline_t =
   Arg.(value & opt int 8 & info [ "pipeline" ] ~docv:"W" ~doc:"Request frames kept in flight per connection in --net modes.")
 
+let shards_t =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc:"Target the sharded tier: N stores behind the keyspace router with the hot-key cache enabled.  1 = plain single store (default).")
+
+let zipf_t =
+  Arg.(value & opt float 0.0 & info [ "zipf" ] ~docv:"THETA" ~doc:"Draw keys Zipfian with skew THETA (e.g. 0.99) instead of uniformly — heats the hot-key cache so its invalidation protocol gets exercised under oracle checking.  0 = uniform.")
+
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress output.")
 
 let cmd =
@@ -321,6 +415,6 @@ let cmd =
     (Cmd.info "soak" ~doc:"Randomized concurrency + persistence soak test")
     Term.(
       const run $ seconds_t $ domains_t $ keys_t $ ckpt_t $ stats_t $ net_t
-      $ pipeline_t $ verbose_t)
+      $ pipeline_t $ shards_t $ zipf_t $ verbose_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,10 +1,15 @@
-type 'v t = { stores : 'v St_masstree.t array; locks : Xutil.Spinlock.t array }
+type 'v t = {
+  stores : 'v St_masstree.t array;
+  locks : Xutil.Spinlock.t array;
+  loads : int Atomic.t array;
+}
 
 let create ~parts =
   assert (parts > 0);
   {
     stores = Array.init parts (fun _ -> St_masstree.create ());
     locks = Array.init parts (fun _ -> Xutil.Spinlock.create ());
+    loads = Array.init parts (fun _ -> Atomic.make 0);
   }
 
 let parts t = Array.length t.stores
@@ -12,7 +17,13 @@ let parts t = Array.length t.stores
 (* Same FNV fold as the hash table; any stable hash works for routing. *)
 let partition_of t key = Hash_table.hash key mod Array.length t.stores
 
-let with_part t p f = Xutil.Spinlock.with_lock t.locks.(p) (fun () -> f t.stores.(p))
+let with_part t p f =
+  Atomic.incr t.loads.(p);
+  Xutil.Spinlock.with_lock t.locks.(p) (fun () -> f t.stores.(p))
+
+let load_counts t = Array.map Atomic.get t.loads
+
+let reset_load_counts t = Array.iter (fun a -> Atomic.set a 0) t.loads
 
 let get t key = with_part t (partition_of t key) (fun s -> St_masstree.get s key)
 

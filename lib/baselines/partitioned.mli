@@ -31,3 +31,11 @@ val get_in : 'v t -> int -> string -> 'v option
 val put_in : 'v t -> int -> string -> 'v -> 'v option
 
 val cardinal : 'v t -> int
+
+val load_counts : 'v t -> int array
+(** Per-partition count of operations routed to each instance (every
+    [get]/[put]/[remove]/[get_in]/[put_in]) — the load-imbalance signal
+    [bench shard] prints side by side with the real sharded tier's
+    {!Shard.Router.shard_loads}. *)
+
+val reset_load_counts : 'v t -> unit

@@ -33,23 +33,73 @@ let batches_counter = Obs.Registry.counter reg "ops.batches"
 
 let multiget_hist = Obs.Registry.histogram reg "lat_us.multiget_batch"
 
-let execute_op ~worker store req =
+(* The serving target behind a transport: one store, or a sharded tier
+   whose router owns key placement, multi_get fan-out, merged scans, and
+   the hot-key cache.  Protocol semantics are identical either way — a
+   client cannot tell which one it talks to. *)
+type backend = Single of Kvstore.Store.t | Sharded of Shard.Router.t
+
+let single s = Single s
+
+let sharded r = Sharded r
+
+let b_get ~worker b key =
+  match b with
+  | Single s -> Kvstore.Store.get s key
+  | Sharded r -> Shard.Router.get ~worker r key
+
+let b_get_columns ~worker b key columns =
+  match b with
+  | Single s -> Kvstore.Store.get_columns s key columns
+  | Sharded r -> Shard.Router.get_columns ~worker r key columns
+
+let b_put ~worker b key columns =
+  match b with
+  | Single s -> Kvstore.Store.put ~worker s key columns
+  | Sharded r -> Shard.Router.put ~worker r key columns
+
+let b_put_columns ~worker b key updates =
+  match b with
+  | Single s -> Kvstore.Store.put_columns ~worker s key updates
+  | Sharded r -> Shard.Router.put_columns ~worker r key updates
+
+let b_remove ~worker b key =
+  match b with
+  | Single s -> Kvstore.Store.remove ~worker s key
+  | Sharded r -> Shard.Router.remove ~worker r key
+
+let b_multi_get ~worker b keys =
+  match b with
+  | Single s -> Kvstore.Store.multi_get s keys
+  | Sharded r -> Shard.Router.multi_get ~worker r keys
+
+let b_getrange b ~start ?columns ~limit f =
+  match b with
+  | Single s -> Kvstore.Store.getrange s ~start ?columns ~limit f
+  | Sharded r -> Shard.Router.getrange r ~start ?columns ~limit f
+
+let b_getrange_rev b ?start ?columns ~limit f =
+  match b with
+  | Single s -> Kvstore.Store.getrange_rev s ?start ?columns ~limit f
+  | Sharded r -> Shard.Router.getrange_rev r ?start ?columns ~limit f
+
+let execute_op ~worker backend req =
   match req with
-  | Protocol.Get { key; columns = [] } -> Protocol.Value (Kvstore.Store.get store key)
+  | Protocol.Get { key; columns = [] } -> Protocol.Value (b_get ~worker backend key)
   | Protocol.Get { key; columns } ->
-      Protocol.Value (Kvstore.Store.get_columns store key columns)
+      Protocol.Value (b_get_columns ~worker backend key columns)
   | Protocol.Put { key; columns } ->
-      Kvstore.Store.put ~worker store key columns;
+      b_put ~worker backend key columns;
       Protocol.Ok_put
   | Protocol.Put_cols { key; updates } ->
-      Kvstore.Store.put_columns ~worker store key updates;
+      b_put_columns ~worker backend key updates;
       Protocol.Ok_put
-  | Protocol.Remove key -> Protocol.Removed (Kvstore.Store.remove ~worker store key)
+  | Protocol.Remove key -> Protocol.Removed (b_remove ~worker backend key)
   | Protocol.Getrange { start; count; columns } ->
       let acc = ref [] in
       let cols = match columns with [] -> None | l -> Some l in
       ignore
-        (Kvstore.Store.getrange store ~start ?columns:cols ~limit:count (fun k v ->
+        (b_getrange backend ~start ?columns:cols ~limit:count (fun k v ->
              acc := (k, v) :: !acc));
       Protocol.Range (List.rev !acc)
   | Protocol.Getrange_rev { start; count; columns } ->
@@ -57,20 +107,20 @@ let execute_op ~worker store req =
       let cols = match columns with [] -> None | l -> Some l in
       let start = if String.equal start "" then None else Some start in
       ignore
-        (Kvstore.Store.getrange_rev store ?start ?columns:cols ~limit:count (fun k v ->
+        (b_getrange_rev backend ?start ?columns:cols ~limit:count (fun k v ->
              acc := (k, v) :: !acc));
       Protocol.Range (List.rev !acc)
   | Protocol.Stats -> Protocol.Stats_reply (Obs.Registry.snapshot reg)
 
-let execute_op ~worker store req =
-  try execute_op ~worker store req
+let execute_op ~worker backend req =
+  try execute_op ~worker backend req
   with e -> Protocol.Failed (Printexc.to_string e)
 
-let execute ~worker store req =
-  if not (Obs.Registry.is_enabled reg) then execute_op ~worker store req
+let execute ~worker backend req =
+  if not (Obs.Registry.is_enabled reg) then execute_op ~worker backend req
   else begin
     let t0 = Xutil.Clock.now_ns () in
-    let resp = execute_op ~worker store req in
+    let resp = execute_op ~worker backend req in
     let dur_us = Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) t0) / 1000 in
     let k = kind_of req in
     Obs.Registry.incr ~worker op_counters.(k);
@@ -87,7 +137,7 @@ let execute ~worker store req =
    wave-based traversal for the whole message instead of independent
    descents.  The traversal is shared, so telemetry records the batch as
    one [lat_us.multiget_batch] sample plus one [ops.get] count per key. *)
-let execute_batch ~worker store reqs =
+let execute_batch ~worker backend reqs =
   let telemetry = Obs.Registry.is_enabled reg in
   if telemetry then Obs.Registry.incr ~worker batches_counter;
   let all_full_gets =
@@ -104,7 +154,7 @@ let execute_batch ~worker store reqs =
            reqs)
     in
     let t0 = Xutil.Clock.now_ns () in
-    match Kvstore.Store.multi_get store keys with
+    match b_multi_get ~worker backend keys with
     | results ->
         if telemetry then begin
           let dur_us = Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) t0) / 1000 in
@@ -116,11 +166,11 @@ let execute_batch ~worker store reqs =
         Array.to_list (Array.map (fun r -> Protocol.Value r) results)
     | exception e -> List.map (fun _ -> Protocol.Failed (Printexc.to_string e)) reqs
   end
-  else List.map (execute ~worker store) reqs
+  else List.map (execute ~worker backend) reqs
 
-let handle_frame ~worker store body =
+let handle_frame ~worker backend body =
   match Protocol.decode_requests body with
-  | reqs -> Protocol.encode_responses (execute_batch ~worker store reqs)
+  | reqs -> Protocol.encode_responses (execute_batch ~worker backend reqs)
   | exception _ -> Protocol.encode_responses [ Protocol.Failed "malformed frame" ]
 
 (* ---- pipelined multi-frame execution (reactor path) ---- *)
@@ -132,7 +182,7 @@ let is_full_get = function Protocol.Get { columns = []; _ } -> true | _ -> false
    whole window traverses the trie together instead of frame by frame.
    Telemetry parity with [execute_batch]: one [ops.batches] per frame,
    one [lat_us.multiget_batch] sample for the shared wave. *)
-let execute_get_run ~worker store frames emit =
+let execute_get_run ~worker backend frames emit =
   let telemetry = Obs.Registry.is_enabled reg in
   let keys =
     Array.of_list
@@ -142,7 +192,7 @@ let execute_get_run ~worker store frames emit =
   in
   if telemetry then Obs.Registry.add ~worker batches_counter (List.length frames);
   let t0 = Xutil.Clock.now_ns () in
-  match Kvstore.Store.multi_get store keys with
+  match b_multi_get ~worker backend keys with
   | results ->
       if telemetry then begin
         let dur_us = Int64.to_int (Int64.sub (Xutil.Clock.now_ns ()) t0) / 1000 in
@@ -166,13 +216,13 @@ let execute_get_run ~worker store frames emit =
       let msg = Printexc.to_string e in
       List.iter (fun reqs -> emit (List.map (fun _ -> Protocol.Failed msg) reqs)) frames
 
-let execute_frames ~worker store ~buf ~frames ~emit =
+let execute_frames ~worker backend ~buf ~frames ~emit =
   let run = ref [] in
   let flush_run () =
     match !run with
     | [] -> ()
     | fs ->
-        execute_get_run ~worker store (List.rev fs) emit;
+        execute_get_run ~worker backend (List.rev fs) emit;
         run := []
   in
   List.iter
@@ -185,7 +235,7 @@ let execute_frames ~worker store ~buf ~frames ~emit =
           if reqs <> [] && List.for_all is_full_get reqs then run := reqs :: !run
           else begin
             flush_run ();
-            emit (execute_batch ~worker store reqs)
+            emit (execute_batch ~worker backend reqs)
           end)
     frames;
   flush_run ()

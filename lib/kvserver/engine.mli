@@ -1,8 +1,21 @@
 (** Request execution: the bridge from decoded protocol batches to the
-    store.  Shared by every transport (loopback, TCP, Unix sockets). *)
+    serving backend.  Shared by every transport (loopback, TCP, UDP,
+    Unix sockets, reactor). *)
 
-val execute : worker:int -> Kvstore.Store.t -> Protocol.request -> Protocol.response
-(** [execute ~worker store req] runs one request; [worker] selects the
+type backend =
+  | Single of Kvstore.Store.t
+  | Sharded of Shard.Router.t
+      (** a sharded tier: the router owns key placement, [multi_get]
+          fan-out, cross-shard scan merging, and the hot-key cache.
+          Protocol semantics are identical to [Single] — clients cannot
+          tell which backend serves them. *)
+
+val single : Kvstore.Store.t -> backend
+
+val sharded : Shard.Router.t -> backend
+
+val execute : worker:int -> backend -> Protocol.request -> Protocol.response
+(** [execute ~worker backend req] runs one request; [worker] selects the
     update log (one per query worker, §5).  Never raises: failures come
     back as [Failed].
 
@@ -13,19 +26,20 @@ val execute : worker:int -> Kvstore.Store.t -> Protocol.request -> Protocol.resp
     request returns a {!Obs.Snapshot.t} of all of it. *)
 
 val execute_batch :
-  worker:int -> Kvstore.Store.t -> Protocol.request list -> Protocol.response list
+  worker:int -> backend -> Protocol.request list -> Protocol.response list
 (** Batches consisting solely of full-value Gets run through the
-    interleaved {!Kvstore.Store.multi_get} path (the §4.8 parallel-lookup
-    optimization applied to the network stack, as the paper proposes). *)
+    interleaved multi-get path (the §4.8 parallel-lookup optimization
+    applied to the network stack; on a sharded backend the router fans
+    the wave out per shard). *)
 
-val handle_frame : worker:int -> Kvstore.Store.t -> string -> string
-(** [handle_frame ~worker store body] decodes a request frame body,
+val handle_frame : worker:int -> backend -> string -> string
+(** [handle_frame ~worker backend body] decodes a request frame body,
     executes it, and encodes the response frame body.  A malformed frame
     yields a single [Failed] response. *)
 
 val execute_frames :
   worker:int ->
-  Kvstore.Store.t ->
+  backend ->
   buf:string ->
   frames:(int * int) list ->
   emit:(Protocol.response list -> unit) -> unit
@@ -33,8 +47,8 @@ val execute_frames :
     arrived in one readable event, decoded in place from the receive
     buffer ([(pos, len)] body spans into [buf]) and executed as one
     batch.  Consecutive frames consisting solely of full-value Gets are
-    merged into a single interleaved {!Kvstore.Store.multi_get} wave
-    spanning the whole run — the §4.8 optimization applied across the
-    pipeline window, not just within one message.  [emit] is called once
-    per frame, in order; a malformed frame emits a single [Failed]
-    response and the stream continues. *)
+    merged into a single interleaved multi-get wave spanning the whole
+    run — the §4.8 optimization applied across the pipeline window, not
+    just within one message.  [emit] is called once per frame, in order;
+    a malformed frame emits a single [Failed] response and the stream
+    continues. *)

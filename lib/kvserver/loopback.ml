@@ -5,7 +5,7 @@ type conn = {
 }
 
 type server = {
-  store : Kvstore.Store.t;
+  backend : Engine.backend;
   incoming : conn Xutil.Mpsc_queue.t array; (* one inbox per worker *)
   stop_flag : bool Atomic.t;
   domains : unit Domain.t array;
@@ -32,7 +32,7 @@ let worker_loop server worker () =
                 | Some frame ->
                     busy := true;
                     Xutil.Spsc_ring.push c.responses
-                      (Engine.handle_frame ~worker server.store frame);
+                      (Engine.handle_frame ~worker server.backend frame);
                     burst (n - 1)
                 | None -> ()
               end
@@ -44,11 +44,11 @@ let worker_loop server worker () =
     if !busy then Xutil.Backoff.reset bo else Xutil.Backoff.once bo
   done
 
-let start ?(workers = 1) store =
+let start ?(workers = 1) backend =
   let incoming = Array.init workers (fun _ -> Xutil.Mpsc_queue.create ()) in
   let server =
     {
-      store;
+      backend;
       incoming;
       stop_flag = Atomic.make false;
       domains = [||];

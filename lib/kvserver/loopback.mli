@@ -7,8 +7,8 @@ type server
 
 type conn
 
-val start : ?workers:int -> Kvstore.Store.t -> server
-(** [start store] launches [workers] (default 1) server domains, each
+val start : ?workers:int -> Engine.backend -> server
+(** [start backend] launches [workers] (default 1) server domains, each
     serving the connections assigned to it round-robin. *)
 
 val connect : server -> conn

@@ -61,7 +61,7 @@ type t = {
   stopping : bool Atomic.t;
   mutable accept_thread : Thread.t option;
   mutable domains : unit Domain.t array;
-  store : Kvstore.Store.t;
+  backend : Engine.backend;
   out_budget : int;
 }
 
@@ -138,7 +138,7 @@ let handle_readable server shard conn =
       let nframes = List.length frames in
       Obs.Registry.add ~worker:shard.sid frames_ctr nframes;
       Obs.Registry.observe ~worker:shard.sid frames_per_wakeup_hist nframes;
-      Engine.execute_frames ~worker:shard.sid server.store
+      Engine.execute_frames ~worker:shard.sid server.backend
         ~buf:(Netbuf.In.contents conn.inb) ~frames
         ~emit:(fun resps ->
           let marker = Netbuf.Out.begin_frame conn.out in
@@ -232,7 +232,7 @@ let rec accept_loop server next () =
         accept_loop server (next + 1) ()
       end
 
-let start ?(shards = 2) ?(out_budget = 1 lsl 20) listener store =
+let start ?(shards = 2) ?(out_budget = 1 lsl 20) listener backend =
   let shards = max 1 shards in
   let mk_shard sid =
     let wake_rd, wake_wr = Unix.pipe ~cloexec:true () in
@@ -256,7 +256,7 @@ let start ?(shards = 2) ?(out_budget = 1 lsl 20) listener store =
       stopping = Atomic.make false;
       accept_thread = None;
       domains = [||];
-      store;
+      backend;
       out_budget;
     }
   in
@@ -265,8 +265,8 @@ let start ?(shards = 2) ?(out_budget = 1 lsl 20) listener store =
   server.accept_thread <- Some (Thread.create (accept_loop server 0) ());
   server
 
-let serve ?shards ?out_budget ?backlog addr store =
-  start ?shards ?out_budget (Tcp.bind ?backlog addr) store
+let serve ?shards ?out_budget ?backlog addr backend =
+  start ?shards ?out_budget (Tcp.bind ?backlog addr) backend
 
 let bound_addr t = t.actual
 

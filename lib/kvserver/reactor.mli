@@ -21,13 +21,15 @@
 
 type t
 
-val start : ?shards:int -> ?out_budget:int -> Tcp.listener -> Kvstore.Store.t -> t
-(** [start listener store] runs the reactor on an already-bound listener
-    ([shards] event-loop domains, default 2; [out_budget] bytes of
-    pending output per connection before backpressure, default 1 MiB). *)
+val start : ?shards:int -> ?out_budget:int -> Tcp.listener -> Engine.backend -> t
+(** [start listener backend] runs the reactor on an already-bound
+    listener ([shards] event-loop domains, default 2; [out_budget] bytes
+    of pending output per connection before backpressure, default 1 MiB).
+    The backend is a single store or a sharded tier ({!Engine.backend});
+    a sharded tier's router handles key placement and merged scans. *)
 
 val serve :
-  ?shards:int -> ?out_budget:int -> ?backlog:int -> Tcp.addr -> Kvstore.Store.t -> t
+  ?shards:int -> ?out_budget:int -> ?backlog:int -> Tcp.addr -> Engine.backend -> t
 (** Bind + start. *)
 
 val bound_addr : t -> Tcp.addr

@@ -9,17 +9,17 @@ type server = {
   actual : addr;
   stopping : bool Atomic.t;
   mutable accept_thread : Thread.t option;
-  store : Kvstore.Store.t;
+  backend : Engine.backend;
   worker_counter : int Atomic.t;
 }
 
-let connection_loop store worker fd () =
+let connection_loop backend worker fd () =
   (try
      let rec loop () =
        match Protocol.read_frame fd with
        | None -> ()
        | Some body ->
-           Protocol.write_frame fd (Engine.handle_frame ~worker store body);
+           Protocol.write_frame fd (Engine.handle_frame ~worker backend body);
            loop ()
      in
      loop ()
@@ -42,7 +42,7 @@ let rec accept_loop server () =
             with Unix.Unix_error _ -> ())
         | Unix_sock _ -> ());
         let worker = Atomic.fetch_and_add server.worker_counter 1 in
-        ignore (Thread.create (connection_loop server.store worker client_fd) ());
+        ignore (Thread.create (connection_loop server.backend worker client_fd) ());
         accept_loop server ()
       end
 
@@ -72,21 +72,21 @@ let listener_addr l = l.lactual
 
 let listener_fd l = l.lfd
 
-let start l store =
+let start l backend =
   let server =
     {
       fd = l.lfd;
       actual = l.lactual;
       stopping = Atomic.make false;
       accept_thread = None;
-      store;
+      backend;
       worker_counter = Atomic.make 0;
     }
   in
   server.accept_thread <- Some (Thread.create (accept_loop server) ());
   server
 
-let serve addr store = start (bind addr) store
+let serve addr backend = start (bind addr) backend
 
 let bound_addr s = s.actual
 

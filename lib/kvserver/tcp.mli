@@ -10,9 +10,10 @@ type addr = Tcp of string * int | Unix_sock of string
 
 type server
 
-val serve : addr -> Kvstore.Store.t -> server
+val serve : addr -> Engine.backend -> server
 (** Bind, listen, and start the accept loop in a background thread
-    ({!bind} + {!start}). *)
+    ({!bind} + {!start}).  The backend is a single store or a sharded
+    tier ({!Engine.backend}); clients see identical semantics. *)
 
 type listener
 
@@ -29,7 +30,7 @@ val listener_addr : listener -> addr
 val listener_fd : listener -> Unix.file_descr
 (** The listening descriptor, for alternative front ends ({!Reactor}). *)
 
-val start : listener -> Kvstore.Store.t -> server
+val start : listener -> Engine.backend -> server
 (** Start the accept loop on an already-bound listener. *)
 
 val bound_addr : server -> addr

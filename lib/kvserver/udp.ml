@@ -7,7 +7,7 @@ type server = {
 
 let max_dgram = 64 * 1024
 
-let worker_loop stopping store worker sock () =
+let worker_loop stopping backend worker sock () =
   let buf = Bytes.create max_dgram in
   (try
      while not (Atomic.get stopping) do
@@ -15,7 +15,7 @@ let worker_loop stopping store worker sock () =
        | 0, _ -> ()
        | len, peer ->
            let body = Bytes.sub_string buf 0 len in
-           let resp = Engine.handle_frame ~worker store body in
+           let resp = Engine.handle_frame ~worker backend body in
            if String.length resp <= max_dgram then
              ignore
                (Unix.sendto sock (Bytes.unsafe_of_string resp) 0 (String.length resp) [] peer)
@@ -23,7 +23,7 @@ let worker_loop stopping store worker sock () =
    with Unix.Unix_error _ -> ());
   try Unix.close sock with Unix.Unix_error _ -> ()
 
-let serve ~host ~base_port ~workers store =
+let serve ~host ~base_port ~workers backend =
   assert (workers >= 1);
   let stopping = Atomic.make false in
   let socks =
@@ -42,7 +42,7 @@ let serve ~host ~base_port ~workers store =
       socks
   in
   let threads =
-    Array.mapi (fun i s -> Thread.create (worker_loop stopping store i s) ()) socks
+    Array.mapi (fun i s -> Thread.create (worker_loop stopping backend i s) ()) socks
   in
   { socks; bound; threads; stopping }
 

@@ -10,7 +10,7 @@
 
 type server
 
-val serve : host:string -> base_port:int -> workers:int -> Kvstore.Store.t -> server
+val serve : host:string -> base_port:int -> workers:int -> Engine.backend -> server
 (** Binds [workers] sockets on [base_port .. base_port+workers-1] (port 0
     lets the OS choose each). *)
 

@@ -1,0 +1,141 @@
+(* Space-saving heavy-hitter sketch (Metwally et al.): [capacity] tracked
+   entries; a hit on a tracked key increments its count, a hit on an
+   untracked key evicts the current minimum and inherits its count as the
+   new entry's error bound.  Any key whose true frequency exceeds
+   N/capacity is guaranteed to be tracked, which is all the hot-key cache
+   needs: the top-K of a Zipfian stream stabilizes within a few thousand
+   observations.
+
+   Not thread-safe: the router samples observations into it under a
+   try-lock, dropping samples under contention. *)
+
+type entry = { mutable key : string; mutable count : int; mutable err : int }
+
+type t = {
+  capacity : int;
+  index : (string, entry) Hashtbl.t;
+  entries : entry array;
+  mutable used : int; (* entries.(0 .. used-1) are live *)
+  mutable observed : int;
+  (* Lazy min bucket: eviction needs the minimum-count entry, and a naive
+     scan is O(capacity) on every tail-key observation — the dominant
+     cost under a Zipfian stream.  The minimum count never decreases
+     between decays (evictions replace a min entry with count min+1,
+     increments only raise counts), so we cache the candidates at the
+     current minimum and rescan only when the cache drains; entries whose
+     count moved on are dropped on pop.  Amortized near-O(1): each rescan
+     refills with every entry sitting at the new minimum, which in a
+     tail-heavy stream is most of the sketch. *)
+  mutable min_value : int;
+  mutable min_bucket : entry list;
+}
+
+let create ~capacity =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    index = Hashtbl.create (2 * capacity);
+    entries = Array.init capacity (fun _ -> { key = ""; count = 0; err = 0 });
+    used = 0;
+    observed = 0;
+    min_value = 0;
+    min_bucket = [];
+  }
+
+let observed t = t.observed
+
+let rec min_entry t =
+  match t.min_bucket with
+  | e :: rest when e.count = t.min_value ->
+      t.min_bucket <- rest;
+      e
+  | _ :: rest ->
+      (* stale candidate: its count was bumped since the rescan *)
+      t.min_bucket <- rest;
+      min_entry t
+  | [] ->
+      let m = ref t.entries.(0).count in
+      for i = 1 to t.used - 1 do
+        if t.entries.(i).count < !m then m := t.entries.(i).count
+      done;
+      t.min_value <- !m;
+      let bucket = ref [] in
+      for i = 0 to t.used - 1 do
+        if t.entries.(i).count = !m then bucket := t.entries.(i) :: !bucket
+      done;
+      t.min_bucket <- !bucket;
+      min_entry t
+
+let observe t key =
+  t.observed <- t.observed + 1;
+  match Hashtbl.find_opt t.index key with
+  | Some e -> e.count <- e.count + 1
+  | None ->
+      if t.used < t.capacity then begin
+        let e = t.entries.(t.used) in
+        t.used <- t.used + 1;
+        e.key <- key;
+        e.count <- 1;
+        e.err <- 0;
+        Hashtbl.replace t.index key e
+      end
+      else begin
+        (* Evict the minimum; its count becomes the newcomer's error. *)
+        let e = min_entry t in
+        Hashtbl.remove t.index e.key;
+        e.err <- e.count;
+        e.count <- e.count + 1;
+        e.key <- key;
+        Hashtbl.replace t.index key e
+      end
+
+let count t key =
+  match Hashtbl.find_opt t.index key with Some e -> Some (e.count, e.err) | None -> None
+
+let top t k =
+  let live = Array.sub t.entries 0 t.used in
+  Array.sort (fun a b -> compare b.count a.count) live;
+  let n = min k (Array.length live) in
+  List.init n (fun i -> (live.(i).key, live.(i).count))
+
+(* Shrink every count by a quarter so the sketch tracks the recent mix
+   rather than all of history; entries decayed to zero are dropped.  The
+   gentle factor matters for reach: a key of probability p stabilizes at
+   count ~ 4*W*p per window of W observations and survives while
+   W*p >~ 1/3, so the tracked tail reaches ~3x deeper into the
+   distribution than halving would, at the price of adapting to a shifted
+   mix over a few more windows. *)
+let decay t =
+  let keep = ref 0 in
+  for i = 0 to t.used - 1 do
+    let e = t.entries.(i) in
+    e.count <- e.count - ((e.count + 3) / 4);
+    e.err <- e.err - ((e.err + 3) / 4);
+    if e.count = 0 then Hashtbl.remove t.index e.key
+    else begin
+      (* compact live entries to the front *)
+      let tgt = t.entries.(!keep) in
+      if tgt != e then begin
+        let k = tgt.key and c = tgt.count and r = tgt.err in
+        tgt.key <- e.key;
+        tgt.count <- e.count;
+        tgt.err <- e.err;
+        e.key <- k;
+        e.count <- c;
+        e.err <- r
+      end;
+      Hashtbl.replace t.index tgt.key tgt;
+      incr keep
+    end
+  done;
+  t.used <- !keep;
+  (* halving can lower the minimum: invalidate the cached bucket *)
+  t.min_value <- 0;
+  t.min_bucket <- []
+
+let clear t =
+  Hashtbl.reset t.index;
+  t.used <- 0;
+  t.observed <- 0;
+  t.min_value <- 0;
+  t.min_bucket <- []

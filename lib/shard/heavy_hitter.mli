@@ -1,0 +1,34 @@
+(** Space-saving heavy-hitter sketch (Metwally et al.): tracks at most
+    [capacity] candidate keys; any key whose true frequency exceeds
+    observed/capacity is guaranteed to be among them.  The router samples
+    the get stream into one of these to decide which keys deserve a slot
+    in the hot-key cache.
+
+    Not thread-safe — callers serialize access (the router uses a
+    try-lock and drops samples under contention). *)
+
+type t
+
+val create : capacity:int -> t
+
+val observe : t -> string -> unit
+(** Count one occurrence of the key. *)
+
+val observed : t -> int
+(** Total observations since creation (decays do not reset this). *)
+
+val count : t -> string -> (int * int) option
+(** [(count, error)] for a tracked key: its true frequency f satisfies
+    [count - error <= f <= count]. *)
+
+val top : t -> int -> (string * int) list
+(** The [k] highest-count tracked keys, descending. *)
+
+val decay : t -> unit
+(** Shrink every count by a quarter (dropping entries that reach zero) so
+    the sketch follows the recent mix instead of all of history.  Gentler
+    than halving on purpose: the tracked tail reaches ~3x deeper into the
+    distribution, at the cost of adapting to a shifted mix over a few more
+    decay cycles. *)
+
+val clear : t -> unit

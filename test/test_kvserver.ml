@@ -43,7 +43,7 @@ let test_codec_rejects_garbage () =
 
 let test_engine () =
   let s = Kvstore.Store.create () in
-  let run r = Engine.execute ~worker:0 s r in
+  let run r = Engine.execute ~worker:0 (Engine.single s) r in
   check_bool "miss" true (run (Protocol.Get { key = "a"; columns = [] }) = Protocol.Value None);
   check_bool "put" true (run (Protocol.Put { key = "a"; columns = [| "1"; "2" |] }) = Protocol.Ok_put);
   check_bool "hit" true
@@ -66,7 +66,7 @@ let test_engine () =
 
 let test_loopback () =
   let store = Kvstore.Store.create () in
-  let server = Loopback.start ~workers:1 store in
+  let server = Loopback.start ~workers:1 (Engine.single store) in
   let conn = Loopback.connect server in
   (* A batch mixing operation types, like the paper's multi-query client
      messages. *)
@@ -88,7 +88,7 @@ let test_loopback () =
 
 let test_loopback_concurrent_clients () =
   let store = Kvstore.Store.create () in
-  let server = Loopback.start ~workers:2 store in
+  let server = Loopback.start ~workers:2 (Engine.single store) in
   ignore
     (Xutil.Domain_pool.run 3 (fun d ->
          let conn = Loopback.connect server in
@@ -110,7 +110,7 @@ let test_unix_socket_server () =
   let store = Kvstore.Store.create () in
   let path = Filename.temp_file "mtsock" ".s" in
   Sys.remove path;
-  let server = Tcp.serve (Tcp.Unix_sock path) store in
+  let server = Tcp.serve (Tcp.Unix_sock path) (Engine.single store) in
   let client = Tcp.connect (Tcp.Unix_sock path) in
   (match Tcp.call client [ Protocol.Put { key = "k"; columns = [| "v" |] } ] with
   | [ Protocol.Ok_put ] -> ()
@@ -123,7 +123,7 @@ let test_unix_socket_server () =
 
 let test_tcp_server_many_clients () =
   let store = Kvstore.Store.create () in
-  let server = Tcp.serve (Tcp.Tcp ("127.0.0.1", 0)) store in
+  let server = Tcp.serve (Tcp.Tcp ("127.0.0.1", 0)) (Engine.single store) in
   let addr = Tcp.bound_addr server in
   let threads =
     List.init 4 (fun d ->
@@ -149,7 +149,7 @@ let test_server_with_logging () =
   let log_path = Filename.concat dir "log0" in
   let logs = [| Persist.Logger.create ~synchronous:true log_path |] in
   let store = Kvstore.Store.create ~logs () in
-  let server = Loopback.start store in
+  let server = Loopback.start (Engine.single store) in
   let conn = Loopback.connect server in
   ignore (Loopback.call conn [ Protocol.Put { key = "durable"; columns = [| "yes" |] } ]);
   Loopback.close_conn conn;
@@ -163,7 +163,7 @@ let test_server_with_logging () =
 
 let test_udp_per_core_ports () =
   let store = Kvstore.Store.create () in
-  let server = Udp.serve ~host:"127.0.0.1" ~base_port:0 ~workers:2 store in
+  let server = Udp.serve ~host:"127.0.0.1" ~base_port:0 ~workers:2 (Engine.single store) in
   let ports = Udp.ports server in
   check_int "two worker ports" 2 (List.length ports);
   (* Each client targets its own worker's port, like a per-core queue. *)

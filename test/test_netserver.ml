@@ -14,12 +14,12 @@ type front = { name : string; addr : Tcp.addr; stop : unit -> unit }
 
 let start_threaded () =
   let store = Kvstore.Store.create () in
-  let server = Tcp.serve (Tcp.Tcp ("127.0.0.1", 0)) store in
+  let server = Tcp.serve (Tcp.Tcp ("127.0.0.1", 0)) (Engine.single store) in
   { name = "threaded"; addr = Tcp.bound_addr server; stop = (fun () -> Tcp.shutdown server) }
 
 let start_reactor ?(shards = 2) () =
   let store = Kvstore.Store.create () in
-  let server = Reactor.serve ~shards (Tcp.Tcp ("127.0.0.1", 0)) store in
+  let server = Reactor.serve ~shards (Tcp.Tcp ("127.0.0.1", 0)) (Engine.single store) in
   {
     name = "reactor";
     addr = Reactor.bound_addr server;
@@ -169,7 +169,7 @@ let test_execute_frames_merges_get_runs () =
       bodies
   in
   let emitted = ref [] in
-  Engine.execute_frames ~worker:0 store ~buf:(Buffer.contents buf) ~frames
+  Engine.execute_frames ~worker:0 (Engine.single store) ~buf:(Buffer.contents buf) ~frames
     ~emit:(fun r -> emitted := r :: !emitted);
   match List.rev !emitted with
   | [
@@ -194,7 +194,7 @@ let test_execute_frames_malformed_frame () =
     ]
   in
   let emitted = ref [] in
-  Engine.execute_frames ~worker:0 store ~buf ~frames
+  Engine.execute_frames ~worker:0 (Engine.single store) ~buf ~frames
     ~emit:(fun r -> emitted := r :: !emitted);
   match List.rev !emitted with
   | [ [ Protocol.Ok_put ]; [ Protocol.Failed _ ]; [ Protocol.Ok_put ] ] -> ()
@@ -226,7 +226,7 @@ let test_reactor_unix_socket () =
   let store = Kvstore.Store.create () in
   let path = Filename.temp_file "mtreact" ".s" in
   Sys.remove path;
-  let server = Reactor.serve ~shards:1 (Tcp.Unix_sock path) store in
+  let server = Reactor.serve ~shards:1 (Tcp.Unix_sock path) (Engine.single store) in
   Fun.protect
     ~finally:(fun () -> Reactor.shutdown server)
     (fun () ->
@@ -241,7 +241,7 @@ let test_reactor_unix_socket () =
 
 let test_reactor_many_clients () =
   let store = Kvstore.Store.create () in
-  let server = Reactor.serve ~shards:3 (Tcp.Tcp ("127.0.0.1", 0)) store in
+  let server = Reactor.serve ~shards:3 (Tcp.Tcp ("127.0.0.1", 0)) (Engine.single store) in
   let addr = Reactor.bound_addr server in
   let threads =
     List.init 6 (fun d ->

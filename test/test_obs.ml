@@ -152,7 +152,7 @@ let test_stats_over_loopback () =
   in
   let store = Kvstore.Store.create ~logs () in
   Kvstore.Store.register_obs store;
-  let server = Kvserver.Loopback.start ~workers:1 store in
+  let server = Kvserver.Loopback.start ~workers:1 (Kvserver.Engine.single store) in
   let conn = Kvserver.Loopback.connect server in
   ignore
     (Kvserver.Loopback.call conn
