@@ -13,59 +13,11 @@
 
 open Cmdliner
 
-let rec rm_rf path =
-  if Sys.is_directory path then begin
-    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
-    Unix.rmdir path
-  end
-  else Sys.remove path
+let find_logs = Shard.Bootstrap.find_logs
 
-let find_logs data_dir =
-  if not (Sys.file_exists data_dir) then []
-  else
-    Sys.readdir data_dir |> Array.to_list
-    |> List.filter (fun f -> String.length f > 4 && String.sub f 0 4 = "log-")
-    |> List.sort compare
-    |> List.map (Filename.concat data_dir)
+let find_checkpoints = Shard.Bootstrap.find_checkpoints
 
-let find_checkpoints data_dir =
-  if not (Sys.file_exists data_dir) then []
-  else
-    Sys.readdir data_dir |> Array.to_list
-    |> List.filter (fun f -> String.length f > 5 && String.sub f 0 5 = "ckpt-")
-    |> List.map (Filename.concat data_dir)
-
-let mkdir_p dir =
-  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-
-(* Recover whatever a directory holds from a previous incarnation.
-   [log] takes a pre-formatted line. *)
-let recover_dir ~log dir =
-  let old_logs = find_logs dir in
-  let old_ckpts = find_checkpoints dir in
-  if old_logs = [] && old_ckpts = [] then None
-  else begin
-    match Kvstore.Store.recover ~log_paths:old_logs ~checkpoint_dirs:old_ckpts () with
-    | Ok (s, stats) ->
-        log
-          (Printf.sprintf "recovered %d keys from %s (%d log records, %d checkpoint entries)"
-             (Kvstore.Store.cardinal s) dir stats.Persist.Recovery.records_applied
-             stats.Persist.Recovery.checkpoint_entries);
-        Some s
-    | Error e ->
-        Printf.eprintf "recovery failed in %s: %s\n%!" dir e;
-        exit 1
-  end
-
-(* Fresh logs for this incarnation in [dir] (a real deployment would
-   rotate; we checkpoint the recovered state first so the old logs can
-   go).  idle_markers: an idle worker's log keeps advancing its durable
-   timestamp so it never pins the recovery cutoff in the past. *)
-let fresh_logs ~n_logs dir =
-  let epoch_tag = Int64.to_string (Xutil.Clock.wall_us ()) in
-  Array.init n_logs (fun i ->
-      Persist.Logger.create ~idle_markers:true
-        (Filename.concat dir (Printf.sprintf "log-%s-%d" epoch_tag i)))
+let rm_rf = Shard.Bootstrap.rm_rf
 
 (* The two front ends (threaded accept loop vs event-driven reactor)
    behind one face for startup/shutdown. *)
@@ -87,7 +39,7 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
     if verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
   in
   let n_shards = max 1 n_shards in
-  mkdir_p data_dir;
+  Shard.Bootstrap.mkdir_p data_dir;
   (* Bind the listen socket(s) before touching any on-disk state: a
      startup failure like EADDRINUSE must not leave fresh empty log
      files behind (an empty log used to zero the recovery cutoff and
@@ -111,99 +63,30 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
         Printf.eprintf "mtd: cannot listen: %s\n%!" (Unix.error_message e);
         exit 1
   in
-  (* Per-shard state this incarnation checkpoints and reclaims: the
-     single-store deployment is the one-shard special case living in the
-     data dir root; shards live in data/shard-<i>/. *)
-  let shard_dirs =
-    if n_shards = 1 then [| data_dir |]
-    else
-      Array.init n_shards (fun i -> Filename.concat data_dir (Printf.sprintf "shard-%d" i))
+  (* Recover every previous incarnation's state (live shard dirs, orphan
+     shard dirs from a different --shards, legacy root-dir state), re-home
+     it through this incarnation's router under the recovered versions,
+     and reclaim the superseded sources once the re-homed dataset is
+     durable in the fresh logs.  See Shard.Bootstrap for the contract. *)
+  let hot =
+    if hot_keys > 0 then
+      Some { Shard.Router.default_hot_config with Shard.Router.hot_slots = hot_keys }
+    else None
   in
-  Array.iter mkdir_p shard_dirs;
-  (* Recover every previous incarnation's state: each shard dir, plus —
-     when switching an existing single-store deployment to --shards — the
-     legacy root-dir logs/checkpoints. *)
-  let log_line s = log "%s" s in
-  let legacy =
-    if n_shards = 1 then None
-    else recover_dir ~log:log_line data_dir (* None unless root-dir state exists *)
+  let boot =
+    match
+      Shard.Bootstrap.boot ~log:(fun s -> log "%s" s) ?hot ~data_dir ~shards:n_shards
+        ~n_logs ()
+    with
+    | Ok b -> b
+    | Error e ->
+        Printf.eprintf "%s\n%!" e;
+        exit 1
   in
-  (* Orphan shard dirs: left behind by an incarnation with more shards
-     (or by any --shards run, when going back to a single store).  Their
-     keys must re-home through this incarnation's router or a shrinking
-     reshard would silently drop them. *)
-  let orphan_dirs =
-    Sys.readdir data_dir |> Array.to_list
-    |> List.filter (fun f -> String.length f > 6 && String.sub f 0 6 = "shard-")
-    |> List.map (Filename.concat data_dir)
-    |> List.filter (fun d ->
-           Sys.is_directory d && not (Array.exists (String.equal d) shard_dirs))
-    |> List.sort compare
-  in
-  let orphans = List.map (recover_dir ~log:log_line) orphan_dirs in
-  let recovered = Array.map (recover_dir ~log:log_line) shard_dirs in
-  let shard_logs = Array.map (fresh_logs ~n_logs) shard_dirs in
-  let stores = Array.map (fun logs -> Kvstore.Store.create ~logs ()) shard_logs in
-  (* The fresh stores must continue the old incarnation's version clock:
-     their logs coexist with the old ones until the first checkpoint
-     reclaim, and restarting versions near 1 would let stale high-version
-     records shadow new updates on the next replay. *)
-  let max_recovered =
-    let step acc = function Some s -> max acc (Kvstore.Store.max_version s) | None -> acc in
-    List.fold_left step
-      (Array.fold_left step
-         (match legacy with Some s -> Kvstore.Store.max_version s | None -> 0L)
-         recovered)
-      orphans
-  in
-  Array.iter (fun s -> Kvstore.Store.ensure_version_above s max_recovered) stores;
-  let router =
-    if n_shards = 1 then None
-    else
-      Some
-        (Shard.Router.create
-           ?hot:
-             (if hot_keys > 0 then
-                Some { Shard.Router.default_hot_config with Shard.Router.hot_slots = hot_keys }
-              else None)
-           stores)
-  in
-  (* Migrate recovered state in.  Sharded: route every key through the
-     router so data re-homes even if --shards changed since the previous
-     incarnation.  Order is oldest-first — legacy single-store state,
-     then orphan shard dirs, then the live shard dirs — because later
-     puts win overlaps and the live dirs always hold the newest copy of
-     anything that migrated out of a source dir on an earlier restart. *)
-  let migrate old put =
-    ignore (Kvstore.Store.getrange old ~start:"" ~limit:max_int (fun k cols -> put k cols))
-  in
-  let put_routed =
-    match router with
-    | None -> fun k cols -> Kvstore.Store.put stores.(0) k cols
-    | Some r -> fun k cols -> Shard.Router.put r k cols
-  in
-  let migrate_opt = function Some old -> migrate old put_routed | None -> () in
-  (match legacy with Some _ -> migrate_opt legacy | None -> ());
-  List.iter migrate_opt orphans;
-  Array.iter migrate_opt recovered;
-  (* Reclaim the migration sources once the re-homed records are durable:
-     a marker in every fresh log is the group-commit barrier (the same
-     trick the checkpoint-rotate path uses), after which the orphan dirs
-     and the legacy root-dir state are redundant.  If we crash mid-
-     deletion, recovery re-migrates whatever survives and the live shard
-     state — migrated after it — wins every overlap. *)
-  if orphan_dirs <> [] || legacy <> None then begin
-    Array.iter (Array.iter Persist.Logger.mark) shard_logs;
-    List.iter
-      (fun d -> try rm_rf d with Sys_error _ | Unix.Unix_error _ -> ())
-      orphan_dirs;
-    if legacy <> None then begin
-      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) (find_logs data_dir);
-      List.iter
-        (fun c -> try rm_rf c with Sys_error _ | Unix.Unix_error _ -> ())
-        (find_checkpoints data_dir)
-    end
-  end;
+  let stores = boot.Shard.Bootstrap.stores in
+  let shard_logs = boot.Shard.Bootstrap.shard_logs in
+  let shard_dirs = boot.Shard.Bootstrap.dirs in
+  let router = boot.Shard.Bootstrap.router in
   let backend =
     match router with
     | None -> Kvserver.Engine.single stores.(0)

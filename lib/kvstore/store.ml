@@ -273,6 +273,32 @@ let apply_remove t ~key ~version =
          | Some existing when Int64.compare existing.sversion version >= 0 -> existing
          | _ -> { sversion = version; scontent = None }))
 
+(* ---- reshard migration (version-carrying logged writes) ----
+
+   The daemon's startup migration copies recovered bindings into fresh
+   stores through the router.  A plain [put] would mint a fresh version,
+   making "which copy wins" depend on migration order — and a stale copy
+   of a re-homed key sitting in another dir's old logs could then shadow
+   the real value on a later restart.  These entry points keep the
+   recovered version: the replay guard picks the newest copy regardless
+   of order, and the record lands in the fresh log under that same
+   version so every subsequent replay agrees. *)
+
+let migrate_put ?worker t ~key ~version ~columns =
+  let worker = match worker with Some w -> w | None -> default_worker () in
+  apply_put t ~key ~version ~columns;
+  log_put t ~worker ~key ~version ~columns
+
+let migrate_remove ?worker t ~key ~version =
+  let worker = match worker with Some w -> w | None -> default_worker () in
+  apply_remove t ~key ~version;
+  log_remove t ~worker ~key ~version
+
+let iter_entries t f =
+  ignore
+    (Tree.scan t.tree ~limit:max_int (fun k v ->
+         f ~key:k ~version:v.sversion ~columns:(Option.map unpack v.scontent)))
+
 (* ---- checkpoint / recovery ---- *)
 
 let checkpoint ?vfs t ~dir ~writers =
@@ -307,7 +333,8 @@ let sweep_tombstones t =
          match v.scontent with None -> tombs := k :: !tombs | Some _ -> ()));
   List.iter (fun k -> ignore (Tree.remove t.tree k)) !tombs
 
-let recover ?vfs ?logs ?layout ?replay_domains ~log_paths ~checkpoint_dirs () =
+let recover ?vfs ?logs ?layout ?replay_domains ?(keep_tombstones = false) ~log_paths
+    ~checkpoint_dirs () =
   let t = create ?logs ?layout () in
   match
     Persist.Recovery.recover ?vfs ?replay_domains ~log_paths ~checkpoint_dirs
@@ -317,5 +344,5 @@ let recover ?vfs ?logs ?layout ?replay_domains ~log_paths ~checkpoint_dirs () =
   with
   | Error e -> Error e
   | Ok stats ->
-      sweep_tombstones t;
+      if not keep_tombstones then sweep_tombstones t;
       Ok (t, stats)

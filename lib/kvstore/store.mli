@@ -98,12 +98,18 @@ val recover :
   ?logs:Persist.Logger.t array ->
   ?layout:layout ->
   ?replay_domains:int ->
+  ?keep_tombstones:bool ->
   log_paths:string list ->
   checkpoint_dirs:string list ->
   unit ->
   (t * Persist.Recovery.stats, string) result
 (** Rebuild a store from checkpoint + logs (the version guard ensures
-    replay order-independence across per-core logs). *)
+    replay order-independence across per-core logs).  [keep_tombstones]
+    (default false) retains versioned remove tombstones instead of
+    sweeping them after replay, so a caller merging several recovered
+    stores (the daemon's reshard migration) can let a newer remove in one
+    dir shadow an older put in another; sweep with {!sweep_tombstones}
+    once the merge is done. *)
 
 val check : t -> (unit, string) result
 (** Deep structural check of the underlying index (quiescent callers
@@ -118,6 +124,30 @@ val ensure_version_above : t -> int64 -> unit
     inherit the source's clock, or records in the previous incarnation's
     still-present logs would out-version — and silently shadow — newer
     updates during a subsequent recovery. *)
+
+(** {1 Migration (the daemon's startup reshard)} *)
+
+val iter_entries :
+  t -> (key:string -> version:int64 -> columns:string array option -> unit) -> unit
+(** Iterate every binding in key order {e including} tombstones
+    ([columns = None], present only after [recover ~keep_tombstones:true])
+    with its version — the source side of a reshard migration. *)
+
+val migrate_put : ?worker:int -> t -> key:string -> version:int64 -> columns:string array -> unit
+
+val migrate_remove : ?worker:int -> t -> key:string -> version:int64 -> unit
+(** Version-carrying logged writes: apply the binding only if [version]
+    is newer than what the store holds (the replay guard), {e and} append
+    it to the store's log under that same version.  Because the recovered
+    version travels with the record, a key migrated from several source
+    dirs converges on its newest copy regardless of migration order, on
+    this run and on every subsequent replay.  [migrate_remove]
+    materializes a versioned tombstone — sweep with {!sweep_tombstones}
+    before serving. *)
+
+val sweep_tombstones : t -> unit
+(** Drop remove tombstones left by [recover ~keep_tombstones:true] or
+    {!migrate_remove} (quiescent callers only). *)
 
 (** {1 Internal (replay + tests)} *)
 

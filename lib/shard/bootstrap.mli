@@ -1,0 +1,60 @@
+(** Startup recovery and resharding for a (possibly sharded) data
+    directory — the server daemon's boot path, extracted so the
+    grow/shrink reshard logic is testable without a process restart.
+
+    Layout: a single-store deployment ([shards = 1]) lives in the data
+    dir root; a sharded tier puts shard [i] in [data/shard-<i>/].  Each
+    dir holds that incarnation's per-worker [log-*] files and [ckpt-*]
+    checkpoint dirs.
+
+    Boot recovers {e every} dir a previous incarnation may have written —
+    the live shard dirs, orphan [shard-*] dirs left by a different
+    [--shards] setting, and legacy root-dir state when switching a
+    single-store deployment to sharded — and migrates all of it through
+    the current router so keys re-home under the current partitioning.
+
+    Migration is {b version-aware and logged}
+    ({!Kvstore.Store.migrate_put}): every recovered binding (tombstones
+    included) is re-applied under its recovered version, so the newest
+    copy of a key wins no matter which source dir is migrated first, and
+    the fresh logs record the same winner for every later replay.  After
+    a group-commit barrier (a marker in every fresh log) the superseded
+    sources — orphan dirs, legacy root state, {e and} the old logs and
+    checkpoints inside the live shard dirs — are deleted: the fresh logs
+    now carry the complete re-homed dataset, and a crash anywhere in the
+    deletion leaves only redundant copies that the version guard
+    reconciles on the next boot. *)
+
+type t = {
+  stores : Kvstore.Store.t array;  (** one per shard, freshly logged *)
+  shard_logs : Persist.Logger.t array array;  (** [n_logs] loggers per shard *)
+  dirs : string array;  (** shard [i]'s data dir (the root when [shards = 1]) *)
+  router : Router.t option;  (** [Some] iff [shards > 1] *)
+}
+
+val boot :
+  ?log:(string -> unit) ->
+  ?hot:Router.hot_config ->
+  data_dir:string ->
+  shards:int ->
+  n_logs:int ->
+  unit ->
+  (t, string) result
+(** Recover, re-home, and reclaim as described above.  [log] receives
+    human-readable progress lines; [hot] enables the router's hot-key
+    cache ([shards > 1] only).  Returns [Error] if any dir's recovery
+    fails (no on-disk state has been deleted in that case). *)
+
+(** {1 Directory helpers (shared with the daemon's checkpoint loop)} *)
+
+val shard_dirs : data_dir:string -> shards:int -> string array
+
+val find_logs : string -> string list
+(** [log-*] files directly inside a dir, sorted. *)
+
+val find_checkpoints : string -> string list
+(** [ckpt-*] entries directly inside a dir, sorted. *)
+
+val mkdir_p : string -> unit
+
+val rm_rf : string -> unit

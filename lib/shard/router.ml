@@ -95,6 +95,10 @@ let create ?(partitioning = Hash) ?(concurrency = Concurrent) ?hot stores =
   let hot =
     Option.map
       (fun config ->
+        (* note_get's 1-in-[sample] gate is a power-of-two mask; round a
+           caller's rate up so e.g. sample=10 means 1-in-16, not the
+           silent 1-in-4 that mask 0b1001 would give *)
+        let config = { config with sample = pow2_above (max 1 config.sample) 1 } in
         (* 4x slots over the top-K target tames direct-map collisions
            between hot keys; 8x fingerprints keep the gate's false-drop
            rate low.  Both are flat arrays, a few tens of KB. *)
@@ -307,36 +311,74 @@ let multi_get ?(worker = 0) t keys =
 
 (* ---- merged scans ---- *)
 
-(* Each shard contributes its first [limit] pairs from [start]; the
-   k-way merge emits the globally first [limit] of the union.  Shards own
-   disjoint keys, so the merge never sees duplicates.  Like the
-   single-store scan, the result is not atomic w.r.t. concurrent
-   writers.  Memory is O(shards * limit). *)
+(* Per-shard fetch granularity for merged scans.  Memory is
+   O(shards * min(limit, scan_chunk)) regardless of the client-supplied
+   count, so a getrange with a huge limit streams like the single-store
+   path instead of buffering every shard's contents (and can't be used as
+   a memory-exhaustion vector by an unauthenticated client). *)
+let scan_chunk = 256
+
+(* K-way merge over per-shard cursors.  Each shard contributes a bounded
+   chunk at a time; when a shard's chunk drains and it may hold more, we
+   refill from just past the last key it yielded.  [collect store ~resume
+   ~limit emit] scans the shard — [resume = None] from the caller's
+   origin, [Some k] from the shard's own last-yielded key [k] (inclusive;
+   the refill filter below drops the duplicate).  Shards own disjoint
+   keys, so the merge never sees duplicates across shards.  Like the
+   single-store scan, the result is not atomic w.r.t. concurrent writers
+   — a refill reads the shard's current state, exactly as a long
+   single-store scan reads each leaf's current state as it passes. *)
 let merged_scan t ~limit ~collect ~cmp f =
   if limit <= 0 then 0
   else begin
-    let per_shard =
-      Array.init (Array.length t.stores) (fun s ->
-          let acc = ref [] in
-          with_shard t s (fun store -> collect store (fun k v -> acc := (k, v) :: !acc));
-          Array.of_list (List.rev !acc))
+    let nshards = Array.length t.stores in
+    let chunk = min limit scan_chunk in
+    let bufs = Array.make nshards [||] in
+    let idx = Array.make nshards 0 in
+    let more = Array.make nshards true (* shard may hold keys beyond its buffer *) in
+    let fetch s ~resume =
+      (* one extra slot on refills: the inclusive resume key comes back
+         first and is dropped, netting [chunk] fresh pairs *)
+      let want = match resume with None -> chunk | Some _ -> chunk + 1 in
+      let acc = ref [] in
+      let got = ref 0 in
+      with_shard t s (fun store ->
+          collect store ~resume ~limit:want (fun k v ->
+              incr got;
+              match resume with
+              | Some last when cmp k last <= 0 -> ()
+              | _ -> acc := (k, v) :: !acc));
+      bufs.(s) <- Array.of_list (List.rev !acc);
+      idx.(s) <- 0;
+      more.(s) <- !got >= want
     in
-    let idx = Array.make (Array.length per_shard) 0 in
+    for s = 0 to nshards - 1 do
+      fetch s ~resume:None
+    done;
+    let refill s =
+      (* refill (at most once per call) until the shard yields a key or
+         proves empty; resume from the last key this shard yielded *)
+      while idx.(s) >= Array.length bufs.(s) && more.(s) do
+        let n = Array.length bufs.(s) in
+        if n = 0 then more.(s) <- false (* a full-but-all-duplicate chunk can't happen *)
+        else fetch s ~resume:(Some (fst bufs.(s).(n - 1)))
+      done
+    in
     let emitted = ref 0 in
     let continue = ref true in
     while !continue && !emitted < limit do
       let best = ref (-1) in
-      Array.iteri
-        (fun s arr ->
-          if idx.(s) < Array.length arr then
-            match !best with
-            | -1 -> best := s
-            | b -> if cmp (fst arr.(idx.(s))) (fst per_shard.(b).(idx.(b))) < 0 then best := s)
-        per_shard;
+      for s = 0 to nshards - 1 do
+        refill s;
+        if idx.(s) < Array.length bufs.(s) then
+          match !best with
+          | -1 -> best := s
+          | b -> if cmp (fst bufs.(s).(idx.(s))) (fst bufs.(b).(idx.(b))) < 0 then best := s
+      done;
       match !best with
       | -1 -> continue := false
       | s ->
-          let k, v = per_shard.(s).(idx.(s)) in
+          let k, v = bufs.(s).(idx.(s)) in
           idx.(s) <- idx.(s) + 1;
           f k v;
           incr emitted
@@ -346,13 +388,15 @@ let merged_scan t ~limit ~collect ~cmp f =
 
 let getrange t ~start ?columns ~limit f =
   merged_scan t ~limit
-    ~collect:(fun store emit ->
+    ~collect:(fun store ~resume ~limit emit ->
+      let start = match resume with None -> start | Some k -> k in
       ignore (Kvstore.Store.getrange store ~start ?columns ~limit emit))
     ~cmp:String.compare f
 
 let getrange_rev t ?start ?columns ~limit f =
   merged_scan t ~limit
-    ~collect:(fun store emit ->
+    ~collect:(fun store ~resume ~limit emit ->
+      let start = match resume with None -> start | Some k -> Some k in
       ignore (Kvstore.Store.getrange_rev store ?start ?columns ~limit emit))
     ~cmp:(fun a b -> String.compare b a)
     f

@@ -35,7 +35,9 @@ type hot_config = {
   hot_slots : int; (** cache slots and top-K target *)
   sketch_capacity : int; (** tracked keys in the space-saving sketch *)
   refresh_every : int; (** sketched observations between top-K refreshes *)
-  sample : int; (** sketch 1 in [sample] gets (power of two) *)
+  sample : int;
+      (** sketch 1 in [sample] gets; [create] rounds it up to a power of
+          two (the gate is a mask) *)
 }
 
 val default_hot_config : hot_config
@@ -89,10 +91,12 @@ val multi_get : ?worker:int -> t -> string array -> string array option array
 val getrange :
   t -> start:string -> ?columns:int list -> limit:int ->
   (string -> string array -> unit) -> int
-(** Cross-shard merged scan: each shard contributes its first [limit]
-    pairs from [start]; the k-way merge emits the globally first [limit]
-    in key order.  O(shards * limit) transient memory; like the
-    single-store scan, not atomic w.r.t. concurrent writers. *)
+(** Cross-shard merged scan: a k-way merge over per-shard cursors emits
+    the globally first [limit] pairs from [start] in key order.  Shards
+    are read a bounded chunk at a time and refilled as the merge drains
+    them, so transient memory is O(shards * min(limit, 256)) no matter
+    how large the client's [limit] is.  Like the single-store scan, not
+    atomic w.r.t. concurrent writers. *)
 
 val getrange_rev :
   t -> ?start:string -> ?columns:int list -> limit:int ->

@@ -168,6 +168,136 @@ let test_scan_across_range_boundary () =
   ignore (Router.getrange_rev r ~start:"o" ~limit:6 (fun k _ -> seen := k :: !seen));
   check_bool "o..j reversed" true (List.rev !seen = [ "o"; "n"; "m"; "l"; "k"; "j" ])
 
+let test_scan_merge_chunk_refill () =
+  (* enough keys per shard to drain the merge's 256-pair chunks several
+     times, so the refill cursor path (resume just past the last yielded
+     key, drop the inclusive duplicate) is what's under test *)
+  let r = Router.create (new_stores 2) in
+  let n = 1500 in
+  let key i = Printf.sprintf "%06d" i in
+  for i = 0 to n - 1 do
+    Router.put r (key i) [| string_of_int i |]
+  done;
+  let seen = ref [] in
+  let c = Router.getrange r ~start:"" ~limit:max_int (fun k _ -> seen := k :: !seen) in
+  check_int "full count across refills" n c;
+  check_bool "full order across refills" true (List.rev !seen = List.init n key);
+  (* windowed forward scan crossing several refills *)
+  let seen = ref [] in
+  let c = Router.getrange r ~start:(key 100) ~limit:700 (fun k _ -> seen := k :: !seen) in
+  check_int "window count" 700 c;
+  check_bool "window order" true (List.rev !seen = List.init 700 (fun i -> key (100 + i)));
+  (* reverse scan crossing several refills *)
+  let seen = ref [] in
+  let c = Router.getrange_rev r ~start:(key 1399) ~limit:700 (fun k _ -> seen := k :: !seen) in
+  check_int "rev count" 700 c;
+  check_bool "rev order" true (List.rev !seen = List.init 700 (fun i -> key (1399 - i)))
+
+(* --- bootstrap: restart resharding --------------------------------- *)
+
+let tmpdir () =
+  let d = Filename.temp_file "shard-boot" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let boot ?hot ~shards dir =
+  match Bootstrap.boot ?hot ~data_dir:dir ~shards ~n_logs:2 () with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "boot: %s" e
+
+let shutdown b = Array.iter Kvstore.Store.close b.Bootstrap.stores
+
+let tier_get b k =
+  match b.Bootstrap.router with
+  | Some r -> Router.get r k
+  | None -> Kvstore.Store.get b.Bootstrap.stores.(0) k
+
+let tier_put b k v =
+  match b.Bootstrap.router with
+  | Some r -> Router.put r k v
+  | None -> Kvstore.Store.put b.Bootstrap.stores.(0) k v
+
+let tier_remove b k =
+  match b.Bootstrap.router with
+  | Some r -> Router.remove r k
+  | None -> Kvstore.Store.remove b.Bootstrap.stores.(0) k
+
+(* The stale-resurrection regression: grow the tier, update every key,
+   restart.  Growing 2 -> 3 re-homes ~a third of the keys; before
+   migration carried versions (and before boot reclaimed the live dirs'
+   superseded logs), the old copy of a re-homed key survived in its old
+   shard's logs, and on the next restart whichever dir migrated LAST put
+   its copy last and won — silently rolling the key back. *)
+let test_reshard_update_restart () =
+  let dir = tmpdir () in
+  let n = 200 in
+  let key i = Printf.sprintf "key-%04d" i in
+  (* incarnation 1: two shards, seed every key *)
+  let b = boot ~shards:2 dir in
+  for i = 0 to n - 1 do
+    tier_put b (key i) [| "v0"; string_of_int i |]
+  done;
+  shutdown b;
+  (* incarnation 2: grow to three shards; keys re-home; update them all *)
+  let b = boot ~shards:3 dir in
+  for i = 0 to n - 1 do
+    check_bool ("recovered " ^ key i) true (tier_get b (key i) = Some [| "v0"; string_of_int i |])
+  done;
+  (* the re-homed dataset now lives in the fresh logs; the superseded
+     sources inside the live shard dirs must be gone *)
+  Array.iter
+    (fun d -> check_int ("only fresh logs in " ^ d) 2 (List.length (Bootstrap.find_logs d)))
+    b.Bootstrap.dirs;
+  for i = 0 to n - 1 do
+    tier_put b (key i) [| "v1"; string_of_int i |]
+  done;
+  check_bool "removed key" true (tier_remove b (key 0));
+  shutdown b;
+  (* incarnation 3: same shard count — every update must survive, the
+     removed key must stay gone *)
+  let b = boot ~shards:3 dir in
+  check_bool "remove survives restart" true (tier_get b (key 0) = None);
+  for i = 1 to n - 1 do
+    check_bool ("update survives restart: " ^ key i) true
+      (tier_get b (key i) = Some [| "v1"; string_of_int i |])
+  done;
+  shutdown b;
+  Bootstrap.rm_rf dir
+
+(* Shrinking re-homes orphan-dir keys and reclaims the orphan dirs;
+   returning to --shards 1 folds everything back into the root. *)
+let test_reshard_shrink_and_back_to_single () =
+  let dir = tmpdir () in
+  let n = 120 in
+  let key i = Printf.sprintf "s%03d" i in
+  let b = boot ~shards:3 dir in
+  for i = 0 to n - 1 do
+    tier_put b (key i) [| string_of_int i |]
+  done;
+  shutdown b;
+  (* 3 -> 2: shard-2 is an orphan; its keys must re-home, its dir go *)
+  let b = boot ~shards:2 dir in
+  for i = 0 to n - 1 do
+    check_bool ("after shrink: " ^ key i) true (tier_get b (key i) = Some [| string_of_int i |])
+  done;
+  check_bool "orphan dir reclaimed" false
+    (Sys.file_exists (Filename.concat dir "shard-2"));
+  tier_put b (key 7) [| "updated" |];
+  shutdown b;
+  (* 2 -> 1: every shard dir is an orphan; state folds into the root *)
+  let b = boot ~shards:1 dir in
+  check_bool "single store" true (b.Bootstrap.router = None);
+  check_bool "update survived the fold" true (tier_get b (key 7) = Some [| "updated" |]);
+  for i = 0 to n - 1 do
+    if i <> 7 then
+      check_bool ("after fold: " ^ key i) true (tier_get b (key i) = Some [| string_of_int i |])
+  done;
+  check_bool "shard dirs reclaimed" false (Sys.file_exists (Filename.concat dir "shard-0"));
+  check_int "cardinal after fold" n (Kvstore.Store.cardinal b.Bootstrap.stores.(0));
+  shutdown b;
+  Bootstrap.rm_rf dir
+
 (* --- hot-key cache -------------------------------------------------- *)
 
 let test_hot_cache_serves_and_invalidates () =
@@ -236,6 +366,20 @@ let test_hotcache_stamp_protocol () =
   check_bool "hit v2" true (Hotcache.find c h "k" = Some [| "v2" |]);
   Hotcache.clear c;
   check_bool "cleared" true (Hotcache.find c h "k" = None)
+
+let test_hot_sample_rounding () =
+  (* note_get's 1-in-[sample] gate is a power-of-two mask; create rounds
+     a non-power-of-two rate up (5 -> 8) instead of silently sampling at
+     whatever the raw bit pattern happens to mean *)
+  let hot = { Router.hot_slots = 16; sketch_capacity = 32; refresh_every = 4; sample = 5 } in
+  let r = Router.create ~hot (new_stores 2) in
+  Router.put r "h" [| "v" |];
+  for _ = 1 to 400 do
+    check_bool "reads v" true (Router.get r "h" = Some [| "v" |])
+  done;
+  check_bool "hot layer engages with odd sample" true (Router.hot_key_count r > 0);
+  Router.put r "h" [| "v2" |];
+  check_bool "coherent after write" true (Router.get r "h" = Some [| "v2" |])
 
 (* --- heavy-hitter sketch ------------------------------------------- *)
 
@@ -353,6 +497,11 @@ let suite =
     Alcotest.test_case "multi_get merge" `Quick test_multi_get_merge;
     Alcotest.test_case "scan merge" `Quick test_scan_merge;
     Alcotest.test_case "scan across range boundary" `Quick test_scan_across_range_boundary;
+    Alcotest.test_case "scan merge chunk refill" `Quick test_scan_merge_chunk_refill;
+    Alcotest.test_case "reshard: grow, update, restart" `Quick test_reshard_update_restart;
+    Alcotest.test_case "reshard: shrink and back to single" `Quick
+      test_reshard_shrink_and_back_to_single;
+    Alcotest.test_case "hot sample rounding" `Quick test_hot_sample_rounding;
     Alcotest.test_case "hot cache serves and invalidates" `Quick
       test_hot_cache_serves_and_invalidates;
     Alcotest.test_case "hot cache multi_get coherent" `Quick
