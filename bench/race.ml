@@ -16,6 +16,25 @@
 module Schedpoint = Masstree_core.Schedpoint
 module Sched = Schedsim.Sched
 module Scenario = Schedsim.Scenario
+module Mvcc_scenario = Schedsim.Mvcc_scenario
+
+(* Tree-level and store-level (MVCC) scenario libraries behind one
+   sweep shape. *)
+let all_scenarios : (string * Sched.mk) list =
+  List.map
+    (fun (sc : Scenario.t) -> (sc.name, Scenario.mk sc))
+    Scenario.scenarios
+  @ List.map
+      (fun (sc : Mvcc_scenario.t) -> (sc.name, Mvcc_scenario.mk sc))
+      Mvcc_scenario.scenarios
+
+let find_mk name =
+  match Scenario.find name with
+  | Some sc -> Some (Scenario.mk sc)
+  | None -> (
+      match Mvcc_scenario.find name with
+      | Some sc -> Some (Mvcc_scenario.mk sc)
+      | None -> None)
 
 let min_cases = 100
 
@@ -48,17 +67,14 @@ let print_trace (run : Sched.run) =
 
 (* Replay mode: reproduce one schedule with a full trace. *)
 let replay name =
-  let sc =
-    match Scenario.find name with
-    | Some sc -> sc
+  let mk =
+    match find_mk name with
+    | Some mk -> mk
     | None ->
         Printf.eprintf "unknown scenario %S; known:\n" name;
-        List.iter
-          (fun (s : Scenario.t) -> Printf.eprintf "  %s\n" s.name)
-          Scenario.scenarios;
+        List.iter (fun (n, _) -> Printf.eprintf "  %s\n" n) all_scenarios;
         exit 2
   in
-  let mk = Scenario.mk sc in
   let case =
     match Sys.getenv_opt "MT_RACE_CHOICES" with
     | Some s ->
@@ -108,18 +124,17 @@ let sweep ~smoke =
   Printf.printf "%-24s %-16s %-8s %s\n" "scenario" "exhaustive" "random"
     "failures";
   List.iter
-    (fun (sc : Scenario.t) ->
-      let mk = Scenario.mk sc in
+    (fun (name, mk) ->
       let before = List.length !failures in
       let ex = Sched.explore_exhaustive ~mk ~max_schedules:budget () in
       cases := !cases + ex.explored;
       (match ex.fail with
       | Some (msg, choices) ->
           failures :=
-            { scenario = sc.name; mode = Choices choices; msg } :: !failures
+            { scenario = name; mode = Choices choices; msg } :: !failures
       | None -> ());
       for i = 0 to seeds - 1 do
-        let seed = Int64.of_int (((Hashtbl.hash sc.name land 0xFFFF) * 1000) + i) in
+        let seed = Int64.of_int (((Hashtbl.hash name land 0xFFFF) * 1000) + i) in
         let style = if i land 1 = 0 then Sched.Pct else Sched.Uniform in
         let case = Sched.run_random ~mk ~seed ~style () in
         incr cases;
@@ -127,15 +142,15 @@ let sweep ~smoke =
         | Ok () -> ()
         | Error msg ->
             failures :=
-              { scenario = sc.name; mode = Seeded (seed, style); msg }
+              { scenario = name; mode = Seeded (seed, style); msg }
               :: !failures
       done;
-      Printf.printf "%-24s %-16s %-8d %d\n" sc.name
+      Printf.printf "%-24s %-16s %-8d %d\n" name
         (Printf.sprintf "%d%s" ex.explored
            (if ex.exhaustive then " (closed)" else ""))
         seeds
         (List.length !failures - before))
-    Scenario.scenarios;
+    all_scenarios;
   let elapsed_ms =
     Int64.to_float (Int64.sub (Xutil.Clock.wall_us ()) t0) /. 1000.
   in
@@ -144,7 +159,7 @@ let sweep ~smoke =
   Printf.printf
     "\n%d schedules in %.0f ms across %d scenarios; %d/%d schedule points hit\n"
     !cases elapsed_ms
-    (List.length Scenario.scenarios)
+    (List.length all_scenarios)
     (List.length points - List.length uncovered)
     (List.length points);
   List.iter

@@ -33,6 +33,10 @@ let pp_response = function
   | Kvserver.Protocol.Failed m -> Printf.printf "error: %s\n" m
   | Kvserver.Protocol.Stats_reply snap ->
       Format.printf "%a@." Obs.Snapshot.pp snap
+  | Kvserver.Protocol.Snap_opened id -> Printf.printf "snapshot %Ld\n" id
+  | Kvserver.Protocol.Snap_closed -> print_endline "closed"
+  | Kvserver.Protocol.Snap_failed e ->
+      Printf.printf "error: %s\n" (Kvserver.Protocol.snap_error_to_string e)
 
 let make_req keygen rng mix =
   match mix with
@@ -121,7 +125,18 @@ let run_bench addr client ops mix batch pipeline clients =
     (Xutil.Histogram.percentile lat 50.0)
     (Xutil.Histogram.percentile lat 99.0)
 
-let run unix_sock connect ops batch pipeline clients args =
+(* Scan over a freshly pinned server snapshot: open, range at the cut,
+   close — one consistent view no matter what writers do meanwhile. *)
+let snapshot_scan client ~start ~count =
+  match Kvserver.Tcp.call client [ Kvserver.Protocol.Snap_open ] with
+  | [ Kvserver.Protocol.Snap_opened id ] ->
+      List.iter pp_response
+        (Kvserver.Tcp.call client
+           [ Kvserver.Protocol.Snap_range { snap = id; start; count; columns = [] } ]);
+      ignore (Kvserver.Tcp.call client [ Kvserver.Protocol.Snap_close id ])
+  | resps -> List.iter pp_response resps
+
+let run unix_sock connect ops batch pipeline clients snapshot args =
   let addr = addr_of unix_sock connect in
   let client = Kvserver.Tcp.connect addr in
   (match args with
@@ -133,17 +148,36 @@ let run unix_sock connect ops batch pipeline clients args =
            [ Kvserver.Protocol.Put { key; columns = Array.of_list cols } ])
   | [ "remove"; key ] ->
       List.iter pp_response (Kvserver.Tcp.call client [ Kvserver.Protocol.Remove key ])
+  | [ "scan"; start; count ] when snapshot ->
+      snapshot_scan client ~start ~count:(int_of_string count)
   | [ "scan"; start; count ] ->
       List.iter pp_response
         (Kvserver.Tcp.call client
            [ Kvserver.Protocol.Getrange
                { start; count = int_of_string count; columns = [] } ])
+  | [ "snap-open" ] ->
+      List.iter pp_response (Kvserver.Tcp.call client [ Kvserver.Protocol.Snap_open ])
+  | [ "snap-read"; id; key ] ->
+      List.iter pp_response
+        (Kvserver.Tcp.call client
+           [ Kvserver.Protocol.Snap_read
+               { snap = Int64.of_string id; key; columns = [] } ])
+  | [ "snap-scan"; id; start; count ] ->
+      List.iter pp_response
+        (Kvserver.Tcp.call client
+           [ Kvserver.Protocol.Snap_range
+               { snap = Int64.of_string id; start; count = int_of_string count; columns = [] } ])
+  | [ "snap-close"; id ] ->
+      List.iter pp_response
+        (Kvserver.Tcp.call client [ Kvserver.Protocol.Snap_close (Int64.of_string id) ])
   | [ "stats" ] ->
       List.iter pp_response (Kvserver.Tcp.call client [ Kvserver.Protocol.Stats ])
   | [ "bench"; mix ] -> run_bench addr client ops mix batch pipeline clients
   | _ ->
       prerr_endline
-        "usage: mtclient [--connect HOST:PORT | --unix PATH] (get K | put K V... | remove K | scan START N | stats | bench get|put|scan)";
+        "usage: mtclient [--connect HOST:PORT | --unix PATH] (get K | put K V... | remove K | \
+         scan [--snapshot] START N | snap-open | snap-read ID K | snap-scan ID START N | \
+         snap-close ID | stats | bench get|put|scan)";
       exit 2);
   Kvserver.Tcp.disconnect client
 
@@ -163,11 +197,16 @@ let pipeline_t =
 let clients_t =
   Arg.(value & opt int 1 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent bench connections.")
 
+let snapshot_t =
+  Arg.(value & flag & info [ "snapshot" ] ~doc:"Run scan over a freshly pinned server snapshot (open, range at the cut, close) instead of the live racing scan.")
+
 let args_t = Arg.(value & pos_all string [] & info [] ~docv:"COMMAND")
 
 let cmd =
   Cmd.v
     (Cmd.info "mtclient" ~doc:"Masstree client / load generator")
-    Term.(const run $ unix_t $ connect_t $ ops_t $ batch_t $ pipeline_t $ clients_t $ args_t)
+    Term.(
+      const run $ unix_t $ connect_t $ ops_t $ batch_t $ pipeline_t $ clients_t
+      $ snapshot_t $ args_t)
 
 let () = exit (Cmd.eval cmd)

@@ -34,7 +34,7 @@ let front_shutdown = function
   | Reactor r -> Kvserver.Reactor.shutdown r
 
 let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interval slow_us
-    use_reactor net_domains backlog n_shards hot_keys verbose =
+    use_reactor net_domains backlog n_shards hot_keys snap_ttl verbose =
   let log fmt =
     if verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
   in
@@ -87,10 +87,11 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
   let shard_logs = boot.Shard.Bootstrap.shard_logs in
   let shard_dirs = boot.Shard.Bootstrap.dirs in
   let router = boot.Shard.Bootstrap.router in
+  let snap_ttl_us = Int64.of_float (snap_ttl *. 1e6) in
   let backend =
     match router with
-    | None -> Kvserver.Engine.single stores.(0)
-    | Some r -> Kvserver.Engine.sharded r
+    | None -> Kvserver.Engine.single ~snap_ttl_us stores.(0)
+    | Some r -> Kvserver.Engine.sharded ~snap_ttl_us r
   in
   (* Live telemetry: the engine records per-request metrics on its own;
      gauges for the index and log buffers come from the store/router. *)
@@ -182,6 +183,13 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
         let i = ref 0 in
         while not (Atomic.get stop) do
           Thread.delay 0.2;
+          (* Expire abandoned wire snapshots so a dead client cannot
+             wedge version pruning (docs/MVCC.md lease protocol). *)
+          let expired = Kvserver.Engine.sweep_snapshots backend in
+          if expired > 0 then log "expired %d snapshot lease(s)" expired;
+          (* Keep version pruning moving even when the serving path is
+             idle (no ops → no epoch ticks → scheduled prunes sit). *)
+          Array.iter Kvstore.Store.prune stores;
           let elapsed = float_of_int !i *. 0.2 in
           if checkpoint_secs > 0.0 && elapsed >= checkpoint_secs then begin
             i := 0;
@@ -247,6 +255,9 @@ let shards_t =
 let hot_keys_t =
   Arg.(value & opt int 0 & info [ "hot-keys" ] ~docv:"K" ~doc:"With --shards: front-end hot-key cache slots (top-K keys served without touching their shard; invalidated on write).  0 disables.")
 
+let snap_ttl_t =
+  Arg.(value & opt float 30.0 & info [ "snap-ttl" ] ~docv:"S" ~doc:"Snapshot lease TTL in seconds: a wire snapshot untouched for this long is expired and closed so a dead client cannot wedge version pruning.")
+
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
 let cmd =
@@ -255,6 +266,6 @@ let cmd =
     Term.(
       const run $ listen_t $ unix_t $ data_t $ logs_t $ ckpt_t $ udp_t $ stats_t
       $ slow_t $ reactor_t $ net_domains_t $ backlog_t $ shards_t $ hot_keys_t
-      $ verbose_t)
+      $ snap_ttl_t $ verbose_t)
 
 let () = exit (Cmd.eval cmd)

@@ -134,6 +134,36 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_
           (fun d k -> ignore (Shard.Router.remove ~worker:d r k)),
           fun k f -> ignore (Shard.Router.getrange r ~start:k ~limit:20 f) )
   in
+  (* A pinned snapshot session against whichever tier we target:
+     (read, close).  Used by the snapshot oracle below. *)
+  let snap_session () =
+    match router with
+    | None ->
+        let s = Kvstore.Store.Snapshot.open_ store in
+        ( (fun k -> Kvstore.Store.Snapshot.read s k),
+          fun () -> Kvstore.Store.Snapshot.close s )
+    | Some r ->
+        let s = Shard.Router.Snapshot.open_ r in
+        ( (fun k -> Shard.Router.Snapshot.read s k),
+          fun () -> Shard.Router.Snapshot.close s )
+  in
+  (* Snapshot oracle: freeze a shadow copy of this domain's oracle, pin a
+     snapshot, churn some of the domain's own keys so the cut diverges
+     from the live state, then diff snapshot reads against the shadow.
+     Only this domain writes its keys, so the shadow is exactly the cut. *)
+  let snap_check d rng oracle my_key churn =
+    let shadow = Hashtbl.copy oracle in
+    let read, close = snap_session () in
+    for _ = 1 to 5 do
+      churn (my_key (draw rng))
+    done;
+    for _ = 1 to 20 do
+      let k = my_key (draw rng) in
+      if read k <> Hashtbl.find_opt shadow k then
+        fail "domain %d: snapshot diverged from shadow on %s" d k
+    done;
+    close ()
+  in
   (* Optional network front end: same tier, served over a Unix socket. *)
   let backend =
     match router with
@@ -228,7 +258,7 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_
           send
             (P.Get { key = Printf.sprintf "d%d-%06d" other i; columns = [] })
             (fun _ -> ())
-      | _ ->
+      | p when p < 98 ->
           send
             (P.Getrange { start = k; count = 20; columns = [] })
             (function
@@ -241,6 +271,49 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_
                       prev := k')
                     items
               | _ -> fail "domain %d: unexpected scan reply" d)
+      | _ ->
+          (* Snapshot oracle over the wire.  Drain the pipeline first so
+             the shadow copy is exactly the server state at Snap_open
+             (per-connection ordering makes the open a sync point). *)
+          while not (Queue.is_empty inflight) do
+            recv_one ()
+          done;
+          let sync req =
+            P.write_frame fd (P.encode_requests [ req ]);
+            match P.read_frame fd with
+            | Some body -> P.decode_responses body
+            | None -> failwith "soak: server closed connection"
+          in
+          let shadow = Hashtbl.copy oracle in
+          (match sync P.Snap_open with
+          | [ P.Snap_opened snap ] ->
+              (* Churn this domain's keys so the cut diverges. *)
+              for _ = 1 to 5 do
+                let k' = my_key (draw rng) in
+                let v =
+                  [| string_of_int (Xutil.Rng.int rng 1000); string_of_int d |]
+                in
+                Hashtbl.replace oracle k' v;
+                match sync (P.Put { key = k'; columns = v }) with
+                | [ P.Ok_put ] -> ()
+                | _ -> fail "domain %d: snap churn put failed for %s" d k'
+              done;
+              for _ = 1 to 20 do
+                let k' = my_key (draw rng) in
+                match sync (P.Snap_read { snap; key = k'; columns = [] }) with
+                | [ P.Value got ] ->
+                    if got <> Hashtbl.find_opt shadow k' then
+                      fail "domain %d: net snapshot diverged from shadow on %s" d
+                        k'
+                | [ P.Snap_failed e ] ->
+                    fail "domain %d: snap read failed: %s" d
+                      (P.snap_error_to_string e)
+                | _ -> fail "domain %d: unexpected snap read reply" d
+              done;
+              (match sync (P.Snap_close snap) with
+              | [ P.Snap_closed ] -> ()
+              | _ -> fail "domain %d: snap close failed" d)
+          | _ -> fail "domain %d: snap open failed" d)
     done;
     while not (Queue.is_empty inflight) do
       recv_one ()
@@ -296,7 +369,7 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_
                (* cross-domain read: just must not crash or return junk *)
                let other = Xutil.Rng.int rng domains in
                ignore (s_get d (Printf.sprintf "d%d-%06d" other i))
-           | _ ->
+           | p when p < 98 ->
                (* ordered scan over the shared space (cross-shard merged
                   when the target is the router) *)
                let prev = ref "" in
@@ -304,6 +377,13 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_
                    if !prev <> "" && String.compare k' !prev <= 0 then
                      fail "domain %d: scan order violation at %s" d k';
                    prev := k')
+           | _ ->
+               snap_check d rng oracle my_key (fun k' ->
+                   let v =
+                     [| string_of_int (Xutil.Rng.int rng 1000); string_of_int d |]
+                   in
+                   s_put d k' v;
+                   Hashtbl.replace oracle k' v)
          done));
   Atomic.set stop true;
   Thread.join ckpt_thread;

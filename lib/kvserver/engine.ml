@@ -4,7 +4,7 @@
 
 let reg = Obs.Registry.global
 
-let kind_names = [| "get"; "put"; "put_cols"; "remove"; "scan"; "stats" |]
+let kind_names = [| "get"; "put"; "put_cols"; "remove"; "scan"; "stats"; "snap" |]
 
 let kind_of = function
   | Protocol.Get _ -> 0
@@ -13,15 +13,22 @@ let kind_of = function
   | Protocol.Remove _ -> 3
   | Protocol.Getrange _ | Protocol.Getrange_rev _ -> 4
   | Protocol.Stats -> 5
+  | Protocol.Snap_open | Protocol.Snap_read _ | Protocol.Snap_range _
+  | Protocol.Snap_close _ ->
+      6
 
 let key_of = function
   | Protocol.Get { key; _ }
   | Protocol.Put { key; _ }
   | Protocol.Put_cols { key; _ }
-  | Protocol.Remove key ->
+  | Protocol.Remove key
+  | Protocol.Snap_read { key; _ } ->
       key
-  | Protocol.Getrange { start; _ } | Protocol.Getrange_rev { start; _ } -> start
-  | Protocol.Stats -> ""
+  | Protocol.Getrange { start; _ }
+  | Protocol.Getrange_rev { start; _ }
+  | Protocol.Snap_range { start; _ } ->
+      start
+  | Protocol.Stats | Protocol.Snap_open | Protocol.Snap_close _ -> ""
 
 let op_counters = Array.map (fun k -> Obs.Registry.counter reg ("ops." ^ k)) kind_names
 
@@ -36,52 +43,133 @@ let multiget_hist = Obs.Registry.histogram reg "lat_us.multiget_batch"
 (* The serving target behind a transport: one store, or a sharded tier
    whose router owns key placement, multi_get fan-out, merged scans, and
    the hot-key cache.  Protocol semantics are identical either way — a
-   client cannot tell which one it talks to. *)
-type backend = Single of Kvstore.Store.t | Sharded of Shard.Router.t
+   client cannot tell which one it talks to.
 
-let single s = Single s
+   The backend also owns the wire-level snapshot leases: Snap_open pins
+   a store (or cross-shard) snapshot and grants a TTL lease on it, so a
+   client that dies mid-scan can't wedge version pruning — the periodic
+   [sweep_snapshots] (the daemon's timer thread) expires it and closes
+   the underlying snapshot.  Any snapshot call renews its lease. *)
 
-let sharded r = Sharded r
+type target = Single of Kvstore.Store.t | Sharded of Shard.Router.t
+
+type snap_handle =
+  | Snap_single of Kvstore.Store.Snapshot.snap
+  | Snap_sharded of Shard.Router.Snapshot.snap
+
+type backend = { target : target; leases : snap_handle Mvcc.Lease.t }
+
+let close_snap_handle = function
+  | Snap_single s -> Kvstore.Store.Snapshot.close s
+  | Snap_sharded s -> Shard.Router.Snapshot.close s
+
+let default_snap_ttl_us = 30_000_000L
+
+let make_backend ?(snap_ttl_us = default_snap_ttl_us) target =
+  {
+    target;
+    leases =
+      Mvcc.Lease.create ~ttl_us:snap_ttl_us
+        ~on_expire:(fun _id h -> close_snap_handle h)
+        ();
+  }
+
+let single ?snap_ttl_us s = make_backend ?snap_ttl_us (Single s)
+
+let sharded ?snap_ttl_us r = make_backend ?snap_ttl_us (Sharded r)
+
+let sweep_snapshots b = Mvcc.Lease.sweep b.leases
+
+let open_snapshots b = Mvcc.Lease.count b.leases
 
 let b_get ~worker b key =
-  match b with
+  match b.target with
   | Single s -> Kvstore.Store.get s key
   | Sharded r -> Shard.Router.get ~worker r key
 
 let b_get_columns ~worker b key columns =
-  match b with
+  match b.target with
   | Single s -> Kvstore.Store.get_columns s key columns
   | Sharded r -> Shard.Router.get_columns ~worker r key columns
 
 let b_put ~worker b key columns =
-  match b with
+  match b.target with
   | Single s -> Kvstore.Store.put ~worker s key columns
   | Sharded r -> Shard.Router.put ~worker r key columns
 
 let b_put_columns ~worker b key updates =
-  match b with
+  match b.target with
   | Single s -> Kvstore.Store.put_columns ~worker s key updates
   | Sharded r -> Shard.Router.put_columns ~worker r key updates
 
 let b_remove ~worker b key =
-  match b with
+  match b.target with
   | Single s -> Kvstore.Store.remove ~worker s key
   | Sharded r -> Shard.Router.remove ~worker r key
 
 let b_multi_get ~worker b keys =
-  match b with
+  match b.target with
   | Single s -> Kvstore.Store.multi_get s keys
   | Sharded r -> Shard.Router.multi_get ~worker r keys
 
 let b_getrange b ~start ?columns ~limit f =
-  match b with
+  match b.target with
   | Single s -> Kvstore.Store.getrange s ~start ?columns ~limit f
   | Sharded r -> Shard.Router.getrange r ~start ?columns ~limit f
 
 let b_getrange_rev b ?start ?columns ~limit f =
-  match b with
+  match b.target with
   | Single s -> Kvstore.Store.getrange_rev s ?start ?columns ~limit f
   | Sharded r -> Shard.Router.getrange_rev r ?start ?columns ~limit f
+
+let b_snap_open b =
+  let h =
+    match b.target with
+    | Single s -> Snap_single (Kvstore.Store.Snapshot.open_ s)
+    | Sharded r -> Snap_sharded (Shard.Router.Snapshot.open_ r)
+  in
+  Mvcc.Lease.grant b.leases h
+
+let snap_err = function
+  | Mvcc.Lease.Unknown -> Protocol.Snap_failed Protocol.Snap_unknown
+  | Mvcc.Lease.Expired -> Protocol.Snap_failed Protocol.Snap_expired
+
+let b_snap_read b ~snap ~key ~columns =
+  match Mvcc.Lease.find b.leases snap with
+  | Error e -> snap_err e
+  | Ok h ->
+      let v =
+        match (h, columns) with
+        | Snap_single s, [] -> Kvstore.Store.Snapshot.read s key
+        | Snap_single s, cols -> Kvstore.Store.Snapshot.read_columns s key cols
+        | Snap_sharded s, [] -> Shard.Router.Snapshot.read s key
+        | Snap_sharded s, cols -> Shard.Router.Snapshot.read_columns s key cols
+      in
+      Protocol.Value v
+
+let b_snap_range b ~snap ~start ~count ~columns =
+  match Mvcc.Lease.find b.leases snap with
+  | Error e -> snap_err e
+  | Ok h ->
+      let acc = ref [] in
+      let cols = match columns with [] -> None | l -> Some l in
+      (match h with
+      | Snap_single s ->
+          ignore
+            (Kvstore.Store.Snapshot.getrange s ~start ?columns:cols ~limit:count
+               (fun k v -> acc := (k, v) :: !acc))
+      | Snap_sharded s ->
+          ignore
+            (Shard.Router.Snapshot.getrange s ~start ?columns:cols ~limit:count
+               (fun k v -> acc := (k, v) :: !acc)));
+      Protocol.Range (List.rev !acc)
+
+let b_snap_close b snap =
+  match Mvcc.Lease.release b.leases snap with
+  | Error e -> snap_err e
+  | Ok h ->
+      close_snap_handle h;
+      Protocol.Snap_closed
 
 let execute_op ~worker backend req =
   match req with
@@ -111,6 +199,11 @@ let execute_op ~worker backend req =
              acc := (k, v) :: !acc));
       Protocol.Range (List.rev !acc)
   | Protocol.Stats -> Protocol.Stats_reply (Obs.Registry.snapshot reg)
+  | Protocol.Snap_open -> Protocol.Snap_opened (b_snap_open backend)
+  | Protocol.Snap_read { snap; key; columns } -> b_snap_read backend ~snap ~key ~columns
+  | Protocol.Snap_range { snap; start; count; columns } ->
+      b_snap_range backend ~snap ~start ~count ~columns
+  | Protocol.Snap_close snap -> b_snap_close backend snap
 
 let execute_op ~worker backend req =
   try execute_op ~worker backend req

@@ -2,17 +2,27 @@
     serving backend.  Shared by every transport (loopback, TCP, UDP,
     Unix sockets, reactor). *)
 
-type backend =
-  | Single of Kvstore.Store.t
-  | Sharded of Shard.Router.t
-      (** a sharded tier: the router owns key placement, [multi_get]
-          fan-out, cross-shard scan merging, and the hot-key cache.
-          Protocol semantics are identical to [Single] — clients cannot
-          tell which backend serves them. *)
+type backend
+(** The serving target (one store, or a sharded tier whose router owns
+    key placement, [multi_get] fan-out, cross-shard scan merging, and
+    the hot-key cache — protocol semantics are identical; clients cannot
+    tell which backend serves them) plus the wire-level snapshot lease
+    table ([Snap_open]'s handles; see docs/MVCC.md). *)
 
-val single : Kvstore.Store.t -> backend
+val single : ?snap_ttl_us:int64 -> Kvstore.Store.t -> backend
 
-val sharded : Shard.Router.t -> backend
+val sharded : ?snap_ttl_us:int64 -> Shard.Router.t -> backend
+(** [snap_ttl_us] (default 30s) is the snapshot lease TTL: a wire
+    snapshot untouched for that long is expired and closed by
+    {!sweep_snapshots}, so a dead client cannot wedge version pruning.
+    Every [Snap_*] call on a lease renews it. *)
+
+val sweep_snapshots : backend -> int
+(** Expire and close every snapshot lease past its TTL; returns the
+    count.  The daemon's timer thread calls this periodically. *)
+
+val open_snapshots : backend -> int
+(** Currently leased wire snapshots. *)
 
 val execute : worker:int -> backend -> Protocol.request -> Protocol.response
 (** [execute ~worker backend req] runs one request; [worker] selects the

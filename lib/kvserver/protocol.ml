@@ -8,6 +8,21 @@ type request =
   | Getrange of { start : string; count : int; columns : int list }
   | Getrange_rev of { start : string; count : int; columns : int list }
   | Stats
+  | Snap_open
+  | Snap_read of { snap : int64; key : string; columns : int list }
+  | Snap_range of { snap : int64; start : string; count : int; columns : int list }
+  | Snap_close of int64
+
+(* Why a snapshot id stopped working: [Snap_expired] = the lease existed
+   and timed out (reopen and retry); [Snap_unknown] = this server never
+   granted it — notably any id from before a restart (snapshots don't
+   survive restarts; the client gets a clean typed error, never a torn
+   cut). *)
+type snap_error = Snap_unknown | Snap_expired
+
+let snap_error_to_string = function
+  | Snap_unknown -> "unknown snapshot"
+  | Snap_expired -> "snapshot lease expired"
 
 type response =
   | Value of string array option
@@ -16,6 +31,9 @@ type response =
   | Range of (string * string array) list
   | Failed of string
   | Stats_reply of Obs.Snapshot.t
+  | Snap_opened of int64
+  | Snap_closed
+  | Snap_failed of snap_error
 
 let write_int_list w l =
   Binio.write_varint w (List.length l);
@@ -66,6 +84,21 @@ let encode_request w = function
       Binio.write_varint w count;
       write_int_list w columns
   | Stats -> Binio.write_u8 w 7
+  | Snap_open -> Binio.write_u8 w 8
+  | Snap_read { snap; key; columns } ->
+      Binio.write_u8 w 9;
+      Binio.write_u64 w snap;
+      Binio.write_string w key;
+      write_int_list w columns
+  | Snap_range { snap; start; count; columns } ->
+      Binio.write_u8 w 10;
+      Binio.write_u64 w snap;
+      Binio.write_string w start;
+      Binio.write_varint w count;
+      write_int_list w columns
+  | Snap_close snap ->
+      Binio.write_u8 w 11;
+      Binio.write_u64 w snap
 
 let decode_request r =
   match Binio.read_u8 r with
@@ -95,6 +128,17 @@ let decode_request r =
       let count = Binio.read_varint r in
       Getrange_rev { start; count; columns = read_int_list r }
   | 7 -> Stats
+  | 8 -> Snap_open
+  | 9 ->
+      let snap = Binio.read_u64 r in
+      let key = Binio.read_string r in
+      Snap_read { snap; key; columns = read_int_list r }
+  | 10 ->
+      let snap = Binio.read_u64 r in
+      let start = Binio.read_string r in
+      let count = Binio.read_varint r in
+      Snap_range { snap; start; count; columns = read_int_list r }
+  | 11 -> Snap_close (Binio.read_u64 r)
   | _ -> raise Binio.Truncated
 
 let encode_response w = function
@@ -120,6 +164,13 @@ let encode_response w = function
   | Stats_reply snap ->
       Binio.write_u8 w 7;
       Obs.Snapshot.write w snap
+  | Snap_opened id ->
+      Binio.write_u8 w 8;
+      Binio.write_u64 w id
+  | Snap_closed -> Binio.write_u8 w 9
+  | Snap_failed e ->
+      Binio.write_u8 w 10;
+      Binio.write_u8 w (match e with Snap_unknown -> 0 | Snap_expired -> 1)
 
 let decode_response r =
   match Binio.read_u8 r with
@@ -135,6 +186,13 @@ let decode_response r =
              (k, read_cols r)))
   | 6 -> Failed (Binio.read_string r)
   | 7 -> Stats_reply (Obs.Snapshot.read r)
+  | 8 -> Snap_opened (Binio.read_u64 r)
+  | 9 -> Snap_closed
+  | 10 -> (
+      match Binio.read_u8 r with
+      | 0 -> Snap_failed Snap_unknown
+      | 1 -> Snap_failed Snap_expired
+      | _ -> raise Binio.Truncated)
   | _ -> raise Binio.Truncated
 
 let encode_batch encode items =
@@ -238,3 +296,8 @@ let pp_request fmt = function
   | Getrange { start; count; _ } -> Format.fprintf fmt "getrange %S %d" start count
   | Getrange_rev { start; count; _ } -> Format.fprintf fmt "getrange_rev %S %d" start count
   | Stats -> Format.fprintf fmt "stats"
+  | Snap_open -> Format.fprintf fmt "snap_open"
+  | Snap_read { snap; key; _ } -> Format.fprintf fmt "snap_read #%Ld %S" snap key
+  | Snap_range { snap; start; count; _ } ->
+      Format.fprintf fmt "snap_range #%Ld %S %d" snap start count
+  | Snap_close snap -> Format.fprintf fmt "snap_close #%Ld" snap

@@ -20,14 +20,35 @@ type request =
   | Stats
       (** telemetry snapshot: live op counters, latency percentiles,
           index/logger metrics, recent slow ops (lib/obs) *)
+  | Snap_open
+      (** pin a server-side snapshot (docs/MVCC.md); the reply's id names
+          it in the calls below.  The server leases the handle: it
+          expires after a TTL of disuse so a dead client can't wedge
+          version pruning.  Any snapshot call on the lease renews it. *)
+  | Snap_read of { snap : int64; key : string; columns : int list }
+  | Snap_range of { snap : int64; start : string; count : int; columns : int list }
+      (** consistent ascending scan at the snapshot's cut *)
+  | Snap_close of int64
+
+(** Why a snapshot id stopped working: [Snap_expired] — the lease existed
+    and timed out (reopen and retry); [Snap_unknown] — never granted by
+    this server process, notably any id from before a restart (snapshots
+    do not survive restarts: the client gets this typed error, never a
+    torn cut). *)
+type snap_error = Snap_unknown | Snap_expired
+
+val snap_error_to_string : snap_error -> string
 
 type response =
-  | Value of string array option (** for Get *)
+  | Value of string array option (** for Get and Snap_read *)
   | Ok_put (** for Put / Put_cols *)
   | Removed of bool (** for Remove *)
-  | Range of (string * string array) list (** for Getrange *)
+  | Range of (string * string array) list (** for Getrange and Snap_range *)
   | Failed of string
   | Stats_reply of Obs.Snapshot.t (** for Stats *)
+  | Snap_opened of int64 (** for Snap_open *)
+  | Snap_closed (** for Snap_close *)
+  | Snap_failed of snap_error (** for any Snap_* call on a dead id *)
 
 val encode_requests : request list -> string
 (** A complete frame. *)

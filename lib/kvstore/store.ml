@@ -46,8 +46,20 @@ let content_of layout columns =
 (* Stored values carry an optional tombstone state: during recovery a
    Remove record must shadow older Put records that may arrive later from
    other logs, so removes materialize as versioned tombstones and are
-   swept once replay finishes.  Live operation never stores tombstones. *)
-type stored = { sversion : int64; scontent : content option }
+   swept once replay finishes.  Live operation stores tombstones only
+   while snapshots are open (a remove must stay resolvable at older
+   snapshot versions); the prune pass deletes them once no snapshot can
+   see past them.
+
+   [schain] is the MVCC version chain (docs/MVCC.md): payloads this head
+   retired that some open snapshot may still read, newest first.  The
+   chain travels with the head — one atomic tree store publishes both —
+   and is empty whenever no snapshot was open at overwrite time. *)
+type stored = {
+  sversion : int64;
+  scontent : content option;
+  schain : content option Mvcc.Chain.t;
+}
 
 type t = {
   tree : stored Tree.t;
@@ -57,9 +69,23 @@ type t = {
      The paper needs per-value increasing versions; a global counter also
      orders remove/reinsert pairs across different per-core logs.  (On the
      paper's 16 cores this would be a contended line; they use per-value
-     counters plus timestamps.  See DESIGN.md §5.) *)
+     counters plus timestamps.  See DESIGN.md §5.)  This clock is also the
+     snapshot timestamp domain: a snapshot pins [max_version] at open and
+     reads the newest version [<=] it everywhere. *)
   clock : int Atomic.t;
+  (* MVCC state: the snapshot horizon (who is open, at what version), the
+     set of keys whose chains/tombstones need pruning, and the live
+     chained-version count behind the [mvcc.versions_live] gauge. *)
+  snaps : Mvcc.Horizon.t;
+  pending : (string, unit) Hashtbl.t;
+  pending_lock : Xutil.Spinlock.t;
+  prune_scheduled : bool Atomic.t;
+  versions_live : int Atomic.t;
 }
+
+(* Hot-path metric handles, resolved once. *)
+let obs_chain_len = Obs.Registry.histogram Obs.Registry.global "mvcc.chain_len"
+let obs_snap_open = Obs.Registry.counter Obs.Registry.global "mvcc.snap_open_total"
 
 let create ?(logs = [||]) ?(layout = Contiguous) () =
   {
@@ -67,6 +93,11 @@ let create ?(logs = [||]) ?(layout = Contiguous) () =
     logs = Array.map Fun.id logs;
     vlayout = layout;
     clock = Atomic.make 1;
+    snaps = Mvcc.Horizon.create ();
+    pending = Hashtbl.create 64;
+    pending_lock = Xutil.Spinlock.create ();
+    prune_scheduled = Atomic.make false;
+    versions_live = Atomic.make 0;
   }
 
 let layout t = t.vlayout
@@ -100,11 +131,115 @@ let log_remove t ~worker ~key ~version =
 
 let default_worker () = (Domain.self () :> int)
 
+(* ---- MVCC plumbing ---- *)
+
+(* Schedule points pinning the chain protocol's ordering-sensitive steps;
+   lib/schedsim's mvcc scenarios interleave them (docs/MVCC.md). *)
+let sp_open_pinned = Schedpoint.define "mvcc.open.pinned"
+let sp_snap_read = Schedpoint.define "mvcc.snap.read"
+let sp_chain_installed = Schedpoint.define "mvcc.chain.installed"
+let sp_prune_pass = Schedpoint.define "mvcc.prune.pass"
+let sp_snap_closed = Schedpoint.define "mvcc.snap.closed"
+
+let snapshots_open t = Mvcc.Horizon.active t.snaps
+
+let mvcc_versions_live t = Atomic.get t.versions_live
+
+let note_pending t key =
+  Xutil.Spinlock.with_lock t.pending_lock (fun () -> Hashtbl.replace t.pending key ())
+
+(* Under the border lock: the chain for a new head that retires [old].
+   [chained] is the writer's post-mint read of the horizon — when no
+   snapshot was open, the retired payload is dead to everyone (any later
+   open pins a version >= this write's), so the chain collapses to empty
+   and the old entries die with it.  The caller applies [delta] to the
+   live-version count after the tree store completes. *)
+let retired_chain t ~chained ~delta ~len old =
+  match old with
+  | None -> Mvcc.Chain.empty
+  | Some o ->
+      if chained then begin
+        let epoch = Epoch.global_epoch (Tree.epoch_manager t.tree) in
+        let c = Mvcc.Chain.push o.schain ~version:o.sversion ~epoch o.scontent in
+        delta := 1;
+        len := Mvcc.Chain.length c;
+        c
+      end
+      else begin
+        delta := -Mvcc.Chain.length o.schain;
+        Mvcc.Chain.empty
+      end
+
+let apply_version_delta t delta =
+  if delta <> 0 then ignore (Atomic.fetch_and_add t.versions_live delta)
+
+(* After a chained install: account the new entry and sample the chain
+   length (outside the border lock). *)
+let note_chained t key ~delta ~len =
+  apply_version_delta t delta;
+  if len > 0 then Obs.Registry.observe obs_chain_len len;
+  if delta > 0 then begin
+    note_pending t key;
+    Schedpoint.hit sp_chain_installed
+  end
+
+let prune_pass t =
+  Schedpoint.hit sp_prune_pass;
+  Atomic.set t.prune_scheduled false;
+  let keys =
+    Xutil.Spinlock.with_lock t.pending_lock (fun () ->
+        let ks = Hashtbl.fold (fun k () acc -> k :: acc) t.pending [] in
+        Hashtbl.reset t.pending;
+        ks)
+  in
+  let snapshots = Mvcc.Horizon.versions t.snaps in
+  let survivors = ref [] in
+  List.iter
+    (fun key ->
+      (* Truncate the chain to what some open snapshot can still read.
+         The closure runs under the border lock, so the decision is
+         atomic w.r.t. concurrent writers — pruning from a pre-read copy
+         could resurrect versions a racing writer just retired. *)
+      let delta = ref 0 in
+      let survived = ref false in
+      ignore
+        (Tree.update t.tree key (fun st ->
+             match st.schain with
+             | None -> st
+             | Some _ ->
+                 let chain =
+                   Mvcc.Chain.prune st.schain ~death_of_head:st.sversion ~snapshots
+                 in
+                 delta := Mvcc.Chain.length chain - Mvcc.Chain.length st.schain;
+                 if chain != Mvcc.Chain.empty then survived := true;
+                 if !delta = 0 then st else { st with schain = chain }));
+      apply_version_delta t !delta;
+      (* A tombstone whose chain is gone is invisible to every snapshot
+         (new opens pin versions past it; see docs/MVCC.md) — delete it.
+         [remove_if] re-checks under the lock, so a concurrent reinsert
+         is never clobbered. *)
+      (match
+         Tree.remove_if t.tree key (fun st ->
+             st.scontent = None && st.schain = None)
+       with
+      | Some _ -> ()
+      | None -> if !survived then survivors := key :: !survivors))
+    keys;
+  match !survivors with
+  | [] -> ()
+  | ks ->
+      Xutil.Spinlock.with_lock t.pending_lock (fun () ->
+          List.iter (fun k -> Hashtbl.replace t.pending k ()) ks)
+
+let schedule_prune t =
+  if not (Atomic.exchange t.prune_scheduled true) then
+    Epoch.schedule (Tree.epoch_manager t.tree) (fun () -> prune_pass t)
+
 (* ---- reads ---- *)
 
 let get_value t key =
   match Tree.get t.tree key with
-  | Some { sversion; scontent = Some c } -> Some { version = sversion; columns = unpack c }
+  | Some { sversion; scontent = Some c; _ } -> Some { version = sversion; columns = unpack c }
   | Some { scontent = None; _ } | None -> None
 
 let get t key = Option.map (fun v -> v.columns) (get_value t key)
@@ -127,18 +262,34 @@ let get_columns t key cols =
 
 (* ---- writes ---- *)
 
+(* Writers mint their version {e before} reading the horizon: if the
+   horizon read sees no open snapshot, any snapshot registered later
+   pins a version >= this write's, so the new head itself is what that
+   snapshot reads and the retired payload is safe to drop.  (The opener
+   does the mirror ordering — register, then read the clock — inside
+   [Mvcc.Horizon.open_].) *)
+
 let put ?worker t key columns =
   let worker = match worker with Some w -> w | None -> default_worker () in
   let version = next_version t in
+  let chained = Mvcc.Horizon.active t.snaps > 0 in
+  let delta = ref 0 and len = ref 0 in
   ignore
-    (Tree.put_with t.tree key (fun _old ->
-         { sversion = version; scontent = Some (content_of t.vlayout (Array.copy columns)) }));
+    (Tree.put_with t.tree key (fun old ->
+         {
+           sversion = version;
+           scontent = Some (content_of t.vlayout (Array.copy columns));
+           schain = retired_chain t ~chained ~delta ~len old;
+         }));
+  note_chained t key ~delta:!delta ~len:!len;
   log_put t ~worker ~key ~version ~columns
 
 let put_columns ?worker t key updates =
   let worker = match worker with Some w -> w | None -> default_worker () in
   let version = next_version t in
+  let chained = Mvcc.Horizon.active t.snaps > 0 in
   let result = ref [||] in
+  let delta = ref 0 and len = ref 0 in
   ignore
     (Tree.put_with t.tree key (fun old ->
          let base =
@@ -157,16 +308,61 @@ let put_columns ?worker t key updates =
          Array.blit base 0 merged 0 (Array.length base);
          List.iter (fun (i, c) -> if i >= 0 then merged.(i) <- c) updates;
          result := merged;
-         { sversion = version; scontent = Some (content_of t.vlayout merged) }));
+         {
+           sversion = version;
+           scontent = Some (content_of t.vlayout merged);
+           schain = retired_chain t ~chained ~delta ~len old;
+         }));
+  note_chained t key ~delta:!delta ~len:!len;
   log_put t ~worker ~key ~version ~columns:!result
 
 let remove ?worker t key =
   let worker = match worker with Some w -> w | None -> default_worker () in
-  match Tree.remove t.tree key with
-  | Some { scontent = Some _; _ } ->
-      log_remove t ~worker ~key ~version:(next_version t);
+  let version = next_version t in
+  let chained = Mvcc.Horizon.active t.snaps > 0 in
+  if not chained then begin
+    (* No snapshot open when the version was minted: a plain delete.
+       Any snapshot opening concurrently pins a version >= [version],
+       which resolves this key to absent — exactly what deleting shows
+       it.  Chain entries hanging off the old head die with it (their
+       lifetimes all end before [version]). *)
+    match Tree.remove t.tree key with
+    | Some { scontent = Some _; schain; _ } ->
+        apply_version_delta t (-Mvcc.Chain.length schain);
+        log_remove t ~worker ~key ~version;
+        true
+    | Some { scontent = None; schain; _ } ->
+        apply_version_delta t (-Mvcc.Chain.length schain);
+        false
+    | None -> false
+  end
+  else begin
+    (* Snapshots are open: the remove must stay resolvable at their
+       versions, so install a versioned tombstone that chains the
+       retired value.  [Tree.update] never inserts — removing an absent
+       key must not materialize a tombstone for it. *)
+    let removed = ref false in
+    let delta = ref 0 and len = ref 0 in
+    ignore
+      (Tree.update t.tree key (fun old ->
+           match old.scontent with
+           | None -> old (* already a tombstone; nothing to remove *)
+           | Some _ ->
+               removed := true;
+               {
+                 sversion = version;
+                 scontent = None;
+                 schain = retired_chain t ~chained:true ~delta ~len (Some old);
+               }));
+    if !removed then begin
+      note_chained t key ~delta:!delta ~len:!len;
+      (* The tombstone itself needs pruning once snapshots drain. *)
+      note_pending t key;
+      log_remove t ~worker ~key ~version;
       true
-  | Some { scontent = None; _ } | None -> false
+    end
+    else false
+  end
 
 (* ---- scans ---- *)
 
@@ -217,6 +413,96 @@ let cardinal t =
          match v.scontent with Some _ -> incr n | None -> ()));
   !n
 
+(* ---- snapshots ---- *)
+
+(* The state of [key] as of version [at]: [None] = no version that old
+   (born later, or pruned — the opener's ordering makes the latter
+   unreachable for open snapshots); [Some None] = tombstone (absent);
+   [Some (Some c)] = the payload. *)
+let resolve_at st ~at =
+  if Int64.compare st.sversion at <= 0 then Some st.scontent
+  else
+    match Mvcc.Chain.find st.schain ~at with
+    | Some e -> Some e.Mvcc.Chain.payload
+    | None -> None
+
+module Snapshot = struct
+  type store = t
+
+  type snap = { sstore : store; ticket : Mvcc.Horizon.ticket; sclosed : bool Atomic.t }
+
+  let open_ (t : store) =
+    Obs.Registry.incr obs_snap_open;
+    let ticket =
+      Mvcc.Horizon.open_ t.snaps
+        ~mint:(fun () -> max_version t)
+        ~epoch:(fun () -> Epoch.global_epoch (Tree.epoch_manager t.tree))
+    in
+    Schedpoint.hit sp_open_pinned;
+    { sstore = t; ticket; sclosed = Atomic.make false }
+
+  let version s = Mvcc.Horizon.version s.ticket
+  let epoch s = Mvcc.Horizon.epoch s.ticket
+
+  let check_open s =
+    if Atomic.get s.sclosed then invalid_arg "Store.Snapshot: use after close"
+
+  let read_value s key =
+    check_open s;
+    let at = version s in
+    Schedpoint.hit sp_snap_read;
+    match Tree.get s.sstore.tree key with
+    | None -> None
+    | Some st -> (
+        match resolve_at st ~at with
+        | None | Some None -> None
+        | Some (Some c) -> Some (unpack c))
+
+  let read s key = read_value s key
+
+  let read_columns s key cols = Option.map (fun v -> select v cols) (read_value s key)
+
+  let getrange s ~start ?columns ~limit f =
+    check_open s;
+    if limit <= 0 then 0
+    else begin
+      let at = version s in
+      let emitted = ref 0 in
+      let exception Done in
+      (try
+         ignore
+           (Tree.scan s.sstore.tree ~start ~limit:max_int (fun k st ->
+                Schedpoint.hit sp_snap_read;
+                match resolve_at st ~at with
+                | None | Some None -> ()
+                | Some (Some content) ->
+                    let cols = unpack content in
+                    let out =
+                      match columns with None -> cols | Some c -> select cols c
+                    in
+                    f k out;
+                    incr emitted;
+                    if !emitted >= limit then raise Done))
+       with Done -> ());
+      !emitted
+    end
+
+  let close s =
+    if not (Atomic.exchange s.sclosed true) then begin
+      Mvcc.Horizon.close s.sstore.snaps s.ticket;
+      Schedpoint.hit sp_snap_closed;
+      (* The horizon moved: chains this snapshot was pinning may now be
+         prunable.  Run the pass at the next tick/quiesce. *)
+      schedule_prune s.sstore
+    end
+end
+
+let prune t = prune_pass t
+
+let maintain t =
+  prune_pass t;
+  Tree.maintain t.tree
+
 let tree_stats t = Tree.stats t.tree
 
 (* Publish this store's live tree counters (and its loggers' buffer
@@ -235,7 +521,17 @@ let register_obs t =
     Stats.all;
   if Array.length t.logs > 0 then
     Obs.Registry.gauge g "log.buffered_bytes" (fun () ->
-        Array.fold_left (fun a l -> a + Persist.Logger.buffered_bytes l) 0 t.logs)
+        Array.fold_left (fun a l -> a + Persist.Logger.buffered_bytes l) 0 t.logs);
+  (* MVCC health: chained versions alive, snapshots pinning them, and
+     how far (in EBR epochs) the oldest open snapshot lags the present.
+     mvcc.chain_len / mvcc.snap_open_total are recorded at the write
+     sites (module-level handles above). *)
+  Obs.Registry.gauge g "mvcc.versions_live" (fun () -> mvcc_versions_live t);
+  Obs.Registry.gauge g "mvcc.snapshots_open" (fun () -> snapshots_open t);
+  Obs.Registry.gauge g "mvcc.prune_lag_epochs" (fun () ->
+      match Mvcc.Horizon.oldest_epoch t.snaps with
+      | None -> 0
+      | Some e -> max 0 (Epoch.global_epoch (Tree.epoch_manager t.tree) - e))
 
 let check t = Tree.check t.tree
 
@@ -257,21 +553,43 @@ let bump_clock t version =
    shadow newer acked updates. *)
 let ensure_version_above t version = bump_clock t version
 
+(* Replay and migration install heads only, never chains: checkpoints
+   and logs hold single versions per record, and both paths run on
+   stores no snapshot is open against (asserted in [recover]).  Should a
+   migration ever race an open snapshot, the retired payload is chained
+   like any other write. *)
+
 let apply_put t ~key ~version ~columns =
   bump_clock t version;
+  let chained = Mvcc.Horizon.active t.snaps > 0 in
+  let delta = ref 0 and len = ref 0 in
   ignore
     (Tree.put_with t.tree key (fun old ->
          match old with
          | Some existing when Int64.compare existing.sversion version >= 0 -> existing
-         | _ -> { sversion = version; scontent = Some (content_of t.vlayout columns) }))
+         | _ ->
+             {
+               sversion = version;
+               scontent = Some (content_of t.vlayout columns);
+               schain = retired_chain t ~chained ~delta ~len old;
+             }));
+  note_chained t key ~delta:!delta ~len:!len
 
 let apply_remove t ~key ~version =
   bump_clock t version;
+  let chained = Mvcc.Horizon.active t.snaps > 0 in
+  let delta = ref 0 and len = ref 0 in
   ignore
     (Tree.put_with t.tree key (fun old ->
          match old with
          | Some existing when Int64.compare existing.sversion version >= 0 -> existing
-         | _ -> { sversion = version; scontent = None }))
+         | _ ->
+             {
+               sversion = version;
+               scontent = None;
+               schain = retired_chain t ~chained ~delta ~len old;
+             }));
+  note_chained t key ~delta:!delta ~len:!len
 
 (* ---- reshard migration (version-carrying logged writes) ----
 
@@ -301,19 +619,52 @@ let iter_entries t f =
 
 (* ---- checkpoint / recovery ---- *)
 
-let checkpoint ?vfs t ~dir ~writers =
+let checkpoint ?vfs ?(snapshot = true) t ~dir ~writers =
   let began_us = Xutil.Clock.wall_us () in
-  (* Pull-based snapshot stream: the scan runs concurrently with normal
-     operation; each entry is some committed version of its key. *)
   let entries = ref [] in
-  ignore
-    (Tree.scan t.tree ~limit:max_int (fun k v ->
-         match v.scontent with
-         | Some c ->
-             entries :=
-               { Persist.Checkpoint.key = k; version = v.sversion; columns = unpack c }
-               :: !entries
-         | None -> ()));
+  if snapshot then begin
+    (* Walk a pinned snapshot: one consistent cut, no races with
+       foreground puts (they chain retired values instead of fighting
+       the scan), and only heads visible at the cut are emitted —
+       chains are never persisted ({!Persist.Checkpoint.entry} has no
+       chain field; recovery replays single versions). *)
+    let s = Snapshot.open_ t in
+    let at = Snapshot.version s in
+    Fun.protect
+      ~finally:(fun () -> Snapshot.close s)
+      (fun () ->
+        ignore
+          (Tree.scan t.tree ~limit:max_int (fun k st ->
+               (* Resolve at the cut, keeping the resolved entry's own
+                  version — the recovery replay guard compares per-key
+                  versions against log records. *)
+               let resolved =
+                 if Int64.compare st.sversion at <= 0 then Some (st.sversion, st.scontent)
+                 else
+                   match Mvcc.Chain.find st.schain ~at with
+                   | Some e -> Some (e.Mvcc.Chain.version, e.Mvcc.Chain.payload)
+                   | None -> None
+               in
+               match resolved with
+               | Some (version, Some c) ->
+                   entries :=
+                     { Persist.Checkpoint.key = k; version; columns = unpack c }
+                     :: !entries
+               | Some (_, None) | None -> ())))
+  end
+  else
+    (* Legacy pull-based stream: the scan runs concurrently with normal
+       operation; each entry is some committed version of its key (the
+       pre-MVCC behavior, kept as the interference baseline for
+       [bench ckpt]). *)
+    ignore
+      (Tree.scan t.tree ~limit:max_int (fun k v ->
+           match v.scontent with
+           | Some c ->
+               entries :=
+                 { Persist.Checkpoint.key = k; version = v.sversion; columns = unpack c }
+                 :: !entries
+           | None -> ()));
   let remaining = ref !entries in
   let lock = Xutil.Spinlock.create () in
   let next () =
@@ -331,11 +682,25 @@ let sweep_tombstones t =
   ignore
     (Tree.scan t.tree ~limit:max_int (fun k v ->
          match v.scontent with None -> tombs := k :: !tombs | Some _ -> ()));
-  List.iter (fun k -> ignore (Tree.remove t.tree k)) !tombs
+  (* [remove_if] re-checks the tombstone state under the border lock, so
+     a key concurrently reinstated between the scan and the sweep is
+     left alone (this used to be a quiescent-only pass). *)
+  List.iter
+    (fun k ->
+      ignore
+        (Tree.remove_if t.tree k (fun st ->
+             st.scontent = None && st.schain = None)))
+    !tombs
 
 let recover ?vfs ?logs ?layout ?replay_domains ?(keep_tombstones = false) ~log_paths
     ~checkpoint_dirs () =
   let t = create ?logs ?layout () in
+  (* Snapshots never survive a restart: checkpoints and logs persist
+     single versions only (no chain ever reaches disk — the entry type
+     has no chain field), so replay rebuilds bare heads.  A fresh store
+     must therefore have an empty horizon; a wire-level snapshot id from
+     a previous incarnation reports a typed error at the server layer. *)
+  assert (Mvcc.Horizon.active t.snaps = 0);
   match
     Persist.Recovery.recover ?vfs ?replay_domains ~log_paths ~checkpoint_dirs
       ~put:(fun ~key ~version ~columns -> apply_put t ~key ~version ~columns)
@@ -345,4 +710,6 @@ let recover ?vfs ?logs ?layout ?replay_domains ?(keep_tombstones = false) ~log_p
   | Error e -> Error e
   | Ok stats ->
       if not keep_tombstones then sweep_tombstones t;
+      (* Replay installed heads only (no snapshot was open). *)
+      assert (mvcc_versions_live t = 0);
       Ok (t, stats)

@@ -73,6 +73,69 @@ val getrange_rev :
 
 val cardinal : t -> int
 
+(** {1 Snapshots (MVCC; docs/MVCC.md)}
+
+    A snapshot pins a point in the store's version clock: every read
+    through it resolves to the newest write with version [<=] the pinned
+    one, no matter what concurrent writers do — long scans see one
+    consistent cut with zero writer blocking and no retry storms.
+    Writers that overwrite or remove a value while snapshots are open
+    chain the retired payload off the new head ({!Mvcc.Chain}); closing
+    the last snapshot that could read an entry lets the prune pass (run
+    at epoch {e tick}/{e quiesce}, or {!maintain}) drop it, so live
+    chained versions stay O(open snapshots).
+
+    Writes still in flight when the snapshot opens (version minted
+    before, tree store after) may surface on a later read — each
+    individual read is still a committed value [<=] the cut, but opening
+    a snapshot does not wait for in-flight writers to land.  Open before
+    the writes you must not see, not during. *)
+
+module Snapshot : sig
+  type snap
+
+  val open_ : t -> snap
+  (** Pin the current {!max_version}.  O(1); never blocks writers. *)
+
+  val version : snap -> int64
+  (** The pinned cut: reads resolve to the newest version [<= version]. *)
+
+  val epoch : snap -> int
+  (** EBR global epoch at open (drives [mvcc.prune_lag_epochs]). *)
+
+  val read : snap -> string -> string array option
+  (** The key's columns as of the cut; [None] if absent (never written,
+      removed before the cut, or born after it). *)
+
+  val read_columns : snap -> string -> int list -> string array option
+
+  val getrange :
+    snap -> start:string -> ?columns:int list -> limit:int ->
+    (string -> string array -> unit) -> int
+  (** Consistent ascending scan at the cut: every emitted pair is the
+      key's state as of {!version}, tombstones and later-born keys
+      skipped. *)
+
+  val close : snap -> unit
+  (** Release the pin (idempotent) and schedule pruning of entries only
+      this snapshot could read.  Reads after [close] raise
+      [Invalid_argument]. *)
+end
+
+val snapshots_open : t -> int
+
+val mvcc_versions_live : t -> int
+(** Chained (non-head) versions currently alive — the
+    [mvcc.versions_live] gauge. *)
+
+val prune : t -> unit
+(** Run one prune pass now (normally scheduled by snapshot close and run
+    at epoch tick/quiesce). *)
+
+val maintain : t -> unit
+(** Prune, then run the index's deferred epoch maintenance
+    ({!Masstree_core.Tree.maintain}); quiescent callers. *)
+
 val tree_stats : t -> Masstree_core.Stats.t
 
 val register_obs : t -> unit
@@ -86,12 +149,17 @@ val register_obs : t -> unit
 (** {1 Persistence (§5)} *)
 
 val checkpoint :
-  ?vfs:Faultsim.Vfs.t -> t -> dir:string -> writers:int -> (string, string) result
-(** Dump a consistent-enough snapshot (the paper's checkpoints run
-    concurrently with writers; each key's entry is some committed
-    version) and return the manifest path.  [vfs] (default: the real
-    filesystem) is how the crash-torture harness redirects checkpoint
-    I/O onto a simulated disk. *)
+  ?vfs:Faultsim.Vfs.t -> ?snapshot:bool -> t -> dir:string -> writers:int ->
+  (string, string) result
+(** Dump the store and return the manifest path.  By default the dump
+    walks a pinned {!Snapshot} — one consistent cut, no interference
+    with foreground puts; [~snapshot:false] keeps the pre-MVCC
+    racing-scan behavior (each key some committed version — the
+    [bench ckpt] interference baseline).  Only resolved heads are
+    written: chains never reach disk ({!Persist.Checkpoint.entry} has no
+    chain field).  [vfs] (default: the real filesystem) is how the
+    crash-torture harness redirects checkpoint I/O onto a simulated
+    disk. *)
 
 val recover :
   ?vfs:Faultsim.Vfs.t ->

@@ -934,7 +934,7 @@ and try_collapse_layer t key off =
                       end
                   | Some (Interior _, _) | None -> Version.unlock b.bversion))))
 
-let rec remove_layer t root_ref key off =
+let rec remove_layer t root_ref key off pred =
   let ks = Key.slice key ~off in
   let rem = String.length key - off in
   let b, _v = find_border t root_ref ks in
@@ -943,7 +943,7 @@ let rec remove_layer t root_ref key off =
   match locate b ~ks ~rem ~key ~off with
   | At_layer (_, _, r) ->
       Version.unlock b.bversion;
-      remove_layer t r key (off + 8)
+      remove_layer t r key (off + 8) pred
   | Suffix_clash _ ->
       Version.unlock b.bversion;
       None
@@ -952,22 +952,77 @@ let rec remove_layer t root_ref key off =
       None
   | At (pos, slot) ->
       let old = match b.blv.(slot) with Value v -> v | Layer _ | Empty -> assert false in
-      let perm = border_perm b in
-      let perm' = Permutation.remove perm ~pos in
-      (* The slot's contents stay readable for concurrent readers; the
-         stale bit forces a vinsert bump if an insert reuses it. *)
-      Atomic.set b.bperm (perm' :> int);
-      Schedpoint.hit sp_remove_cut;
-      b.bstale <- b.bstale lor (1 lsl slot);
-      if Permutation.size perm' = 0 then handle_empty t b key off
-      else Version.unlock b.bversion;
-      Some old
+      if not (pred old) then begin
+        Version.unlock b.bversion;
+        None
+      end
+      else begin
+        let perm = border_perm b in
+        let perm' = Permutation.remove perm ~pos in
+        (* The slot's contents stay readable for concurrent readers; the
+           stale bit forces a vinsert bump if an insert reuses it. *)
+        Atomic.set b.bperm (perm' :> int);
+        Schedpoint.hit sp_remove_cut;
+        b.bstale <- b.bstale lor (1 lsl slot);
+        if Permutation.size perm' = 0 then handle_empty t b key off
+        else Version.unlock b.bversion;
+        Some old
+      end
 
 let remove t key =
   Stats.incr t.tstats Stats.Removes;
   pinned t (fun () ->
       let rec attempt () =
-        try remove_layer t t.root key 0
+        try remove_layer t t.root key 0 (fun _ -> true)
+        with Restart ->
+          Stats.incr t.tstats Stats.Root_retries;
+          Schedpoint.spin sp_restart_spin;
+          attempt ()
+      in
+      attempt ())
+
+let remove_if t key pred =
+  Stats.incr t.tstats Stats.Removes;
+  pinned t (fun () ->
+      let rec attempt () =
+        try remove_layer t t.root key 0 pred
+        with Restart ->
+          Stats.incr t.tstats Stats.Root_retries;
+          Schedpoint.spin sp_restart_spin;
+          attempt ()
+      in
+      attempt ())
+
+(* Modify-if-present: like [put_with] but never inserts.  The closure runs
+   under the border lock, so the decision "what replaces the current
+   value" is atomic with respect to concurrent writers — the primitive the
+   MVCC prune pass needs (pruning from a pre-read copy could resurrect a
+   stale value, the bug class CHANGES.md's resharding fix removed). *)
+let rec update_layer t root_ref key off f =
+  let ks = Key.slice key ~off in
+  let rem = String.length key - off in
+  let b, _v = find_border t root_ref ks in
+  Version.lock b.bversion;
+  let b = advance_locked b ks in
+  match locate b ~ks ~rem ~key ~off with
+  | At (_, slot) ->
+      let old = match b.blv.(slot) with Value v -> v | Layer _ | Empty -> assert false in
+      b.blv.(slot) <- Value (f old);
+      Schedpoint.hit sp_put_replaced;
+      Version.unlock b.bversion;
+      true
+  | At_layer (_, _, r) ->
+      Version.unlock b.bversion;
+      update_layer t r key (off + 8) f
+  | Suffix_clash _ | Absent _ ->
+      Version.unlock b.bversion;
+      false
+
+let update t key f =
+  Stats.incr t.tstats Stats.Puts;
+  pinned t (fun () ->
+      let rec attempt () =
+        try update_layer t t.root key 0 f
         with Restart ->
           Stats.incr t.tstats Stats.Root_retries;
           Schedpoint.spin sp_restart_spin;

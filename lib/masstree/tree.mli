@@ -63,6 +63,21 @@ val remove : 'v t -> Key.t -> 'v option
     layer collapse runs between [tree.collapse.begin] and
     [tree.collapse.done]. *)
 
+val remove_if : 'v t -> Key.t -> ('v -> bool) -> 'v option
+(** [remove_if t k pred] deletes [k]'s binding iff [pred current] holds,
+    atomically: [pred] runs under the border node's lock, so the decision
+    and the removal cannot be separated by a concurrent writer.  Returns
+    the removed binding, [None] if absent or [pred] declined.  Same
+    schedule points as {!remove}.  [pred] must be quick and must not
+    touch [t]. *)
+
+val update : 'v t -> Key.t -> ('v -> 'v) -> bool
+(** [update t k f] atomically replaces [k]'s binding with [f current] iff
+    [k] is bound; never inserts.  Returns whether a binding was replaced.
+    [f] runs under the border node's lock — quick, no reentrant calls.
+    The replacement is one atomic store, same as {!put_with} on an
+    existing key ([tree.put.replaced]). *)
+
 val mem : 'v t -> Key.t -> bool
 
 val multi_get : 'v t -> Key.t array -> 'v option array

@@ -1,0 +1,70 @@
+type 'v entry = {
+  version : int64;
+  payload : 'v;
+  birth_epoch : int;
+  older : 'v entry option;
+}
+
+type 'v t = 'v entry option
+
+let empty = None
+
+let push chain ~version ~epoch payload =
+  (match chain with
+  | Some e -> assert (Int64.compare version e.version > 0)
+  | None -> ());
+  Some { version; payload; birth_epoch = epoch; older = chain }
+
+let find chain ~at =
+  let rec go = function
+    | None -> None
+    | Some e -> if Int64.compare e.version at <= 0 then Some e else go e.older
+  in
+  go chain
+
+let length chain =
+  let rec go n = function None -> n | Some e -> go (n + 1) e.older in
+  go 0 chain
+
+let oldest_birth_epoch chain =
+  let rec go last = function
+    | None -> last
+    | Some e -> go (Some e.birth_epoch) e.older
+  in
+  go None chain
+
+let fold f acc chain =
+  let rec go acc = function None -> acc | Some e -> go (f acc e) e.older in
+  go acc chain
+
+(* Is there a snapshot version s with [lo <= s < hi]?  [snaps] is sorted
+   ascending; binary-search the first s >= lo and test it against hi. *)
+let covered snaps ~lo ~hi =
+  let n = Array.length snaps in
+  let rec bsearch l r =
+    if l >= r then l
+    else
+      let m = (l + r) / 2 in
+      if Int64.compare snaps.(m) lo < 0 then bsearch (m + 1) r else bsearch l m
+  in
+  let i = bsearch 0 n in
+  i < n && Int64.compare snaps.(i) hi < 0
+
+let prune chain ~death_of_head ~snapshots =
+  (* Walk newest-to-oldest carrying each entry's death (the next-newer
+     version), keep survivors, and rebuild the chain oldest-first so
+     structure sharing is irrelevant but order is preserved. *)
+  let rec collect death acc = function
+    | None -> acc
+    | Some e ->
+        let acc =
+          if covered snapshots ~lo:e.version ~hi:death then (e.version, e.payload, e.birth_epoch) :: acc
+          else acc
+        in
+        collect e.version acc e.older
+  in
+  (* [acc] ends up oldest-first; cons back up into a fresh chain. *)
+  let survivors = collect death_of_head [] chain in
+  List.fold_left
+    (fun older (version, payload, birth_epoch) -> Some { version; payload; birth_epoch; older })
+    None survivors

@@ -1,0 +1,58 @@
+(** Per-value version chains.
+
+    A chain hangs off a live tree value and records the overwritten
+    (or removed) payloads that some open snapshot may still need: newest
+    first, each entry stamped with the global store version that created
+    it and the EBR epoch current when it was chained.  The chain is an
+    immutable list — writers build a new chain and publish it with the
+    new head value in one atomic tree store, so readers see either the
+    old (value, chain) pair or the new one, never a mixture.
+
+    Visibility rule: a snapshot pinned at version [s] reads the newest
+    payload whose version is [<= s] — the head if the head's version
+    qualifies, else {!find} on the chain.  An entry's {e death} is the
+    version of the next-newer write (its successor toward the head); the
+    entry is visible to [s] iff [version <= s < death].
+
+    Pruning keeps exactly the entries some open snapshot can still read:
+    given the sorted list of open snapshot versions, an entry survives
+    iff one of them lands in its [\[version, death)] lifetime.  With no
+    snapshots open every chain collapses to the bare head, so live
+    versions are O(open snapshots) per key. *)
+
+type 'v entry = {
+  version : int64;  (** store version of the write that created this payload *)
+  payload : 'v;
+  birth_epoch : int;  (** EBR global epoch when the entry was chained *)
+  older : 'v entry option;
+}
+
+type 'v t = 'v entry option
+(** A chain: [None] is empty, [Some e] has newest retired version [e]. *)
+
+val empty : 'v t
+
+val push : 'v t -> version:int64 -> epoch:int -> 'v -> 'v t
+(** [push chain ~version ~epoch payload] is the chain with the retired
+    [(version, payload)] in front.  [version] must exceed every version
+    already in [chain] (writers retire the old head, whose version is
+    newer than every chained entry). *)
+
+val find : 'v t -> at:int64 -> 'v entry option
+(** [find chain ~at] is the newest entry with [version <= at], if any. *)
+
+val length : 'v t -> int
+
+val oldest_birth_epoch : 'v t -> int option
+(** Birth epoch of the oldest entry — the prune-lag signal. *)
+
+val prune : 'v t -> death_of_head:int64 -> snapshots:int64 array -> 'v t
+(** [prune chain ~death_of_head ~snapshots] drops every entry no open
+    snapshot can read.  [snapshots] is the sorted (ascending) array of
+    open snapshot versions; [death_of_head] is the version of the write
+    that retired the chain's newest entry (the live head's version, or
+    the tombstone's).  An entry with lifetime [\[version, death)] is kept
+    iff some snapshot version [s] satisfies [version <= s < death]. *)
+
+val fold : ('a -> 'v entry -> 'a) -> 'a -> 'v t -> 'a
+(** Newest-to-oldest fold over the entries. *)

@@ -1,0 +1,66 @@
+type ticket = { tid : int; tversion : int64; tepoch : int; mutable topen : bool }
+
+type t = {
+  lock : Xutil.Spinlock.t;
+  mutable tickets : ticket list;
+  active_count : int Atomic.t;
+  mutable next_id : int;
+  opened : int Atomic.t;
+}
+
+let create () =
+  {
+    lock = Xutil.Spinlock.create ();
+    tickets = [];
+    active_count = Atomic.make 0;
+    next_id = 0;
+    opened = Atomic.make 0;
+  }
+
+let active t = Atomic.get t.active_count
+
+let open_ t ~mint ~epoch =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      (* Publish the registration before reading the clock: a writer that
+         reads [active = 0] after this incr must have minted its version
+         before [mint] below reads the clock, so the snapshot's pinned
+         version covers that write's head. *)
+      Atomic.incr t.active_count;
+      let tk =
+        { tid = t.next_id; tversion = mint (); tepoch = epoch (); topen = true }
+      in
+      t.next_id <- t.next_id + 1;
+      t.tickets <- tk :: t.tickets;
+      Atomic.incr t.opened;
+      tk)
+
+let version tk = tk.tversion
+let epoch tk = tk.tepoch
+
+let close t tk =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      if tk.topen then begin
+        tk.topen <- false;
+        t.tickets <- List.filter (fun x -> x.tid <> tk.tid) t.tickets;
+        Atomic.decr t.active_count
+      end)
+
+let versions t =
+  let vs =
+    Xutil.Spinlock.with_lock t.lock (fun () ->
+        List.map (fun tk -> tk.tversion) t.tickets)
+  in
+  let a = Array.of_list vs in
+  Array.sort Int64.compare a;
+  a
+
+let oldest_epoch t =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      List.fold_left
+        (fun acc tk ->
+          match acc with
+          | None -> Some tk.tepoch
+          | Some e -> Some (min e tk.tepoch))
+        None t.tickets)
+
+let opened_total t = Atomic.get t.opened

@@ -1,0 +1,55 @@
+(** The snapshot horizon: the registry of open snapshots that tells
+    writers whether to chain retired values and tells the prune pass
+    which chain entries are still readable.
+
+    Ordering protocol (the whole correctness argument lives here):
+
+    - A {e writer} mints its store version {e first}, then reads
+      {!active} to decide whether to chain the value it retires.  If it
+      saw [active = 0], every snapshot opened later pins a version [>=]
+      the writer's, so the new head itself is visible to it and the
+      retired value is dead to everyone.
+    - An {e opener} registers {e first} (bumping [active]), then reads
+      the store clock to pin its version — both steps inside {!open_},
+      under the registry lock.  Any writer that missed the bump
+      therefore minted a version the snapshot will see as committed.
+
+    Because the version is minted inside the lock, {!versions} (also
+    under the lock) never observes a half-open ticket, so the prune pass
+    always sees a fully defined set of snapshot versions. *)
+
+type t
+
+type ticket
+(** One open snapshot. *)
+
+val create : unit -> t
+
+val active : t -> int
+(** Number of open snapshots — one atomic load, the writer fast path.
+    When 0, writers skip chain installation entirely. *)
+
+val open_ : t -> mint:(unit -> int64) -> epoch:(unit -> int) -> ticket
+(** [open_ h ~mint ~epoch] registers a snapshot: bumps {!active}, then
+    calls [mint] (read the store clock) and [epoch] (read the EBR epoch)
+    under the registry lock to stamp the ticket.  Both callbacks must be
+    quick and lock-free. *)
+
+val version : ticket -> int64
+val epoch : ticket -> int
+
+val close : t -> ticket -> unit
+(** Unregisters the snapshot; idempotent. *)
+
+val versions : t -> int64 array
+(** Sorted (ascending) versions of the snapshots open right now — the
+    prune pass's keep-set.  An entry with lifetime [\[v, death)] may be
+    dropped iff no element lands in it. *)
+
+val oldest_epoch : t -> int option
+(** The EBR epoch of the oldest open snapshot ([None] when none are
+    open) — drives the [mvcc.prune_lag_epochs] gauge. *)
+
+val opened_total : t -> int
+(** Monotonic count of {!open_} calls (the [mvcc.snap_open_total]
+    counter's source). *)

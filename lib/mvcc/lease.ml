@@ -1,0 +1,117 @@
+type 'a lease = { value : 'a; mutable deadline : int64 }
+
+type error = Unknown | Expired
+
+let error_to_string = function Unknown -> "unknown" | Expired -> "expired"
+
+type 'a t = {
+  lock : Xutil.Spinlock.t;
+  table : (int64, 'a lease) Hashtbl.t;
+  mutable next_id : int64;
+  ttl_us : int64;
+  on_expire : int64 -> 'a -> unit;
+  (* Bounded memory of expired ids, so a late client gets [Expired]
+     rather than [Unknown] for a while after its lease lapses. *)
+  expired_ring : int64 array;
+  mutable expired_pos : int;
+  expired_set : (int64, unit) Hashtbl.t;
+}
+
+let create ?(expired_memory = 4096) ~ttl_us ~on_expire () =
+  {
+    lock = Xutil.Spinlock.create ();
+    table = Hashtbl.create 64;
+    next_id = 1L;
+    ttl_us;
+    on_expire;
+    expired_ring = Array.make (max 1 expired_memory) 0L;
+    expired_pos = 0;
+    expired_set = Hashtbl.create 64;
+  }
+
+let default_now () = Xutil.Clock.wall_us ()
+
+let remember_expired t id =
+  let slot = t.expired_pos mod Array.length t.expired_ring in
+  let evicted = t.expired_ring.(slot) in
+  if not (Int64.equal evicted 0L) then Hashtbl.remove t.expired_set evicted;
+  t.expired_ring.(slot) <- id;
+  t.expired_pos <- t.expired_pos + 1;
+  Hashtbl.replace t.expired_set id ()
+
+let grant ?now t v =
+  let now = match now with Some n -> n | None -> default_now () in
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      let id = t.next_id in
+      t.next_id <- Int64.add t.next_id 1L;
+      Hashtbl.replace t.table id { value = v; deadline = Int64.add now t.ttl_us };
+      id)
+
+(* Collect due leases under the lock, run callbacks outside it: on_expire
+   closes snapshots, which takes other locks. *)
+let collect_due t now =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      let due = ref [] in
+      Hashtbl.iter
+        (fun id l -> if Int64.compare l.deadline now < 0 then due := (id, l.value) :: !due)
+        t.table;
+      List.iter
+        (fun (id, _) ->
+          Hashtbl.remove t.table id;
+          remember_expired t id)
+        !due;
+      !due)
+
+let sweep ?now t =
+  let now = match now with Some n -> n | None -> default_now () in
+  let due = collect_due t now in
+  List.iter (fun (id, v) -> t.on_expire id v) due;
+  List.length due
+
+let find ?now t id =
+  let now = match now with Some n -> n | None -> default_now () in
+  let r =
+    Xutil.Spinlock.with_lock t.lock (fun () ->
+        match Hashtbl.find_opt t.table id with
+        | Some l when Int64.compare l.deadline now >= 0 ->
+            l.deadline <- Int64.add now t.ttl_us;
+            Ok l.value
+        | Some l ->
+            Hashtbl.remove t.table id;
+            remember_expired t id;
+            Error (`Lapsed l.value)
+        | None ->
+            if Hashtbl.mem t.expired_set id then Error `Expired else Error `Unknown)
+  in
+  match r with
+  | Ok v -> Ok v
+  | Error (`Lapsed v) ->
+      t.on_expire id v;
+      Error Expired
+  | Error `Expired -> Error Expired
+  | Error `Unknown -> Error Unknown
+
+let release ?now t id =
+  let now = match now with Some n -> n | None -> default_now () in
+  let r =
+    Xutil.Spinlock.with_lock t.lock (fun () ->
+        match Hashtbl.find_opt t.table id with
+        | Some l ->
+            Hashtbl.remove t.table id;
+            if Int64.compare l.deadline now >= 0 then Ok l.value
+            else begin
+              remember_expired t id;
+              Error (`Lapsed l.value)
+            end
+        | None ->
+            if Hashtbl.mem t.expired_set id then Error `Expired else Error `Unknown)
+  in
+  match r with
+  | Ok v -> Ok v
+  | Error (`Lapsed v) ->
+      t.on_expire id v;
+      Error Expired
+  | Error `Expired -> Error Expired
+  | Error `Unknown -> Error Unknown
+
+let count t = Xutil.Spinlock.with_lock t.lock (fun () -> Hashtbl.length t.table)

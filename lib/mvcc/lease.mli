@@ -1,0 +1,47 @@
+(** TTL leases over server-held snapshot handles.
+
+    A snapshot held open pins chain entries in memory, so a client that
+    dies without closing must not wedge pruning forever: every wire-level
+    snapshot handle is a lease that expires [ttl_us] after its last use.
+    {!find} renews; a periodic {!sweep} expires due leases and runs the
+    table's [on_expire] callback (which closes the underlying snapshot,
+    releasing the horizon).
+
+    Errors are typed so clients can distinguish recoverable staleness
+    from protocol misuse: {!Expired} means the lease existed and timed
+    out (retry by reopening); {!Unknown} means the id was never granted
+    by this table — in particular, any id minted before a server restart
+    (snapshots do not survive restarts; see docs/MVCC.md).  Expired ids
+    are remembered in a bounded ring, oldest forgotten first, after which
+    they also report [Unknown]. *)
+
+type 'a t
+
+type error = Unknown | Expired
+
+val error_to_string : error -> string
+
+val create : ?expired_memory:int -> ttl_us:int64 -> on_expire:(int64 -> 'a -> unit) -> unit -> 'a t
+(** [create ~ttl_us ~on_expire ()] is an empty table.  [on_expire id v]
+    runs inside {!sweep} (and inside {!find}/{!release} when they
+    encounter a due lease), outside the table's lock.  [expired_memory]
+    bounds the remembered-expired ring (default 4096). *)
+
+val grant : ?now:int64 -> 'a t -> 'a -> int64
+(** [grant t v] leases [v] and returns a fresh id (monotonic, never
+    reused).  [now] defaults to [Xutil.Clock.wall_us ()]. *)
+
+val find : ?now:int64 -> 'a t -> int64 -> ('a, error) result
+(** [find t id] is the leased value; renews the lease.  A due-but-unswept
+    lease expires here (running [on_expire]) and reports [Expired]. *)
+
+val release : ?now:int64 -> 'a t -> int64 -> ('a, error) result
+(** [release t id] ends the lease, returning the value without running
+    [on_expire] — the caller owns the close. *)
+
+val sweep : ?now:int64 -> 'a t -> int
+(** Expire every due lease, running [on_expire] for each; returns the
+    number expired.  Call periodically (the daemon's timer thread). *)
+
+val count : 'a t -> int
+(** Live (granted, unexpired-as-of-last-touch) leases. *)

@@ -1,0 +1,292 @@
+(* MVCC race scenarios: store-backed scripts interleaving writers,
+   snapshot readers and the version pruner at the chain protocol's
+   schedule points (mvcc.open.pinned, mvcc.snap.read,
+   mvcc.chain.installed, mvcc.prune.pass, mvcc.snap.closed — see
+   docs/MVCC.md).
+
+   Unlike {!Scenario}, the operations here run through
+   [Kvstore.Store] so the whole write path executes under the
+   scheduler: version minting, horizon registration, chain install
+   under the border lock, pruning.  Values are unique ints encoded as a
+   single column, so the {!Oracle}'s interval checker applies
+   unchanged.
+
+   Snapshot reads are recorded against the snapshot's OPEN window, not
+   the read's own window: a read at the pinned cut must return a value
+   that was current at some instant during the open — exactly the
+   oracle's acceptability rule for a read spanning [s_open, e_open].
+   If pruning ever drops a version an open snapshot still needs, the
+   stale result lands outside that window and the oracle rejects it. *)
+
+module Store = Kvstore.Store
+
+type snap = {
+  handle : Store.Snapshot.snap;
+  s_open : int;
+  e_open : int;
+}
+
+type ctx = {
+  store : Store.t;
+  oracle : Oracle.t;
+  mutable next_val : int;
+  snaps : snap option array;
+  (* Keys prepopulated and never touched by any task: a snapshot scan
+     must emit every one of them (completeness at the cut). *)
+  mutable stable : string list;
+}
+
+let fresh ctx =
+  let v = ctx.next_val in
+  ctx.next_val <- v + 1;
+  v
+
+let k = Scenario.k
+
+let enc v = [| string_of_int v |]
+
+let dec = function
+  | None -> None
+  | Some cols ->
+      if Array.length cols = 0 then None else Some (int_of_string cols.(0))
+
+(* Recording operation wrappers. *)
+
+let put ctx key =
+  let v = fresh ctx in
+  let s = Sched.now () in
+  Store.put ctx.store key (enc v);
+  let e = Sched.now () in
+  ignore (Oracle.record_write ctx.oracle key (Some v) ~s ~e)
+
+let remove ctx key =
+  let s = Sched.now () in
+  ignore (Store.remove ctx.store key);
+  let e = Sched.now () in
+  ignore (Oracle.record_write ctx.oracle key None ~s ~e)
+
+let get ctx key =
+  let s = Sched.now () in
+  let r = Store.get ctx.store key in
+  let e = Sched.now () in
+  Oracle.record_read ctx.oracle key (dec r) ~s ~e ~exclude:(-1)
+    ~what:(Printf.sprintf "get %S" key)
+
+let prune ctx = Store.prune ctx.store
+
+let snap_open ctx slot =
+  let s = Sched.now () in
+  let handle = Store.Snapshot.open_ ctx.store in
+  let e = Sched.now () in
+  ctx.snaps.(slot) <- Some { handle; s_open = s; e_open = e }
+
+let snap_read ctx slot key =
+  match ctx.snaps.(slot) with
+  | None -> ()
+  | Some sn ->
+      let r = Store.Snapshot.read sn.handle key in
+      Oracle.record_read ctx.oracle key (dec r) ~s:sn.s_open ~e:sn.e_open
+        ~exclude:(-1)
+        ~what:(Printf.sprintf "snap[%d] read %S" slot key)
+
+(* Full snapshot scan: every emission is a read at the cut; stable keys
+   the scan missed are recorded as absence reads, which the oracle
+   rejects (their step-0 write fully precedes the open window). *)
+let snap_scan ctx slot =
+  match ctx.snaps.(slot) with
+  | None -> ()
+  | Some sn ->
+      let emits = ref [] in
+      ignore
+        (Store.Snapshot.getrange sn.handle ~start:"" ~limit:max_int
+           (fun key cols -> emits := (key, cols) :: !emits));
+      let emits = List.rev !emits in
+      ignore
+        (List.fold_left
+           (fun prev (key, _) ->
+             (match prev with
+             | Some p when String.compare p key >= 0 ->
+                 failwith
+                   (Printf.sprintf "snap scan out of order: %S then %S" p key)
+             | _ -> ());
+             Some key)
+           None emits);
+      List.iter
+        (fun (key, cols) ->
+          Oracle.record_read ctx.oracle key
+            (dec (Some cols))
+            ~s:sn.s_open ~e:sn.e_open ~exclude:(-1)
+            ~what:(Printf.sprintf "snap[%d] scan emit %S" slot key))
+        emits;
+      List.iter
+        (fun key ->
+          if not (List.mem_assoc key emits) then
+            Oracle.record_read ctx.oracle key None ~s:sn.s_open ~e:sn.e_open
+              ~exclude:(-1)
+              ~what:(Printf.sprintf "snap[%d] scan missed stable %S" slot key))
+        ctx.stable
+
+let snap_close ctx slot =
+  match ctx.snaps.(slot) with
+  | None -> ()
+  | Some sn -> Store.Snapshot.close sn.handle
+
+(* Prepare-phase helpers (scheduler disabled, stamped at step 0). *)
+
+let prepop ctx key =
+  let v = fresh ctx in
+  Store.put ctx.store key (enc v);
+  ignore (Oracle.record_write ctx.oracle key (Some v) ~s:0 ~e:0)
+
+let prestable ctx key =
+  prepop ctx key;
+  ctx.stable <- key :: ctx.stable
+
+type t = {
+  name : string;
+  descr : string;
+  prepare : ctx -> unit;
+  tasks : (string * (ctx -> unit)) list;
+}
+
+let mk (sc : t) : Sched.mk =
+ fun () ->
+  Sched.reset_clock ();
+  let ctx =
+    {
+      store = Store.create ();
+      oracle = Oracle.create ();
+      next_val = 1;
+      snaps = Array.make 4 None;
+      stable = [];
+    }
+  in
+  sc.prepare ctx;
+  let tasks = List.map (fun (n, f) -> (n, fun () -> f ctx)) sc.tasks in
+  let finalize () =
+    let errs = ref [] in
+    (* Clear the horizon (close is idempotent), run a prune pass, and
+       require the satellite invariant: with no snapshots open, every
+       chained version is reclaimed. *)
+    Array.iter
+      (function Some sn -> Store.Snapshot.close sn.handle | None -> ())
+      ctx.snaps;
+    Store.prune ctx.store;
+    if Store.snapshots_open ctx.store <> 0 then
+      errs :=
+        Printf.sprintf "%d snapshot(s) still open after close-all"
+          (Store.snapshots_open ctx.store)
+        :: !errs;
+    if Store.mvcc_versions_live ctx.store <> 0 then
+      errs :=
+        Printf.sprintf "versions_live = %d after horizon cleared and prune"
+          (Store.mvcc_versions_live ctx.store)
+        :: !errs;
+    let fin = Sched.now () + 1 in
+    List.iter
+      (fun key ->
+        let r = Store.get ctx.store key in
+        Oracle.record_read ctx.oracle key (dec r) ~s:fin ~e:fin ~exclude:(-1)
+          ~what:(Printf.sprintf "final get %S" key))
+      (Oracle.keys ctx.oracle);
+    (match Oracle.check ctx.oracle with
+    | Ok () -> ()
+    | Error ms -> errs := !errs @ ms);
+    match !errs with [] -> Ok () | es -> Error (String.concat "; " es)
+  in
+  (tasks, finalize)
+
+(* ------------------------------------------------------------------ *)
+(* The scenario library.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let scenarios : t list =
+  [
+    {
+      name = "mvcc-put-vs-snapread";
+      descr = "writer retires heads into chains while a snapshot reads its cut";
+      prepare = (fun c -> prepop c (k 1); prepop c (k 2));
+      tasks =
+        [
+          ( "snapper",
+            fun c ->
+              snap_open c 1;
+              snap_read c 1 (k 1);
+              snap_read c 1 (k 2);
+              snap_close c 1 );
+          ("writer", fun c -> put c (k 1); put c (k 1); put c (k 2));
+        ];
+    };
+    {
+      name = "mvcc-prune-vs-open";
+      descr = "prune pass races a fresh snapshot registering with the horizon";
+      (* Slot 0 is opened during prepare so the writer's installs are
+         chained deterministically; the closer then retires it and
+         prunes while the opener pins a new cut. *)
+      prepare =
+        (fun c ->
+          for i = 1 to 4 do prepop c (k i) done;
+          snap_open c 0);
+      tasks =
+        [
+          ("writer", fun c -> put c (k 1); put c (k 2));
+          ("closer", fun c -> snap_close c 0; prune c);
+          ( "opener",
+            fun c ->
+              snap_open c 1;
+              snap_read c 1 (k 1);
+              snap_read c 1 (k 2);
+              snap_close c 1 );
+        ];
+    };
+    {
+      name = "mvcc-prune-vs-snapread";
+      descr = "pruner must keep every version the pinned snapshot can still read";
+      prepare =
+        (fun c ->
+          prepop c (k 1);
+          prepop c (k 2);
+          snap_open c 0);
+      tasks =
+        [
+          ("reader", fun c -> snap_read c 0 (k 1); snap_read c 0 (k 2));
+          ("writer", fun c -> put c (k 1); put c (k 2); put c (k 1));
+          ("pruner", fun c -> prune c; prune c);
+        ];
+    };
+    {
+      name = "mvcc-remove-vs-snapread";
+      descr = "chained remove installs a tombstone; the pinned cut still sees the value";
+      prepare = (fun c -> prepop c (k 1); prepop c (k 2); prepop c (k 3));
+      tasks =
+        [
+          ( "snapper",
+            fun c ->
+              snap_open c 1;
+              snap_read c 1 (k 2);
+              snap_read c 1 (k 3);
+              snap_close c 1 );
+          ("remover", fun c -> remove c (k 2); remove c (k 3); put c (k 3));
+          ("reader", fun c -> get c (k 2); get c (k 3));
+        ];
+    };
+    {
+      name = "mvcc-snapscan-vs-split";
+      descr = "snapshot scan stays a consistent cut across a border split";
+      (* 14 even keys fill one border; the writer's odd insert splits it
+         while the snapshot scan walks the keyspace.  Every prepopulated
+         key must be emitted regardless of the migration. *)
+      prepare = (fun c -> for i = 0 to 13 do prestable c (k (2 * i)) done);
+      tasks =
+        [
+          ("writer", fun c -> put c (k 13); put c (k 15));
+          ( "snapper",
+            fun c ->
+              snap_open c 1;
+              snap_scan c 1;
+              snap_close c 1 );
+        ];
+    };
+  ]
+
+let find name = List.find_opt (fun sc -> sc.name = name) scenarios

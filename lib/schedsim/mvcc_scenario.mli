@@ -1,0 +1,66 @@
+(** MVCC race scenarios: store-backed scripts interleaving writers,
+    snapshot readers and the version pruner at the chain protocol's
+    schedule points ([mvcc.*]; docs/MVCC.md).
+
+    Operations run through {!Kvstore.Store} — version minting, horizon
+    registration, chain install under the border lock, pruning — with
+    unique int values encoded as a single column so the {!Oracle}
+    interval checker applies unchanged.  Snapshot reads are recorded
+    against the snapshot's {e open} window: a read at the pinned cut
+    must be acceptable at some instant during the open, so a wrongly
+    pruned (or torn) cut is a recorded oracle violation.  The finalizer
+    additionally requires [mvcc_versions_live = 0] once every snapshot
+    is closed and a prune pass has run — the satellite bound on
+    retained versions. *)
+
+type snap
+
+type ctx = {
+  store : Kvstore.Store.t;
+  oracle : Oracle.t;
+  mutable next_val : int;
+  snaps : snap option array;  (** scenario snapshot slots (4) *)
+  mutable stable : string list;
+      (** prepopulated keys no task touches: snapshot scans must emit
+          every one *)
+}
+
+(** Recording wrappers, mirroring {!Scenario}. *)
+
+val put : ctx -> string -> unit
+val remove : ctx -> string -> unit
+val get : ctx -> string -> unit
+
+val prune : ctx -> unit
+(** Run a store prune pass (hits [mvcc.prune.pass]). *)
+
+val snap_open : ctx -> int -> unit
+(** Open a snapshot into the given slot, remembering its open window. *)
+
+val snap_read : ctx -> int -> string -> unit
+val snap_scan : ctx -> int -> unit
+val snap_close : ctx -> int -> unit
+
+val prepop : ctx -> string -> unit
+(** Prepare-phase put, stamped at step 0. *)
+
+val prestable : ctx -> string -> unit
+(** {!prepop} plus registration in [stable]. *)
+
+val k : int -> string
+(** Re-exported {!Scenario.k}. *)
+
+type t = {
+  name : string;
+  descr : string;
+  prepare : ctx -> unit;
+  tasks : (string * (ctx -> unit)) list;
+}
+
+val mk : t -> Sched.mk
+(** Fresh store + oracle per run; the finalizer closes leftover
+    snapshots, prunes, checks the versions-live bound, reads every key
+    back and runs the oracle. *)
+
+val scenarios : t list
+val find : string -> t option

@@ -320,14 +320,18 @@ let scan_chunk = 256
 
 (* K-way merge over per-shard cursors.  Each shard contributes a bounded
    chunk at a time; when a shard's chunk drains and it may hold more, we
-   refill from just past the last key it yielded.  [collect store ~resume
-   ~limit emit] scans the shard — [resume = None] from the caller's
-   origin, [Some k] from the shard's own last-yielded key [k] (inclusive;
-   the refill filter below drops the duplicate).  Shards own disjoint
-   keys, so the merge never sees duplicates across shards.  Like the
-   single-store scan, the result is not atomic w.r.t. concurrent writers
-   — a refill reads the shard's current state, exactly as a long
-   single-store scan reads each leaf's current state as it passes. *)
+   refill from just past the last key it yielded.  [collect shard ~resume
+   ~limit emit] scans shard index [shard] — [resume = None] from the
+   caller's origin, [Some k] from the shard's own last-yielded key [k]
+   (inclusive; the refill filter below drops the duplicate).  The
+   collector chooses the cursor source: the live store (via [with_shard],
+   for [getrange]) or a pinned per-shard snapshot ([Snapshot.getrange]).
+   Shards own disjoint keys, so the merge never sees duplicates across
+   shards.  Over live cursors, the result is not atomic w.r.t. concurrent
+   writers — a refill reads the shard's current state, exactly as a long
+   single-store scan reads each leaf's current state as it passes; over
+   snapshot cursors every refill resolves at the pinned cut, so the merge
+   is one consistent view. *)
 let merged_scan t ~limit ~collect ~cmp f =
   if limit <= 0 then 0
   else begin
@@ -342,12 +346,11 @@ let merged_scan t ~limit ~collect ~cmp f =
       let want = match resume with None -> chunk | Some _ -> chunk + 1 in
       let acc = ref [] in
       let got = ref 0 in
-      with_shard t s (fun store ->
-          collect store ~resume ~limit:want (fun k v ->
-              incr got;
-              match resume with
-              | Some last when cmp k last <= 0 -> ()
-              | _ -> acc := (k, v) :: !acc));
+      collect s ~resume ~limit:want (fun k v ->
+          incr got;
+          match resume with
+          | Some last when cmp k last <= 0 -> ()
+          | _ -> acc := (k, v) :: !acc);
       bufs.(s) <- Array.of_list (List.rev !acc);
       idx.(s) <- 0;
       more.(s) <- !got >= want
@@ -388,18 +391,59 @@ let merged_scan t ~limit ~collect ~cmp f =
 
 let getrange t ~start ?columns ~limit f =
   merged_scan t ~limit
-    ~collect:(fun store ~resume ~limit emit ->
-      let start = match resume with None -> start | Some k -> k in
-      ignore (Kvstore.Store.getrange store ~start ?columns ~limit emit))
+    ~collect:(fun s ~resume ~limit emit ->
+      with_shard t s (fun store ->
+          let start = match resume with None -> start | Some k -> k in
+          ignore (Kvstore.Store.getrange store ~start ?columns ~limit emit)))
     ~cmp:String.compare f
 
 let getrange_rev t ?start ?columns ~limit f =
   merged_scan t ~limit
-    ~collect:(fun store ~resume ~limit emit ->
-      let start = match resume with None -> start | Some k -> Some k in
-      ignore (Kvstore.Store.getrange_rev store ?start ?columns ~limit emit))
+    ~collect:(fun s ~resume ~limit emit ->
+      with_shard t s (fun store ->
+          let start = match resume with None -> start | Some k -> Some k in
+          ignore (Kvstore.Store.getrange_rev store ?start ?columns ~limit emit)))
     ~cmp:(fun a b -> String.compare b a)
     f
+
+(* ---- cross-shard snapshots ---- *)
+
+module Snapshot = struct
+  type router = t
+
+  type snap = { srouter : router; parts : Kvstore.Store.Snapshot.snap array }
+
+  (* One coordinator opens every shard's snapshot before returning, so
+     the cut is coordinated: any write acked after [open_] returns is
+     invisible on every shard (each shard's pin covers everything that
+     shard committed before its open).  Shards have independent version
+     clocks, so there is no single cross-shard timestamp — the guarantee
+     is per-shard consistency plus the common happens-before line drawn
+     by this call. *)
+  let open_ (t : router) = { srouter = t; parts = Array.map Kvstore.Store.Snapshot.open_ t.stores }
+
+  let versions s = Array.map Kvstore.Store.Snapshot.version s.parts
+
+  (* Snapshot reads bypass the hot-key cache (it mirrors live values)
+     and the Dedicated-mode shard locks (snapshot resolution never
+     blocks on writers). *)
+  let read s key =
+    let sh = shard_of s.srouter key in
+    Kvstore.Store.Snapshot.read s.parts.(sh) key
+
+  let read_columns s key columns =
+    let sh = shard_of s.srouter key in
+    Kvstore.Store.Snapshot.read_columns s.parts.(sh) key columns
+
+  let getrange s ~start ?columns ~limit f =
+    merged_scan s.srouter ~limit
+      ~collect:(fun sh ~resume ~limit emit ->
+        let start = match resume with None -> start | Some k -> k in
+        ignore (Kvstore.Store.Snapshot.getrange s.parts.(sh) ~start ?columns ~limit emit))
+      ~cmp:String.compare f
+
+  let close s = Array.iter Kvstore.Store.Snapshot.close s.parts
+end
 
 (* ---- whole-tier helpers ---- *)
 

@@ -104,6 +104,36 @@ val getrange_rev :
 
 val cardinal : t -> int
 
+(** {1 Cross-shard snapshots (MVCC; docs/MVCC.md)}
+
+    One call pins a {!Kvstore.Store.Snapshot} on every shard before
+    returning, so the tier-wide cut is coordinated: a write acked after
+    [open_] returns is invisible through the snapshot on {e every}
+    shard.  Reads route by the same partitioning as live ops but bypass
+    the hot-key cache (it mirrors live values) and never block writers;
+    the merged scan runs over per-shard snapshot cursors, so unlike the
+    live {!getrange} it is one consistent view. *)
+
+module Snapshot : sig
+  type snap
+
+  val open_ : t -> snap
+
+  val versions : snap -> int64 array
+  (** Per-shard pinned versions (shard clocks are independent). *)
+
+  val read : snap -> string -> string array option
+
+  val read_columns : snap -> string -> int list -> string array option
+
+  val getrange :
+    snap -> start:string -> ?columns:int list -> limit:int ->
+    (string -> string array -> unit) -> int
+
+  val close : snap -> unit
+  (** Close every shard's snapshot (idempotent). *)
+end
+
 val close : t -> unit
 
 val check : t -> (unit, string) result

@@ -234,12 +234,12 @@ let test_determinism () =
 (* ------------------------------------------------------------------ *)
 
 let run_scenario ?(budget = 60) ?(seeds = 2) name () =
-  let sc =
-    match Scenario.find name with
-    | Some sc -> sc
-    | None -> Alcotest.failf "unknown scenario %s" name
+  let mk =
+    match (Scenario.find name, Schedsim.Mvcc_scenario.find name) with
+    | Some sc, _ -> Scenario.mk sc
+    | None, Some sc -> Schedsim.Mvcc_scenario.mk sc
+    | None, None -> Alcotest.failf "unknown scenario %s" name
   in
-  let mk = Scenario.mk sc in
   (match (Sched.explore_exhaustive ~mk ~max_schedules:budget ()).fail with
   | None -> ()
   | Some (m, choices) ->
@@ -302,4 +302,10 @@ let () =
           Alcotest.test_case "scan_rev split regression" `Quick
             test_scan_rev_split_regression;
         ] );
+      ( "mvcc",
+        List.map
+          (fun (sc : Schedsim.Mvcc_scenario.t) ->
+            Alcotest.test_case sc.name `Quick
+              (run_scenario ~budget:150 ~seeds:4 sc.name))
+          Schedsim.Mvcc_scenario.scenarios );
     ]
