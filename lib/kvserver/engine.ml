@@ -134,42 +134,50 @@ let snap_err = function
   | Mvcc.Lease.Unknown -> Protocol.Snap_failed Protocol.Snap_unknown
   | Mvcc.Lease.Expired -> Protocol.Snap_failed Protocol.Snap_expired
 
+(* Snapshot reads run on the handle with the lease {e pinned}
+   ([with_lease]): the TTL sweep on the timer thread, or a concurrent
+   Snap_close for the same id, may doom the lease mid-request, but the
+   underlying snapshot is only closed once the last in-flight request
+   unpins — a long scan can never have the horizon advance and prune
+   drop entries it is still reading. *)
+
 let b_snap_read b ~snap ~key ~columns =
-  match Mvcc.Lease.find b.leases snap with
-  | Error e -> snap_err e
-  | Ok h ->
-      let v =
+  match
+    Mvcc.Lease.with_lease b.leases snap (fun h ->
         match (h, columns) with
         | Snap_single s, [] -> Kvstore.Store.Snapshot.read s key
         | Snap_single s, cols -> Kvstore.Store.Snapshot.read_columns s key cols
         | Snap_sharded s, [] -> Shard.Router.Snapshot.read s key
-        | Snap_sharded s, cols -> Shard.Router.Snapshot.read_columns s key cols
-      in
-      Protocol.Value v
+        | Snap_sharded s, cols -> Shard.Router.Snapshot.read_columns s key cols)
+  with
+  | Error e -> snap_err e
+  | Ok v -> Protocol.Value v
 
 let b_snap_range b ~snap ~start ~count ~columns =
-  match Mvcc.Lease.find b.leases snap with
+  match
+    Mvcc.Lease.with_lease b.leases snap (fun h ->
+        let acc = ref [] in
+        let cols = match columns with [] -> None | l -> Some l in
+        (match h with
+        | Snap_single s ->
+            ignore
+              (Kvstore.Store.Snapshot.getrange s ~start ?columns:cols ~limit:count
+                 (fun k v -> acc := (k, v) :: !acc))
+        | Snap_sharded s ->
+            ignore
+              (Shard.Router.Snapshot.getrange s ~start ?columns:cols ~limit:count
+                 (fun k v -> acc := (k, v) :: !acc)));
+        List.rev !acc)
+  with
   | Error e -> snap_err e
-  | Ok h ->
-      let acc = ref [] in
-      let cols = match columns with [] -> None | l -> Some l in
-      (match h with
-      | Snap_single s ->
-          ignore
-            (Kvstore.Store.Snapshot.getrange s ~start ?columns:cols ~limit:count
-               (fun k v -> acc := (k, v) :: !acc))
-      | Snap_sharded s ->
-          ignore
-            (Shard.Router.Snapshot.getrange s ~start ?columns:cols ~limit:count
-               (fun k v -> acc := (k, v) :: !acc)));
-      Protocol.Range (List.rev !acc)
+  | Ok items -> Protocol.Range items
 
 let b_snap_close b snap =
+  (* The close itself goes through the lease table's [on_expire] — now,
+     or at the last unpin if reads are in flight. *)
   match Mvcc.Lease.release b.leases snap with
   | Error e -> snap_err e
-  | Ok h ->
-      close_snap_handle h;
-      Protocol.Snap_closed
+  | Ok () -> Protocol.Snap_closed
 
 let execute_op ~worker backend req =
   match req with

@@ -173,16 +173,6 @@ let retired_chain t ~chained ~delta ~len old =
 let apply_version_delta t delta =
   if delta <> 0 then ignore (Atomic.fetch_and_add t.versions_live delta)
 
-(* After a chained install: account the new entry and sample the chain
-   length (outside the border lock). *)
-let note_chained t key ~delta ~len =
-  apply_version_delta t delta;
-  if len > 0 then Obs.Registry.observe obs_chain_len len;
-  if delta > 0 then begin
-    note_pending t key;
-    Schedpoint.hit sp_chain_installed
-  end
-
 let prune_pass t =
   Schedpoint.hit sp_prune_pass;
   Atomic.set t.prune_scheduled false;
@@ -192,21 +182,32 @@ let prune_pass t =
         Hashtbl.reset t.pending;
         ks)
   in
-  let snapshots = Mvcc.Horizon.versions t.snaps in
   let survivors = ref [] in
   List.iter
     (fun key ->
       (* Truncate the chain to what some open snapshot can still read.
          The closure runs under the border lock, so the decision is
          atomic w.r.t. concurrent writers — pruning from a pre-read copy
-         could resurrect versions a racing writer just retired. *)
+         could resurrect versions a racing writer just retired.  The
+         horizon is read {e inside} the closure for the same reason: a
+         snapshot that opens after a single up-front read, followed by a
+         chained overwrite of this key, needs the entry that overwrite
+         retired — pruning it against the stale versions array would
+         tear the snapshot's cut.  Any entry present when this closure
+         runs was pushed under this same border lock by a writer whose
+         version mint the needing snapshot's registration preceded
+         (register-then-mint vs. mint-then-check ordering), so a horizon
+         read here sees every snapshot that can still reach it. *)
       let delta = ref 0 in
       let survived = ref false in
       ignore
         (Tree.update t.tree key (fun st ->
+             delta := 0;
+             survived := false;
              match st.schain with
              | None -> st
              | Some _ ->
+                 let snapshots = Mvcc.Horizon.versions t.snaps in
                  let chain =
                    Mvcc.Chain.prune st.schain ~death_of_head:st.sversion ~snapshots
                  in
@@ -234,6 +235,25 @@ let prune_pass t =
 let schedule_prune t =
   if not (Atomic.exchange t.prune_scheduled true) then
     Epoch.schedule (Tree.epoch_manager t.tree) (fun () -> prune_pass t)
+
+(* A chain this long means rapid overwrites are outrunning reclamation
+   (with one old snapshot open, all but one entry per key are already
+   dead): self-schedule a pass so epoch ticks on the write path keep
+   chains bounded even when nothing closes a snapshot and no external
+   caller runs {!prune}.  Long-lived embedders should still call
+   [prune]/[maintain] periodically — ticks only fire while ops flow. *)
+let chain_prune_trigger = 4
+
+(* After a chained install: account the new entry and sample the chain
+   length (outside the border lock). *)
+let note_chained t key ~delta ~len =
+  apply_version_delta t delta;
+  if len > 0 then Obs.Registry.observe obs_chain_len len;
+  if delta > 0 then begin
+    note_pending t key;
+    Schedpoint.hit sp_chain_installed;
+    if len >= chain_prune_trigger then schedule_prune t
+  end
 
 (* ---- reads ---- *)
 
@@ -267,22 +287,46 @@ let get_columns t key cols =
    pins a version >= this write's, so the new head itself is what that
    snapshot reads and the retired payload is safe to drop.  (The opener
    does the mirror ordering — register, then read the clock — inside
-   [Mvcc.Horizon.open_].) *)
+   [Mvcc.Horizon.open_].)
+
+   Because the version is minted before the border lock is taken, two
+   concurrent writers to the same key can arrive at the lock in the
+   opposite of version order.  The closures below keep the existing head
+   whenever its version is already >= the incoming one: the late writer
+   serializes {e before} the head it found, its effect immediately
+   overwritten — last-writer-wins by version, the same rule the replay
+   guard applies.  Installing the smaller version instead would publish
+   a head older than its own chain entries (breaking [Mvcc.Chain]'s
+   descending order and snapshot resolution), and the loser skips its
+   log record — the winner's newer record subsumes it, so replay matches
+   the live tree.  Closures reset their out-refs on entry: a tree-level
+   [Restart] can re-run them. *)
 
 let put ?worker t key columns =
   let worker = match worker with Some w -> w | None -> default_worker () in
   let version = next_version t in
   let chained = Mvcc.Horizon.active t.snaps > 0 in
   let delta = ref 0 and len = ref 0 in
+  let applied = ref false in
   ignore
     (Tree.put_with t.tree key (fun old ->
-         {
-           sversion = version;
-           scontent = Some (content_of t.vlayout (Array.copy columns));
-           schain = retired_chain t ~chained ~delta ~len old;
-         }));
-  note_chained t key ~delta:!delta ~len:!len;
-  log_put t ~worker ~key ~version ~columns
+         delta := 0;
+         len := 0;
+         applied := false;
+         match old with
+         | Some existing when Int64.compare existing.sversion version >= 0 ->
+             existing
+         | _ ->
+             applied := true;
+             {
+               sversion = version;
+               scontent = Some (content_of t.vlayout (Array.copy columns));
+               schain = retired_chain t ~chained ~delta ~len old;
+             }));
+  if !applied then begin
+    note_chained t key ~delta:!delta ~len:!len;
+    log_put t ~worker ~key ~version ~columns
+  end
 
 let put_columns ?worker t key updates =
   let worker = match worker with Some w -> w | None -> default_worker () in
@@ -290,8 +334,17 @@ let put_columns ?worker t key updates =
   let chained = Mvcc.Horizon.active t.snaps > 0 in
   let result = ref [||] in
   let delta = ref 0 and len = ref 0 in
+  let applied = ref false in
   ignore
     (Tree.put_with t.tree key (fun old ->
+         delta := 0;
+         len := 0;
+         applied := false;
+         match old with
+         | Some existing when Int64.compare existing.sversion version >= 0 ->
+             existing
+         | _ ->
+         applied := true;
          let base =
            match old with
            | Some { scontent = Some c; _ } -> unpack c
@@ -313,8 +366,10 @@ let put_columns ?worker t key updates =
            scontent = Some (content_of t.vlayout merged);
            schain = retired_chain t ~chained ~delta ~len old;
          }));
-  note_chained t key ~delta:!delta ~len:!len;
-  log_put t ~worker ~key ~version ~columns:!result
+  if !applied then begin
+    note_chained t key ~delta:!delta ~len:!len;
+    log_put t ~worker ~key ~version ~columns:!result
+  end
 
 let remove ?worker t key =
   let worker = match worker with Some w -> w | None -> default_worker () in
@@ -345,15 +400,25 @@ let remove ?worker t key =
     let delta = ref 0 and len = ref 0 in
     ignore
       (Tree.update t.tree key (fun old ->
-           match old.scontent with
-           | None -> old (* already a tombstone; nothing to remove *)
-           | Some _ ->
-               removed := true;
-               {
-                 sversion = version;
-                 scontent = None;
-                 schain = retired_chain t ~chained:true ~delta ~len (Some old);
-               }));
+           removed := false;
+           delta := 0;
+           len := 0;
+           if Int64.compare old.sversion version >= 0 then
+             (* A concurrent writer already published a newer head: this
+                remove serializes before it and its effect is gone (see
+                the version-inversion note above [put]).  Tombstoning
+                with the smaller version would invert the chain. *)
+             old
+           else
+             match old.scontent with
+             | None -> old (* already a tombstone; nothing to remove *)
+             | Some _ ->
+                 removed := true;
+                 {
+                   sversion = version;
+                   scontent = None;
+                   schain = retired_chain t ~chained:true ~delta ~len (Some old);
+                 }));
     if !removed then begin
       note_chained t key ~delta:!delta ~len:!len;
       (* The tombstone itself needs pruning once snapshots drain. *)
@@ -565,6 +630,8 @@ let apply_put t ~key ~version ~columns =
   let delta = ref 0 and len = ref 0 in
   ignore
     (Tree.put_with t.tree key (fun old ->
+         delta := 0;
+         len := 0;
          match old with
          | Some existing when Int64.compare existing.sversion version >= 0 -> existing
          | _ ->
@@ -581,6 +648,8 @@ let apply_remove t ~key ~version =
   let delta = ref 0 and len = ref 0 in
   ignore
     (Tree.put_with t.tree key (fun old ->
+         delta := 0;
+         len := 0;
          match old with
          | Some existing when Int64.compare existing.sversion version >= 0 -> existing
          | _ ->

@@ -129,8 +129,13 @@ val mvcc_versions_live : t -> int
     [mvcc.versions_live] gauge. *)
 
 val prune : t -> unit
-(** Run one prune pass now (normally scheduled by snapshot close and run
-    at epoch tick/quiesce). *)
+(** Run one prune pass now.  Passes are normally self-scheduled — by
+    snapshot close, and by the write path when a chain grows past its
+    trigger length — and run at epoch tick/quiesce, so chains stay
+    bounded while operations flow.  Scheduled passes only run when
+    something ticks the epoch machinery: an embedder holding snapshots
+    open across idle periods should call [prune] (or {!maintain})
+    periodically, as the server daemon's timer thread does. *)
 
 val maintain : t -> unit
 (** Prune, then run the index's deferred epoch maintenance

@@ -10,10 +10,19 @@ type 'v t = 'v entry option
 let empty = None
 
 let push chain ~version ~epoch payload =
-  (match chain with
-  | Some e -> assert (Int64.compare version e.version > 0)
-  | None -> ());
-  Some { version; payload; birth_epoch = epoch; older = chain }
+  (* Callers retire strictly-newer heads (the store's border-lock guards
+     keep versions increasing per key), so the drop loop below is dead
+     code on every healthy path.  It exists because push runs inside
+     tree-update closures while the border node is locked: raising there
+     would leave the node locked forever, so an out-of-order push must
+     degrade gracefully — entries at or above the incoming version are
+     unreadable duplicates under the descending-order invariant and are
+     dropped to keep [find]'s binary ordering sound. *)
+  let rec drop_newer = function
+    | Some e when Int64.compare e.version version >= 0 -> drop_newer e.older
+    | rest -> rest
+  in
+  Some { version; payload; birth_epoch = epoch; older = drop_newer chain }
 
 let find chain ~at =
   let rec go = function

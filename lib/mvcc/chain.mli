@@ -34,9 +34,11 @@ val empty : 'v t
 
 val push : 'v t -> version:int64 -> epoch:int -> 'v -> 'v t
 (** [push chain ~version ~epoch payload] is the chain with the retired
-    [(version, payload)] in front.  [version] must exceed every version
-    already in [chain] (writers retire the old head, whose version is
-    newer than every chained entry). *)
+    [(version, payload)] in front.  [version] normally exceeds every
+    version already in [chain] (writers retire the old head, whose
+    version is newer than every chained entry); should it not, entries
+    at or above [version] are dropped rather than raising — push runs
+    under border locks, where an exception would wedge the node. *)
 
 val find : 'v t -> at:int64 -> 'v entry option
 (** [find chain ~at] is the newest entry with [version <= at], if any. *)

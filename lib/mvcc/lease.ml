@@ -1,4 +1,17 @@
-type 'a lease = { value : 'a; mutable deadline : int64 }
+(* A lease can be "doomed" — its end decided (TTL lapse or explicit
+   release) while requests still hold pins on the value.  A doomed lease
+   stays in the table, invisible to new acquires, until the last unpin
+   runs the deferred [on_close]; this is what lets an in-flight snapshot
+   read survive a concurrent sweep or Snap_close without the underlying
+   snapshot being torn down underneath it. *)
+type doom = No_doom | Doom_expired | Doom_released
+
+type 'a lease = {
+  value : 'a;
+  mutable deadline : int64;
+  mutable pins : int;
+  mutable doom : doom;
+}
 
 type error = Unknown | Expired
 
@@ -44,74 +57,154 @@ let grant ?now t v =
   Xutil.Spinlock.with_lock t.lock (fun () ->
       let id = t.next_id in
       t.next_id <- Int64.add t.next_id 1L;
-      Hashtbl.replace t.table id { value = v; deadline = Int64.add now t.ttl_us };
+      Hashtbl.replace t.table id
+        { value = v; deadline = Int64.add now t.ttl_us; pins = 0; doom = No_doom };
       id)
 
-(* Collect due leases under the lock, run callbacks outside it: on_expire
-   closes snapshots, which takes other locks. *)
-let collect_due t now =
-  Xutil.Spinlock.with_lock t.lock (fun () ->
-      let due = ref [] in
-      Hashtbl.iter
-        (fun id l -> if Int64.compare l.deadline now < 0 then due := (id, l.value) :: !due)
-        t.table;
-      List.iter
-        (fun (id, _) ->
-          Hashtbl.remove t.table id;
-          remember_expired t id)
-        !due;
-      !due)
+(* Under the lock: lapse an unpinned, undoomed, due lease.  The caller
+   runs [on_expire] outside the lock. *)
+let lapse t id l =
+  l.doom <- Doom_expired;
+  Hashtbl.remove t.table id;
+  remember_expired t id
 
-let sweep ?now t =
-  let now = match now with Some n -> n | None -> default_now () in
-  let due = collect_due t now in
-  List.iter (fun (id, v) -> t.on_expire id v) due;
-  List.length due
+let miss t id = if Hashtbl.mem t.expired_set id then Error `Expired else Error `Unknown
 
-let find ?now t id =
-  let now = match now with Some n -> n | None -> default_now () in
-  let r =
-    Xutil.Spinlock.with_lock t.lock (fun () ->
-        match Hashtbl.find_opt t.table id with
-        | Some l when Int64.compare l.deadline now >= 0 ->
-            l.deadline <- Int64.add now t.ttl_us;
-            Ok l.value
-        | Some l ->
-            Hashtbl.remove t.table id;
-            remember_expired t id;
+(* Under the lock: resolve [id] to its live lease, renewing the deadline.
+   A pinned lease never lapses here — an in-flight request already
+   depends on the value, so its TTL is deferred until the pins drain. *)
+let live_lease t now id =
+  match Hashtbl.find_opt t.table id with
+  | None -> miss t id
+  | Some l -> (
+      match l.doom with
+      | Doom_expired -> Error `Expired
+      | Doom_released -> Error `Unknown
+      | No_doom ->
+          if Int64.compare l.deadline now < 0 && l.pins = 0 then begin
+            lapse t id l;
             Error (`Lapsed l.value)
-        | None ->
-            if Hashtbl.mem t.expired_set id then Error `Expired else Error `Unknown)
-  in
-  match r with
-  | Ok v -> Ok v
+          end
+          else begin
+            l.deadline <- Int64.add now t.ttl_us;
+            Ok l
+          end)
+
+(* Map the under-lock result to the public error type, running the
+   deferred expiry callback for a lease that lapsed during lookup. *)
+let run_lapsed t id = function
   | Error (`Lapsed v) ->
       t.on_expire id v;
       Error Expired
   | Error `Expired -> Error Expired
   | Error `Unknown -> Error Unknown
+  | Ok l -> Ok l
+
+let find ?now t id =
+  let now = match now with Some n -> n | None -> default_now () in
+  match
+    run_lapsed t id
+      (Xutil.Spinlock.with_lock t.lock (fun () -> live_lease t now id))
+  with
+  | Ok l -> Ok l.value
+  | Error err -> Error err
+
+let acquire ?now t id =
+  let now = match now with Some n -> n | None -> default_now () in
+  match
+    run_lapsed t id
+      (Xutil.Spinlock.with_lock t.lock (fun () ->
+           match live_lease t now id with
+           | Ok l ->
+               l.pins <- l.pins + 1;
+               Ok l
+           | err -> err))
+  with
+  | Ok l -> Ok l.value
+  | Error err -> Error err
+
+let unpin t id =
+  let close =
+    Xutil.Spinlock.with_lock t.lock (fun () ->
+        match Hashtbl.find_opt t.table id with
+        | None -> None (* unbalanced unpin; nothing sane to do *)
+        | Some l ->
+            l.pins <- max 0 (l.pins - 1);
+            if l.pins = 0 && l.doom <> No_doom then begin
+              Hashtbl.remove t.table id;
+              if l.doom = Doom_expired then remember_expired t id;
+              Some l.value
+            end
+            else None)
+  in
+  match close with None -> () | Some v -> t.on_expire id v
+
+let with_lease ?now t id f =
+  match acquire ?now t id with
+  | Error err -> Error err
+  | Ok v -> Fun.protect ~finally:(fun () -> unpin t id) (fun () -> Ok (f v))
 
 let release ?now t id =
   let now = match now with Some n -> n | None -> default_now () in
   let r =
     Xutil.Spinlock.with_lock t.lock (fun () ->
         match Hashtbl.find_opt t.table id with
-        | Some l ->
-            Hashtbl.remove t.table id;
-            if Int64.compare l.deadline now >= 0 then Ok l.value
-            else begin
-              remember_expired t id;
-              Error (`Lapsed l.value)
-            end
-        | None ->
-            if Hashtbl.mem t.expired_set id then Error `Expired else Error `Unknown)
+        | None -> miss t id
+        | Some l -> (
+            match l.doom with
+            | Doom_expired -> Error `Expired
+            | Doom_released -> Error `Unknown
+            | No_doom ->
+                if Int64.compare l.deadline now < 0 && l.pins = 0 then begin
+                  lapse t id l;
+                  Error (`Lapsed l.value)
+                end
+                else if l.pins > 0 then begin
+                  (* In-flight reads still hold the value: close when the
+                     last one unpins. *)
+                  l.doom <- Doom_released;
+                  Ok None
+                end
+                else begin
+                  Hashtbl.remove t.table id;
+                  Ok (Some l.value)
+                end))
   in
   match r with
-  | Ok v -> Ok v
+  | Ok (Some v) ->
+      t.on_expire id v;
+      Ok ()
+  | Ok None -> Ok ()
   | Error (`Lapsed v) ->
       t.on_expire id v;
       Error Expired
   | Error `Expired -> Error Expired
   | Error `Unknown -> Error Unknown
 
-let count t = Xutil.Spinlock.with_lock t.lock (fun () -> Hashtbl.length t.table)
+(* Collect due leases under the lock, run callbacks outside it: on_expire
+   closes snapshots, which takes other locks.  Pinned leases are doomed
+   in place — counted as expired now, closed at their last unpin. *)
+let collect_due t now =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      let due = ref [] and deferred = ref 0 in
+      Hashtbl.iter
+        (fun id l ->
+          if l.doom = No_doom && Int64.compare l.deadline now < 0 then
+            if l.pins = 0 then due := (id, l) :: !due
+            else begin
+              l.doom <- Doom_expired;
+              incr deferred
+            end)
+        t.table;
+      List.iter (fun (id, l) -> lapse t id l) !due;
+      (List.map (fun (id, l) -> (id, l.value)) !due, !deferred))
+
+let sweep ?now t =
+  let now = match now with Some n -> n | None -> default_now () in
+  let due, deferred = collect_due t now in
+  List.iter (fun (id, v) -> t.on_expire id v) due;
+  List.length due + deferred
+
+let count t =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      Hashtbl.fold (fun _ l n -> if l.doom = No_doom then n + 1 else n) t.table 0)

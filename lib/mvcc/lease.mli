@@ -3,9 +3,18 @@
     A snapshot held open pins chain entries in memory, so a client that
     dies without closing must not wedge pruning forever: every wire-level
     snapshot handle is a lease that expires [ttl_us] after its last use.
-    {!find} renews; a periodic {!sweep} expires due leases and runs the
-    table's [on_expire] callback (which closes the underlying snapshot,
-    releasing the horizon).
+    Touching a lease ({!find}, {!acquire}, {!with_lease}) renews it; a
+    periodic {!sweep} expires due leases and runs the table's [on_expire]
+    callback (which closes the underlying snapshot, releasing the
+    horizon).
+
+    Requests that {e use} the leased value must hold a pin for the
+    duration ({!with_lease}, or paired {!acquire}/{!unpin}): a pinned
+    lease can be marked expired or released concurrently, but the
+    [on_expire] close is deferred until the last pin drains — an
+    in-flight snapshot read or scan never has the snapshot closed (and
+    its chain entries pruned) underneath it by the TTL sweep or a racing
+    close from another connection.
 
     Errors are typed so clients can distinguish recoverable staleness
     from protocol misuse: {!Expired} means the lease existed and timed
@@ -23,25 +32,47 @@ val error_to_string : error -> string
 
 val create : ?expired_memory:int -> ttl_us:int64 -> on_expire:(int64 -> 'a -> unit) -> unit -> 'a t
 (** [create ~ttl_us ~on_expire ()] is an empty table.  [on_expire id v]
-    runs inside {!sweep} (and inside {!find}/{!release} when they
-    encounter a due lease), outside the table's lock.  [expired_memory]
-    bounds the remembered-expired ring (default 4096). *)
+    is the single close path: it runs (outside the table's lock) when a
+    lease expires in {!sweep}/on lookup, when {!release} ends it, or —
+    for a pinned lease whose end was decided mid-request — at the last
+    {!unpin}.  [expired_memory] bounds the remembered-expired ring
+    (default 4096). *)
 
 val grant : ?now:int64 -> 'a t -> 'a -> int64
 (** [grant t v] leases [v] and returns a fresh id (monotonic, never
     reused).  [now] defaults to [Xutil.Clock.wall_us ()]. *)
 
 val find : ?now:int64 -> 'a t -> int64 -> ('a, error) result
-(** [find t id] is the leased value; renews the lease.  A due-but-unswept
-    lease expires here (running [on_expire]) and reports [Expired]. *)
+(** [find t id] is the leased value; renews the lease but does {e not}
+    pin it — do not dereference the value after other threads can sweep
+    or release it (use {!with_lease}).  A due-but-unswept lease expires
+    here (running [on_expire]) and reports [Expired]. *)
 
-val release : ?now:int64 -> 'a t -> int64 -> ('a, error) result
-(** [release t id] ends the lease, returning the value without running
-    [on_expire] — the caller owns the close. *)
+val acquire : ?now:int64 -> 'a t -> int64 -> ('a, error) result
+(** [acquire t id] is {!find} plus a pin: the value stays valid — its
+    deferred close runs at the matching {!unpin} — even if the lease is
+    swept or released meanwhile.  Every [Ok] must be paired with exactly
+    one {!unpin}. *)
+
+val unpin : 'a t -> int64 -> unit
+(** Drop one pin; if the lease's end was decided while pinned (TTL
+    expiry or {!release}), the last unpin runs [on_expire]. *)
+
+val with_lease : ?now:int64 -> 'a t -> int64 -> ('a -> 'b) -> ('b, error) result
+(** [with_lease t id f] runs [f] on the pinned value, unpinning on the
+    way out (exception-safe). *)
+
+val release : ?now:int64 -> 'a t -> int64 -> (unit, error) result
+(** [release t id] ends the lease.  [on_expire] closes the value — now,
+    or at the last {!unpin} if requests are in flight.  [Ok] means the
+    close is (or is scheduled to be) done; a later {!find} reports
+    [Unknown], matching a never-granted id. *)
 
 val sweep : ?now:int64 -> 'a t -> int
-(** Expire every due lease, running [on_expire] for each; returns the
-    number expired.  Call periodically (the daemon's timer thread). *)
+(** Expire every due lease, running [on_expire] for each unpinned one
+    (pinned leases are marked and closed at their last {!unpin});
+    returns the number expired.  Call periodically (the daemon's timer
+    thread). *)
 
 val count : 'a t -> int
-(** Live (granted, unexpired-as-of-last-touch) leases. *)
+(** Live (granted, not expired or released) leases. *)

@@ -44,6 +44,20 @@ let test_chain_basics () =
   check_int "oldest birth epoch" 10
     (match Chain.oldest_birth_epoch c with Some e -> e | None -> -1)
 
+(* push runs under border locks, so it must never raise: an out-of-order
+   version (impossible on healthy paths — the store guards inversions)
+   drops the stale newer entries instead of asserting. *)
+let test_chain_push_out_of_order () =
+  let c = Chain.empty in
+  let c = Chain.push c ~version:2L ~epoch:0 (Some "a") in
+  let c = Chain.push c ~version:5L ~epoch:0 (Some "b") in
+  let c = Chain.push c ~version:3L ~epoch:0 (Some "c") in
+  check_int "stale newer entry dropped" 2 (Chain.length c);
+  let versions =
+    Chain.fold (fun acc e -> Int64.to_int e.Chain.version :: acc) [] c
+  in
+  Alcotest.(check (list int)) "descending order kept" [ 2; 3 ] versions
+
 let test_chain_prune () =
   (* Entries live over [version, death): v1 dies at 3, v3 at 5, v5 at
      the head's version 7. *)
@@ -171,16 +185,84 @@ let test_lease_expiry_unpins () =
   check_bool "unknown id reports Unknown" true
     (Lease.find ~now:301L leases 999L = Error Lease.Unknown)
 
-let test_lease_release_returns_value () =
-  let leases = Lease.create ~ttl_us:1000L ~on_expire:(fun _ _ -> assert false) () in
+let test_lease_release_closes () =
+  let closed = ref [] in
+  let leases =
+    Lease.create ~ttl_us:1000L ~on_expire:(fun _ v -> closed := v :: !closed) ()
+  in
   let id = Lease.grant ~now:0L leases "payload" in
   check_int "one live lease" 1 (Lease.count leases);
   (match Lease.release ~now:10L leases id with
-  | Ok v -> Alcotest.(check string) "release returns the value" "payload" v
+  | Ok () -> ()
   | Error _ -> Alcotest.fail "release failed");
+  Alcotest.(check (list string)) "release ran on_expire" [ "payload" ] !closed;
   check_int "released" 0 (Lease.count leases);
   check_bool "released id is Unknown (not Expired)" true
     (Lease.find ~now:20L leases id = Error Lease.Unknown)
+
+(* A pin defers both TTL expiry and explicit close: an in-flight request
+   holding the value must never have on_expire close it underneath. *)
+let test_lease_pin_defers_expiry () =
+  let closed = ref [] in
+  let leases =
+    Lease.create ~ttl_us:100L ~on_expire:(fun _ v -> closed := v :: !closed) ()
+  in
+  let id = Lease.grant ~now:0L leases "snap" in
+  (match Lease.acquire ~now:10L leases id with
+  | Ok v -> Alcotest.(check string) "acquire returns value" "snap" v
+  | Error _ -> Alcotest.fail "acquire failed");
+  (* Sweep far past the deadline while pinned: the lease is expired from
+     the client's view, but the close is deferred. *)
+  check_int "sweep counts the doomed lease" 1 (Lease.sweep ~now:500L leases);
+  Alcotest.(check (list string)) "close deferred while pinned" [] !closed;
+  check_int "doomed lease no longer counts" 0 (Lease.count leases);
+  check_bool "doomed id reports Expired to new requests" true
+    (Lease.acquire ~now:501L leases id = Error Lease.Expired);
+  Lease.unpin leases id;
+  Alcotest.(check (list string)) "last unpin runs the close" [ "snap" ] !closed;
+  check_bool "after unpin the id stays Expired" true
+    (Lease.find ~now:502L leases id = Error Lease.Expired)
+
+let test_lease_pin_defers_release () =
+  let closed = ref [] in
+  let leases =
+    Lease.create ~ttl_us:1000L ~on_expire:(fun _ v -> closed := v :: !closed) ()
+  in
+  let id = Lease.grant ~now:0L leases "snap" in
+  (match Lease.acquire ~now:1L leases id with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "acquire failed");
+  (* A concurrent Snap_close succeeds, but the handle outlives it until
+     the in-flight request unpins. *)
+  (match Lease.release ~now:2L leases id with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "release failed");
+  Alcotest.(check (list string)) "close deferred while pinned" [] !closed;
+  check_bool "released id is gone for new requests" true
+    (Lease.acquire ~now:3L leases id = Error Lease.Unknown);
+  Lease.unpin leases id;
+  Alcotest.(check (list string)) "last unpin runs the close" [ "snap" ] !closed;
+  check_bool "released id is Unknown afterwards" true
+    (Lease.find ~now:4L leases id = Error Lease.Unknown)
+
+let test_lease_with_lease_pins () =
+  let closed = ref [] in
+  let leases =
+    Lease.create ~ttl_us:100L ~on_expire:(fun _ v -> closed := v :: !closed) ()
+  in
+  let id = Lease.grant ~now:0L leases "snap" in
+  (match
+     Lease.with_lease ~now:10L leases id (fun v ->
+         (* Mid-request sweep and close: the value stays usable. *)
+         ignore (Lease.sweep ~now:500L leases);
+         (match Lease.release ~now:500L leases id with
+         | Ok () | Error _ -> ());
+         Alcotest.(check (list string)) "still open inside" [] !closed;
+         String.uppercase_ascii v)
+   with
+  | Ok up -> Alcotest.(check string) "body result" "SNAP" up
+  | Error _ -> Alcotest.fail "with_lease failed");
+  Alcotest.(check (list string)) "closed exactly once on exit" [ "snap" ] !closed
 
 (* ------------------------------------------------------------------ *)
 (* Cross-shard cut agreement                                           *)
@@ -490,6 +572,8 @@ let () =
       ( "chain",
         [
           Alcotest.test_case "push/find/length" `Quick test_chain_basics;
+          Alcotest.test_case "push out of order" `Quick
+            test_chain_push_out_of_order;
           Alcotest.test_case "prune keep-rule" `Quick test_chain_prune;
         ] );
       ( "store",
@@ -501,8 +585,13 @@ let () =
       ( "lease",
         [
           Alcotest.test_case "expiry unpins" `Quick test_lease_expiry_unpins;
-          Alcotest.test_case "release returns value" `Quick
-            test_lease_release_returns_value;
+          Alcotest.test_case "release closes via on_expire" `Quick
+            test_lease_release_closes;
+          Alcotest.test_case "pin defers expiry" `Quick
+            test_lease_pin_defers_expiry;
+          Alcotest.test_case "pin defers release" `Quick
+            test_lease_pin_defers_release;
+          Alcotest.test_case "with_lease pins" `Quick test_lease_with_lease_pins;
         ] );
       ( "shard",
         [ Alcotest.test_case "cross-shard cut" `Quick test_cross_shard_cut ] );
