@@ -25,6 +25,7 @@ let experiments =
     ("obs", "lib/obs telemetry overhead on the loopback path", Obs_overhead.run);
     ("netperf", "net front ends: threaded vs reactor vs reactor+pipelining", Netperf.run);
     ("shard", "sharded tier: skew collapse + hot-key mitigation (Fig 13)", Shard_bench.run);
+    ("arena", "off-heap node arena vs boxed baseline: alloc/op, GC, latency tails", Arena.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

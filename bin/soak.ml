@@ -409,6 +409,18 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_
    with
   | Ok () -> ()
   | Error m -> fail "structural check: %s" m);
+  (* 1b. node-arena leak oracle: after quiescing, every pool cell and
+     suffix blob still counted live must be reachable from its tree
+     (allocs == frees + live), and no deferred free may be stuck *)
+  (match
+     (match router with
+     | Some r -> Shard.Router.pool_consistency r
+     | None ->
+         Kvstore.Store.maintain store;
+         Kvstore.Store.pool_consistency store)
+   with
+  | Ok () -> ()
+  | Error m -> fail "pool leak check: %s" m);
   (* 2. final oracle verification — through the router (and its cache)
      when sharded, so cache staleness would be caught here too *)
   let final_get k =

@@ -570,6 +570,10 @@ let maintain t =
 
 let tree_stats t = Tree.stats t.tree
 
+let pool_stats t = Pool.stats (Tree.pool t.tree)
+let pool_footprint t = Pool.footprint_bytes (Tree.pool t.tree)
+let pool_consistency t = Tree.pool_consistency t.tree
+
 (* Publish this store's live tree counters (and its loggers' buffer
    occupancy) as gauges on the global registry.  Gauge registration
    replaces by name, so the most recently registered store owns the
@@ -587,6 +591,21 @@ let register_obs t =
   if Array.length t.logs > 0 then
     Obs.Registry.gauge g "log.buffered_bytes" (fun () ->
         Array.fold_left (fun a l -> a + Persist.Logger.buffered_bytes l) 0 t.logs);
+  (* Node-arena occupancy: slab counts, live cells/blobs, off-heap
+     footprint, and the epoch-deferred free backlog (a growing backlog
+     means retires are outpacing quiescence). *)
+  let pool = Tree.pool t.tree in
+  Obs.Registry.gauge g "pool.cell_slabs" (fun () -> (Pool.stats pool).Pool.cell_slabs);
+  Obs.Registry.gauge g "pool.blob_slabs" (fun () -> (Pool.stats pool).Pool.blob_slabs);
+  Obs.Registry.gauge g "pool.cells_live" (fun () -> (Pool.stats pool).Pool.cells_live);
+  Obs.Registry.gauge g "pool.blobs_live" (fun () -> (Pool.stats pool).Pool.blobs_live);
+  Obs.Registry.gauge g "pool.blob_bytes_live" (fun () ->
+      (Pool.stats pool).Pool.blob_bytes_live);
+  Obs.Registry.gauge g "pool.deferred_frees" (fun () ->
+      (Pool.stats pool).Pool.deferred_frees);
+  Obs.Registry.gauge g "pool.refills" (fun () -> (Pool.stats pool).Pool.refills);
+  Obs.Registry.gauge g "pool.footprint_bytes" (fun () -> Pool.footprint_bytes pool);
+  Obs.Registry.register_gc g;
   (* MVCC health: chained versions alive, snapshots pinning them, and
      how far (in EBR epochs) the oldest open snapshot lags the present.
      mvcc.chain_len / mvcc.snap_open_total are recorded at the write

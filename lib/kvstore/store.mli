@@ -143,6 +143,16 @@ val maintain : t -> unit
 
 val tree_stats : t -> Masstree_core.Stats.t
 
+val pool_stats : t -> Masstree_core.Pool.stats
+(** Occupancy of the index's off-heap node arena. *)
+
+val pool_footprint : t -> int
+(** Bytes of slab storage the arena owns. *)
+
+val pool_consistency : t -> (unit, string) result
+(** The arena leak oracle ({!Masstree_core.Tree.pool_consistency}):
+    single-threaded callers, after {!maintain}.  Soak's exit oracle. *)
+
 val register_obs : t -> unit
 (** Publish this store's live telemetry on {!Obs.Registry.global}: one
     [masstree.<counter>] gauge per {!Masstree_core.Stats} counter

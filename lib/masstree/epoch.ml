@@ -108,21 +108,32 @@ let run_tasks mgr =
       (fun () -> ignore (Xutil.Mpsc_queue.drain mgr.tasks (fun task -> task ())))
   end
 
-let pin s f =
-  if s.pin_depth > 0 then begin
-    s.pin_depth <- s.pin_depth + 1;
-    Fun.protect ~finally:(fun () -> s.pin_depth <- s.pin_depth - 1) f
-  end
+(* [enter]/[leave] are the allocation-free spelling of [pin]: the tree's
+   point-operation hot paths call them directly so a get costs no
+   [Fun.protect] closures.  Callers must pair them on every path,
+   exceptional ones included. *)
+let enter s =
+  if s.pin_depth > 0 then s.pin_depth <- s.pin_depth + 1
   else begin
     let ge = Atomic.get s.mgr.epoch in
     Atomic.set s.state ((ge lsl 1) lor 1);
-    s.pin_depth <- 1;
-    Fun.protect
-      ~finally:(fun () ->
-        s.pin_depth <- 0;
-        Atomic.set s.state (Atomic.get s.state land lnot 1))
-      f
+    s.pin_depth <- 1
   end
+
+let leave s =
+  let d = s.pin_depth - 1 in
+  s.pin_depth <- d;
+  if d = 0 then Atomic.set s.state (Atomic.get s.state land lnot 1)
+
+let pin s f =
+  enter s;
+  match f () with
+  | r ->
+      leave s;
+      r
+  | exception e ->
+      leave s;
+      raise e
 
 let retire s free =
   let ge = Atomic.get s.mgr.epoch in

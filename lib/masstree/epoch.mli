@@ -39,6 +39,16 @@ val pin : handle -> (unit -> 'a) -> 'a
     reader can reach will not be freed until [f] returns.  Reentrant pins
     nest. *)
 
+val enter : handle -> unit
+(** Allocation-free [pin]: begins the critical section without the
+    closure.  Every [enter] must be paired with a [leave] on all exits,
+    exceptional ones included; pairs nest like reentrant pins.  This is
+    what the tree's point-operation hot paths use so a get allocates
+    nothing. *)
+
+val leave : handle -> unit
+(** Ends a critical section begun by {!enter}. *)
+
 val retire : handle -> (unit -> unit) -> unit
 (** [retire h free] defers [free] until two epoch advances from now, i.e.
     until all concurrently pinned sections have exited. *)

@@ -17,6 +17,30 @@ val slice : t -> off:int -> int64
     zero-padded when fewer than 8 bytes remain.  [off] may be ≥ the key
     length (yielding [0L]). *)
 
+val slice_hi : t -> off:int -> int
+(** [slice_hi k ~off] is the big-endian encoding of bytes [off..off+3] as
+    an immediate int in [0, 2^32).  The pooled node layout stores slices
+    as (hi, lo) int pairs: int-kind Bigarray reads are allocation-free
+    where int64-kind reads would box on every read. *)
+
+val slice_lo : t -> off:int -> int
+(** Bytes [off+4..off+7], same encoding. *)
+
+val compare_parts : int -> int -> int -> int -> int
+(** [compare_parts h1 l1 h2 l2] orders two (hi, lo) slice pairs; equal to
+    {!compare_slices} on the corresponding [int64]s. *)
+
+val parts_to_slice : int -> int -> int64
+(** Reassemble a slice from its halves (cold paths: printing, checks). *)
+
+val slice_hi64 : int64 -> int
+val slice_lo64 : int64 -> int
+(** Split an [int64] slice into its halves. *)
+
+val parts_to_string : int -> int -> len:int -> string
+(** [parts_to_string hi lo ~len] decodes the first [len] bytes of the
+    slice [(hi, lo)]; [slice_to_string] for the split representation. *)
+
 val slice_len : t -> off:int -> int
 (** [slice_len k ~off] is how many real key bytes the slice at [off]
     covers: [min 8 (max 0 (length k - off))]. *)

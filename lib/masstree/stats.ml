@@ -11,8 +11,9 @@ type counter =
   | Node_deletes
   | Layer_collapses
   | Slot_reuses
+  | Leaf_merges
 
-let n_counters = 12
+let n_counters = 13
 
 let index = function
   | Gets -> 0
@@ -27,6 +28,7 @@ let index = function
   | Node_deletes -> 9
   | Layer_collapses -> 10
   | Slot_reuses -> 11
+  | Leaf_merges -> 12
 
 let name = function
   | Gets -> "gets"
@@ -41,16 +43,20 @@ let name = function
   | Node_deletes -> "node_deletes"
   | Layer_collapses -> "layer_collapses"
   | Slot_reuses -> "slot_reuses"
+  | Leaf_merges -> "leaf_merges"
 
 let all =
   [ Gets; Puts; Removes; Scans; Splits_border; Splits_interior; Layer_creates;
-    Root_retries; Local_retries; Node_deletes; Layer_collapses; Slot_reuses ]
+    Root_retries; Local_retries; Node_deletes; Layer_collapses; Slot_reuses;
+    Leaf_merges ]
 
 type t = int Atomic.t array
 
 let create () = Array.init n_counters (fun _ -> Atomic.make 0)
 
 let incr t c = ignore (Atomic.fetch_and_add t.(index c) 1)
+
+let add t c n = ignore (Atomic.fetch_and_add t.(index c) n)
 
 let read t c = Atomic.get t.(index c)
 

@@ -20,10 +20,14 @@ type counter =
   | Node_deletes
   | Layer_collapses
   | Slot_reuses (* removed slot reused by an insert: the §4.6.5 hazard *)
+  | Leaf_merges (* underfull border absorbed its right sibling *)
 
 val create : unit -> t
 
 val incr : t -> counter -> unit
+
+val add : t -> counter -> int -> unit
+(** [add t c n] bumps [c] by [n] in one atomic op (batch front ends). *)
 
 val read : t -> counter -> int
 

@@ -34,9 +34,20 @@ let sp_remove_unlinked = Schedpoint.define "tree.remove.unlinked"
 let sp_remove_unlink_spin = Schedpoint.define "tree.remove.unlink_spin"
 let sp_collapse_begin = Schedpoint.define "tree.collapse.begin"
 let sp_collapse_done = Schedpoint.define "tree.collapse.done"
+let sp_merge_begin = Schedpoint.define "tree.merge.begin"
+let sp_merge_migrated = Schedpoint.define "tree.merge.migrated"
+let sp_merge_done = Schedpoint.define "tree.merge.done"
+
+(* Delete-side leaf coalescing: when a remove leaves a border at or below
+   this many entries, try to absorb the right sibling (same parent only)
+   under the split lock/version protocol.  The combined cap leaves slack
+   so a merge is not immediately re-split. *)
+let merge_threshold = 4
+let merge_max = width - 2
 
 type 'v t = {
   root : 'v node ref; (* layer-0 root hint; refreshed lazily after splits *)
+  pool : Pool.t; (* off-heap arena for border payloads *)
   tstats : Stats.t;
   emgr : Epoch.manager;
   handle_key : 'v handle_state Domain.DLS.key;
@@ -46,8 +57,10 @@ and 'v handle_state = { eh : Epoch.handle; mutable ops_since_tick : int }
 
 let create () =
   let emgr = Epoch.manager () in
+  let pool = Pool.create () in
   {
-    root = ref (Border (new_border ~isroot:true ~locked:false ~lowkey:0L));
+    root = ref (Border (new_border ~pool ~isroot:true ~locked:false ~lowhi:0 ~lowlo:0));
+    pool;
     tstats = Stats.create ();
     emgr;
     handle_key =
@@ -57,19 +70,27 @@ let create () =
 let stats t = t.tstats
 let epoch_manager t = t.emgr
 let root_ref t = t.root
+let pool t = t.pool
 
 let handle t = Domain.DLS.get t.handle_key
 
-(* Wrap an operation in an epoch critical section, ticking the reclamation
-   machinery once in a while. *)
-let pinned t f =
-  let h = handle t in
-  let r = Epoch.pin h.eh f in
+(* Tick the reclamation machinery once in a while, after an operation has
+   left its critical section. *)
+let finish_op h =
   h.ops_since_tick <- h.ops_since_tick + 1;
   if h.ops_since_tick >= 64 then begin
     h.ops_since_tick <- 0;
     Epoch.tick h.eh
-  end;
+  end
+
+(* Wrap an operation in an epoch critical section.  Batched and scan
+   entry points use this closure-taking form (the closure is amortized
+   over the batch); the point operations below inline [Epoch.enter] /
+   [Epoch.leave] instead so their per-op cost stays allocation-free. *)
+let pinned t f =
+  let h = handle t in
+  let r = Epoch.pin h.eh f in
+  finish_op h;
   r
 
 let maintain t = Epoch.quiesce t.emgr
@@ -81,168 +102,261 @@ let maintain t = Epoch.quiesce t.emgr
 (* Climb from a possibly stale root hint to the actual root of a layer's
    B+-tree and return it with a stable version.  Parent pointers survive on
    deleted nodes, so the climb terminates at a node with the isroot bit. *)
-let stable_root root_ref =
-  let rec climb n fuel =
-    let v = Version.stable (version_of n) in
-    if Version.is_root v then (n, v)
-    else
-      match parent_of n with
-      | Some p -> climb (Interior p) fuel
-      | None ->
-          (* Transient: the node lost isroot but its new parent is not yet
-             visible, or the hint points at a detached node.  Re-read the
-             hint; give up to the caller's retry logic if this persists. *)
-          if fuel = 0 then raise Restart else climb !root_ref (fuel - 1)
-  in
-  climb !root_ref 16
+(* The descent helpers below are top-level and fully applied at every call
+   site: the compiler emits direct calls, so a lookup allocates no closure
+   environments — the point of the pooled layout is lost if every probe
+   rebuilds a capture of (t, key, hi, lo) on the minor heap. *)
 
-let find_border t root_ref ks =
-  let rec from_root () =
-    (* Climb only — never write the climb result back into the hint.  The
-       hint is refreshed by the thread that grows the root (ascend) or
-       swaps a layer root (collapse), under the relevant locks; a reader
-       writing here races with them and can clobber a fresh root with
-       the stale pre-split node it happened to start its climb from
-       (schedsim: split-vs-get).  A stale hint only costs the next
-       descent one extra parent hop. *)
-    let n0, v0 = stable_root root_ref in
-    descend n0 v0
-  and descend n v =
-    match n with
-    | Border b -> (b, v)
-    | Interior i -> (
-        let nk = min i.inkeys width in
-        (* Linear search, as in the paper: child index = #keys <= ks. *)
-        let rec child_index j =
-          if j < nk && Key.compare_slices i.ikeyslice.(j) ks <= 0 then child_index (j + 1)
-          else j
-        in
-        let idx = child_index 0 in
-        match i.ichild.(idx) with
-        | None ->
-            (* Torn read during a concurrent shape change; revalidate. *)
-            revalidate n v
-        | Some n' ->
-            let v' = Version.stable (version_of n') in
-            (* Hand-over-hand: the child's version is read, the parent's
-               about to be revalidated. *)
-            Schedpoint.hit sp_descend_validate;
-            if not (Version.changed v (Atomic.get (version_of n))) then descend n' v'
-            else revalidate n v)
-  and revalidate n v =
-    (* Hand-over-hand validation failed: if this node split, responsibility
-       for ks may have moved to a sibling only reachable from the root. *)
-    let v' = Version.stable (version_of n) in
-    if Version.vsplit v' <> Version.vsplit v || Version.deleted v' then begin
-      Stats.incr t.tstats Stats.Root_retries;
-      from_root ()
-    end
-    else begin
-      Stats.incr t.tstats Stats.Local_retries;
-      descend n v'
-    end
-  in
-  from_root ()
+let rec stable_climb root_ref n fuel =
+  let v = Version.stable (version_of n) in
+  if Version.is_root v then n
+  else
+    match parent_of n with
+    | Some p -> stable_climb root_ref (Interior p) fuel
+    | None ->
+        (* Transient: the node lost isroot but its new parent is not yet
+           visible, or the hint points at a detached node.  Re-read the
+           hint; give up to the caller's retry logic if this persists. *)
+        if fuel = 0 then raise Restart else stable_climb root_ref !root_ref (fuel - 1)
+
+(* The descent's baseline version must be the same read that confirmed the
+   isroot bit: re-reading after the climb opens a window where the node
+   splits, the baseline silently becomes the post-split version, and
+   hand-over-hand validation can no longer see that responsibility moved
+   right (schedsim: split-vs-get catches exactly this).  So every caller
+   re-checks isroot on the version it will descend with, and re-climbs if
+   the bit was lost in between. *)
+let rec stable_root root_ref =
+  let n = stable_climb root_ref !root_ref 16 in
+  let v = Version.stable (version_of n) in
+  if Version.is_root v then (n, v) else stable_root root_ref
+
+(* Interior routing: child index = #keys <= (hi, lo), by linear search as
+   in the paper.  Slices compare as immediate int pairs. *)
+let rec child_scan i nk j ~hi ~lo =
+  if j < nk && Key.compare_parts (ikey_hi i j) (ikey_lo i j) hi lo <= 0 then
+    child_scan i nk (j + 1) ~hi ~lo
+  else j
+
+let child_index i ~hi ~lo = child_scan i (min i.inkeys width) 0 ~hi ~lo
+
+(* Climb only — never write the climb result back into the hint.  The
+   hint is refreshed by the thread that grows the root (ascend) or
+   swaps a layer root (collapse), under the relevant locks; a reader
+   writing here races with them and can clobber a fresh root with
+   the stale pre-split node it happened to start its climb from
+   (schedsim: split-vs-get).  A stale hint only costs the next
+   descent one extra parent hop. *)
+let rec fb_from_root t root_ref ~hi ~lo =
+  let n0 = stable_climb root_ref !root_ref 16 in
+  let v0 = Version.stable (version_of n0) in
+  if Version.is_root v0 then fb_descend t root_ref ~hi ~lo n0 v0
+  else fb_from_root t root_ref ~hi ~lo
+
+and fb_descend t root_ref ~hi ~lo n v =
+  match n with
+  | Border b -> (b, v)
+  | Interior i -> (
+      match i.ichild.(child_index i ~hi ~lo) with
+      | None ->
+          (* Torn read during a concurrent shape change; revalidate. *)
+          fb_revalidate t root_ref ~hi ~lo n v
+      | Some n' ->
+          let v' = Version.stable (version_of n') in
+          (* Hand-over-hand: the child's version is read, the parent's
+             about to be revalidated. *)
+          Schedpoint.hit sp_descend_validate;
+          if not (Version.changed v (Atomic.get (version_of n))) then
+            fb_descend t root_ref ~hi ~lo n' v'
+          else fb_revalidate t root_ref ~hi ~lo n v)
+
+and fb_revalidate t root_ref ~hi ~lo n v =
+  (* Hand-over-hand validation failed: if this node split, responsibility
+     for the key may have moved to a sibling only reachable from the
+     root. *)
+  let v' = Version.stable (version_of n) in
+  if Version.vsplit v' <> Version.vsplit v || Version.deleted v' then begin
+    Stats.incr t.tstats Stats.Root_retries;
+    fb_from_root t root_ref ~hi ~lo
+  end
+  else begin
+    Stats.incr t.tstats Stats.Local_retries;
+    fb_descend t root_ref ~hi ~lo n v'
+  end
+
+let find_border t root_ref ~hi ~lo = fb_from_root t root_ref ~hi ~lo
+
+(* Writer-side descent: identical walk, but the caller locks the border
+   and never looks at the version again, so returning just the node saves
+   the result pair on every put/remove. *)
+let rec fw_from_root t root_ref ~hi ~lo =
+  let n0 = stable_climb root_ref !root_ref 16 in
+  let v0 = Version.stable (version_of n0) in
+  if Version.is_root v0 then fw_descend t root_ref ~hi ~lo n0 v0
+  else fw_from_root t root_ref ~hi ~lo
+
+and fw_descend t root_ref ~hi ~lo n v =
+  match n with
+  | Border b -> b
+  | Interior i -> (
+      match i.ichild.(child_index i ~hi ~lo) with
+      | None -> fw_revalidate t root_ref ~hi ~lo n v
+      | Some n' ->
+          let v' = Version.stable (version_of n') in
+          Schedpoint.hit sp_descend_validate;
+          if not (Version.changed v (Atomic.get (version_of n))) then
+            fw_descend t root_ref ~hi ~lo n' v'
+          else fw_revalidate t root_ref ~hi ~lo n v)
+
+and fw_revalidate t root_ref ~hi ~lo n v =
+  let v' = Version.stable (version_of n) in
+  if Version.vsplit v' <> Version.vsplit v || Version.deleted v' then begin
+    Stats.incr t.tstats Stats.Root_retries;
+    fw_from_root t root_ref ~hi ~lo
+  end
+  else begin
+    Stats.incr t.tstats Stats.Local_retries;
+    fw_descend t root_ref ~hi ~lo n v'
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Border-node search                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Position of the entry matching (ks, klen) among the live keys, where
-   [klen] is already clamped to the suffix marker.  Runs locklessly for
-   readers (validated afterwards) and under the lock for writers. *)
-let search_hit b perm ~ks ~klen =
-  let n = Permutation.size perm in
-  let rec go i =
-    if i >= n then None
-    else begin
-      let slot = Permutation.get perm i in
-      let c = entry_cmp b.bkeyslice.(slot) b.bkeylen.(slot) ks klen in
-      if c < 0 then go (i + 1) else if c > 0 then None else Some (i, slot)
-    end
-  in
-  go 0
+(* Position of the entry matching (hi, lo, klen) among the live keys,
+   where [klen] is already clamped to the suffix marker.  Runs locklessly
+   for readers (validated afterwards) and under the lock for writers.
+   The comparisons read straight from the pool cell: contiguous tagged
+   words, no boxed int64 per probe. *)
+(* The result packs (position, slot) into one immediate int —
+   [(pos lsl 4) lor slot], both < width = 14 — and returns -1 for "not
+   present", so the lockless read path extracts a hit without boxing an
+   option or a pair. *)
+let rec search_scan b perm n i ~hi ~lo ~klen =
+  if i >= n then -1
+  else begin
+    let slot = Permutation.get perm i in
+    let c = entry_cmp_at b slot ~kshi:hi ~kslo:lo ~klen in
+    if c < 0 then search_scan b perm n (i + 1) ~hi ~lo ~klen
+    else if c > 0 then -1
+    else (i lsl 4) lor slot
+  end
 
-(* First position whose entry sorts at or after (ks, klen): the insertion
-   point when the key is absent. *)
-let insertion_pos b perm ~ks ~klen =
-  let n = Permutation.size perm in
-  let rec go i =
-    if i >= n then i
-    else begin
-      let slot = Permutation.get perm i in
-      if entry_cmp b.bkeyslice.(slot) b.bkeylen.(slot) ks klen < 0 then go (i + 1) else i
-    end
-  in
-  go 0
+let search_hit b perm ~hi ~lo ~klen =
+  search_scan b perm (Permutation.size perm) 0 ~hi ~lo ~klen
+
+(* First position whose entry sorts at or after (hi, lo, klen): the
+   insertion point when the key is absent. *)
+let rec insertion_scan b perm n i ~hi ~lo ~klen =
+  if i >= n then i
+  else begin
+    let slot = Permutation.get perm i in
+    if entry_cmp_at b slot ~kshi:hi ~kslo:lo ~klen < 0 then
+      insertion_scan b perm n (i + 1) ~hi ~lo ~klen
+    else i
+  end
+
+let insertion_pos b perm ~hi ~lo ~klen =
+  insertion_scan b perm (Permutation.size perm) 0 ~hi ~lo ~klen
 
 (* ------------------------------------------------------------------ *)
 (* get (Figure 7)                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* The whole lookup is a chain of fully-applied top-level calls: no
+   closures, no option/pair intermediates, only the final [Some v]. *)
 let rec get_layer t root_ref key off =
-  let ks = Key.slice key ~off in
+  let hi = Key.slice_hi key ~off and lo = Key.slice_lo key ~off in
   let rem = String.length key - off in
   let klen = min rem suffix_len_marker in
-  let rec retry () =
-    let b, v = find_border t root_ref ks in
-    forward b v
-  and forward b v =
-    if Version.deleted v then raise Restart;
-    let outcome =
-      match search_hit b (border_perm b) ~ks ~klen with
-      | None -> `Notfound
-      | Some (_, slot) -> (
-          match b.blv.(slot) with
-          | Value value ->
-              if rem <= 8 then `Found value
-              else begin
-                (* Suffix entry: confirm the stored suffix matches. *)
-                match b.bsuffix.(slot) with
-                | Some s when String.equal s (Key.suffix key ~off) -> `Found value
-                | Some _ | None -> `Notfound
-              end
-          | Layer r -> if rem > 8 then `Layer r else `Notfound
-          | Empty -> `Notfound)
-    in
-    (* The §4.5 reader window: contents extracted, version not yet
-       revalidated. *)
-    Schedpoint.hit sp_get_read;
-    (* Validate the snapshot before trusting the extraction. *)
-    if Version.changed v (Atomic.get b.bversion) then begin
-      Stats.incr t.tstats Stats.Local_retries;
-      let v' = Version.stable b.bversion in
-      walk b v'
-    end
-    else
-      match outcome with
-      | `Notfound -> None
-      | `Found value -> Some value
-      | `Layer r -> get_layer t r key (off + 8)
-  and walk b v =
-    (* The border may have split while we looked: responsibility for ks can
-       only have moved right, so chase next-pointers by lowkey. *)
-    if Version.deleted v then raise Restart;
-    match b.bnext with
-    | Some nx when Key.compare_slices ks nx.blowkey >= 0 ->
-        Schedpoint.hit sp_get_advance;
-        let v' = Version.stable nx.bversion in
-        walk nx v'
-    | _ -> forward b v
+  get_retry t root_ref key off hi lo rem klen
+
+and get_retry t root_ref key off hi lo rem klen =
+  let n0 = stable_climb root_ref !root_ref 16 in
+  let v0 = Version.stable (version_of n0) in
+  if Version.is_root v0 then get_descend t root_ref key off hi lo rem klen n0 v0
+  else get_retry t root_ref key off hi lo rem klen
+
+and get_descend t root_ref key off hi lo rem klen n v =
+  match n with
+  | Border b -> get_forward t root_ref key off hi lo rem klen b v
+  | Interior i -> (
+      match i.ichild.(child_index i ~hi ~lo) with
+      | None -> get_revalidate t root_ref key off hi lo rem klen n v
+      | Some n' ->
+          let v' = Version.stable (version_of n') in
+          Schedpoint.hit sp_descend_validate;
+          if not (Version.changed v (Atomic.get (version_of n))) then
+            get_descend t root_ref key off hi lo rem klen n' v'
+          else get_revalidate t root_ref key off hi lo rem klen n v)
+
+and get_revalidate t root_ref key off hi lo rem klen n v =
+  let v' = Version.stable (version_of n) in
+  if Version.vsplit v' <> Version.vsplit v || Version.deleted v' then begin
+    Stats.incr t.tstats Stats.Root_retries;
+    get_retry t root_ref key off hi lo rem klen
+  end
+  else begin
+    Stats.incr t.tstats Stats.Local_retries;
+    get_descend t root_ref key off hi lo rem klen n v'
+  end
+
+and get_forward t root_ref key off hi lo rem klen b v =
+  if Version.deleted v then raise Restart;
+  let hit = search_hit b (border_perm b) ~hi ~lo ~klen in
+  (* Extract the slot's contents while the version snapshot is live.  The
+     suffix comparison reads pool bytes in place, so it too must happen
+     before validation: a reused slot's bytes are rejected by the version
+     check, never trusted. *)
+  let lv = if hit < 0 then Empty else b.blv.(hit land 0xF) in
+  let suffix_ok =
+    match lv with
+    | Value _ -> rem <= 8 || suffix_matches b (hit land 0xF) key ~pos:(off + 8)
+    | Layer _ | Empty -> false
   in
-  retry ()
+  (* The §4.5 reader window: contents extracted, version not yet
+     revalidated. *)
+  Schedpoint.hit sp_get_read;
+  (* Validate the snapshot before trusting the extraction. *)
+  if Version.changed v (Atomic.get b.bversion) then begin
+    Stats.incr t.tstats Stats.Local_retries;
+    get_walk t root_ref key off hi lo rem klen b (Version.stable b.bversion)
+  end
+  else
+    match lv with
+    | Empty -> None
+    | Value value -> if suffix_ok then Some value else None
+    | Layer r -> if rem > 8 then get_layer t r key (off + 8) else None
+
+and get_walk t root_ref key off hi lo rem klen b v =
+  (* The border may have split while we looked: responsibility for the
+     key can only have moved right, so chase next-pointers by lowkey. *)
+  if Version.deleted v then raise Restart;
+  match b.bnext with
+  | Some nx when Key.compare_parts hi lo nx.blowhi nx.blowlo >= 0 ->
+      Schedpoint.hit sp_get_advance;
+      get_walk t root_ref key off hi lo rem klen nx (Version.stable nx.bversion)
+  | _ -> get_forward t root_ref key off hi lo rem klen b v
+
+let rec get_attempt t key =
+  try get_layer t t.root key 0
+  with Restart ->
+    Stats.incr t.tstats Stats.Root_retries;
+    Schedpoint.spin sp_restart_spin;
+    get_attempt t key
 
 let get t key =
   Stats.incr t.tstats Stats.Gets;
-  pinned t (fun () ->
-      let rec attempt () =
-        try get_layer t t.root key 0
-        with Restart ->
-          Stats.incr t.tstats Stats.Root_retries;
-          Schedpoint.spin sp_restart_spin;
-          attempt ()
-      in
-      attempt ())
+  let h = handle t in
+  Epoch.enter h.eh;
+  match get_attempt t key with
+  | r ->
+      Epoch.leave h.eh;
+      finish_op h;
+      r
+  | exception e ->
+      Epoch.leave h.eh;
+      raise e
 
 let mem t key = Option.is_some (get t key)
 
@@ -253,7 +367,8 @@ let mem t key = Option.is_some (get t key)
    get path rather than complicating the wave machinery. *)
 type 'v flight = {
   fkey : Key.t;
-  fks : int64;
+  fhi : int;
+  flo : int;
   mutable fnode : 'v node;
   mutable fver : Version.t;
   mutable fdone : bool;
@@ -262,19 +377,23 @@ type 'v flight = {
 }
 
 let multi_get t keys =
-  Stats.incr t.tstats Stats.Gets;
+  (* Count one get per key, matching the plain path, so obs throughput
+     agrees between batched and unbatched front ends. *)
+  Stats.add t.tstats Stats.Gets (Array.length keys);
   pinned t (fun () ->
       let flights =
         Array.mapi
           (fun i key ->
-            let ks = Key.slice key ~off:0 in
+            let fhi = Key.slice_hi key ~off:0 and flo = Key.slice_lo key ~off:0 in
             match try Some (stable_root t.root) with Restart -> None with
             | Some (n, v) ->
-                { fkey = key; fks = ks; fnode = n; fver = v; fdone = false;
+                { fkey = key; fhi; flo; fnode = n; fver = v; fdone = false;
                   fresult = `Pending; findex = i }
             | None ->
-                { fkey = key; fks = ks; fnode = Border (new_border ~isroot:false ~locked:false ~lowkey:0L);
-                  fver = 0; fdone = true; fresult = `Fallback; findex = i })
+                (* Root hint in flux: fall back to the plain get.  The
+                   node field is unused once fdone is set. *)
+                { fkey = key; fhi; flo; fnode = !(t.root); fver = 0;
+                  fdone = true; fresult = `Fallback; findex = i })
           keys
       in
       let remaining = ref (Array.length flights) in
@@ -297,13 +416,7 @@ let multi_get t keys =
             if not f.fdone then begin
               match f.fnode with
               | Interior i -> (
-                  let nk = min i.inkeys width in
-                  let rec child_index j =
-                    if j < nk && Key.compare_slices i.ikeyslice.(j) f.fks <= 0 then
-                      child_index (j + 1)
-                    else j
-                  in
-                  match i.ichild.(child_index 0) with
+                  match i.ichild.(child_index i ~hi:f.fhi ~lo:f.flo) with
                   | None -> finish f `Fallback
                   | Some n' ->
                       let v' = Version.stable (version_of n') in
@@ -319,18 +432,15 @@ let multi_get t keys =
                     let rem = String.length f.fkey in
                     let klen = min rem suffix_len_marker in
                     let outcome =
-                      match search_hit b (border_perm b) ~ks:f.fks ~klen with
-                      | None -> `Notfound
-                      | Some (_, slot) -> (
-                          match b.blv.(slot) with
+                      match search_hit b (border_perm b) ~hi:f.fhi ~lo:f.flo ~klen with
+                      | -1 -> `Notfound
+                      | hit -> (
+                          match b.blv.(hit land 0xF) with
                           | Value value ->
                               if rem <= 8 then `Found value
-                              else begin
-                                match b.bsuffix.(slot) with
-                                | Some s when String.equal s (Key.suffix f.fkey ~off:0) ->
-                                    `Found value
-                                | Some _ | None -> `Notfound
-                              end
+                              else if suffix_matches b (hit land 0xF) f.fkey ~pos:8
+                              then `Found value
+                              else `Notfound
                           | Layer _ -> `Layer
                           | Empty -> `Notfound)
                     in
@@ -342,7 +452,8 @@ let multi_get t keys =
                       | `Notfound -> (
                           (* The key may belong to a right sibling. *)
                           match b.bnext with
-                          | Some nx when Key.compare_slices f.fks nx.blowkey >= 0 ->
+                          | Some nx
+                            when Key.compare_parts f.fhi f.flo nx.blowhi nx.blowlo >= 0 ->
                               finish f `Fallback
                           | _ -> finish f `Notfound)
                       | `Layer -> finish f `Fallback
@@ -351,16 +462,7 @@ let multi_get t keys =
             end)
           flights
       done;
-      let fallback key =
-        let rec attempt () =
-          try get_layer t t.root key 0
-          with Restart ->
-            Stats.incr t.tstats Stats.Root_retries;
-            Schedpoint.spin sp_restart_spin;
-            attempt ()
-        in
-        attempt ()
-      in
+      let fallback key = get_attempt t key in
       Array.map
         (fun f ->
           match f.fresult with
@@ -389,60 +491,70 @@ let locked_parent n =
   in
   retry ()
 
-(* With b locked, chase splits right until b is responsible for ks, and
-   fail over to a full restart if b was deleted meanwhile.  No two border
-   locks are ever held at once here, so there is no deadlock with split's
-   up-the-tree ordering. *)
-let rec advance_locked b ks =
+(* With b locked, chase splits right until b is responsible for the key,
+   and fail over to a full restart if b was deleted meanwhile.  No two
+   border locks are ever held at once here, so there is no deadlock with
+   split's up-the-tree ordering. *)
+let rec advance_locked b ~hi ~lo =
   if Version.deleted (Atomic.get b.bversion) then begin
     Version.unlock b.bversion;
     raise Restart
   end;
   match b.bnext with
-  | Some nx when Key.compare_slices ks nx.blowkey >= 0 ->
+  | Some nx when Key.compare_parts hi lo nx.blowhi nx.blowlo >= 0 ->
       Version.unlock b.bversion;
       Version.lock nx.bversion;
-      advance_locked nx ks
+      advance_locked nx ~hi ~lo
   | _ -> b
 
 (* ------------------------------------------------------------------ *)
 (* Inserts and splits (Figure 5)                                       *)
 (* ------------------------------------------------------------------ *)
 
-type 'v entry = {
-  eslice : int64;
-  eklen : int;
-  esuffix : string option;
-  elv : 'v link_or_value;
+(* A movable border entry: slice halves, clamped length, suffix-blob
+   handle (0 = none; ownership travels with the record), and the value or
+   layer link.  Used by insert, split and merge migration — suffix bytes
+   are never materialized on these paths. *)
+type 'v mentry = {
+  mhi : int;
+  mlo : int;
+  mklen : int;
+  msuf : int;
+  mlv : 'v link_or_value;
 }
 
-let read_entry b slot =
+let read_mentry b slot =
   {
-    eslice = b.bkeyslice.(slot);
-    eklen = b.bkeylen.(slot);
-    esuffix = b.bsuffix.(slot);
-    elv = b.blv.(slot);
+    mhi = slice_hi b slot;
+    mlo = slice_lo b slot;
+    mklen = keylen b slot;
+    msuf = suffix_handle b slot;
+    mlv = b.blv.(slot);
   }
 
-let write_entry b slot e =
-  b.bkeyslice.(slot) <- e.eslice;
-  b.bkeylen.(slot) <- e.eklen;
-  b.bsuffix.(slot) <- e.esuffix;
-  b.blv.(slot) <- e.elv
+let write_mentry b slot e =
+  set_slice b slot ~hi:e.mhi ~lo:e.mlo;
+  set_keylen b slot e.mklen;
+  set_suffix_handle b slot e.msuf;
+  b.blv.(slot) <- e.mlv
 
 (* Insert into a border node with room, following the §4.6.2 protocol: fill
    a free slot, then publish with one permutation store.  Reusing a slot
    that held a removed key dirties the node so readers between the old
-   permutation and the new contents retry (§4.6.5). *)
+   permutation and the new contents retry (§4.6.5); the removed key's
+   suffix blob, which stayed readable on the stale slot until now, is
+   retired here under the same vinsert bump. *)
 let insert_into_slots t b ~pos e =
   let perm = border_perm b in
   let slot = Permutation.free_slot perm in
   if b.bstale land (1 lsl slot) <> 0 then begin
     Stats.incr t.tstats Stats.Slot_reuses;
     Version.mark_inserting b.bversion;
-    b.bstale <- b.bstale land lnot (1 lsl slot)
+    b.bstale <- b.bstale land lnot (1 lsl slot);
+    let h = suffix_handle b slot in
+    if h <> 0 then Pool.retire_blob b.bpool (handle t).eh h
   end;
-  write_entry b slot e;
+  write_mentry b slot e;
   (* §4.6.2: entry written into its slot, not yet published — readers
      using the old permutation cannot see it. *)
   Schedpoint.hit sp_put_slot_written;
@@ -456,7 +568,9 @@ let insert_into_slots t b ~pos e =
 let pick_boundary entries =
   let n = Array.length entries in
   let boundary m =
-    m >= 1 && m < n && Int64.unsigned_compare entries.(m - 1).eslice entries.(m).eslice <> 0
+    m >= 1 && m < n
+    && (entries.(m - 1).mhi <> entries.(m).mhi
+       || entries.(m - 1).mlo <> entries.(m).mlo)
   in
   let mid = n / 2 in
   let rec search d =
@@ -469,21 +583,23 @@ let pick_boundary entries =
   in
   search 0
 
-let ins_pos_interior p sep =
+let ins_pos_interior p ~hi ~lo =
   let rec go i =
-    if i < p.inkeys && Key.compare_slices p.ikeyslice.(i) sep <= 0 then go (i + 1) else i
+    if i < p.inkeys && Key.compare_parts (ikey_hi p i) (ikey_lo p i) hi lo <= 0
+    then go (i + 1)
+    else i
   in
   go 0
 
 (* Insert (sepkey, nn) above the freshly split pair (n, nn).  Both are
    locked with their splitting bits set; this releases all locks taken. *)
-let rec ascend t root_ref n nn sepkey =
+let rec ascend t root_ref n nn ~sephi ~seplo =
   match locked_parent n with
   | None ->
       (* n was the root of this layer's B+-tree: grow the tree upward. *)
       let p = new_interior ~isroot:true ~locked:false in
       p.inkeys <- 1;
-      p.ikeyslice.(0) <- sepkey;
+      set_ikey p 0 ~hi:sephi ~lo:seplo;
       p.ichild.(0) <- Some n;
       p.ichild.(1) <- Some nn;
       set_parent n (Some p);
@@ -500,12 +616,12 @@ let rec ascend t root_ref n nn sepkey =
       Schedpoint.hit sp_split_ascend;
       if p.inkeys < width then begin
         Version.mark_inserting p.iversion;
-        let pos = ins_pos_interior p sepkey in
+        let pos = ins_pos_interior p ~hi:sephi ~lo:seplo in
         for j = p.inkeys downto pos + 1 do
-          p.ikeyslice.(j) <- p.ikeyslice.(j - 1);
+          copy_ikey p ~dst:j ~src:(j - 1);
           p.ichild.(j + 1) <- p.ichild.(j)
         done;
-        p.ikeyslice.(pos) <- sepkey;
+        set_ikey p pos ~hi:sephi ~lo:seplo;
         p.ichild.(pos + 1) <- Some nn;
         p.inkeys <- p.inkeys + 1;
         set_parent nn (Some p);
@@ -517,27 +633,30 @@ let rec ascend t root_ref n nn sepkey =
         Stats.incr t.tstats Stats.Splits_interior;
         Version.mark_splitting p.iversion;
         Version.unlock (version_of n);
-        let pos = ins_pos_interior p sepkey in
+        let pos = ins_pos_interior p ~hi:sephi ~lo:seplo in
         (* Combined key/child sequences with the new separator spliced in. *)
-        let keys = Array.make (width + 1) 0L in
+        let khi = Array.make (width + 1) 0 in
+        let klo = Array.make (width + 1) 0 in
         let children = Array.make (width + 2) None in
         for j = 0 to width - 1 do
           let dst = if j < pos then j else j + 1 in
-          keys.(dst) <- p.ikeyslice.(j)
+          khi.(dst) <- ikey_hi p j;
+          klo.(dst) <- ikey_lo p j
         done;
-        keys.(pos) <- sepkey;
+        khi.(pos) <- sephi;
+        klo.(pos) <- seplo;
         for j = 0 to width do
           let dst = if j <= pos then j else j + 1 in
           children.(dst) <- p.ichild.(j)
         done;
         children.(pos + 1) <- Some nn;
         let h = (width + 1) / 2 in
-        let upkey = keys.(h) in
+        let uphi = khi.(h) and uplo = klo.(h) in
         let pp = new_interior ~isroot:false ~locked:true in
         Version.mark_splitting pp.iversion;
         pp.inkeys <- width - h;
         for j = h + 1 to width do
-          pp.ikeyslice.(j - h - 1) <- keys.(j)
+          set_ikey pp (j - h - 1) ~hi:khi.(j) ~lo:klo.(j)
         done;
         for j = h + 1 to width + 1 do
           pp.ichild.(j - h - 1) <- children.(j);
@@ -547,7 +666,7 @@ let rec ascend t root_ref n nn sepkey =
         done;
         p.inkeys <- h;
         for j = 0 to h - 1 do
-          p.ikeyslice.(j) <- keys.(j)
+          set_ikey p j ~hi:khi.(j) ~lo:klo.(j)
         done;
         for j = 0 to h do
           p.ichild.(j) <- children.(j);
@@ -559,7 +678,7 @@ let rec ascend t root_ref n nn sepkey =
           p.ichild.(j) <- None
         done;
         Version.unlock (version_of nn);
-        ascend t root_ref (Interior p) (Interior pp) upkey
+        ascend t root_ref (Interior p) (Interior pp) ~sephi:uphi ~seplo:uplo
       end
 
 (* Split a full border node (locked) while inserting a new entry whose
@@ -572,21 +691,31 @@ let split_border t root_ref b ~pos e =
   let perm = border_perm b in
   let nold = Permutation.size perm in
   let combined = Array.make (nold + 1) e in
+  let slots = Array.make (nold + 1) (-1) in
   for j = 0 to nold - 1 do
     let dst = if j < pos then j else j + 1 in
-    combined.(dst) <- read_entry b (Permutation.get perm j)
+    let slot = Permutation.get perm j in
+    combined.(dst) <- read_mentry b slot;
+    slots.(dst) <- slot
   done;
   let sequential_append =
     pos = nold
     && (match b.bnext with None -> true | Some _ -> false)
-    && Int64.unsigned_compare combined.(nold - 1).eslice e.eslice <> 0
+    && (combined.(nold - 1).mhi <> e.mhi || combined.(nold - 1).mlo <> e.mlo)
   in
   let m = if sequential_append then nold else pick_boundary combined in
-  let nb = new_border ~isroot:false ~locked:true ~lowkey:combined.(m).eslice in
+  let nb =
+    new_border ~pool:t.pool ~isroot:false ~locked:true ~lowhi:combined.(m).mhi
+      ~lowlo:combined.(m).mlo
+  in
   Version.mark_splitting nb.bversion;
   let right_count = nold + 1 - m in
   for j = m to nold do
-    write_entry nb (j - m) combined.(j)
+    write_mentry nb (j - m) combined.(j);
+    (* Ownership of the suffix blob moved with the entry: zero the source
+       word so the blob is never retired twice (the vsplit bump this split
+       publishes invalidates any reader that raced the zeroing). *)
+    if slots.(j) >= 0 then set_suffix_handle b slots.(j) 0
   done;
   Atomic.set nb.bperm (Permutation.sorted right_count :> int);
   if pos < m then begin
@@ -609,7 +738,7 @@ let split_border t root_ref b ~pos e =
      list but not yet from any parent, and both halves stay
      split-dirty. *)
   Schedpoint.hit sp_split_linked;
-  ascend t root_ref (Border b) (Border nb) nb.blowkey
+  ascend t root_ref (Border b) (Border nb) ~sephi:nb.blowhi ~seplo:nb.blowlo
 
 (* ------------------------------------------------------------------ *)
 (* New trie layers (§4.6.3)                                            *)
@@ -622,25 +751,30 @@ let split_border t root_ref b ~pos e =
    value or the finished layer. *)
 let rec make_twokey_layer t ka va kb vb =
   Stats.incr t.tstats Stats.Layer_creates;
-  let sa = Key.slice ka ~off:0 and sb = Key.slice kb ~off:0 in
-  let b = new_border ~isroot:true ~locked:false ~lowkey:0L in
-  let entry_of k s v =
+  let ahi = Key.slice_hi ka ~off:0 and alo = Key.slice_lo ka ~off:0 in
+  let bhi = Key.slice_hi kb ~off:0 and blo = Key.slice_lo kb ~off:0 in
+  let b = new_border ~pool:t.pool ~isroot:true ~locked:false ~lowhi:0 ~lowlo:0 in
+  let entry_of k hi lo v =
     if Key.has_suffix k ~off:0 then
-      { eslice = s; eklen = suffix_len_marker; esuffix = Some (Key.suffix k ~off:0); elv = Value v }
-    else { eslice = s; eklen = String.length k; esuffix = None; elv = Value v }
+      { mhi = hi; mlo = lo; mklen = suffix_len_marker;
+        msuf = Pool.alloc_blob_of_key t.pool k ~pos:8; mlv = Value v }
+    else { mhi = hi; mlo = lo; mklen = String.length k; msuf = 0; mlv = Value v }
   in
-  if Int64.equal sa sb && Key.has_suffix ka ~off:0 && Key.has_suffix kb ~off:0 then begin
+  if ahi = bhi && alo = blo && Key.has_suffix ka ~off:0 && Key.has_suffix kb ~off:0
+  then begin
     let deeper = make_twokey_layer t (Key.suffix ka ~off:0) va (Key.suffix kb ~off:0) vb in
-    write_entry b 0 { eslice = sa; eklen = suffix_len_marker; esuffix = None; elv = Layer deeper };
+    write_mentry b 0
+      { mhi = ahi; mlo = alo; mklen = suffix_len_marker; msuf = 0; mlv = Layer deeper };
     Atomic.set b.bperm (Permutation.sorted 1 :> int)
   end
   else begin
-    let ea = entry_of ka sa va and eb = entry_of kb sb vb in
+    let ea = entry_of ka ahi alo va and eb = entry_of kb bhi blo vb in
     let first, second =
-      if entry_cmp ea.eslice ea.eklen eb.eslice eb.eklen < 0 then (ea, eb) else (eb, ea)
+      if entry_cmp ea.mhi ea.mlo ea.mklen eb.mhi eb.mlo eb.mklen < 0 then (ea, eb)
+      else (eb, ea)
     in
-    write_entry b 0 first;
-    write_entry b 1 second;
+    write_mentry b 0 first;
+    write_mentry b 1 second;
     Atomic.set b.bperm (Permutation.sorted 2 :> int)
   end;
   ref (Border b)
@@ -656,53 +790,66 @@ type 'v located =
   | Absent of int (* insertion position *)
 
 (* Under the node lock, classify how (key at off) relates to b's entries. *)
-let locate b ~ks ~rem ~key ~off =
+let locate b ~hi ~lo ~rem ~key ~off =
   let klen = min rem suffix_len_marker in
   let perm = border_perm b in
-  match search_hit b perm ~ks ~klen with
-  | None -> Absent (insertion_pos b perm ~ks ~klen)
-  | Some (pos, slot) -> (
+  match search_hit b perm ~hi ~lo ~klen with
+  | -1 -> Absent (insertion_pos b perm ~hi ~lo ~klen)
+  | hit -> (
+      let pos = hit lsr 4 and slot = hit land 0xF in
       match b.blv.(slot) with
       | Layer r ->
           assert (rem > 8);
           At_layer (pos, slot, r)
       | Value v ->
           if rem <= 8 then At (pos, slot)
+          else if suffix_matches b slot key ~pos:(off + 8) then At (pos, slot)
           else begin
-            match b.bsuffix.(slot) with
-            | Some s when String.equal s (Key.suffix key ~off) -> At (pos, slot)
+            match suffix_string b slot with
             | Some s -> Suffix_clash (pos, slot, s, v)
             | None -> assert false
           end
       | Empty -> assert false)
 
-let rec put_layer t root_ref key off compute =
-  let ks = Key.slice key ~off in
+(* How a put produces the stored value: [Const] is the plain-put spelling
+   — one two-word block per call instead of a closure capturing the value,
+   and applying it allocates nothing (no [Some old] argument). *)
+type 'v upd = Const of 'v | Compute of ('v option -> 'v)
+
+let upd_present u old =
+  match u with Const v -> v | Compute f -> f (Some old)
+
+let upd_absent u = match u with Const v -> v | Compute f -> f None
+
+let rec put_layer t root_ref key off u =
+  let hi = Key.slice_hi key ~off and lo = Key.slice_lo key ~off in
   let rem = String.length key - off in
-  let b, _v = find_border t root_ref ks in
+  let b = fw_from_root t root_ref ~hi ~lo in
   Version.lock b.bversion;
-  let b = advance_locked b ks in
-  match locate b ~ks ~rem ~key ~off with
+  let b = advance_locked b ~hi ~lo in
+  match locate b ~hi ~lo ~rem ~key ~off with
   | At (_, slot) ->
       let old = match b.blv.(slot) with Value v -> v | Layer _ | Empty -> assert false in
       (* Value replacement is one atomic store: readers see old or new,
          no version bump, no retries (§4.6.1). *)
-      b.blv.(slot) <- Value (compute (Some old));
+      b.blv.(slot) <- Value (upd_present u old);
       Schedpoint.hit sp_put_replaced;
       Version.unlock b.bversion;
       Some old
   | At_layer (_, _, r) ->
       Version.unlock b.bversion;
-      put_layer t r key (off + 8) compute
+      put_layer t r key (off + 8) u
   | Suffix_clash (_, slot, old_suffix, old_value) ->
       let layer =
-        make_twokey_layer t old_suffix old_value (Key.suffix key ~off) (compute None)
+        make_twokey_layer t old_suffix old_value (Key.suffix key ~off) (upd_absent u)
       in
       (* Single-store publication replaces the old value entry with the
-         finished layer; the old key remains visible throughout.  The stale
-         suffix string is deliberately left in place: a concurrent reader
-         that read the old Value must still find the matching suffix, and
-         layer creation bumps no version to invalidate it (§4.6.3). *)
+         finished layer; the old key remains visible throughout.  The
+         stale suffix blob handle is deliberately left in the slot: a
+         concurrent reader that read the old Value must still find the
+         matching suffix, and layer creation bumps no version to
+         invalidate it (§4.6.3).  The blob is retired when the slot is
+         reused or the node dies. *)
       b.blv.(slot) <- Layer layer;
       Schedpoint.hit sp_layer_published;
       Version.unlock b.bversion;
@@ -711,12 +858,13 @@ let rec put_layer t root_ref key off compute =
       let e =
         if rem > 8 then
           {
-            eslice = ks;
-            eklen = suffix_len_marker;
-            esuffix = Some (Key.suffix key ~off);
-            elv = Value (compute None);
+            mhi = hi;
+            mlo = lo;
+            mklen = suffix_len_marker;
+            msuf = Pool.alloc_blob_of_key t.pool key ~pos:(off + 8);
+            mlv = Value (upd_absent u);
           }
-        else { eslice = ks; eklen = rem; esuffix = None; elv = Value (compute None) }
+        else { mhi = hi; mlo = lo; mklen = rem; msuf = 0; mlv = Value (upd_absent u) }
       in
       if Permutation.is_full (border_perm b) then split_border t root_ref b ~pos e
       else begin
@@ -725,19 +873,29 @@ let rec put_layer t root_ref key off compute =
       end;
       None
 
-let put_with t key compute =
-  Stats.incr t.tstats Stats.Puts;
-  pinned t (fun () ->
-      let rec attempt () =
-        try put_layer t t.root key 0 compute
-        with Restart ->
-          Stats.incr t.tstats Stats.Root_retries;
-          Schedpoint.spin sp_restart_spin;
-          attempt ()
-      in
-      attempt ())
+let rec put_attempt t key u =
+  try put_layer t t.root key 0 u
+  with Restart ->
+    Stats.incr t.tstats Stats.Root_retries;
+    Schedpoint.spin sp_restart_spin;
+    put_attempt t key u
 
-let put t key value = put_with t key (fun _ -> value)
+let put_pinned t key u =
+  Stats.incr t.tstats Stats.Puts;
+  let h = handle t in
+  Epoch.enter h.eh;
+  match put_attempt t key u with
+  | r ->
+      Epoch.leave h.eh;
+      finish_op h;
+      r
+  | exception e ->
+      Epoch.leave h.eh;
+      raise e
+
+let put_with t key compute = put_pinned t key (Compute compute)
+
+let put t key value = put_pinned t key (Const value)
 
 (* ------------------------------------------------------------------ *)
 (* remove (§4.6.5)                                                     *)
@@ -778,7 +936,7 @@ let rec remove_from_parent t child =
           else begin
             if i = 0 then begin
               for j = 0 to k - 2 do
-                p.ikeyslice.(j) <- p.ikeyslice.(j + 1)
+                copy_ikey p ~dst:j ~src:(j + 1)
               done;
               for j = 0 to k - 1 do
                 p.ichild.(j) <- p.ichild.(j + 1)
@@ -786,7 +944,7 @@ let rec remove_from_parent t child =
             end
             else begin
               for j = i - 1 to k - 2 do
-                p.ikeyslice.(j) <- p.ikeyslice.(j + 1)
+                copy_ikey p ~dst:j ~src:(j + 1)
               done;
               for j = i to k - 1 do
                 p.ichild.(j) <- p.ichild.(j + 1)
@@ -838,8 +996,11 @@ let delete_border t b =
   Stats.incr t.tstats Stats.Node_deletes;
   Version.mark_deleted b.bversion;
   unlink_from_list b;
-  let eh = (handle t).eh in
-  Epoch.retire eh (fun () -> ());
+  (* Epoch-retire the cell and any suffix blobs still parked on the dead
+     node (live entries were already cut; stale slots may still own
+     blobs).  Pinned readers racing the §4.5 window keep validating
+     against intact storage until the deferred free runs. *)
+  retire_storage b (handle t).eh;
   remove_from_parent t (Border b)
 
 (* Lock-free walk to the node ref of the layer at [off_target] along the
@@ -849,12 +1010,12 @@ let layer_root_at t key off_target =
   let rec go root_ref off =
     if off = off_target then root_ref
     else begin
-      let ks = Key.slice key ~off in
-      let b, _v = find_border t root_ref ks in
-      match search_hit b (border_perm b) ~ks ~klen:suffix_len_marker with
-      | None -> raise Not_found
-      | Some (_, slot) -> (
-          match b.blv.(slot) with
+      let hi = Key.slice_hi key ~off and lo = Key.slice_lo key ~off in
+      let b, _v = find_border t root_ref ~hi ~lo in
+      match search_hit b (border_perm b) ~hi ~lo ~klen:suffix_len_marker with
+      | -1 -> raise Not_found
+      | hit -> (
+          match b.blv.(hit land 0xF) with
           | Layer r -> go r (off + 8)
           | Value _ | Empty -> raise Not_found)
     end
@@ -890,19 +1051,21 @@ and try_collapse_layer t key off =
   match try Some (layer_root_at t key (off - 8)) with Not_found | Restart -> None with
   | None -> ()
   | Some parent_layer -> (
-      let ks = Key.slice key ~off:(off - 8) in
+      let hi = Key.slice_hi key ~off:(off - 8)
+      and lo = Key.slice_lo key ~off:(off - 8) in
       match
         try
-          let b, _ = find_border t parent_layer ks in
+          let b, _ = find_border t parent_layer ~hi ~lo in
           Version.lock b.bversion;
-          Some (advance_locked b ks)
+          Some (advance_locked b ~hi ~lo)
         with Restart -> None
       with
       | None -> ()
       | Some b -> (
-          match search_hit b (border_perm b) ~ks ~klen:suffix_len_marker with
-          | None -> Version.unlock b.bversion
-          | Some (pos, slot) -> (
+          match search_hit b (border_perm b) ~hi ~lo ~klen:suffix_len_marker with
+          | -1 -> Version.unlock b.bversion
+          | hit -> (
+              let pos = hit lsr 4 and slot = hit land 0xF in
               match b.blv.(slot) with
               | Value _ | Empty -> Version.unlock b.bversion
               | Layer r -> (
@@ -918,6 +1081,10 @@ and try_collapse_layer t key off =
                       in
                       if empty_leaf_layer then begin
                         Version.mark_deleted cb.bversion;
+                        (* The dead layer root's storage (cell plus any
+                           stale-slot blobs) goes back to the pool once
+                           racing readers drain. *)
+                        retire_storage cb (handle t).eh;
                         Version.unlock cb.bversion;
                         let perm = border_perm b in
                         Atomic.set b.bperm (Permutation.remove perm ~pos :> int);
@@ -934,13 +1101,126 @@ and try_collapse_layer t key off =
                       end
                   | Some (Interior _, _) | None -> Version.unlock b.bversion))))
 
+(* ------------------------------------------------------------------ *)
+(* Delete-side leaf coalescing                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge b's right sibling into b when both are small enough, under the
+   same lock/version protocol as split: b takes a vsplit bump (its range
+   grows), the absorbed sibling is marked deleted, and the border list and
+   parent are repaired while all three locks are held.
+
+   The merge happens only when b and nx are adjacent children of the SAME
+   parent, verified under that parent's lock.  Merging across a parent
+   boundary would leave the migrated keys unreachable by descent: the
+   routing separator above them would still send readers into the right
+   subtree, whose leftmost border no longer holds them.  This mirrors the
+   §4.3 asymmetry ("deletion without rebalancing lets a node inherit the
+   range of a deleted left sibling") — ranges may grow rightward only.
+
+   Lock order is b -> nx -> parent: the same child-then-parent direction
+   as split's ascend, so no cycle with any other writer (unlink_from_list
+   takes right-before-left but only via trylock).  Failure to qualify at
+   any step just unlocks and gives up — coalescing is an optimization. *)
+let try_coalesce t b =
+  (* b locked, live, 0 < size <= merge_threshold. *)
+  if Version.is_root (Atomic.get b.bversion) then Version.unlock b.bversion
+  else
+    match b.bnext with
+    | None -> Version.unlock b.bversion
+    | Some nx -> (
+        Version.lock nx.bversion;
+        let sb = Permutation.size (border_perm b) in
+        let sn = Permutation.size (border_perm nx) in
+        if Version.deleted (Atomic.get nx.bversion) || sb + sn > merge_max then begin
+          Version.unlock nx.bversion;
+          Version.unlock b.bversion
+        end
+        else
+          match locked_parent (Border b) with
+          | None ->
+              Version.unlock nx.bversion;
+              Version.unlock b.bversion
+          | Some p ->
+              let bi = ref (-1) in
+              for j = 0 to p.inkeys do
+                match p.ichild.(j) with
+                | Some c when same_node c (Border b) -> bi := j
+                | _ -> ()
+              done;
+              let adjacent =
+                !bi >= 0
+                && !bi < p.inkeys
+                && match p.ichild.(!bi + 1) with
+                   | Some c -> same_node c (Border nx)
+                   | None -> false
+              in
+              if not adjacent then begin
+                Version.unlock p.iversion;
+                Version.unlock nx.bversion;
+                Version.unlock b.bversion
+              end
+              else begin
+                Stats.incr t.tstats Stats.Leaf_merges;
+                Version.mark_splitting b.bversion;
+                Version.mark_deleted nx.bversion;
+                Schedpoint.hit sp_merge_begin;
+                (* Migrate nx's live entries — all greater than b's keys —
+                   into b's free slots, then publish with one permutation
+                   store.  Blob ownership moves; source words are zeroed
+                   so the dead node's sweep cannot double-retire. *)
+                let eh = (handle t).eh in
+                let perm = ref (border_perm b) in
+                let nperm = border_perm nx in
+                for i = 0 to sn - 1 do
+                  let src = Permutation.get nperm i in
+                  let q = !perm in
+                  let dst = Permutation.free_slot q in
+                  (if b.bstale land (1 lsl dst) <> 0 then begin
+                     b.bstale <- b.bstale land lnot (1 lsl dst);
+                     (* The vsplit bump already forces every reader to
+                        retry; just release the stale slot's old blob. *)
+                     let h = suffix_handle b dst in
+                     if h <> 0 then Pool.retire_blob b.bpool eh h
+                   end);
+                  write_mentry b dst (read_mentry nx src);
+                  set_suffix_handle nx src 0;
+                  perm := Permutation.insert q ~pos:(Permutation.size q)
+                done;
+                Atomic.set b.bperm (!perm :> int);
+                (* Entries published in b; nx still linked and routed-to. *)
+                Schedpoint.hit sp_merge_migrated;
+                (* Border-list repair: nx's successor's prev is protected
+                   by nx's lock, which we hold. *)
+                b.bnext <- nx.bnext;
+                (match nx.bnext with Some r -> r.bprev <- Some b | None -> ());
+                (* Parent repair: drop nx and the separator between b and
+                   nx (key index bi, child index bi+1). *)
+                Version.mark_inserting p.iversion;
+                let k = p.inkeys in
+                let i = !bi in
+                for j = i to k - 2 do
+                  copy_ikey p ~dst:j ~src:(j + 1)
+                done;
+                for j = i + 1 to k - 1 do
+                  p.ichild.(j) <- p.ichild.(j + 1)
+                done;
+                p.ichild.(k) <- None;
+                p.inkeys <- k - 1;
+                retire_storage nx eh;
+                Version.unlock nx.bversion;
+                Version.unlock p.iversion;
+                Version.unlock b.bversion;
+                Schedpoint.hit sp_merge_done
+              end)
+
 let rec remove_layer t root_ref key off pred =
-  let ks = Key.slice key ~off in
+  let hi = Key.slice_hi key ~off and lo = Key.slice_lo key ~off in
   let rem = String.length key - off in
-  let b, _v = find_border t root_ref ks in
+  let b = fw_from_root t root_ref ~hi ~lo in
   Version.lock b.bversion;
-  let b = advance_locked b ks in
-  match locate b ~ks ~rem ~key ~off with
+  let b = advance_locked b ~hi ~lo in
+  match locate b ~hi ~lo ~rem ~key ~off with
   | At_layer (_, _, r) ->
       Version.unlock b.bversion;
       remove_layer t r key (off + 8) pred
@@ -959,39 +1239,45 @@ let rec remove_layer t root_ref key off pred =
       else begin
         let perm = border_perm b in
         let perm' = Permutation.remove perm ~pos in
-        (* The slot's contents stay readable for concurrent readers; the
-           stale bit forces a vinsert bump if an insert reuses it. *)
+        (* The slot's contents — suffix blob included — stay readable for
+           concurrent readers; the stale bit forces a vinsert bump (and
+           the blob's retirement) when an insert reuses the slot. *)
         Atomic.set b.bperm (perm' :> int);
         Schedpoint.hit sp_remove_cut;
         b.bstale <- b.bstale lor (1 lsl slot);
-        if Permutation.size perm' = 0 then handle_empty t b key off
+        let sz = Permutation.size perm' in
+        if sz = 0 then handle_empty t b key off
+        else if sz <= merge_threshold then try_coalesce t b
         else Version.unlock b.bversion;
         Some old
       end
 
-let remove t key =
-  Stats.incr t.tstats Stats.Removes;
-  pinned t (fun () ->
-      let rec attempt () =
-        try remove_layer t t.root key 0 (fun _ -> true)
-        with Restart ->
-          Stats.incr t.tstats Stats.Root_retries;
-          Schedpoint.spin sp_restart_spin;
-          attempt ()
-      in
-      attempt ())
+let rec remove_attempt t key pred =
+  try remove_layer t t.root key 0 pred
+  with Restart ->
+    Stats.incr t.tstats Stats.Root_retries;
+    Schedpoint.spin sp_restart_spin;
+    remove_attempt t key pred
 
-let remove_if t key pred =
+(* A static predicate: passing a top-level function allocates nothing. *)
+let pred_true _ = true
+
+let remove_pinned t key pred =
   Stats.incr t.tstats Stats.Removes;
-  pinned t (fun () ->
-      let rec attempt () =
-        try remove_layer t t.root key 0 pred
-        with Restart ->
-          Stats.incr t.tstats Stats.Root_retries;
-          Schedpoint.spin sp_restart_spin;
-          attempt ()
-      in
-      attempt ())
+  let h = handle t in
+  Epoch.enter h.eh;
+  match remove_attempt t key pred with
+  | r ->
+      Epoch.leave h.eh;
+      finish_op h;
+      r
+  | exception e ->
+      Epoch.leave h.eh;
+      raise e
+
+let remove t key = remove_pinned t key pred_true
+
+let remove_if t key pred = remove_pinned t key pred
 
 (* Modify-if-present: like [put_with] but never inserts.  The closure runs
    under the border lock, so the decision "what replaces the current
@@ -999,12 +1285,12 @@ let remove_if t key pred =
    MVCC prune pass needs (pruning from a pre-read copy could resurrect a
    stale value, the bug class CHANGES.md's resharding fix removed). *)
 let rec update_layer t root_ref key off f =
-  let ks = Key.slice key ~off in
+  let hi = Key.slice_hi key ~off and lo = Key.slice_lo key ~off in
   let rem = String.length key - off in
-  let b, _v = find_border t root_ref ks in
+  let b = fw_from_root t root_ref ~hi ~lo in
   Version.lock b.bversion;
-  let b = advance_locked b ks in
-  match locate b ~ks ~rem ~key ~off with
+  let b = advance_locked b ~hi ~lo in
+  match locate b ~hi ~lo ~rem ~key ~off with
   | At (_, slot) ->
       let old = match b.blv.(slot) with Value v -> v | Layer _ | Empty -> assert false in
       b.blv.(slot) <- Value (f old);
@@ -1018,23 +1304,56 @@ let rec update_layer t root_ref key off f =
       Version.unlock b.bversion;
       false
 
+let rec update_attempt t key f =
+  try update_layer t t.root key 0 f
+  with Restart ->
+    Stats.incr t.tstats Stats.Root_retries;
+    Schedpoint.spin sp_restart_spin;
+    update_attempt t key f
+
 let update t key f =
   Stats.incr t.tstats Stats.Puts;
-  pinned t (fun () ->
-      let rec attempt () =
-        try update_layer t t.root key 0 f
-        with Restart ->
-          Stats.incr t.tstats Stats.Root_retries;
-          Schedpoint.spin sp_restart_spin;
-          attempt ()
-      in
-      attempt ())
+  let h = handle t in
+  Epoch.enter h.eh;
+  match update_attempt t key f with
+  | r ->
+      Epoch.leave h.eh;
+      finish_op h;
+      r
+  | exception e ->
+      Epoch.leave h.eh;
+      raise e
 
 (* ------------------------------------------------------------------ *)
 (* Scans (getrange, §3)                                                *)
 (* ------------------------------------------------------------------ *)
 
 exception Scan_done
+
+(* A scan-side border entry: slice halves plus the suffix bytes
+   materialized from the pool (the snapshot must outlive the node's
+   storage, so the bytes are copied out while the version check can still
+   reject them). *)
+type 'v sentry = {
+  shi : int;
+  slo : int;
+  sklen : int;
+  ssuffix : string;
+  slv : 'v link_or_value;
+}
+
+let read_sentry b slot =
+  let sklen = keylen b slot in
+  let ssuffix =
+    if sklen = suffix_len_marker then
+      match b.blv.(slot) with
+      | Value _ -> (
+          match suffix_string b slot with Some s -> s | None -> "")
+      | Layer _ | Empty -> ""
+    else ""
+  in
+  { shi = slice_hi b slot; slo = slice_lo b slot; sklen; ssuffix;
+    slv = b.blv.(slot) }
 
 (* Validated snapshot of a border node: live entries in key order plus the
    next pointer, all consistent with one stable version.  None if the node
@@ -1060,7 +1379,7 @@ let snapshot_border ?expect t b =
     else begin
       let perm = border_perm b in
       let entries =
-        List.map (fun slot -> read_entry b slot) (Permutation.live_slots perm)
+        List.map (fun slot -> read_sentry b slot) (Permutation.live_slots perm)
       in
       let nxt = b.bnext in
       (* Scan's validation window: a whole node snapshot extracted, not
@@ -1083,22 +1402,23 @@ let snapshot_border ?expect t b =
 
 (* Reconstruct the within-layer key fragment a value entry stands for.
    For layer entries the slice alone identifies the subtree; any leftover
-   suffix string in the slot is stale data from before layer creation. *)
+   suffix in the slot is stale data from before layer creation. *)
 let entry_rest e =
-  match e.elv with
-  | Layer _ -> Key.slice_to_string e.eslice ~len:8
+  match e.slv with
+  | Layer _ -> Key.parts_to_string e.shi e.slo ~len:8
   | Value _ | Empty ->
-      if e.eklen <= 8 then Key.slice_to_string e.eslice ~len:e.eklen
-      else
-        Key.slice_to_string e.eslice ~len:8
-        ^ match e.esuffix with Some s -> s | None -> ""
+      if e.sklen <= 8 then Key.parts_to_string e.shi e.slo ~len:e.sklen
+      else Key.parts_to_string e.shi e.slo ~len:8 ^ e.ssuffix
 
 (* Forward scan of one trie layer.  [prefix] is the key bytes consumed by
    enclosing layers; [lower]/[strict] bound the within-layer fragment.
    Emission raises Scan_done to stop everywhere. *)
 let rec scan_layer t root_ref prefix lower strict emit =
   let rec run lower strict =
-    let b, v = find_border t root_ref (Key.slice lower ~off:0) in
+    let b, v =
+      find_border t root_ref ~hi:(Key.slice_hi lower ~off:0)
+        ~lo:(Key.slice_lo lower ~off:0)
+    in
     (* A collapsed layer's root stays deleted (and isroot) forever:
        re-descending within this layer would loop, so escape to the
        layer-0 retry, which resumes past the collapsed subtree. *)
@@ -1122,11 +1442,13 @@ let rec scan_layer t root_ref prefix lower strict emit =
     List.iter
       (fun e ->
         let rest = entry_rest e in
-        (match e.elv with
+        (match e.slv with
         | Layer r ->
-            let cs = Key.compare_slices e.eslice (Key.slice lower ~off:0) in
-            if cs > 0 then
-              scan_layer t r (prefix ^ rest) "" false emit
+            let cs =
+              Key.compare_parts e.shi e.slo (Key.slice_hi lower ~off:0)
+                (Key.slice_lo lower ~off:0)
+            in
+            if cs > 0 then scan_layer t r (prefix ^ rest) "" false emit
             else if cs = 0 then begin
               if String.length lower > 8 then
                 scan_layer t r (prefix ^ rest)
@@ -1143,7 +1465,7 @@ let rec scan_layer t root_ref prefix lower strict emit =
             let included = if strict then c > 0 else c >= 0 in
             if included then emit (prefix ^ rest) v
         | Empty -> ());
-        match e.elv with Empty -> () | _ -> last := Some rest)
+        match e.slv with Empty -> () | _ -> last := Some rest)
       entries;
     !last
   in
@@ -1184,21 +1506,26 @@ let scan t ?(start = "") ?stop ~limit f =
    O(depth) descent per node visited. *)
 let rec scan_rev_layer t root_ref prefix upper emit =
   (* [upper = None] means unbounded above within this layer. *)
-  let start_slice = match upper with None -> -1L (* all ones *) | Some u -> Key.slice u ~off:0 in
-  let rec run slice_bound upper =
-    let b, v = find_border t root_ref slice_bound in
+  let max_half = 0xFFFFFFFF in
+  let start_hi, start_lo =
+    match upper with
+    | None -> (max_half, max_half)
+    | Some u -> (Key.slice_hi u ~off:0, Key.slice_lo u ~off:0)
+  in
+  let rec run bhi blo upper =
+    let b, v = find_border t root_ref ~hi:bhi ~lo:blo in
     if Version.deleted v then raise Restart;
     (* [expect:v] pins the snapshot to the version the descent
        validated: a split between descent and snapshot re-descends
-       instead of returning a node that no longer covers
-       [slice_bound]. *)
+       instead of returning a node that no longer covers the bound. *)
     match snapshot_border ~expect:v t b with
-    | None -> run slice_bound upper (* changed underneath us: re-descend *)
+    | None -> run bhi blo upper (* changed underneath us: re-descend *)
     | Some (entries, _) ->
         process (List.rev entries) upper;
-        let lk = b.blowkey in
-        if Int64.unsigned_compare lk 0L > 0 then
-          run (Int64.sub lk 1L) None
+        let lhi = b.blowhi and llo = b.blowlo in
+        if lhi > 0 || llo > 0 then
+          if llo > 0 then run lhi (llo - 1) None
+          else run (lhi - 1) max_half None
   and process entries upper =
     List.iter
       (fun e ->
@@ -1206,13 +1533,16 @@ let rec scan_rev_layer t root_ref prefix upper emit =
         let within =
           match upper with None -> true | Some u -> String.compare rest u <= 0
         in
-        match e.elv with
+        match e.slv with
         | Layer r ->
             let sub_upper =
               match upper with
               | None -> None
               | Some u ->
-                  let cs = Key.compare_slices e.eslice (Key.slice u ~off:0) in
+                  let cs =
+                    Key.compare_parts e.shi e.slo (Key.slice_hi u ~off:0)
+                      (Key.slice_lo u ~off:0)
+                  in
                   if cs < 0 then None
                   else if cs > 0 then Some "" (* entire subtree above bound: skip *)
                   else if String.length u > 8 then Some (String.sub u 8 (String.length u - 8))
@@ -1222,13 +1552,13 @@ let rec scan_rev_layer t root_ref prefix upper emit =
             | Some "" -> ()
             | _ ->
                 scan_rev_layer t r
-                  (prefix ^ Key.slice_to_string e.eslice ~len:8)
+                  (prefix ^ Key.parts_to_string e.shi e.slo ~len:8)
                   sub_upper emit)
         | Value v -> if within then emit (prefix ^ rest) v
         | Empty -> ())
       entries
   in
-  run start_slice upper
+  run start_hi start_lo upper
 
 let scan_rev t ?start ?stop ~limit f =
   Stats.incr t.tstats Stats.Scans;
@@ -1326,6 +1656,35 @@ let shape t =
        else float_of_int !entries /. float_of_int (!borders * width));
   }
 
+(* Count reachable pool storage: every reachable border owns one cell,
+   plus one blob per nonzero suffix word — stale slots included, since
+   removed keys' blobs stay parked until slot reuse or node death.  For
+   the leak oracle (single-threaded callers, after a quiesce). *)
+let reachable_storage t =
+  let cells = ref 0 and blobs = ref 0 in
+  let rec node n =
+    match n with
+    | Border b ->
+        incr cells;
+        for slot = 0 to width - 1 do
+          if suffix_handle b slot <> 0 then incr blobs
+        done;
+        List.iter
+          (fun slot ->
+            match b.blv.(slot) with Layer r -> node !r | Value _ | Empty -> ())
+          (Permutation.live_slots (border_perm b))
+    | Interior i ->
+        for j = 0 to i.inkeys do
+          match i.ichild.(j) with Some c -> node c | None -> ()
+        done
+  in
+  node !(t.root);
+  (!cells, !blobs)
+
+let pool_consistency t =
+  let cells, blobs = reachable_storage t in
+  Pool.check_leaks t.pool ~reachable_cells:cells ~reachable_blobs:blobs
+
 let check t =
   let exception Bad of string in
   let fail fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt in
@@ -1346,7 +1705,7 @@ let check t =
       match b.bnext with
       | None -> ()
       | Some nx ->
-          if Int64.unsigned_compare nx.blowkey b.blowkey <= 0 then
+          if Key.compare_parts nx.blowhi nx.blowlo b.blowhi b.blowlo <= 0 then
             fail "border list lowkeys not increasing";
           (match nx.bprev with
           | Some p when p == b -> ()
@@ -1362,14 +1721,18 @@ let check t =
     | _ -> fail "border parent mismatch");
     (* Entries may legitimately sit below the node's creation-time lowkey:
        deletion without rebalancing (§4.3) lets a node inherit the range of
-       a deleted left sibling.  The load-bearing bound is the upper one,
-       which the rightward split-chasing walk relies on. *)
+       a deleted left sibling, and leaf coalescing grows a node's range
+       rightward.  The load-bearing bound is the upper one, which the
+       rightward split-chasing walk relies on. *)
     (match b.bnext with
     | Some nx ->
         List.iter
           (fun slot ->
-            if Int64.unsigned_compare b.bkeyslice.(slot) nx.blowkey >= 0 then
-              fail "entry at or above next node's lowkey")
+            if
+              Key.compare_parts (slice_hi b slot) (slice_lo b slot) nx.blowhi
+                nx.blowlo
+              >= 0
+            then fail "entry at or above next node's lowkey")
           (Permutation.live_slots (border_perm b))
     | None -> ());
     List.iter
@@ -1386,8 +1749,11 @@ let check t =
     | _ -> fail "interior parent mismatch");
     if i.inkeys < 0 || i.inkeys > width then fail "interior nkeys out of range";
     for j = 1 to i.inkeys - 1 do
-      if Int64.unsigned_compare i.ikeyslice.(j - 1) i.ikeyslice.(j) >= 0 then
-        fail "interior keys not sorted"
+      if
+        Key.compare_parts (ikey_hi i (j - 1)) (ikey_lo i (j - 1)) (ikey_hi i j)
+          (ikey_lo i j)
+        >= 0
+      then fail "interior keys not sorted"
     done;
     for j = 0 to i.inkeys do
       match i.ichild.(j) with

@@ -16,10 +16,18 @@
     committed put gave it or its absence if removed — never a mixture or
     a phantom.
 
+    Memory: border-node key payloads (slices, lengths, suffixes) live
+    off-heap in a per-tree {!Pool} arena; removes and node deletions
+    retire storage through the epoch machinery ([tree.pool.retire] /
+    [tree.pool.free]), so it is never recycled under a still-validating
+    reader.  Underfull borders absorb their right sibling (same parent
+    only) under the split protocol ([tree.merge.*]).
+
     That condition is checked mechanically: every ordering-sensitive step
     of every operation is a named {!Schedpoint} ([tree.descend.validate],
     [tree.put.published], [tree.split.migrated], [tree.remove.unlinked],
-    … — 21 in this module, plus the [ver.*] and [epoch.*] points), and
+    [tree.merge.migrated], … — 24 in this module, plus the [ver.*],
+    [epoch.*] and [tree.pool.*] points), and
     [lib/schedsim] replays the scenarios in [Scenario.scenarios] under
     exhaustive and randomized interleavings of those points, validating
     each read against a sequential oracle ([dune exec bench/main.exe --
@@ -54,8 +62,11 @@ val put_with : 'v t -> Key.t -> ('v option -> 'v) -> 'v option
 
 val remove : 'v t -> Key.t -> 'v option
 (** [remove t k] deletes [k]'s binding, returning it if present.  Empty
-    nodes are deleted (without rebalancing) and emptied trie layers are
-    collapsed by scheduled maintenance tasks.  Schedule points:
+    nodes are deleted and emptied trie layers are collapsed by scheduled
+    maintenance tasks; a border left at or below the merge threshold
+    tries to absorb its right sibling when both hang off the same parent
+    ([tree.merge.begin] / [tree.merge.migrated] / [tree.merge.done],
+    under the split lock/version protocol).  Schedule points:
     [tree.remove.cut] after the permutation store that hides the key,
     [tree.remove.node_empty] when a border empties,
     [tree.remove.unlink_spin] while trylocking the left sibling for the
@@ -114,6 +125,16 @@ val cardinal : 'v t -> int
 
 val stats : 'v t -> Stats.t
 
+val pool : 'v t -> Pool.t
+(** The tree's off-heap node arena (occupancy gauges, footprint). *)
+
+val pool_consistency : 'v t -> (unit, string) result
+(** The pool leak oracle: traverse the tree counting reachable cells and
+    suffix blobs (stale slots included — removed keys' blobs stay parked
+    until slot reuse or node death) and check them against the pool's
+    live counts, with no deferred frees outstanding.  Call from a single
+    thread after {!maintain}. *)
+
 val epoch_manager : 'v t -> Epoch.manager
 
 val maintain : 'v t -> unit
@@ -145,6 +166,10 @@ val shape : 'v t -> shape
    white-box tests. *)
 
 val root_ref : 'v t -> 'v Node.node ref
-val find_border : 'v t -> 'v Node.node ref -> int64 -> 'v Node.border * Version.t
+
+val find_border :
+  'v t -> 'v Node.node ref -> hi:int -> lo:int -> 'v Node.border * Version.t
+(** Descend to the border responsible for the slice given as (hi, lo)
+    halves (see {!Key.slice_hi}). *)
 
 exception Restart

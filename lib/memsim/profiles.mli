@@ -53,6 +53,23 @@ val masstree_op :
     match the paper's 1-to-10-byte decimal population (§6.2: one third of
     keys in layer-1 nodes averaging 2.3 keys). *)
 
+val masstree_pooled_op :
+  Model.t ->
+  n:int ->
+  rank:int ->
+  key_len:int ->
+  ?layer_frac:float ->
+  ?avg_layer_keys:float ->
+  ?shared_prefix_layers:int ->
+  op ->
+  unit
+(** {!masstree_op} with the arena (SoA) border layout of docs/MEMORY.md:
+    the read path is priced identically — the 4-contiguous-prefetched-line
+    node the model already assumes is exactly what the pooled cell earns —
+    but the put path pops a per-domain free list (a few tens of cycles)
+    instead of paying the GC allocator and its amortized collection work.
+    [bench arena] compares this against the measured gap. *)
+
 val masstree_sized_op : Model.t -> n:int -> rank:int -> lines:int -> op -> unit
 (** Node-size ablation (§4.2): a tree whose nodes span [lines] cache
     lines, fanout scaled accordingly ((lines*64)/16 - 1 keys).  The paper

@@ -88,6 +88,20 @@ let observe ?worker h v =
 
 let gauge t name f = with_lock t (fun () -> Hashtbl.replace t.gauges name f)
 
+(* GC health as gauges: sampled (via the thunks) whenever a snapshot is
+   taken — the server's stats timer or the Stats wire command — so pause
+   sources show up next to the tree and pool metrics they explain.
+   [Gc.quick_stat] doesn't walk the heap; cheap enough per sample. *)
+let register_gc t =
+  gauge t "gc.minor_collections" (fun () -> (Gc.quick_stat ()).Gc.minor_collections);
+  gauge t "gc.major_collections" (fun () -> (Gc.quick_stat ()).Gc.major_collections);
+  gauge t "gc.compactions" (fun () -> (Gc.quick_stat ()).Gc.compactions);
+  gauge t "gc.heap_words" (fun () -> (Gc.quick_stat ()).Gc.heap_words);
+  gauge t "gc.top_heap_words" (fun () -> (Gc.quick_stat ()).Gc.top_heap_words);
+  gauge t "gc.allocated_words" (fun () ->
+      let s = Gc.quick_stat () in
+      int_of_float (s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words))
+
 let trace t = t.tr
 
 let snapshot t =

@@ -63,6 +63,12 @@ val gauge : t -> string -> (unit -> int) -> unit
     newly-created store can take over its gauges from a dead one).  A
     callback that raises is reported as 0. *)
 
+val register_gc : t -> unit
+(** Register [gc.*] gauges (minor/major collection counts, compactions,
+    live and peak heap words, cumulative allocated words) backed by
+    [Gc.quick_stat].  Gauges are sampled at {!snapshot} time, so the
+    server's stats timer and the Stats wire command see fresh values. *)
+
 val trace : t -> Trace.t
 (** The registry's slow-op ring. *)
 

@@ -99,6 +99,13 @@ let prepop ctx key =
   ignore (Tree.put ctx.tree key v);
   ignore (Oracle.record_write ctx.oracle key (Some v) ~s:0 ~e:0)
 
+(* Prepare-phase removal: shapes a border's fill level before the
+   scheduler takes control (e.g. to park a node one remove above the
+   coalesce threshold). *)
+let preremove ctx key =
+  ignore (Tree.remove ctx.tree key);
+  ignore (Oracle.record_write ctx.oracle key None ~s:0 ~e:0)
+
 type t = {
   name : string;
   descr : string;
@@ -303,6 +310,70 @@ let scenarios : t list =
         [
           ("writer", fun c -> put c "k000007~");
           ("remover", fun c -> remove c (k 14));
+        ];
+    };
+    (* Coalesce scenarios share one prepared shape: 20 sequential keys
+       split into left = k0..k13, right = k14..k19 (same parent), then
+       prepare-phase removes thin the left border to 5 entries — one
+       in-task remove away from the merge threshold.  The remover's
+       [remove (k 4)] drops it to 4 and absorbs the right sibling under
+       the split protocol ([tree.merge.*]); the sibling's storage goes
+       through [tree.pool.retire]/[tree.pool.free]. *)
+    {
+      name = "coalesce-vs-get";
+      descr = "leaf merge migrates the right sibling under point readers";
+      prepare =
+        (fun c ->
+          for i = 0 to 19 do prepop c (k i) done;
+          for i = 5 to 13 do preremove c (k i) done);
+      tasks =
+        [
+          ("remover", fun c -> remove c (k 4));
+          ("reader", fun c -> get c (k 16); get c (k 2); get c (k 14));
+        ];
+    };
+    {
+      name = "coalesce-vs-scan";
+      descr = "forward and reverse scans race a leaf merge";
+      prepare =
+        (fun c ->
+          for i = 0 to 19 do prepop c (k i) done;
+          for i = 5 to 13 do preremove c (k i) done);
+      tasks =
+        [
+          ("remover", fun c -> remove c (k 4));
+          ("scanner", fun c -> scan c; scan_rev c);
+        ];
+    };
+    {
+      name = "coalesce-vs-insert";
+      descr =
+        "insert (with a fresh suffix blob, first of its size class) races \
+         a merge into the same border";
+      (* The lk key sorts below the k keys, so the writer's insert targets
+         the merging left border; its suffix is the run's first blob
+         allocation, so the put crosses [tree.pool.refill]. *)
+      prepare =
+        (fun c ->
+          for i = 0 to 19 do prepop c (k i) done;
+          for i = 5 to 13 do preremove c (k i) done);
+      tasks =
+        [
+          ("remover", fun c -> remove c (k 4));
+          ("writer", fun c -> put c (lk "zz"));
+        ];
+    };
+    {
+      name = "coalesce-gc";
+      descr = "epoch drain frees merged-away storage while a reader validates";
+      prepare =
+        (fun c ->
+          for i = 0 to 19 do prepop c (k i) done;
+          for i = 5 to 13 do preremove c (k i) done);
+      tasks =
+        [
+          ("remover", fun c -> remove c (k 4); maintain c);
+          ("reader", fun c -> get c (k 15); get c (k 19));
         ];
     };
     {

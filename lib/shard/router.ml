@@ -461,6 +461,21 @@ let check t =
   in
   go 0
 
+(* Arena leak oracle across the tier: quiesce each shard (draining its
+   deferred frees), then check allocs == frees + reachable per store.
+   Single-threaded callers only, like [check]. *)
+let pool_consistency t =
+  let rec go i =
+    if i >= Array.length t.stores then Ok ()
+    else begin
+      Kvstore.Store.maintain t.stores.(i);
+      match Kvstore.Store.pool_consistency t.stores.(i) with
+      | Ok () -> go (i + 1)
+      | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+    end
+  in
+  go 0
+
 let hot_stats t = Option.map (fun h -> Hotcache.stats h.cache) t.hot
 
 let hot_key_count t =
@@ -488,6 +503,20 @@ let register_obs t =
   Obs.Registry.gauge reg "shard.cardinal" (fun () -> cardinal t);
   Obs.Registry.gauge reg "shard.imbalance_pct" (fun () ->
       int_of_float (imbalance_pct (shard_loads t)));
+  (* Arena occupancy summed across the shard stores, plus process-wide
+     GC gauges (the sharded server registers through the router only). *)
+  let sum_pools f =
+    Array.fold_left (fun a s -> a + f (Kvstore.Store.pool_stats s)) 0 t.stores
+  in
+  Obs.Registry.gauge reg "pool.cells_live" (fun () ->
+      sum_pools (fun p -> p.Masstree_core.Pool.cells_live));
+  Obs.Registry.gauge reg "pool.blobs_live" (fun () ->
+      sum_pools (fun p -> p.Masstree_core.Pool.blobs_live));
+  Obs.Registry.gauge reg "pool.deferred_frees" (fun () ->
+      sum_pools (fun p -> p.Masstree_core.Pool.deferred_frees));
+  Obs.Registry.gauge reg "pool.footprint_bytes" (fun () ->
+      Array.fold_left (fun a s -> a + Kvstore.Store.pool_footprint s) 0 t.stores);
+  Obs.Registry.register_gc reg;
   Array.iteri
     (fun i a ->
       Obs.Registry.gauge reg (Printf.sprintf "shard.load.%d" i) (fun () -> Atomic.get a))

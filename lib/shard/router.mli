@@ -139,6 +139,11 @@ val close : t -> unit
 val check : t -> (unit, string) result
 (** Deep structural check of every shard (quiescent callers only). *)
 
+val pool_consistency : t -> (unit, string) result
+(** Node-arena leak oracle over every shard: runs each store's epoch
+    maintenance (draining deferred frees), then requires
+    allocs == frees + reachable.  Single-threaded callers only. *)
+
 (** {1 Telemetry} *)
 
 val shard_loads : t -> int array

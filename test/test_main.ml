@@ -8,6 +8,7 @@ let () =
       ("permutation", Test_permutation.suite);
       ("version", Test_version.suite);
       ("epoch", Test_epoch.suite);
+      ("pool", Test_pool.suite);
       ("masstree", Test_masstree.suite);
       ("masstree-whitebox", Test_masstree_whitebox.suite);
       ("baselines", Test_baselines.suite);

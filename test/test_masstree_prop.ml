@@ -102,6 +102,44 @@ let prop_load_unload =
       Tree.maintain t;
       Tree.cardinal t = 0 && match Tree.check t with Ok () -> true | Error _ -> false)
 
+(* Remove-heavy churn drives the coalescing path hard: bulk load, delete
+   a random majority, then verify the full scan against the model — no
+   key lost by a merge's migration, none duplicated by the border-list
+   repair — and the pool accounts for every cell and blob. *)
+let prop_remove_heavy_coalesce =
+  QCheck.Test.make ~name:"remove-heavy churn: scan intact, pool clean" ~count:60
+    QCheck.(
+      pair (int_bound 999)
+        (list_of_size Gen.(100 -- 500)
+           (string_gen_of_size Gen.(0 -- 16) Gen.printable)))
+    (fun (seed, keys) ->
+      let t = Tree.create () in
+      let model = ref SMap.empty in
+      List.iteri
+        (fun i k ->
+          ignore (Tree.put t k i);
+          model := SMap.add k i !model)
+        keys;
+      (* Remove ~80% in an order decorrelated from insertion order. *)
+      let rng = Xutil.Rng.create (Int64.of_int (seed + 1)) in
+      let arr = Array.of_list keys in
+      Xutil.Rng.shuffle rng arr;
+      Array.iteri
+        (fun i k ->
+          if i mod 5 <> 0 then begin
+            ignore (Tree.remove t k);
+            model := SMap.remove k !model
+          end)
+        arr;
+      let items = ref [] in
+      ignore (Tree.scan t ~limit:max_int (fun k v -> items := (k, v) :: !items));
+      List.rev !items = SMap.bindings !model
+      && (match Tree.check t with Ok () -> true | Error _ -> false)
+      && begin
+           Tree.maintain t;
+           match Tree.pool_consistency t with Ok () -> true | Error _ -> false
+         end)
+
 (* Reverse scan must be the mirror of the forward scan at every bound. *)
 let prop_scan_mirror =
   QCheck.Test.make ~name:"scan_rev mirrors scan" ~count:60
@@ -122,5 +160,6 @@ let suite =
     QCheck_alcotest.to_alcotest ~long:false prop_binary;
     QCheck_alcotest.to_alcotest ~long:false prop_shared_prefix;
     QCheck_alcotest.to_alcotest ~long:false prop_load_unload;
+    QCheck_alcotest.to_alcotest ~long:false prop_remove_heavy_coalesce;
     QCheck_alcotest.to_alcotest ~long:false prop_scan_mirror;
   ]

@@ -106,6 +106,99 @@ let test_parent_chain_deletion () =
   check_int "cardinal" 14 (Tree.cardinal t);
   assert_ok t
 
+let assert_pool_ok t =
+  Tree.maintain t;
+  match Tree.pool_consistency t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "pool leak: %s" m
+
+(* Delete-side coalescing: 20 sequential keys split into left=14/right=6
+   under one parent.  Draining the left border merges the right sibling
+   into it exactly when the fill drops to merge_threshold (4) — not one
+   removal earlier. *)
+let test_merge_at_threshold () =
+  let t = Tree.create () in
+  for i = 0 to 19 do
+    ignore (Tree.put t (key8 i) i)
+  done;
+  check_int "two borders" 2 (Tree.shape t).Tree.borders;
+  (* Left border holds k0..k13.  Removing 9 leaves it at 5 > threshold. *)
+  for i = 0 to 8 do
+    ignore (Tree.remove t (key8 i))
+  done;
+  check_int "no merge above threshold" 0
+    (Stats.read (Tree.stats t) Stats.Leaf_merges);
+  check_int "still two borders" 2 (Tree.shape t).Tree.borders;
+  (* The 10th removal hits the threshold: 4 + 6 <= merge_max. *)
+  ignore (Tree.remove t (key8 9));
+  check_int "merge fired" 1 (Stats.read (Tree.stats t) Stats.Leaf_merges);
+  Tree.maintain t;
+  check_int "one border after merge" 1 (Tree.shape t).Tree.borders;
+  for i = 10 to 19 do
+    if Tree.get t (key8 i) <> Some i then Alcotest.failf "lost %d in merge" i
+  done;
+  check_int "cardinal" 10 (Tree.cardinal t);
+  assert_ok t;
+  assert_pool_ok t
+
+(* Coalescing refuses when the combined size exceeds merge_max (12): a
+   drained left border next to a fat sibling stays separate, then merges
+   once the sibling shrinks and another removal retriggers the check. *)
+let test_merge_refused_when_fat () =
+  let t = Tree.create () in
+  (* left = k0..k13 (14), right grows to k14..k26 (13). *)
+  for i = 0 to 26 do
+    ignore (Tree.put t (key8 i) i)
+  done;
+  check_int "two borders" 2 (Tree.shape t).Tree.borders;
+  for i = 0 to 9 do
+    ignore (Tree.remove t (key8 i))
+  done;
+  (* left=4, right=13: 17 > merge_max, refused. *)
+  check_int "refused while fat" 0 (Stats.read (Tree.stats t) Stats.Leaf_merges);
+  check_int "still two borders" 2 (Tree.shape t).Tree.borders;
+  (* Shrink the right sibling (no merge: it has no right neighbor), then
+     one more left removal retriggers: 3 + 6 = 9 <= merge_max. *)
+  for i = 20 to 26 do
+    ignore (Tree.remove t (key8 i))
+  done;
+  check_int "right edge never merges" 0
+    (Stats.read (Tree.stats t) Stats.Leaf_merges);
+  ignore (Tree.remove t (key8 10));
+  check_int "merge after shrink" 1 (Stats.read (Tree.stats t) Stats.Leaf_merges);
+  for i = 11 to 19 do
+    if Tree.get t (key8 i) <> Some i then Alcotest.failf "lost %d in merge" i
+  done;
+  check_int "cardinal" 9 (Tree.cardinal t);
+  assert_ok t;
+  assert_pool_ok t
+
+(* A root border never coalesces (nothing to absorb into); draining a
+   multi-node tree back to one border leaves a clean pool. *)
+let test_merge_chain_drain () =
+  let t = Tree.create () in
+  let n = 14 * 8 in
+  for i = 0 to n - 1 do
+    ignore (Tree.put t (key8 i) i)
+  done;
+  (* Drain right-to-left: merges absorb rightward only, so the right
+     sibling must shrink before the left border hits the threshold. *)
+  for i = n - 1 downto 0 do
+    if i mod 4 <> 3 then ignore (Tree.remove t (key8 i))
+  done;
+  let merges = Stats.read (Tree.stats t) Stats.Leaf_merges in
+  check_bool "merges happened" true (merges >= 2);
+  Tree.maintain t;
+  let sh = Tree.shape t in
+  check_bool "borders shrank" true (sh.Tree.borders < 8);
+  for i = 0 to n - 1 do
+    let expect = if i mod 4 = 3 then Some i else None in
+    if Tree.get t (key8 i) <> expect then Alcotest.failf "wrong survivor %d" i
+  done;
+  check_int "cardinal" (n / 4) (Tree.cardinal t);
+  assert_ok t;
+  assert_pool_ok t
+
 (* Layer chains: keys sharing 24 bytes then diverging build 3 intermediate
    single-entry layers; removing one key keeps the other reachable. *)
 let test_deep_layer_chain () =
@@ -215,6 +308,9 @@ let suite =
     Alcotest.test_case "split around slice group" `Quick test_split_around_slice_group;
     Alcotest.test_case "shape census" `Quick test_shape_census;
     Alcotest.test_case "parent chain deletion" `Quick test_parent_chain_deletion;
+    Alcotest.test_case "merge at threshold" `Quick test_merge_at_threshold;
+    Alcotest.test_case "merge refused when fat" `Quick test_merge_refused_when_fat;
+    Alcotest.test_case "merge chain drain" `Quick test_merge_chain_drain;
     Alcotest.test_case "deep layer chain" `Quick test_deep_layer_chain;
     Alcotest.test_case "update in place" `Quick test_update_in_place_no_dirty;
     Alcotest.test_case "put_with in layers" `Quick test_put_with_in_layers;
