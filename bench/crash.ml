@@ -1,15 +1,35 @@
-(* Crash-torture sweep (§5 durability): run the scripted two-incarnation
-   workload on the simulated disk, crashing at every registered failpoint
-   at several hit counts and crash-loss variants, recovering each time and
-   checking the durability contract.  Exits nonzero on any violation, or
-   if fewer crash points fired than the harness is expected to cover. *)
+(* Crash-torture sweeps (§5 durability + docs/REPLICATION.md failover):
+
+   1. Persist stack: the scripted two-incarnation workload on the
+      simulated disk, crashing at every persist/checkpoint failpoint at
+      several hit counts and crash-loss variants, recovering each time
+      and checking the durability contract.
+
+   2. Replication: the two-disk primary/replica scenario from
+      [Repl.Torture], crashing at every repl.* failpoint (ship-side
+      crashes fail over by promotion, apply/promote-side crashes recover
+      the replica from its own logs), including the bit-flip corruption
+      variant against the CRC framing.
+
+   Exits nonzero on any violation, or if fewer crash points fired than
+   the harness is expected to cover. *)
 
 let min_crash_points = 20
+
+let min_repl_crash_points = 4
+
+let is_repl p = String.length p >= 5 && String.sub p 0 5 = "repl."
 
 let run (_ : Bench_util.scale) =
   Printf.printf "\n=== crash: systematic crash-point sweep over the persist stack ===\n%!";
   let t0 = Xutil.Clock.wall_us () in
-  let s = Torture.run_sweep ~seed:42L ~hits:[ 1; 2 ] ~variants:[ 0; 1; 2 ] () in
+  (* lib/repl registers its own failpoints; the persist script never
+     reaches them, so sweeping them here would only add Clean rows. *)
+  let s =
+    Torture.run_sweep ~seed:42L ~hits:[ 1; 2 ] ~variants:[ 0; 1; 2 ]
+      ~filter:(fun p -> not (is_repl p))
+      ()
+  in
   let elapsed_ms = Int64.to_float (Int64.sub (Xutil.Clock.wall_us ()) t0) /. 1000. in
   let total = List.length s.Torture.cases in
   let count f = List.length (List.filter f s.Torture.cases) in
@@ -41,4 +61,41 @@ let run (_ : Bench_util.scale) =
       (List.length s.Torture.crash_points) min_crash_points;
     exit 1
   end;
-  Printf.printf "crash sweep OK\n%!"
+  Printf.printf "crash sweep OK\n%!";
+
+  Printf.printf "\n=== crash: replication failover sweep (two disks, repl.* failpoints) ===\n%!";
+  let t0 = Xutil.Clock.wall_us () in
+  let r = Repl.Torture.run_sweep ~seed:42L () in
+  let elapsed_ms = Int64.to_float (Int64.sub (Xutil.Clock.wall_us ()) t0) /. 1000. in
+  let total = List.length r.Repl.Torture.cases in
+  let count f = List.length (List.filter f r.Repl.Torture.cases) in
+  let crashed = count (fun c -> c.Repl.Torture.outcome = Repl.Torture.Crashed_ok) in
+  let clean = count (fun c -> c.Repl.Torture.outcome = Repl.Torture.Clean) in
+  Printf.printf "%-32s %s\n" "crash point" "crashes verified";
+  List.iter
+    (fun (p, n) -> Printf.printf "%-32s %d\n" p n)
+    r.Repl.Torture.crash_points;
+  Printf.printf
+    "\n%d cases in %.0f ms: %d crashed+verified, %d clean (point not reached), %d violations; %d distinct crash points\n"
+    total elapsed_ms crashed clean
+    (List.length r.Repl.Torture.violations)
+    (List.length r.Repl.Torture.crash_points);
+  List.iter
+    (fun (c : Repl.Torture.case) ->
+      match c.outcome with
+      | Repl.Torture.Violation errs ->
+          Printf.printf "VIOLATION at %s hit %d variant %d:\n" c.point c.at c.variant;
+          List.iter (fun e -> Printf.printf "  - %s\n" e) errs
+      | _ -> ())
+    r.Repl.Torture.violations;
+  if r.Repl.Torture.violations <> [] then begin
+    Printf.printf "repl crash sweep FAILED: replication contract violations\n";
+    exit 1
+  end;
+  if List.length r.Repl.Torture.crash_points < min_repl_crash_points then begin
+    Printf.printf "repl crash sweep FAILED: only %d crash points fired (expected >= %d)\n"
+      (List.length r.Repl.Torture.crash_points)
+      min_repl_crash_points;
+    exit 1
+  end;
+  Printf.printf "repl crash sweep OK\n%!"

@@ -26,6 +26,7 @@ let experiments =
     ("netperf", "net front ends: threaded vs reactor vs reactor+pipelining", Netperf.run);
     ("shard", "sharded tier: skew collapse + hot-key mitigation (Fig 13)", Shard_bench.run);
     ("arena", "off-heap node arena vs boxed baseline: alloc/op, GC, latency tails", Arena.run);
+    ("repl", "lib/repl: bootstrap convergence + replica read offload", Repl_bench.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

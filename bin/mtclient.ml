@@ -37,6 +37,38 @@ let pp_response = function
   | Kvserver.Protocol.Snap_closed -> print_endline "closed"
   | Kvserver.Protocol.Snap_failed e ->
       Printf.printf "error: %s\n" (Kvserver.Protocol.snap_error_to_string e)
+  | Kvserver.Protocol.Repl_opened { session; versions } ->
+      Printf.printf "session %Ld at %s\n" session
+        (String.concat ","
+           (Array.to_list (Array.map Int64.to_string versions)))
+  | Kvserver.Protocol.Repl_records { frames; done_; _ } ->
+      Printf.printf "%d frame(s)%s\n" (List.length frames)
+        (if done_ then " (done)" else "")
+  | Kvserver.Protocol.Repl_acked -> print_endline "acked"
+  | Kvserver.Protocol.Repl_promoted { versions } ->
+      Printf.printf "promoted at %s\n"
+        (String.concat ","
+           (Array.to_list (Array.map Int64.to_string versions)))
+  | Kvserver.Protocol.Repl_stale { applied } ->
+      Printf.printf "stale: applied version %Ld below requested floor\n" applied
+  | Kvserver.Protocol.Repl_status_reply st ->
+      let open Kvserver.Protocol in
+      Printf.printf "role:     %s\n" st.repl_role;
+      Printf.printf "applied:  %s\n"
+        (String.concat ","
+           (Array.to_list (Array.map Int64.to_string st.repl_applied)));
+      Printf.printf "horizon:  %s  (shipped log records per log)\n"
+        (String.concat "," (Array.to_list (Array.map string_of_int st.repl_horizon)));
+      Printf.printf "retained: %d tail bytes\n" st.repl_retained;
+      if st.repl_peers = [] then print_endline "peers:    (none)"
+      else
+        List.iter
+          (fun p ->
+            Printf.printf "peer %Ld: lag %d record(s), applied %s\n" p.peer_session
+              p.peer_lag
+              (String.concat ","
+                 (Array.to_list (Array.map Int64.to_string p.peer_applied))))
+          st.repl_peers
 
 let make_req keygen rng mix =
   match mix with
@@ -172,12 +204,26 @@ let run unix_sock connect ops batch pipeline clients snapshot args =
         (Kvserver.Tcp.call client [ Kvserver.Protocol.Snap_close (Int64.of_string id) ])
   | [ "stats" ] ->
       List.iter pp_response (Kvserver.Tcp.call client [ Kvserver.Protocol.Stats ])
+  | [ "repl-status" ] ->
+      List.iter pp_response (Kvserver.Tcp.call client [ Kvserver.Protocol.Repl_status ])
+  | [ "repl-promote" ] ->
+      List.iter pp_response (Kvserver.Tcp.call client [ Kvserver.Protocol.Repl_promote ])
+  | [ "repl-get"; key ] ->
+      List.iter pp_response
+        (Kvserver.Tcp.call client
+           [ Kvserver.Protocol.Repl_read { key; columns = []; floor = 0L } ])
+  | [ "repl-get"; key; floor ] ->
+      List.iter pp_response
+        (Kvserver.Tcp.call client
+           [ Kvserver.Protocol.Repl_read
+               { key; columns = []; floor = Int64.of_string floor } ])
   | [ "bench"; mix ] -> run_bench addr client ops mix batch pipeline clients
   | _ ->
       prerr_endline
         "usage: mtclient [--connect HOST:PORT | --unix PATH] (get K | put K V... | remove K | \
          scan [--snapshot] START N | snap-open | snap-read ID K | snap-scan ID START N | \
-         snap-close ID | stats | bench get|put|scan)";
+         snap-close ID | stats | repl-status | repl-promote | repl-get K [FLOOR] | \
+         bench get|put|scan)";
       exit 2);
   Kvserver.Tcp.disconnect client
 

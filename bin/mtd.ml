@@ -33,8 +33,142 @@ let front_shutdown = function
   | Threaded s -> Kvserver.Tcp.shutdown s
   | Reactor r -> Kvserver.Reactor.shutdown r
 
+(* Replica mode (--replica-of): fresh empty stores bootstrap from the
+   primary over the wire and then tail its logs; the engine serves
+   bounded-staleness reads and rejects writes until promotion flips it.
+   State is always rebuilt from scratch on startup — a replica that was
+   down may have missed removes, which a snapshot shows only as absence,
+   so stale local state can never be patched (docs/REPLICATION.md). *)
+let run_replica ~log ~listener ~data_dir ~n_logs ~n_shards ~snap_ttl_us ~slow_us
+    ~use_reactor ~net_domains ~primary ~auto_promote =
+  let rdir = Filename.concat data_dir "replica" in
+  rm_rf rdir;
+  Shard.Bootstrap.mkdir_p rdir;
+  let shard_logs =
+    Array.init n_shards (fun s ->
+        let dir = Filename.concat rdir (Printf.sprintf "shard-%d" s) in
+        Shard.Bootstrap.mkdir_p dir;
+        Array.init n_logs (fun j ->
+            Persist.Logger.create (Filename.concat dir (Printf.sprintf "log-0-%d" j))))
+  in
+  let stores = Array.map (fun logs -> Kvstore.Store.create ~logs ()) shard_logs in
+  let router = if n_shards > 1 then Some (Shard.Router.create stores) else None in
+  let route =
+    match router with
+    | None -> fun _ -> 0
+    | Some r -> Shard.Router.shard_of r
+  in
+  let all_logs = Array.concat (Array.to_list shard_logs) in
+  let replica = Repl.Replica.create ~route ~logs:all_logs stores in
+  let backend =
+    match router with
+    | None -> Kvserver.Engine.single ~snap_ttl_us stores.(0)
+    | Some r -> Kvserver.Engine.sharded ~snap_ttl_us r
+  in
+  Kvserver.Engine.set_readonly backend true;
+  let on_promote () =
+    Kvserver.Engine.set_readonly backend false;
+    log "promoted: now accepting writes"
+  in
+  Kvserver.Engine.set_repl_handler backend (Repl.Replica.handler ~on_promote replica);
+  (match router with
+  | None -> Kvstore.Store.register_obs stores.(0)
+  | Some r -> Shard.Router.register_obs r);
+  Repl.Replica.register_obs replica;
+  Obs.Trace.set_threshold_us (Obs.Registry.trace Obs.Registry.global) slow_us;
+  let server =
+    if use_reactor then Reactor (Kvserver.Reactor.start ~shards:net_domains listener backend)
+    else Threaded (Kvserver.Tcp.start listener backend)
+  in
+  (match front_addr server with
+  | Kvserver.Tcp.Tcp (h, p) ->
+      Printf.printf "mtd replica of %s listening on %s:%d\n%!"
+        (match primary with
+        | Kvserver.Tcp.Tcp (ph, pp) -> Printf.sprintf "%s:%d" ph pp
+        | Kvserver.Tcp.Unix_sock p -> p)
+        h p
+  | Kvserver.Tcp.Unix_sock p -> Printf.printf "mtd replica listening on %s\n%!" p);
+  let stop = Atomic.make false in
+  (* Pull-apply-ack driver: one session against the primary, reconnect
+     with backoff, optional auto-promotion once the primary is gone. *)
+  let driver =
+    Thread.create
+      (fun () ->
+        let client = ref None in
+        let drop c =
+          (try Kvserver.Tcp.disconnect c with _ -> ());
+          client := None
+        in
+        while not (Atomic.get stop) && not (Repl.Replica.is_promoted replica) do
+          match !client with
+          | None -> (
+              match Kvserver.Tcp.connect primary with
+              | c ->
+                  log "connected to primary";
+                  client := Some c
+              | exception _ ->
+                  if auto_promote && Repl.Replica.bootstrap_done replica then begin
+                    log "primary unreachable; auto-promoting";
+                    ignore (Repl.Replica.promote replica);
+                    on_promote ()
+                  end
+                  else Thread.delay 1.0)
+          | Some c -> (
+              let call req =
+                match Kvserver.Tcp.call c [ req ] with
+                | [ r ] -> r
+                | _ -> Kvserver.Protocol.Failed "bad reply arity"
+              in
+              match Repl.Replica.step replica ~call with
+              | `Continue -> ()
+              | `Caught_up -> Thread.delay 0.02
+              | `Promoted -> ()
+              | `Restart_needed ->
+                  (* Local state may now miss records and cannot be
+                     patched; a clean restart rebuilds from empty. *)
+                  Printf.eprintf
+                    "mtd: replication session evicted by primary; restart this \
+                     replica to rebuild\n\
+                     %!";
+                  exit 3
+              | `Error m ->
+                  Printf.eprintf "mtd: replication error: %s\n%!" m;
+                  drop c;
+                  Thread.delay 1.0
+              | exception (Failure _ | Unix.Unix_error _ | Sys_error _) -> drop c)
+        done;
+        match !client with Some c -> drop c | None -> ())
+      ()
+  in
+  (* Replicas keep MVCC pruning and snapshot-lease expiry moving but do
+     not checkpoint: startup always rebuilds from the primary. *)
+  let maint =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          Thread.delay 0.2;
+          ignore (Kvserver.Engine.sweep_snapshots backend);
+          Array.iter Kvstore.Store.prune stores
+        done)
+      ()
+  in
+  let quit = ref false in
+  let handler _ = quit := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+  while not !quit do
+    Unix.sleepf 0.2
+  done;
+  print_endline "shutting down";
+  Atomic.set stop true;
+  Thread.join driver;
+  Thread.join maint;
+  front_shutdown server;
+  Array.iter Kvstore.Store.close stores
+
 let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interval slow_us
-    use_reactor net_domains backlog n_shards hot_keys snap_ttl verbose =
+    use_reactor net_domains backlog n_shards hot_keys snap_ttl repl replica_of
+    auto_promote verbose =
   let log fmt =
     if verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
   in
@@ -63,6 +197,24 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
         Printf.eprintf "mtd: cannot listen: %s\n%!" (Unix.error_message e);
         exit 1
   in
+  match replica_of with
+  | Some primary_hostport ->
+      let primary =
+        match String.index_opt primary_hostport ':' with
+        | Some i ->
+            Kvserver.Tcp.Tcp
+              ( String.sub primary_hostport 0 i,
+                int_of_string
+                  (String.sub primary_hostport (i + 1)
+                     (String.length primary_hostport - i - 1)) )
+        | None -> Kvserver.Tcp.Tcp (primary_hostport, 7171)
+      in
+      run_replica
+        ~log:(fun s -> log "%s" s)
+        ~listener ~data_dir ~n_logs ~n_shards
+        ~snap_ttl_us:(Int64.of_float (snap_ttl *. 1e6))
+        ~slow_us ~use_reactor ~net_domains ~primary ~auto_promote
+  | None ->
   (* Recover every previous incarnation's state (live shard dirs, orphan
      shard dirs from a different --shards, legacy root-dir state), re-home
      it through this incarnation's router under the recovered versions,
@@ -93,6 +245,18 @@ let run listen unix_sock data_dir n_logs checkpoint_secs udp_ports stats_interva
     | None -> Kvserver.Engine.single ~snap_ttl_us stores.(0)
     | Some r -> Kvserver.Engine.sharded ~snap_ttl_us r
   in
+  (* Replication source (--repl): make every update log shippable and
+     answer Repl_* subscriptions on the serving connections. *)
+  if repl then begin
+    let all_logs = Array.concat (Array.to_list shard_logs) in
+    let route =
+      match router with None -> fun _ -> 0 | Some r -> Shard.Router.shard_of r
+    in
+    let src = Repl.Source.create ~route ~logs:all_logs stores in
+    Kvserver.Engine.set_repl_handler backend (Repl.Source.handler src);
+    Repl.Source.register_obs src;
+    log "replication source enabled (%d shippable logs)" (Array.length all_logs)
+  end;
   (* Live telemetry: the engine records per-request metrics on its own;
      gauges for the index and log buffers come from the store/router. *)
   (match router with
@@ -258,6 +422,15 @@ let hot_keys_t =
 let snap_ttl_t =
   Arg.(value & opt float 30.0 & info [ "snap-ttl" ] ~docv:"S" ~doc:"Snapshot lease TTL in seconds: a wire snapshot untouched for this long is expired and closed so a dead client cannot wedge version pruning.")
 
+let repl_t =
+  Arg.(value & flag & info [ "repl" ] ~doc:"Serve replication subscriptions: retain a bounded in-memory tail of each update log and answer Repl_* requests (snapshot bootstrap + log shipping) on the normal serving connections.")
+
+let replica_of_t =
+  Arg.(value & opt (some string) None & info [ "replica-of" ] ~docv:"HOST:PORT" ~doc:"Run as a read-only replica of the given primary: rebuild fresh local state, bootstrap over the wire, tail the primary's logs, and serve bounded-staleness reads.  Promote with mtclient repl-promote (or --auto-promote).")
+
+let auto_promote_t =
+  Arg.(value & flag & info [ "auto-promote" ] ~doc:"With --replica-of: if the primary becomes unreachable after bootstrap completes, promote automatically and start accepting writes.")
+
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
 let cmd =
@@ -266,6 +439,6 @@ let cmd =
     Term.(
       const run $ listen_t $ unix_t $ data_t $ logs_t $ ckpt_t $ udp_t $ stats_t
       $ slow_t $ reactor_t $ net_domains_t $ backlog_t $ shards_t $ hot_keys_t
-      $ snap_ttl_t $ verbose_t)
+      $ snap_ttl_t $ repl_t $ replica_of_t $ auto_promote_t $ verbose_t)
 
 let () = exit (Cmd.eval cmd)

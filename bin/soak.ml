@@ -27,7 +27,7 @@
 open Cmdliner
 
 let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_shards
-    zipf_theta verbose =
+    zipf_theta replica_mode verbose =
   let n_shards = max 1 n_shards in
   let dir = Filename.temp_file "soak" "" in
   Sys.remove dir;
@@ -38,12 +38,12 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_
     Array.init n_shards (fun s ->
         List.init domains (fun d -> Filename.concat dir (Printf.sprintf "s%d-log%d" s d)))
   in
-  let stores =
+  let shard_loggers =
     Array.map
-      (fun paths ->
-        Kvstore.Store.create ~logs:(Array.of_list (List.map Persist.Logger.create paths)) ())
+      (fun paths -> Array.of_list (List.map Persist.Logger.create paths))
       shard_log_paths
   in
+  let stores = Array.map (fun logs -> Kvstore.Store.create ~logs ()) shard_loggers in
   let store = stores.(0) in
   let router =
     if n_shards = 1 then None
@@ -116,6 +116,57 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_
         Atomic.incr failures;
         Printf.eprintf "SOAK FAILURE: %s\n%!" m)
       fmt
+  in
+  (* --replica: an in-process log-shipping replica bootstraps from the
+     live tier and tails it for the whole run, racing every writer; at
+     the end it drains to lag 0 and its contents are diffed against the
+     quiesced primary (the strongest oracle the subsystem offers), then
+     it is promoted and re-verified — kill-and-promote with zero lost or
+     resurrected keys (docs/REPLICATION.md). *)
+  let route_key =
+    match router with None -> fun _ -> 0 | Some r -> Shard.Router.shard_of r
+  in
+  let repl =
+    if not replica_mode then None
+    else begin
+      let src =
+        Repl.Source.create ~route:route_key
+          ~logs:(Array.concat (Array.to_list shard_loggers))
+          stores
+      in
+      (* Replica stores are unlogged: soak checks replication fidelity,
+         not replica durability (lib/repl's torture covers that). *)
+      let make_replica () =
+        let rstores = Array.init n_shards (fun _ -> Kvstore.Store.create ()) in
+        (rstores, Repl.Replica.create ~route:route_key ~logs:[||] rstores)
+      in
+      let state = ref (make_replica ()) in
+      let call req = Repl.Source.handler src ~worker:0 req in
+      let restarts = ref 0 in
+      let thread =
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              let _, rep = !state in
+              match Repl.Replica.step rep ~call with
+              | `Continue -> ()
+              | `Caught_up -> Thread.delay 0.005
+              | `Restart_needed ->
+                  (* Fell off the bounded tail ring under write pressure:
+                     the contract is rebuild-from-empty, so do exactly
+                     that and keep going. *)
+                  incr restarts;
+                  state := make_replica ()
+              | `Error m ->
+                  fail "replica: %s" m;
+                  Thread.delay 0.1
+              | `Promoted -> Thread.delay 0.1
+            done)
+          ()
+      in
+      if verbose then Printf.printf "soak: in-process replica subscribed\n%!";
+      Some (src, state, call, thread, restarts)
+    end
   in
   (* Direct-mode ops against whichever tier we target; the router calls
      go through the hot-key cache exactly like served traffic. *)
@@ -432,6 +483,93 @@ let run seconds domains keyspace checkpoint_every stats_interval net pipeline n_
         (fun k v -> if final_get k <> Some v then fail "domain %d: final state lost %s" d k)
         oracle)
     oracles;
+  (* 2b. replica fidelity at the quiesced cut + kill-and-promote *)
+  (match repl with
+  | None -> ()
+  | Some (_src, state, call, thread, restarts) ->
+      Thread.join thread;
+      (* Writers are quiesced; drain the tail to lag 0 (one rebuild
+         allowed in case the ring evicted us right at the end). *)
+      let rec drained attempts =
+        let _, rep = !state in
+        match Repl.Replica.catch_up rep ~call with
+        | `Caught_up -> true
+        | `Restart_needed when attempts > 0 ->
+            incr restarts;
+            state :=
+              (let rstores = Array.init n_shards (fun _ -> Kvstore.Store.create ()) in
+               (rstores, Repl.Replica.create ~route:route_key ~logs:[||] rstores));
+            drained (attempts - 1)
+        | `Restart_needed -> fail "replica: could not converge (ring eviction loop)"; false
+        | `Error m -> fail "replica drain: %s" m; false
+        | `Promoted -> fail "replica: promoted before drain"; false
+        | `Gave_up -> fail "replica: gave up before lag 0"; false
+      in
+      if drained 2 then begin
+        let rstores, rep = !state in
+        (* Pinned-cut equality: per shard, the replica must hold exactly
+           the primary's live bindings — nothing lost, nothing
+           resurrected (a missed remove shows up here as an extra key). *)
+        let dump st =
+          let h = Hashtbl.create 4096 in
+          ignore
+            (Kvstore.Store.getrange st ~start:"" ~limit:max_int (fun k v ->
+                 Hashtbl.replace h k v));
+          h
+        in
+        let diff s a b =
+          Hashtbl.iter
+            (fun k v ->
+              match Hashtbl.find_opt b k with
+              | Some v' when v' = v -> ()
+              | Some _ -> fail "replica shard %d: wrong value for %s" s k
+              | None -> fail "replica shard %d: lost %s" s k)
+            a;
+          Hashtbl.iter
+            (fun k _ ->
+              if not (Hashtbl.mem a k) then
+                fail "replica shard %d: resurrected %s" s k)
+            b
+        in
+        let applied_before = Repl.Replica.applied rep in
+        Array.iteri (fun s st -> diff s (dump st) (dump rstores.(s))) stores;
+        (* Bounded-staleness contract: at lag 0 a floor equal to the
+           primary's clock must be served; an unreachable floor must not. *)
+        Array.iteri
+          (fun s st ->
+            let floor = Kvstore.Store.max_version st in
+            let probe = Printf.sprintf "d0-%06d" 0 in
+            if route_key probe = s then begin
+              (match Repl.Replica.read rep ~key:probe ~columns:[] ~floor with
+              | Kvserver.Protocol.Value _ -> ()
+              | _ -> fail "replica shard %d: fresh read refused at floor %Ld" s floor);
+              match
+                Repl.Replica.read rep ~key:probe ~columns:[] ~floor:Int64.max_int
+              with
+              | Kvserver.Protocol.Repl_stale _ -> ()
+              | _ -> fail "replica shard %d: served an unreachable floor" s
+            end)
+          stores;
+        (* Kill the primary (stop calling it) and promote: contents must
+           be byte-identical to the pre-promotion state and the promoted
+           tier must accept writes with fresh versions. *)
+        ignore (Repl.Replica.promote rep);
+        Array.iteri (fun s st -> diff s (dump st) (dump rstores.(s))) stores;
+        let applied_after = Repl.Replica.applied rep in
+        if applied_after < applied_before then
+          fail "replica: promotion regressed the applied clock";
+        let wkey = "promoted-write-probe" in
+        Kvstore.Store.put rstores.(route_key wkey) wkey [| "pp" |];
+        (match Kvstore.Store.get rstores.(route_key wkey) wkey with
+        | Some [| "pp" |] -> ()
+        | _ -> fail "replica: promoted tier refused a write");
+        Printf.printf
+          "soak: replica converged to lag 0 (%d session restart(s), %d records \
+           applied), promote verified\n\
+           %!"
+          !restarts
+          (Repl.Replica.applied_count rep)
+      end);
   (* 3. crash recovery equivalence: recover every shard from its own logs
      + checkpoints, re-assemble the tier, and verify each oracle again *)
   (match router with
@@ -500,6 +638,9 @@ let shards_t =
 let zipf_t =
   Arg.(value & opt float 0.0 & info [ "zipf" ] ~docv:"THETA" ~doc:"Draw keys Zipfian with skew THETA (e.g. 0.99) instead of uniformly — heats the hot-key cache so its invalidation protocol gets exercised under oracle checking.  0 = uniform.")
 
+let replica_t =
+  Arg.(value & flag & info [ "replica" ] ~doc:"Run an in-process log-shipping replica for the whole soak (bootstrap races live writers, steady-state tailing), then verify it converges to exact equality with the quiesced primary and survives kill-and-promote with zero lost or resurrected keys.")
+
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress output.")
 
 let cmd =
@@ -507,6 +648,6 @@ let cmd =
     (Cmd.info "soak" ~doc:"Randomized concurrency + persistence soak test")
     Term.(
       const run $ seconds_t $ domains_t $ keys_t $ ckpt_t $ stats_t $ net_t
-      $ pipeline_t $ shards_t $ zipf_t $ verbose_t)
+      $ pipeline_t $ shards_t $ zipf_t $ replica_t $ verbose_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,9 +8,11 @@ type t = {
   mutable frozen : bool;
   mutable generation : int; (* bumped at crash; handles check it *)
   mutable write_chunk : int option;
+  mutable bit_flips : bool;
   mutable writes : int;
   mutable fsyncs : int;
   mutable ncrashes : int;
+  mutable nflipped : int;
 }
 
 type stats = { files : int; writes : int; fsyncs : int; crashes : int }
@@ -24,9 +26,11 @@ let create ~seed =
     frozen = false;
     generation = 0;
     write_chunk = None;
+    bit_flips = false;
     writes = 0;
     fsyncs = 0;
     ncrashes = 0;
+    nflipped = 0;
   }
 
 let with_lock t f =
@@ -36,6 +40,10 @@ let with_lock t f =
 let freeze t = with_lock t (fun () -> t.frozen <- true)
 
 let set_write_chunk t k = with_lock t (fun () -> t.write_chunk <- k)
+
+let set_bit_flips t on = with_lock t (fun () -> t.bit_flips <- on)
+
+let flipped_bits t = with_lock t (fun () -> t.nflipped)
 
 (* Loss model for one file's volatile suffix.  Three deterministic-from-
    seed regimes so a sweep over variants covers "everything unsynced
@@ -63,10 +71,27 @@ let crash t =
           let f = Hashtbl.find t.files n in
           let len = Buffer.length f.data in
           let keep = f.synced + surviving_volatile t (len - f.synced) in
-          if keep < len then begin
-            let surv = Buffer.sub f.data 0 keep in
+          (* Bit-flip model (off by default so existing seeds draw the
+             same RNG stream): half the crashes corrupt one bit of a
+             random byte in the surviving *volatile* suffix — an
+             in-flight write scrambled mid-DMA.  Durable bytes are never
+             touched: fsynced data staying intact is the contract the
+             rest of the harness verifies. *)
+          let flip_at =
+            if t.bit_flips && keep > f.synced && Xutil.Rng.int t.rng 2 = 0 then
+              Some (f.synced + Xutil.Rng.int t.rng (keep - f.synced))
+            else None
+          in
+          if keep < len || flip_at <> None then begin
+            let surv = Bytes.of_string (Buffer.sub f.data 0 keep) in
+            (match flip_at with
+            | Some i ->
+                Bytes.set surv i
+                  (Char.chr (Char.code (Bytes.get surv i) lxor (1 lsl Xutil.Rng.int t.rng 8)));
+                t.nflipped <- t.nflipped + 1
+            | None -> ());
             let b = Buffer.create (max 64 keep) in
-            Buffer.add_string b surv;
+            Buffer.add_bytes b surv;
             f.data <- b
           end;
           f.synced <- min f.synced keep)

@@ -37,6 +37,18 @@ val set_write_chunk : t -> int option -> unit
     bytes — short-write injection to exercise write loops.  [None]
     restores full writes. *)
 
+val set_bit_flips : t -> bool -> unit
+(** Enable the bit-flip corruption model (default off, so existing
+    seeds replay unchanged): at {!crash}, half the affected files get
+    one bit of a random byte in the {e surviving volatile} suffix
+    flipped — an in-flight write scrambled mid-transfer.  Durable
+    (fsynced) bytes are never corrupted.  Exercises the CRC framing:
+    recovery and replica apply must detect the damaged record instead
+    of replaying garbage. *)
+
+val flipped_bits : t -> int
+(** Bits flipped by the corruption model across all crashes so far. *)
+
 val durable_size : t -> string -> int
 (** Durable bytes of a file (0 if absent). *)
 

@@ -4,7 +4,7 @@
 
 let reg = Obs.Registry.global
 
-let kind_names = [| "get"; "put"; "put_cols"; "remove"; "scan"; "stats"; "snap" |]
+let kind_names = [| "get"; "put"; "put_cols"; "remove"; "scan"; "stats"; "snap"; "repl" |]
 
 let kind_of = function
   | Protocol.Get _ -> 0
@@ -16,19 +16,26 @@ let kind_of = function
   | Protocol.Snap_open | Protocol.Snap_read _ | Protocol.Snap_range _
   | Protocol.Snap_close _ ->
       6
+  | Protocol.Repl_open | Protocol.Repl_batch _ | Protocol.Repl_ack _
+  | Protocol.Repl_status | Protocol.Repl_promote | Protocol.Repl_read _ ->
+      7
 
 let key_of = function
   | Protocol.Get { key; _ }
   | Protocol.Put { key; _ }
   | Protocol.Put_cols { key; _ }
   | Protocol.Remove key
-  | Protocol.Snap_read { key; _ } ->
+  | Protocol.Snap_read { key; _ }
+  | Protocol.Repl_read { key; _ } ->
       key
   | Protocol.Getrange { start; _ }
   | Protocol.Getrange_rev { start; _ }
   | Protocol.Snap_range { start; _ } ->
       start
-  | Protocol.Stats | Protocol.Snap_open | Protocol.Snap_close _ -> ""
+  | Protocol.Stats | Protocol.Snap_open | Protocol.Snap_close _ | Protocol.Repl_open
+  | Protocol.Repl_batch _ | Protocol.Repl_ack _ | Protocol.Repl_status
+  | Protocol.Repl_promote ->
+      ""
 
 let op_counters = Array.map (fun k -> Obs.Registry.counter reg ("ops." ^ k)) kind_names
 
@@ -57,7 +64,18 @@ type snap_handle =
   | Snap_single of Kvstore.Store.Snapshot.snap
   | Snap_sharded of Shard.Router.Snapshot.snap
 
-type backend = { target : target; leases : snap_handle Mvcc.Lease.t }
+(* [repl_handler] is dependency inversion: lib/repl sits above this
+   library (it needs Protocol), so the daemon injects the Repl_* service
+   — a Source on the primary, a Replica on a standby — after building
+   the backend.  [readonly] is the replica serving contract: client
+   writes are rejected until promotion flips it off (replication applies
+   through the store layer directly, not through [execute_op]). *)
+type backend = {
+  target : target;
+  leases : snap_handle Mvcc.Lease.t;
+  mutable repl_handler : (worker:int -> Protocol.request -> Protocol.response) option;
+  mutable readonly : bool;
+}
 
 let close_snap_handle = function
   | Snap_single s -> Kvstore.Store.Snapshot.close s
@@ -72,7 +90,15 @@ let make_backend ?(snap_ttl_us = default_snap_ttl_us) target =
       Mvcc.Lease.create ~ttl_us:snap_ttl_us
         ~on_expire:(fun _id h -> close_snap_handle h)
         ();
+    repl_handler = None;
+    readonly = false;
   }
+
+let set_repl_handler b h = b.repl_handler <- Some h
+
+let set_readonly b v = b.readonly <- v
+
+let is_readonly b = b.readonly
 
 let single ?snap_ttl_us s = make_backend ?snap_ttl_us (Single s)
 
@@ -181,6 +207,24 @@ let b_snap_close b snap =
 
 let execute_op ~worker backend req =
   match req with
+  | (Protocol.Put _ | Protocol.Put_cols _ | Protocol.Remove _) when backend.readonly ->
+      Protocol.Failed "read-only replica (promote to accept writes)"
+  | Protocol.Repl_open | Protocol.Repl_batch _ | Protocol.Repl_ack _
+  | Protocol.Repl_status | Protocol.Repl_promote -> (
+      match backend.repl_handler with
+      | Some h -> h ~worker req
+      | None -> Protocol.Failed "replication not enabled")
+  | Protocol.Repl_read { key; columns; floor = _ } -> (
+      (* Replicas answer through their handler (floor vs. applied clock);
+         a primary is trivially fresh — the floor came from its own
+         clock — so it serves the read directly. *)
+      match backend.repl_handler with
+      | Some h -> h ~worker req
+      | None ->
+          Protocol.Value
+            (match columns with
+            | [] -> b_get ~worker backend key
+            | cols -> b_get_columns ~worker backend key cols))
   | Protocol.Get { key; columns = [] } -> Protocol.Value (b_get ~worker backend key)
   | Protocol.Get { key; columns } ->
       Protocol.Value (b_get_columns ~worker backend key columns)

@@ -24,6 +24,24 @@ val sweep_snapshots : backend -> int
 val open_snapshots : backend -> int
 (** Currently leased wire snapshots. *)
 
+val set_repl_handler :
+  backend -> (worker:int -> Protocol.request -> Protocol.response) -> unit
+(** Install the [Repl_*] service (docs/REPLICATION.md).  This library
+    sits below [lib/repl], so the daemon injects the handler — a
+    [Repl.Source] on a primary, a [Repl.Replica] on a standby — after
+    building the backend.  Without one, [Repl_open/batch/ack/status/
+    promote] answer [Failed "replication not enabled"] and [Repl_read]
+    degrades to a plain get (a primary is trivially fresh: any floor a
+    client holds came from its clock). *)
+
+val set_readonly : backend -> bool -> unit
+(** Replica serving contract: while set, client [Put]/[Put_cols]/
+    [Remove] are rejected with [Failed].  Replication itself applies
+    through the store layer directly, so it is unaffected.  Promotion
+    flips this off. *)
+
+val is_readonly : backend -> bool
+
 val execute : worker:int -> backend -> Protocol.request -> Protocol.response
 (** [execute ~worker backend req] runs one request; [worker] selects the
     update log (one per query worker, §5).  Never raises: failures come

@@ -12,6 +12,28 @@ type request =
   | Snap_read of { snap : int64; key : string; columns : int list }
   | Snap_range of { snap : int64; start : string; count : int; columns : int list }
   | Snap_close of int64
+  | Repl_open
+  | Repl_batch of { session : int64; max_bytes : int }
+  | Repl_ack of { session : int64; applied : int64 array }
+  | Repl_status
+  | Repl_promote
+  | Repl_read of { key : string; columns : int list; floor : int64 }
+
+type repl_phase = Repl_snapshot | Repl_tail | Repl_restart
+
+type repl_peer = {
+  peer_session : int64;
+  peer_lag : int;
+  peer_applied : int64 array;
+}
+
+type repl_status = {
+  repl_role : string;
+  repl_applied : int64 array;
+  repl_horizon : int array;
+  repl_retained : int;
+  repl_peers : repl_peer list;
+}
 
 (* Why a snapshot id stopped working: [Snap_expired] = the lease existed
    and timed out (reopen and retry); [Snap_unknown] = this server never
@@ -34,6 +56,12 @@ type response =
   | Snap_opened of int64
   | Snap_closed
   | Snap_failed of snap_error
+  | Repl_opened of { session : int64; versions : int64 array }
+  | Repl_records of { phase : repl_phase; frames : string list; done_ : bool }
+  | Repl_acked
+  | Repl_status_reply of repl_status
+  | Repl_promoted of { versions : int64 array }
+  | Repl_stale of { applied : int64 }
 
 let write_int_list w l =
   Binio.write_varint w (List.length l);
@@ -51,6 +79,24 @@ let read_cols r =
   let n = Binio.read_varint r in
   if n > 1 lsl 20 then raise Binio.Truncated;
   Array.init n (fun _ -> Binio.read_string r)
+
+let write_u64_array w a =
+  Binio.write_varint w (Array.length a);
+  Array.iter (Binio.write_u64 w) a
+
+let read_u64_array r =
+  let n = Binio.read_varint r in
+  if n > 1 lsl 16 then raise Binio.Truncated;
+  Array.init n (fun _ -> Binio.read_u64 r)
+
+let write_string_list w l =
+  Binio.write_varint w (List.length l);
+  List.iter (Binio.write_string w) l
+
+let read_string_list r =
+  let n = Binio.read_varint r in
+  if n > 1 lsl 20 then raise Binio.Truncated;
+  List.init n (fun _ -> Binio.read_string r)
 
 let encode_request w = function
   | Get { key; columns } ->
@@ -99,6 +145,22 @@ let encode_request w = function
   | Snap_close snap ->
       Binio.write_u8 w 11;
       Binio.write_u64 w snap
+  | Repl_open -> Binio.write_u8 w 12
+  | Repl_batch { session; max_bytes } ->
+      Binio.write_u8 w 13;
+      Binio.write_u64 w session;
+      Binio.write_varint w max_bytes
+  | Repl_ack { session; applied } ->
+      Binio.write_u8 w 14;
+      Binio.write_u64 w session;
+      write_u64_array w applied
+  | Repl_status -> Binio.write_u8 w 15
+  | Repl_promote -> Binio.write_u8 w 16
+  | Repl_read { key; columns; floor } ->
+      Binio.write_u8 w 17;
+      Binio.write_string w key;
+      write_int_list w columns;
+      Binio.write_u64 w floor
 
 let decode_request r =
   match Binio.read_u8 r with
@@ -139,6 +201,19 @@ let decode_request r =
       let count = Binio.read_varint r in
       Snap_range { snap; start; count; columns = read_int_list r }
   | 11 -> Snap_close (Binio.read_u64 r)
+  | 12 -> Repl_open
+  | 13 ->
+      let session = Binio.read_u64 r in
+      Repl_batch { session; max_bytes = Binio.read_varint r }
+  | 14 ->
+      let session = Binio.read_u64 r in
+      Repl_ack { session; applied = read_u64_array r }
+  | 15 -> Repl_status
+  | 16 -> Repl_promote
+  | 17 ->
+      let key = Binio.read_string r in
+      let columns = read_int_list r in
+      Repl_read { key; columns; floor = Binio.read_u64 r }
   | _ -> raise Binio.Truncated
 
 let encode_response w = function
@@ -171,6 +246,36 @@ let encode_response w = function
   | Snap_failed e ->
       Binio.write_u8 w 10;
       Binio.write_u8 w (match e with Snap_unknown -> 0 | Snap_expired -> 1)
+  | Repl_opened { session; versions } ->
+      Binio.write_u8 w 11;
+      Binio.write_u64 w session;
+      write_u64_array w versions
+  | Repl_records { phase; frames; done_ } ->
+      Binio.write_u8 w 12;
+      Binio.write_u8 w
+        (match phase with Repl_snapshot -> 0 | Repl_tail -> 1 | Repl_restart -> 2);
+      write_string_list w frames;
+      Binio.write_u8 w (if done_ then 1 else 0)
+  | Repl_acked -> Binio.write_u8 w 13
+  | Repl_status_reply s ->
+      Binio.write_u8 w 14;
+      Binio.write_string w s.repl_role;
+      write_u64_array w s.repl_applied;
+      write_int_list w (Array.to_list s.repl_horizon);
+      Binio.write_varint w s.repl_retained;
+      Binio.write_varint w (List.length s.repl_peers);
+      List.iter
+        (fun p ->
+          Binio.write_u64 w p.peer_session;
+          Binio.write_varint w p.peer_lag;
+          write_u64_array w p.peer_applied)
+        s.repl_peers
+  | Repl_promoted { versions } ->
+      Binio.write_u8 w 15;
+      write_u64_array w versions
+  | Repl_stale { applied } ->
+      Binio.write_u8 w 16;
+      Binio.write_u64 w applied
 
 let decode_response r =
   match Binio.read_u8 r with
@@ -193,6 +298,36 @@ let decode_response r =
       | 0 -> Snap_failed Snap_unknown
       | 1 -> Snap_failed Snap_expired
       | _ -> raise Binio.Truncated)
+  | 11 ->
+      let session = Binio.read_u64 r in
+      Repl_opened { session; versions = read_u64_array r }
+  | 12 ->
+      let phase =
+        match Binio.read_u8 r with
+        | 0 -> Repl_snapshot
+        | 1 -> Repl_tail
+        | 2 -> Repl_restart
+        | _ -> raise Binio.Truncated
+      in
+      let frames = read_string_list r in
+      Repl_records { phase; frames; done_ = Binio.read_u8 r = 1 }
+  | 13 -> Repl_acked
+  | 14 ->
+      let repl_role = Binio.read_string r in
+      let repl_applied = read_u64_array r in
+      let repl_horizon = Array.of_list (read_int_list r) in
+      let repl_retained = Binio.read_varint r in
+      let npeers = Binio.read_varint r in
+      if npeers > 1 lsl 16 then raise Binio.Truncated;
+      let repl_peers =
+        List.init npeers (fun _ ->
+            let peer_session = Binio.read_u64 r in
+            let peer_lag = Binio.read_varint r in
+            { peer_session; peer_lag; peer_applied = read_u64_array r })
+      in
+      Repl_status_reply { repl_role; repl_applied; repl_horizon; repl_retained; repl_peers }
+  | 15 -> Repl_promoted { versions = read_u64_array r }
+  | 16 -> Repl_stale { applied = Binio.read_u64 r }
   | _ -> raise Binio.Truncated
 
 let encode_batch encode items =
@@ -301,3 +436,10 @@ let pp_request fmt = function
   | Snap_range { snap; start; count; _ } ->
       Format.fprintf fmt "snap_range #%Ld %S %d" snap start count
   | Snap_close snap -> Format.fprintf fmt "snap_close #%Ld" snap
+  | Repl_open -> Format.fprintf fmt "repl_open"
+  | Repl_batch { session; max_bytes } ->
+      Format.fprintf fmt "repl_batch #%Ld %d" session max_bytes
+  | Repl_ack { session; _ } -> Format.fprintf fmt "repl_ack #%Ld" session
+  | Repl_status -> Format.fprintf fmt "repl_status"
+  | Repl_promote -> Format.fprintf fmt "repl_promote"
+  | Repl_read { key; floor; _ } -> Format.fprintf fmt "repl_read %S @%Ld" key floor

@@ -29,6 +29,43 @@ type request =
   | Snap_range of { snap : int64; start : string; count : int; columns : int list }
       (** consistent ascending scan at the snapshot's cut *)
   | Snap_close of int64
+  | Repl_open
+      (** subscribe a replica (docs/REPLICATION.md): the primary captures
+          every log's tail cursor, {e then} pins a bootstrap snapshot —
+          the overlap means a record can arrive twice (snapshot and
+          tail), never zero times; the per-key version guard dedups *)
+  | Repl_batch of { session : int64; max_bytes : int }
+      (** pull the next batch of record frames for the session *)
+  | Repl_ack of { session : int64; applied : int64 array }
+      (** report the replica's per-shard applied version clock; lets the
+          primary trim its tail retention and report lag *)
+  | Repl_status (** replication role/horizon/lag (both roles answer) *)
+  | Repl_promote
+      (** seal a replica's tail and flip it to primary (writes accepted
+          after the reply) *)
+  | Repl_read of { key : string; columns : int list; floor : int64 }
+      (** bounded-staleness read: answered only if the owning shard's
+          applied clock is [>= floor], else {!Repl_stale} *)
+
+(** Where a {!Repl_records} batch came from: the bootstrap snapshot feed,
+    the live log tail, or [Repl_restart] — the primary evicted frames the
+    session had not consumed (or restarted); the replica must rebuild
+    from a fresh subscription. *)
+type repl_phase = Repl_snapshot | Repl_tail | Repl_restart
+
+type repl_peer = {
+  peer_session : int64;
+  peer_lag : int; (** retained records past the peer's cursor, all logs *)
+  peer_applied : int64 array; (** per-shard clock from the peer's last ack *)
+}
+
+type repl_status = {
+  repl_role : string; (** "primary" | "replica" *)
+  repl_applied : int64 array; (** this node's per-shard version clock *)
+  repl_horizon : int array; (** per-log shipping horizon (next tail seq) *)
+  repl_retained : int; (** bytes retained across tail rings *)
+  repl_peers : repl_peer list; (** subscribed replicas (primary only) *)
+}
 
 (** Why a snapshot id stopped working: [Snap_expired] — the lease existed
     and timed out (reopen and retry); [Snap_unknown] — never granted by
@@ -49,6 +86,17 @@ type response =
   | Snap_opened of int64 (** for Snap_open *)
   | Snap_closed (** for Snap_close *)
   | Snap_failed of snap_error (** for any Snap_* call on a dead id *)
+  | Repl_opened of { session : int64; versions : int64 array }
+      (** session id + the pinned bootstrap snapshot's per-shard cut *)
+  | Repl_records of { phase : repl_phase; frames : string list; done_ : bool }
+      (** [frames] are {!Persist.Logrec} frames with their CRC framing
+          intact — the replica re-verifies each before applying.
+          [done_] in the snapshot phase marks bootstrap complete. *)
+  | Repl_acked
+  | Repl_status_reply of repl_status
+  | Repl_promoted of { versions : int64 array } (** adopted per-shard clock *)
+  | Repl_stale of { applied : int64 }
+      (** the shard's applied clock was below the requested floor *)
 
 val encode_requests : request list -> string
 (** A complete frame. *)

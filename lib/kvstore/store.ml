@@ -552,6 +552,40 @@ module Snapshot = struct
       !emitted
     end
 
+  (* Replication bootstrap feed: [getrange] that also yields each
+     resolved entry's version, so the receiver can apply through the
+     version-carrying migrate path and a concurrent log tail can race
+     the feed safely (newest version wins either way).  Tombstones at
+     the cut are skipped — the feed seeds an empty store. *)
+  let getrange_versioned s ~start ~limit f =
+    check_open s;
+    if limit <= 0 then 0
+    else begin
+      let at = version s in
+      let emitted = ref 0 in
+      let exception Done in
+      (try
+         ignore
+           (Tree.scan s.sstore.tree ~start ~limit:max_int (fun k st ->
+                Schedpoint.hit sp_snap_read;
+                let resolved =
+                  if Int64.compare st.sversion at <= 0 then
+                    Some (st.sversion, st.scontent)
+                  else
+                    match Mvcc.Chain.find st.schain ~at with
+                    | Some e -> Some (e.Mvcc.Chain.version, e.Mvcc.Chain.payload)
+                    | None -> None
+                in
+                match resolved with
+                | None | Some (_, None) -> ()
+                | Some (v, Some content) ->
+                    f k v (unpack content);
+                    incr emitted;
+                    if !emitted >= limit then raise Done))
+       with Done -> ());
+      !emitted
+    end
+
   let close s =
     if not (Atomic.exchange s.sclosed true) then begin
       Mvcc.Horizon.close s.sstore.snaps s.ticket;

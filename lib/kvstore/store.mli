@@ -116,6 +116,16 @@ module Snapshot : sig
       key's state as of {!version}, tombstones and later-born keys
       skipped. *)
 
+  val getrange_versioned :
+    snap -> start:string -> limit:int ->
+    (string -> int64 -> string array -> unit) -> int
+  (** {!getrange} that also yields each entry's resolved write version —
+      the replication bootstrap feed: the receiver applies through
+      {!migrate_put} so a concurrent log tail can race the feed safely
+      (the per-key replay guard keeps the newest version either way).
+      Tombstones at the cut are skipped (the feed seeds an empty
+      store). *)
+
   val close : snap -> unit
   (** Release the pin (idempotent) and schedule pruning of entries only
       this snapshot could read.  Reads after [close] raise

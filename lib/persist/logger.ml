@@ -1,3 +1,18 @@
+(* Shipping tail: a bounded ring of encoded record frames retained after
+   they enter the log buffer, so replication cursors can stream the live
+   log without re-reading the file.  Frames keep their CRC framing —
+   replicas re-verify with [Logrec.decode].  Sequence numbers are
+   per-logger and monotonic; when retention evicts frames a cursor has
+   not consumed yet, reads below [base_seq] report [`Gone] and the
+   subscriber must re-bootstrap. *)
+type tail_ring = {
+  frames : string Queue.t; (* oldest first; seq of front = base_seq *)
+  mutable base_seq : int;
+  mutable next_seq : int;
+  mutable ring_bytes : int;
+  cap_bytes : int;
+}
+
 type t = {
   vfs : Faultsim.Vfs.t;
   mutable lpath : string;
@@ -16,6 +31,7 @@ type t = {
   stop : bool Atomic.t;
   flush_request : bool Atomic.t;
   mutable flusher : Thread.t option;
+  mutable tail_ring : tail_ring option; (* under [lock] *)
 }
 
 (* Process-wide log telemetry (lib/obs): shared names, so a store's whole
@@ -81,12 +97,23 @@ let flush_now t =
         Obs.Registry.observe lag_h
           (max 0 (Int64.to_int (Int64.sub (Xutil.Clock.wall_us ()) oldest)))
 
+let tail_push r encoded =
+  Queue.push encoded r.frames;
+  r.next_seq <- r.next_seq + 1;
+  r.ring_bytes <- r.ring_bytes + String.length encoded;
+  while r.ring_bytes > r.cap_bytes && Queue.length r.frames > 1 do
+    let dropped = Queue.pop r.frames in
+    r.ring_bytes <- r.ring_bytes - String.length dropped;
+    r.base_seq <- r.base_seq + 1
+  done
+
 let append_record t record =
   let encoded = Logrec.encode_string record in
   Xutil.Spinlock.with_lock t.lock (fun () ->
       if Buffer.length t.buf = 0 then t.oldest_us <- Xutil.Clock.wall_us ();
       Buffer.add_string t.buf encoded;
       t.nappended <- t.nappended + 1;
+      (match t.tail_ring with Some r -> tail_push r encoded | None -> ());
       Buffer.length t.buf >= t.buffer_limit)
 
 let flusher_loop t () =
@@ -134,6 +161,7 @@ let create ?(vfs = Faultsim.Vfs.real) ?(buffer_limit = 1 lsl 20)
       stop = Atomic.make false;
       flush_request = Atomic.make false;
       flusher = None;
+      tail_ring = None;
     }
   in
   if not (synchronous || manual) then
@@ -209,6 +237,69 @@ let flushes t = t.nflushes
 
 (* Racy by design: sampled by an obs gauge while appenders run. *)
 let buffered_bytes t = Buffer.length t.buf
+
+(* {1 Shipping tail} *)
+
+let enable_tail ?(cap_bytes = 1 lsl 24) t =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      match t.tail_ring with
+      | Some _ -> ()
+      | None ->
+          t.tail_ring <-
+            Some
+              {
+                frames = Queue.create ();
+                base_seq = 0;
+                next_seq = 0;
+                ring_bytes = 0;
+                cap_bytes = max 4096 cap_bytes;
+              })
+
+let tail_next_seq t =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      match t.tail_ring with None -> 0 | Some r -> r.next_seq)
+
+let read_tail t ~from ~max_bytes =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      match t.tail_ring with
+      | None -> `Gone
+      | Some r ->
+          if from < r.base_seq then `Gone
+          else if from >= r.next_seq then `Ok ([], from)
+          else begin
+            (* Walk from the ring's front, skipping the consumed prefix. *)
+            let skip = from - r.base_seq in
+            let out = ref [] and taken = ref 0 and bytes = ref 0 and i = ref 0 in
+            (try
+               Queue.iter
+                 (fun frame ->
+                   if !i >= skip then begin
+                     if !bytes > 0 && !bytes + String.length frame > max_bytes then
+                       raise Exit;
+                     out := frame :: !out;
+                     bytes := !bytes + String.length frame;
+                     incr taken
+                   end;
+                   incr i)
+                 r.frames
+             with Exit -> ());
+            `Ok (List.rev !out, from + !taken)
+          end)
+
+let trim_tail t ~below =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      match t.tail_ring with
+      | None -> ()
+      | Some r ->
+          while r.base_seq < below && not (Queue.is_empty r.frames) do
+            let dropped = Queue.pop r.frames in
+            r.ring_bytes <- r.ring_bytes - String.length dropped;
+            r.base_seq <- r.base_seq + 1
+          done)
+
+let tail_bytes t =
+  Xutil.Spinlock.with_lock t.lock (fun () ->
+      match t.tail_ring with None -> 0 | Some r -> r.ring_bytes)
 
 type tail = { ending : [ `Clean | `Truncated | `Corrupt ]; skipped_bytes : int }
 

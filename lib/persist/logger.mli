@@ -89,6 +89,39 @@ val buffered_bytes : t -> int
 (** Bytes currently buffered and not yet flushed (racy estimate; the
     [Obs] gauge source). *)
 
+(** {1 Shipping tail (lib/repl)}
+
+    An enabled tail retains every encoded record frame (CRC framing
+    intact) in a bounded in-memory ring as it enters the log buffer, so
+    replication cursors can stream the live log without re-reading the
+    file.  Sequences are per-logger and monotonic from the moment the
+    tail is enabled.  Note the shipping horizon can lead the durable
+    horizon: a frame is visible to [read_tail] as soon as it is
+    buffered, possibly before its group-commit fsync. *)
+
+val enable_tail : ?cap_bytes:int -> t -> unit
+(** Start retaining frames (idempotent).  [cap_bytes] (default 16 MiB)
+    bounds the ring; when exceeded the oldest frames are evicted and
+    cursors that had not consumed them get [`Gone]. *)
+
+val tail_next_seq : t -> int
+(** The sequence the next appended record will get — the cursor a new
+    subscriber captures {e before} pinning its bootstrap snapshot. *)
+
+val read_tail :
+  t -> from:int -> max_bytes:int ->
+  [ `Ok of string list * int | `Gone ]
+(** [read_tail t ~from ~max_bytes] returns encoded frames starting at
+    sequence [from] plus the next cursor, bounded by [max_bytes] (always
+    at least one frame if available).  [`Gone] if the tail is disabled or
+    retention already evicted [from] — the subscriber must re-bootstrap. *)
+
+val trim_tail : t -> below:int -> unit
+(** Drop retained frames below the acked sequence [below]. *)
+
+val tail_bytes : t -> int
+(** Bytes currently retained in the ring (ship-lag telemetry). *)
+
 type tail = { ending : [ `Clean | `Truncated | `Corrupt ]; skipped_bytes : int }
 
 val read_records_full :

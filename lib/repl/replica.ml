@@ -1,0 +1,240 @@
+(* Replica side of log-shipping replication (docs/REPLICATION.md).
+
+   The replica pulls batches of encoded {!Persist.Logrec} frames from
+   its primary and applies them through the version-carrying migrate
+   path: {!Kvstore.Store.migrate_put} installs the record under the
+   primary's version (per-key newest-wins, so snapshot/tail overlap and
+   cross-log interleavings are order-independent — the same replay
+   guard recovery relies on) AND appends it to the replica's own log
+   under that version, so the replica can recover locally and, once
+   promoted, its logs agree with every future replay.
+
+   Every frame's CRC is re-verified before applying ([Logrec.decode]);
+   a corrupt frame poisons the session and forces a rebuild — garbage
+   is never applied.  The applied version clock is the bounded-staleness
+   contract: a [Repl_read] with floor [f] is answered iff the owning
+   store's clock has reached [f]. *)
+
+module Store = Kvstore.Store
+module Logger = Persist.Logger
+module Logrec = Persist.Logrec
+module P = Kvserver.Protocol
+
+let reg = Obs.Registry.global
+let applied_c = Obs.Registry.counter reg "repl.applied_records"
+let corrupt_c = Obs.Registry.counter reg "repl.corrupt_frames"
+let stale_c = Obs.Registry.counter reg "repl.stale_reads"
+
+(* Slack between a bounded-staleness read's floor and the applied clock
+   it found — how much fresher the replica was than the client needed. *)
+let staleness_h = Obs.Registry.histogram reg "repl.read_staleness"
+
+(* Crash windows: the replica dying mid-apply / mid-promote. *)
+let fp_apply_batch = Faultsim.Failpoint.define "repl.apply.batch"
+let fp_apply_record = Faultsim.Failpoint.define "repl.apply.record"
+let fp_promote_begin = Faultsim.Failpoint.define "repl.promote.begin"
+let fp_promote_sealed = Faultsim.Failpoint.define "repl.promote.sealed"
+let fp_promote_done = Faultsim.Failpoint.define "repl.promote.done"
+
+type t = {
+  mutable stores : Store.t array;
+  mutable logs : Logger.t array;
+  route : string -> int;
+  batch_bytes : int;
+  lock : Mutex.t;
+  mutable session : int64 option;
+  mutable bootstrap_done : bool;
+  mutable promoted : bool;
+  mutable corrupt : int;
+  mutable applied_records : int;
+}
+
+let create ?(batch_bytes = 1 lsl 20) ~route ~logs stores =
+  {
+    stores;
+    logs;
+    route;
+    batch_bytes = max 4096 batch_bytes;
+    lock = Mutex.create ();
+    session = None;
+    bootstrap_done = false;
+    promoted = false;
+    corrupt = 0;
+    applied_records = 0;
+  }
+
+let applied t = Array.map Store.max_version t.stores
+
+let applied_max t =
+  Array.fold_left (fun a s -> max a (Store.max_version s)) 0L t.stores
+
+let bootstrap_done t = t.bootstrap_done
+
+let is_promoted t = t.promoted
+
+let corrupt_frames t = t.corrupt
+
+let applied_count t = t.applied_records
+
+(* Swap in rebuilt (empty) stores after a [Repl_restart]: the primary
+   evicted our session, so local state may miss removes that fell off
+   the tail ring — it cannot be patched, only rebuilt. *)
+let reset t ~stores ~logs =
+  Mutex.lock t.lock;
+  t.stores <- stores;
+  t.logs <- logs;
+  t.session <- None;
+  t.bootstrap_done <- false;
+  Mutex.unlock t.lock
+
+exception Corrupt_frame
+
+let apply_record t r =
+  match r with
+  | Logrec.Put { key; version; columns; _ } ->
+      Store.migrate_put t.stores.(t.route key) ~key ~version ~columns
+  | Logrec.Remove { key; version; _ } ->
+      Store.migrate_remove t.stores.(t.route key) ~key ~version
+  | Logrec.Marker _ | Logrec.Seal _ -> ()
+
+let apply_frames t frames =
+  let n = ref 0 in
+  List.iter
+    (fun frame ->
+      Faultsim.Failpoint.hit fp_apply_record;
+      match Logrec.decode frame ~pos:0 with
+      | Logrec.Record (r, consumed) when consumed = String.length frame ->
+          apply_record t r;
+          incr n
+      | Logrec.Record _ | Logrec.Need_more | Logrec.Corrupt ->
+          t.corrupt <- t.corrupt + 1;
+          Obs.Registry.incr corrupt_c;
+          raise Corrupt_frame)
+    frames;
+  t.applied_records <- t.applied_records + !n;
+  Obs.Registry.add applied_c !n;
+  !n
+
+(* One pull-apply-ack round against the primary.  [call] is the
+   transport: a wire client's request/response, or the Source handler
+   directly for in-process replicas. *)
+let step t ~call =
+  if t.promoted then `Promoted
+  else
+    match t.session with
+    | None -> (
+        match call P.Repl_open with
+        | P.Repl_opened { session; versions = _ } ->
+            Mutex.lock t.lock;
+            t.session <- Some session;
+            t.bootstrap_done <- false;
+            Mutex.unlock t.lock;
+            `Continue
+        | P.Failed m -> `Error m
+        | _ -> `Error "unexpected reply to Repl_open")
+    | Some sid -> (
+        match call (P.Repl_batch { session = sid; max_bytes = t.batch_bytes }) with
+        | P.Repl_records { phase = P.Repl_restart; _ } ->
+            t.session <- None;
+            `Restart_needed
+        | P.Repl_records { phase; frames; done_ } -> (
+            Faultsim.Failpoint.hit fp_apply_batch;
+            match apply_frames t frames with
+            | exception Corrupt_frame ->
+                (* Never apply past a bad frame; the local store may now
+                   miss records, so rebuild from scratch. *)
+                t.session <- None;
+                `Restart_needed
+            | n -> (
+                if phase = P.Repl_snapshot && done_ then t.bootstrap_done <- true;
+                match call (P.Repl_ack { session = sid; applied = applied t }) with
+                | P.Repl_acked ->
+                    if phase = P.Repl_tail && n = 0 then `Caught_up else `Continue
+                | P.Repl_records { phase = P.Repl_restart; _ } ->
+                    t.session <- None;
+                    `Restart_needed
+                | P.Failed m -> `Error m
+                | _ -> `Error "unexpected reply to Repl_ack"))
+        | P.Failed m -> `Error m
+        | _ -> `Error "unexpected reply to Repl_batch")
+
+(* Drive to lag 0: bootstrap then tail until one round ships nothing.
+   Gives up after [max_rounds] (a concurrently-written primary may stay
+   ahead forever). *)
+let catch_up ?(max_rounds = 1_000_000) t ~call =
+  let rec go rounds =
+    if rounds >= max_rounds then `Gave_up
+    else
+      match step t ~call with
+      | `Continue -> go (rounds + 1)
+      | (`Caught_up | `Restart_needed | `Error _ | `Promoted) as r -> r
+  in
+  go 0
+
+(* Flip to primary.  Ordering is the safety argument: (1) every applied
+   record is already in our own logs under its primary version (the
+   migrate path), (2) [mark] makes them durable — a crash after the
+   barrier recovers everything applied, (3) only then do we stop being
+   a replica and accept writes.  The clock needs no separate adoption:
+   [apply_put/apply_remove] bump it past every applied version, so
+   post-promotion writes mint strictly newer versions and can never
+   lose a replay race against shipped records. *)
+let promote t =
+  Faultsim.Failpoint.hit fp_promote_begin;
+  Mutex.lock t.lock;
+  t.session <- None;
+  Mutex.unlock t.lock;
+  Array.iter Logger.mark t.logs;
+  Faultsim.Failpoint.hit fp_promote_sealed;
+  (* Chain-free tombstones are dead weight once replay stops; removes
+     are still in our logs, so restarts stay order-independent. *)
+  Array.iter Store.sweep_tombstones t.stores;
+  t.promoted <- true;
+  Faultsim.Failpoint.hit fp_promote_done;
+  applied t
+
+let status t =
+  {
+    P.repl_role = (if t.promoted then "primary" else "replica");
+    repl_applied = applied t;
+    repl_horizon = Array.map Logger.tail_next_seq t.logs;
+    repl_retained = 0;
+    repl_peers = [];
+  }
+
+let read t ~key ~columns ~floor =
+  let s = t.stores.(t.route key) in
+  let app = Store.max_version s in
+  if Int64.compare app floor >= 0 then begin
+    Obs.Registry.observe staleness_h
+      (Int64.to_int (Int64.sub app floor) land max_int);
+    P.Value
+      (match columns with
+      | [] -> Store.get s key
+      | cols -> Store.get_columns s key cols)
+  end
+  else begin
+    Obs.Registry.incr stale_c;
+    P.Repl_stale { applied = app }
+  end
+
+let register_obs t =
+  Obs.Registry.gauge reg "repl.applied_version" (fun () ->
+      Int64.to_int (applied_max t) land max_int);
+  Obs.Registry.gauge reg "repl.bootstrap_done" (fun () ->
+      if t.bootstrap_done then 1 else 0)
+
+let handler ?(on_promote = fun () -> ()) t ~worker:_ req =
+  match req with
+  | P.Repl_status -> P.Repl_status_reply (status t)
+  | P.Repl_read { key; columns; floor } -> read t ~key ~columns ~floor
+  | P.Repl_promote ->
+      if t.promoted then P.Failed "already promoted"
+      else begin
+        let versions = promote t in
+        on_promote ();
+        P.Repl_promoted { versions }
+      end
+  | P.Repl_open | P.Repl_batch _ | P.Repl_ack _ ->
+      P.Failed "replica: cannot serve subscriptions (chained replication unsupported)"
+  | _ -> P.Failed "not a replication request"

@@ -1,0 +1,96 @@
+(** Replica side of log-shipping replication (docs/REPLICATION.md).
+
+    Pulls encoded {!Persist.Logrec} frames from a primary and applies
+    them through the version-carrying {!Kvstore.Store.migrate_put} path:
+    per-key newest-version-wins makes apply order-independent (snapshot/
+    tail overlap, cross-log interleavings), and every applied record
+    lands in the replica's {e own} log under its primary version, so the
+    replica recovers locally and a promoted replica's logs agree with
+    all future replays.  Frame CRCs are re-verified before applying;
+    corruption poisons the session rather than applying garbage.
+
+    The per-store applied version clock ({!applied}) is the
+    bounded-staleness serving contract: {!read} with floor [f] answers
+    iff the owning store's clock reached [f], else [Repl_stale]. *)
+
+type t
+
+val create :
+  ?batch_bytes:int ->
+  route:(string -> int) ->
+  logs:Persist.Logger.t array ->
+  Kvstore.Store.t array ->
+  t
+(** [create ~route ~logs stores] wraps the replica's (normally empty)
+    stores and their update logs.  [route] must match the primary's
+    partitioning ([Shard.Router.shard_of] with the same shard count, or
+    [fun _ -> 0]).  [batch_bytes] (default 1 MiB) sizes each pull. *)
+
+val step :
+  t ->
+  call:(Kvserver.Protocol.request -> Kvserver.Protocol.response) ->
+  [ `Continue | `Caught_up | `Restart_needed | `Error of string | `Promoted ]
+(** One pull-apply-ack round.  [call] is the transport (a TCP client's
+    request/response, or {!Source.handler} directly for in-process
+    replicas).  [`Caught_up]: the tail had nothing pending — lag 0 at
+    that instant.  [`Restart_needed]: the primary evicted the session
+    (or a frame failed its CRC); local state may now be missing records
+    and cannot be patched — rebuild empty stores and {!reset}. *)
+
+val catch_up :
+  ?max_rounds:int ->
+  t ->
+  call:(Kvserver.Protocol.request -> Kvserver.Protocol.response) ->
+  [ `Caught_up | `Restart_needed | `Error of string | `Promoted | `Gave_up ]
+(** {!step} until a round ships nothing. *)
+
+val reset : t -> stores:Kvstore.Store.t array -> logs:Persist.Logger.t array -> unit
+(** Install rebuilt (empty) stores after [`Restart_needed]. *)
+
+val applied : t -> int64 array
+(** Per-store applied version clock (= each store's [max_version]). *)
+
+val applied_max : t -> int64
+
+val bootstrap_done : t -> bool
+
+val applied_count : t -> int
+(** Records applied over this replica's lifetime. *)
+
+val corrupt_frames : t -> int
+(** Frames that failed CRC re-verification on apply. *)
+
+val read :
+  t -> key:string -> columns:int list -> floor:int64 -> Kvserver.Protocol.response
+(** Bounded-staleness read: [Value] if the owning store's applied clock
+    is [>= floor], else [Repl_stale { applied }]. *)
+
+val promote : t -> int64 array
+(** Flip to primary; returns the adopted per-store clock.  Safety
+    ordering: applied records are already in the replica's own logs
+    under their primary versions, [promote] makes them durable with a
+    {!Persist.Logger.mark} barrier, sweeps chain-free tombstones, and
+    only then stops replicating.  The clock needs no separate adoption —
+    apply bumps it past every applied version, so post-promotion writes
+    mint strictly newer versions (no lost replay races, no
+    resurrection). *)
+
+val is_promoted : t -> bool
+
+val status : t -> Kvserver.Protocol.repl_status
+
+val register_obs : t -> unit
+(** Publish [repl.applied_version] / [repl.bootstrap_done] gauges
+    (counters [repl.applied_records/corrupt_frames/stale_reads] and the
+    [repl.read_staleness] histogram are always recorded). *)
+
+val handler :
+  ?on_promote:(unit -> unit) ->
+  t ->
+  worker:int ->
+  Kvserver.Protocol.request ->
+  Kvserver.Protocol.response
+(** Wire adapter for {!Kvserver.Engine.set_repl_handler} on a replica
+    node: serves [Repl_status] / [Repl_read] / [Repl_promote]
+    ([on_promote] runs after a successful promotion — the daemon uses it
+    to flip the engine out of read-only mode). *)

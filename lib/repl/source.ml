@@ -1,0 +1,284 @@
+(* Primary side of log-shipping replication (docs/REPLICATION.md).
+
+   A subscription has two phases.  Bootstrap: the primary captures every
+   log's tail cursor, THEN pins a per-store MVCC snapshot — the overlap
+   means a write racing the subscription can be delivered twice (once in
+   the snapshot, once in the tail), never zero times; the per-key version
+   guard on the replica's apply path dedups.  The snapshot is streamed
+   as synthesized {!Persist.Logrec.Put} frames carrying each entry's
+   resolved version.  Steady state: frames are drained from the loggers'
+   tail rings, CRC framing intact, and shipped verbatim.
+
+   Sessions are pull-driven and not resumable: a replica that loses its
+   connection re-subscribes from scratch.  A session whose cursor falls
+   off the bounded tail ring (slow or dead replica) is evicted — the
+   next pull answers [Repl_restart] and the replica rebuilds.  Ring
+   retention is capped, so a dead replica can never pin memory. *)
+
+module Store = Kvstore.Store
+module Logger = Persist.Logger
+module Logrec = Persist.Logrec
+module P = Kvserver.Protocol
+
+let reg = Obs.Registry.global
+let ship_records_c = Obs.Registry.counter reg "repl.ship_records"
+let ship_bytes_c = Obs.Registry.counter reg "repl.ship_bytes"
+let snap_records_c = Obs.Registry.counter reg "repl.snapshot_records"
+let snap_bytes_c = Obs.Registry.counter reg "repl.snapshot_bytes"
+let restarts_c = Obs.Registry.counter reg "repl.session_restarts"
+
+(* Crash windows: the primary dying mid-ship / mid-ack is the failover
+   scenario the promotion safety argument covers. *)
+let fp_ship_batch = Faultsim.Failpoint.define "repl.ship.batch"
+let fp_ship_ack = Faultsim.Failpoint.define "repl.ship.ack"
+
+type session = {
+  sid : int64;
+  cursors : int array; (* per-log tail cursor, captured before the pin *)
+  snaps : Store.Snapshot.snap option array; (* bootstrap pins; None = drained *)
+  mutable snap_idx : int;
+  mutable resume : string; (* next start key within snaps.(snap_idx) *)
+  mutable bootstrapping : bool;
+  mutable acked : int64 array; (* per-store applied clock from last ack *)
+}
+
+type t = {
+  stores : Store.t array;
+  logs : Logger.t array;
+  route : string -> int;
+  lock : Mutex.t;
+  sessions : (int64, session) Hashtbl.t;
+  mutable next_sid : int64;
+  snap_chunk : int; (* bootstrap entries scanned per inner round *)
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?(tail_cap_bytes = 1 lsl 24) ?(snap_chunk = 512) ~route ~logs stores =
+  Array.iter (Logger.enable_tail ~cap_bytes:tail_cap_bytes) logs;
+  {
+    stores;
+    logs;
+    route;
+    lock = Mutex.create ();
+    sessions = Hashtbl.create 4;
+    next_sid = 1L;
+    snap_chunk = max 1 snap_chunk;
+  }
+
+let close_session_snaps s =
+  Array.iteri
+    (fun i snap ->
+      match snap with
+      | Some sn ->
+          Store.Snapshot.close sn;
+          s.snaps.(i) <- None
+      | None -> ())
+    s.snaps
+
+let open_session t =
+  with_lock t (fun () ->
+      (* Cursors first, snapshot second: anything written in between is
+         in both feeds (deduped by version), never in neither. *)
+      let cursors = Array.map Logger.tail_next_seq t.logs in
+      let snaps = Array.map (fun st -> Some (Store.Snapshot.open_ st)) t.stores in
+      let versions =
+        Array.map
+          (function Some sn -> Store.Snapshot.version sn | None -> 0L)
+          snaps
+      in
+      let sid = t.next_sid in
+      t.next_sid <- Int64.add t.next_sid 1L;
+      Hashtbl.replace t.sessions sid
+        {
+          sid;
+          cursors;
+          snaps;
+          snap_idx = 0;
+          resume = "";
+          bootstrapping = true;
+          acked = Array.map (fun _ -> 0L) t.stores;
+        };
+      (sid, versions))
+
+let evict t s =
+  close_session_snaps s;
+  Hashtbl.remove t.sessions s.sid;
+  Obs.Registry.incr restarts_c
+
+let pull_snapshot t s ~max_bytes =
+  let frames = ref [] and bytes = ref 0 and records = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && s.snap_idx < Array.length t.stores do
+    match s.snaps.(s.snap_idx) with
+    | None ->
+        s.snap_idx <- s.snap_idx + 1;
+        s.resume <- ""
+    | Some snap ->
+        let last = ref "" in
+        let n =
+          Store.Snapshot.getrange_versioned snap ~start:s.resume ~limit:t.snap_chunk
+            (fun k v cols ->
+              let fr =
+                Logrec.encode_string
+                  (Logrec.Put { key = k; version = v; timestamp = 0L; columns = cols })
+              in
+              frames := fr :: !frames;
+              bytes := !bytes + String.length fr;
+              incr records;
+              last := k)
+        in
+        if n = 0 then begin
+          Store.Snapshot.close snap;
+          s.snaps.(s.snap_idx) <- None;
+          s.snap_idx <- s.snap_idx + 1;
+          s.resume <- ""
+        end
+        else begin
+          s.resume <- !last ^ "\x00";
+          if !bytes >= max_bytes then continue_ := false
+        end
+  done;
+  let done_ = s.snap_idx >= Array.length t.stores in
+  if done_ then s.bootstrapping <- false;
+  Obs.Registry.add snap_records_c !records;
+  Obs.Registry.add snap_bytes_c !bytes;
+  `Records (P.Repl_snapshot, List.rev !frames, done_)
+
+let pull_tail t s ~max_bytes =
+  let frames = ref [] and bytes = ref 0 and records = ref 0 and gone = ref false in
+  Array.iteri
+    (fun i log ->
+      if (not !gone) && !bytes < max_bytes then
+        match Logger.read_tail log ~from:s.cursors.(i) ~max_bytes:(max_bytes - !bytes) with
+        | `Gone -> gone := true
+        | `Ok (fs, next) ->
+            s.cursors.(i) <- next;
+            List.iter
+              (fun f ->
+                bytes := !bytes + String.length f;
+                incr records)
+              fs;
+            frames := !frames @ fs)
+    t.logs;
+  if !gone then begin
+    evict t s;
+    `Restart
+  end
+  else begin
+    Obs.Registry.add ship_records_c !records;
+    Obs.Registry.add ship_bytes_c !bytes;
+    (* [done_] in the tail phase = caught up: nothing was pending. *)
+    `Records (P.Repl_tail, !frames, !records = 0)
+  end
+
+let pull t ~session ~max_bytes =
+  Faultsim.Failpoint.hit fp_ship_batch;
+  let max_bytes = max 4096 max_bytes in
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.sessions session with
+      | None -> `Restart
+      | Some s ->
+          if s.bootstrapping then pull_snapshot t s ~max_bytes
+          else pull_tail t s ~max_bytes)
+
+(* Trim tail rings below the slowest subscriber.  Bootstrap sessions
+   hold their captured cursors, so their unconsumed tail is retained. *)
+let trim_locked t =
+  Array.iteri
+    (fun i log ->
+      let min_cursor = ref (Logger.tail_next_seq log) in
+      Hashtbl.iter
+        (fun _ s -> if s.cursors.(i) < !min_cursor then min_cursor := s.cursors.(i))
+        t.sessions;
+      Logger.trim_tail log ~below:!min_cursor)
+    t.logs
+
+let ack t ~session ~applied =
+  Faultsim.Failpoint.hit fp_ship_ack;
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.sessions session with
+      | None -> false
+      | Some s ->
+          Array.blit applied 0 s.acked 0
+            (min (Array.length applied) (Array.length s.acked));
+          trim_locked t;
+          true)
+
+let session_lag t s =
+  let lag = ref 0 in
+  Array.iteri
+    (fun i log -> lag := !lag + max 0 (Logger.tail_next_seq log - s.cursors.(i)))
+    t.logs;
+  !lag
+
+let status t =
+  with_lock t (fun () ->
+      let peers =
+        Hashtbl.fold
+          (fun _ s acc ->
+            {
+              P.peer_session = s.sid;
+              peer_lag = session_lag t s;
+              peer_applied = Array.copy s.acked;
+            }
+            :: acc)
+          t.sessions []
+        |> List.sort (fun a b -> Int64.compare a.P.peer_session b.P.peer_session)
+      in
+      {
+        P.repl_role = "primary";
+        repl_applied = Array.map Store.max_version t.stores;
+        repl_horizon = Array.map Logger.tail_next_seq t.logs;
+        repl_retained = Array.fold_left (fun a l -> a + Logger.tail_bytes l) 0 t.logs;
+        repl_peers = peers;
+      })
+
+let sessions t = with_lock t (fun () -> Hashtbl.length t.sessions)
+
+let drop_session t session =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.sessions session with
+      | Some s ->
+          evict t s;
+          trim_locked t
+      | None -> ())
+
+let close t =
+  with_lock t (fun () ->
+      Hashtbl.iter (fun _ s -> close_session_snaps s) t.sessions;
+      Hashtbl.reset t.sessions)
+
+let register_obs t =
+  Obs.Registry.gauge reg "repl.sessions" (fun () -> sessions t);
+  Obs.Registry.gauge reg "repl.retained_bytes" (fun () ->
+      Array.fold_left (fun a l -> a + Logger.tail_bytes l) 0 t.logs);
+  Obs.Registry.gauge reg "repl.ship_lag_records" (fun () ->
+      with_lock t (fun () ->
+          Hashtbl.fold (fun _ s m -> max m (session_lag t s)) t.sessions 0))
+
+let handler t ~worker:_ req =
+  match req with
+  | P.Repl_open ->
+      let sid, versions = open_session t in
+      P.Repl_opened { session = sid; versions }
+  | P.Repl_batch { session; max_bytes } -> (
+      match pull t ~session ~max_bytes with
+      | `Restart -> P.Repl_records { phase = P.Repl_restart; frames = []; done_ = false }
+      | `Records (phase, frames, done_) -> P.Repl_records { phase; frames; done_ })
+  | P.Repl_ack { session; applied } ->
+      if ack t ~session ~applied then P.Repl_acked
+      else P.Repl_records { phase = P.Repl_restart; frames = []; done_ = false }
+  | P.Repl_status -> P.Repl_status_reply (status t)
+  | P.Repl_promote -> P.Failed "already primary"
+  | P.Repl_read { key; columns; floor = _ } ->
+      (* The primary is trivially fresh: any floor a client holds came
+         from this clock. *)
+      let s = t.stores.(t.route key) in
+      P.Value
+        (match columns with
+        | [] -> Store.get s key
+        | cols -> Store.get_columns s key cols)
+  | _ -> P.Failed "not a replication request"

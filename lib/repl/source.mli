@@ -1,0 +1,72 @@
+(** Primary side of log-shipping replication (docs/REPLICATION.md).
+
+    Serves pull-driven replica subscriptions over the [Repl_*] wire
+    tags: bootstrap streams a pinned MVCC snapshot as synthesized
+    version-carrying {!Persist.Logrec.Put} frames; steady state drains
+    the loggers' bounded tail rings, shipping record frames verbatim
+    with their CRC framing intact (the replica re-verifies each frame
+    before applying).
+
+    Subscription ordering is capture-cursors-first, pin-snapshot-second:
+    a write racing the subscription can be delivered twice (snapshot and
+    tail) but never zero times; the replica's per-key version guard
+    makes the duplicate a no-op.
+
+    Sessions are not resumable.  A session whose cursor falls off a tail
+    ring (slow or dead replica — retention is capped, so it cannot pin
+    memory) is evicted, and its next pull answers [Repl_restart]: the
+    replica must rebuild from a fresh subscription. *)
+
+type t
+
+val create :
+  ?tail_cap_bytes:int ->
+  ?snap_chunk:int ->
+  route:(string -> int) ->
+  logs:Persist.Logger.t array ->
+  Kvstore.Store.t array ->
+  t
+(** [create ~route ~logs stores] makes the stores' update logs
+    shippable ({!Persist.Logger.enable_tail}, ring capped at
+    [tail_cap_bytes], default 16 MiB per log).  [route] maps a key to
+    its owning store index ([Shard.Router.shard_of], or [fun _ -> 0]
+    for a single store); it serves [Repl_read] on the primary.
+    [snap_chunk] (default 512) bounds entries scanned per bootstrap
+    round. *)
+
+val open_session : t -> int64 * int64 array
+(** Subscribe: session id + the pinned bootstrap cut per store. *)
+
+val pull :
+  t -> session:int64 -> max_bytes:int ->
+  [ `Records of Kvserver.Protocol.repl_phase * string list * bool | `Restart ]
+(** Next batch of encoded record frames (bounded by [max_bytes], always
+    at least one frame if pending).  The [bool] is [done_]: bootstrap
+    complete in the snapshot phase, caught-up (nothing pending) in the
+    tail phase.  [`Restart]: unknown or evicted session. *)
+
+val ack : t -> session:int64 -> applied:int64 array -> bool
+(** Record the replica's per-store applied clock and trim tail
+    retention below the slowest subscriber.  False if unknown. *)
+
+val status : t -> Kvserver.Protocol.repl_status
+
+val sessions : t -> int
+
+val drop_session : t -> int64 -> unit
+(** Evict a session (closing any bootstrap pins) and trim retention. *)
+
+val close : t -> unit
+(** Evict every session.  The tail rings stay enabled. *)
+
+val register_obs : t -> unit
+(** Publish [repl.sessions], [repl.retained_bytes] and
+    [repl.ship_lag_records] gauges on {!Obs.Registry.global} (counters
+    [repl.ship_records/ship_bytes/snapshot_records/snapshot_bytes/
+    session_restarts] are always recorded). *)
+
+val handler :
+  t -> worker:int -> Kvserver.Protocol.request -> Kvserver.Protocol.response
+(** Wire adapter for {!Kvserver.Engine.set_repl_handler}: answers every
+    [Repl_*] tag ([Repl_promote] fails — this node is the primary;
+    [Repl_read] is served directly, the primary is trivially fresh). *)

@@ -1,0 +1,421 @@
+(* Crash-torture for the replication subsystem (docs/REPLICATION.md).
+
+   One scripted scenario, swept over every repl.* failpoint x hit count
+   x loss-model variant, modeling TWO processes on TWO simulated disks:
+   a primary (store + logs + Source) and a replica (store + own logs +
+   Replica) syncing in-process.  Which "process" dies follows from the
+   armed point: repl.ship.* fire inside the primary's pull/ack path —
+   primary death, fail over by promoting the live replica; repl.apply.*
+   and repl.promote.* fire in the replica — replica death, recover it
+   from its own logs.
+
+   Oracles:
+   - No phantoms, ever: every binding on a promoted or recovered
+     replica is a (key, value) the primary actually wrote.  With the
+     bit-flip variant this is the CRC check's teeth — a scrambled
+     record must be detected, not replayed as garbage.
+   - Replica durability barrier: everything the replica had applied at
+     its last [Logger.mark] survives its crash (unless removed since).
+   - Promotion safety: promote marks before it completes, so a crash
+     {e after} repl.promote.sealed must recover everything applied at
+     promote time; the promoted store accepts writes; a crash of the
+     freshly promoted node loses nothing it had at promotion.
+   - Fail-over equivalence: after a primary death the promoted replica
+     holds exactly what it had applied (plus at most the one batch in
+     flight); after a replica death, a rebuilt replica re-bootstraps
+     from the live primary and converges to equality. *)
+
+module Failpoint = Faultsim.Failpoint
+module Sim = Faultsim.Sim
+module Store = Kvstore.Store
+module Logger = Persist.Logger
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type outcome = Crashed_ok | Clean | Violation of string list
+type case = { point : string; at : int; variant : int; outcome : outcome }
+
+type summary = {
+  cases : case list;
+  crash_points : (string * int) list;
+  violations : case list;
+}
+
+type st = {
+  pdisk : Sim.t;
+  pvfs : Faultsim.Vfs.t;
+  rdisk : Sim.t;
+  rvfs : Faultsim.Vfs.t;
+  crashed : string option ref;
+  mutable pstore : Store.t;
+  mutable plogs : Logger.t array;
+  mutable source : Source.t option;
+  mutable rstore : Store.t;
+  mutable rlogs : Logger.t array;
+  mutable replica : Replica.t option;
+  mutable seq : int;
+  mutable pmodel : string SMap.t;
+  written : (string * string, unit) Hashtbl.t;
+  mutable ever_removed : SSet.t;
+  mutable r_applied : string SMap.t; (* replica content at last completed step *)
+  mutable r_guaranteed : string SMap.t; (* r_applied at last replica mark barrier *)
+}
+
+let dir = "disk"
+
+let bail st =
+  match !(st.crashed) with Some p -> raise (Failpoint.Crash p) | None -> ()
+
+let key i = Printf.sprintf "key%03d" i
+let source st = Option.get st.source
+let replica st = Option.get st.replica
+
+let make_logs vfs tag =
+  Array.init 2 (fun i ->
+      Logger.create ~vfs ~manual:true
+        (Filename.concat dir (Printf.sprintf "log-%s-%d" tag i)))
+
+let put st i =
+  st.seq <- st.seq + 1;
+  let v = Printf.sprintf "v%05d" st.seq in
+  let k = key i in
+  Store.put ~worker:(st.seq mod 2) st.pstore k [| v |];
+  st.pmodel <- SMap.add k v st.pmodel;
+  Hashtbl.replace st.written (k, v) ();
+  bail st
+
+let remove st i =
+  let k = key i in
+  if Store.remove ~worker:0 st.pstore k then begin
+    st.pmodel <- SMap.remove k st.pmodel;
+    st.ever_removed <- SSet.add k st.ever_removed
+  end;
+  bail st
+
+let dump store =
+  let m = ref SMap.empty in
+  ignore
+    (Store.getrange store ~start:"" ~limit:max_int (fun k cols ->
+         if Array.length cols = 1 then m := SMap.add k cols.(0) !m));
+  !m
+
+let call_primary st req = Source.handler (source st) ~worker:0 req
+
+let start_replica st tag =
+  let rlogs = make_logs st.rvfs tag in
+  let rstore = Store.create ~logs:rlogs () in
+  st.rlogs <- rlogs;
+  st.rstore <- rstore;
+  st.replica <-
+    Some
+      (Replica.create ~batch_bytes:2048 ~route:(fun _ -> 0) ~logs:rlogs
+         [| rstore |]);
+  st.r_applied <- SMap.empty;
+  st.r_guaranteed <- SMap.empty;
+  bail st
+
+let step st =
+  (match Replica.step (replica st) ~call:(call_primary st) with
+  | `Continue | `Caught_up -> st.r_applied <- dump st.rstore
+  | `Restart_needed ->
+      (* Unexpected in-script (the ring cap is far above the workload);
+         a clean rebuild keeps the sweep honest if it ever fires. *)
+      start_replica st "rX"
+  | `Error m -> failwith ("replica step failed: " ^ m)
+  | `Promoted -> ());
+  bail st
+
+let drain st =
+  let rec go n =
+    if n > 10_000 then failwith "replica never caught up";
+    match Replica.step (replica st) ~call:(call_primary st) with
+    | `Caught_up -> st.r_applied <- dump st.rstore
+    | `Continue ->
+        st.r_applied <- dump st.rstore;
+        go (n + 1)
+    | `Restart_needed -> failwith "session restarted while draining"
+    | `Error m -> failwith ("replica step failed: " ^ m)
+    | `Promoted -> ()
+  in
+  go 0;
+  bail st
+
+let replica_barrier st =
+  Array.iter Logger.mark st.rlogs;
+  st.r_guaranteed <- st.r_applied;
+  bail st
+
+let script st =
+  st.pvfs.mkdir dir;
+  st.rvfs.mkdir dir;
+  (* --- primary up, seeded --- *)
+  st.plogs <- make_logs st.pvfs "p";
+  st.pstore <- Store.create ~logs:st.plogs ();
+  st.source <-
+    Some (Source.create ~route:(fun _ -> 0) ~logs:st.plogs [| st.pstore |]);
+  for i = 1 to 12 do
+    put st i
+  done;
+  Array.iter Logger.mark st.plogs;
+  (* --- replica subscribes; bootstrap races live writes --- *)
+  start_replica st "r";
+  step st;
+  for i = 13 to 16 do
+    put st i
+  done;
+  remove st 1;
+  step st;
+  step st;
+  drain st;
+  replica_barrier st;
+  (* --- steady-state shipping with removes and overwrites --- *)
+  for i = 17 to 22 do
+    put st i
+  done;
+  remove st 2;
+  remove st 3;
+  put st 13;
+  drain st;
+  replica_barrier st;
+  for i = 23 to 26 do
+    put st i
+  done;
+  drain st;
+  (* --- fail over: promote (marks, seals the replica's role) --- *)
+  ignore (Replica.promote (replica st));
+  bail st
+
+(* ---- verification ---- *)
+
+let trunc v = if String.length v <= 12 then v else String.sub v 0 12 ^ "..."
+
+let check_no_phantoms st label store errs =
+  ignore
+    (Store.getrange store ~start:"" ~limit:max_int (fun k cols ->
+         if Array.length cols <> 1 || not (Hashtbl.mem st.written (k, cols.(0)))
+         then
+           errs := Printf.sprintf "%s: phantom binding for key %s" label k :: !errs))
+
+(* Every (k, v) in [expect] must still be accounted for in [store]: the
+   same value, a newer genuinely-written value, or absent only if the
+   key was ever removed. *)
+let check_covers st label store expect errs =
+  SMap.iter
+    (fun k v ->
+      match Store.get store k with
+      | Some [| v' |] ->
+          if v' <> v && not (Hashtbl.mem st.written (k, v')) then
+            errs :=
+              Printf.sprintf "%s: key %s has unwritten value %S" label k (trunc v')
+              :: !errs
+      | Some _ -> errs := Printf.sprintf "%s: key %s wrong arity" label k :: !errs
+      | None ->
+          if not (SSet.mem k st.ever_removed) then
+            errs :=
+              Printf.sprintf "%s: key %s (= %S) lost, never removed" label k
+                (trunc v)
+              :: !errs)
+    expect
+
+let recover_replica st =
+  let logs =
+    st.rvfs.readdir dir |> Array.to_list
+    |> List.filter (fun f -> String.length f >= 4 && String.sub f 0 4 = "log-")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  in
+  Store.recover ~vfs:st.rvfs ~replay_domains:1 ~log_paths:logs
+    ~checkpoint_dirs:[] ()
+
+let equal_dump a b = SMap.equal String.equal a b
+
+let pp_diff label a b errs =
+  SMap.iter
+    (fun k v ->
+      match SMap.find_opt k b with
+      | Some v' when v' = v -> ()
+      | Some v' ->
+          errs :=
+            Printf.sprintf "%s: key %s is %S, expected %S" label k (trunc v')
+              (trunc v)
+            :: !errs
+      | None -> errs := Printf.sprintf "%s: key %s missing" label k :: !errs)
+    a
+
+(* Primary died mid-ship: promote the live replica and check the
+   fail-over contract end to end, including durability of the promoted
+   state across an immediate second crash. *)
+let verify_primary_death st =
+  let errs = ref [] in
+  Failpoint.disarm_all ();
+  Sim.crash st.pdisk;
+  (match st.replica with
+  | None -> errs := [ "primary died before the replica existed" ]
+  | Some r ->
+      ignore (Replica.promote r);
+      let promoted = dump st.rstore in
+      check_no_phantoms st "promoted" st.rstore errs;
+      check_covers st "promoted" st.rstore st.r_applied errs;
+      (* Promotion durability: everything the promoted node held was
+         marked durable by promote — an immediate crash keeps it all. *)
+      Sim.crash st.rdisk;
+      (match recover_replica st with
+      | Error e -> errs := ("recovery of promoted replica failed: " ^ e) :: !errs
+      | Ok (s2, _) ->
+          let rec2 = dump s2 in
+          if not (equal_dump promoted rec2) then begin
+            pp_diff "promoted-recovery" promoted rec2 errs;
+            pp_diff "promoted-recovery(extra)" rec2 promoted errs
+          end);
+      (* The promoted in-memory store must accept writes. *)
+      Store.put ~worker:0 st.rstore "post-promote" [| "pp" |];
+      (match Store.get st.rstore "post-promote" with
+      | Some [| "pp" |] -> ()
+      | _ -> errs := "promoted store refused a write" :: !errs));
+  List.rev !errs
+
+(* Replica died mid-apply or mid-promote: recover it from its own logs,
+   check the durability barrier, then (apply windows) rebuild and
+   re-converge against the still-live primary. *)
+let verify_replica_death st ~point =
+  let errs = ref [] in
+  Failpoint.disarm_all ();
+  Sim.crash st.rdisk;
+  (match recover_replica st with
+  | Error e -> errs := ("replica recovery failed: " ^ e) :: !errs
+  | Ok (s2, _) ->
+      check_no_phantoms st "recovered-replica" s2 errs;
+      check_covers st "recovered-replica" s2 st.r_guaranteed errs;
+      (* A crash past repl.promote.sealed is after promote's mark
+         barrier: everything applied at promote time must be durable. *)
+      if point = "repl.promote.sealed" || point = "repl.promote.done" then
+        check_covers st "post-seal" s2 st.r_applied errs);
+  (* Fail-over continuation for apply-window deaths: the primary is
+     still up; a rebuilt replica must converge to exact equality. *)
+  if String.length point >= 10 && String.sub point 0 10 = "repl.apply" then begin
+    st.crashed := None;
+    try
+      start_replica st "r2";
+      drain st;
+      let rd = dump st.rstore in
+      if not (equal_dump st.pmodel rd) then begin
+        pp_diff "rebuilt-replica" st.pmodel rd errs;
+        pp_diff "rebuilt-replica(extra)" rd st.pmodel errs
+      end
+    with e ->
+      errs :=
+        ("rebuilt replica failed to converge: " ^ Printexc.to_string e) :: !errs
+  end;
+  List.rev !errs
+
+let verify_clean st =
+  let errs = ref [] in
+  let rd = dump st.rstore in
+  if not (equal_dump st.pmodel rd) then begin
+    pp_diff "promoted-clean" st.pmodel rd errs;
+    pp_diff "promoted-clean(extra)" rd st.pmodel errs
+  end;
+  if not (Replica.is_promoted (replica st)) then
+    errs := "script completed without promotion" :: !errs;
+  Store.put ~worker:0 st.rstore "post-promote" [| "pp" |];
+  (match Store.get st.rstore "post-promote" with
+  | Some [| "pp" |] -> ()
+  | _ -> errs := "promoted store refused a write" :: !errs);
+  List.rev !errs
+
+let points () =
+  List.filter
+    (fun p -> String.length p >= 5 && String.sub p 0 5 = "repl.")
+    (Failpoint.names ())
+
+let is_replica_side p =
+  (String.length p >= 10 && String.sub p 0 10 = "repl.apply")
+  || (String.length p >= 12 && String.sub p 0 12 = "repl.promote")
+
+let run_case ?(seed = 42L) ~point ~at ~variant () =
+  Failpoint.reset ();
+  let mix k =
+    Int64.add seed (Int64.of_int ((((Hashtbl.hash point * 31) + at) * 131) + k))
+  in
+  let pdisk = Sim.create ~seed:(mix variant) in
+  let rdisk = Sim.create ~seed:(mix (variant + 7919)) in
+  (* Variant 3: the bit-flip corruption model on the replica's disk —
+     the CRC-on-recovery satellite's teeth. *)
+  if variant >= 3 then Sim.set_bit_flips rdisk true;
+  let crashed = ref None in
+  Failpoint.set_crash_hook (fun p ->
+      if !crashed = None then begin
+        crashed := Some p;
+        (* Freeze the disk of the process that died; the other side
+           keeps running (it is a different machine). *)
+        if is_replica_side p then Sim.freeze rdisk else Sim.freeze pdisk
+      end);
+  Failpoint.arm point ~at Failpoint.Crash_process;
+  let st =
+    {
+      pdisk;
+      pvfs = Sim.vfs pdisk;
+      rdisk;
+      rvfs = Sim.vfs rdisk;
+      crashed;
+      pstore = Store.create ();
+      plogs = [||];
+      source = None;
+      rstore = Store.create ();
+      rlogs = [||];
+      replica = None;
+      seq = 0;
+      pmodel = SMap.empty;
+      written = Hashtbl.create 64;
+      ever_removed = SSet.empty;
+      r_applied = SMap.empty;
+      r_guaranteed = SMap.empty;
+    }
+  in
+  let completed =
+    try
+      script st;
+      true
+    with Failpoint.Crash _ -> false
+  in
+  Failpoint.disarm_all ();
+  Failpoint.clear_crash_hook ();
+  let outcome =
+    if completed && !crashed = None then
+      match verify_clean st with [] -> Clean | errs -> Violation errs
+    else
+      let point_hit = match !crashed with Some p -> p | None -> point in
+      let errs =
+        if is_replica_side point_hit then verify_replica_death st ~point:point_hit
+        else verify_primary_death st
+      in
+      match errs with [] -> Crashed_ok | errs -> Violation errs
+  in
+  { point; at; variant; outcome }
+
+let run_sweep ?(seed = 42L) ?(hits = [ 1; 2; 5 ]) ?(variants = [ 0; 1; 2; 3 ]) ()
+    =
+  let module SM = Map.Make (String) in
+  let cases =
+    List.concat_map
+      (fun point ->
+        List.concat_map
+          (fun at ->
+            List.map (fun variant -> run_case ~seed ~point ~at ~variant ()) variants)
+          hits)
+      (points ())
+  in
+  let crash_points =
+    List.fold_left
+      (fun acc c ->
+        match c.outcome with
+        | Crashed_ok ->
+            SM.update c.point (function None -> Some 1 | Some n -> Some (n + 1)) acc
+        | Clean | Violation _ -> acc)
+      SM.empty cases
+    |> SM.bindings
+  in
+  let violations =
+    List.filter (fun c -> match c.outcome with Violation _ -> true | _ -> false) cases
+  in
+  { cases; crash_points; violations }

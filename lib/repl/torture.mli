@@ -1,0 +1,43 @@
+(** Crash-torture for the replication subsystem.
+
+    One scripted scenario — a primary and a replica on two independent
+    {!Faultsim.Sim} disks, bootstrap racing live writes, steady-state
+    shipping with removes and overwrites, and a final promotion — swept
+    over every [repl.*] failpoint.  The armed point decides which
+    "process" dies: [repl.ship.*] kill the primary (fail over by
+    promoting the live replica), [repl.apply.*] / [repl.promote.*] kill
+    the replica (recover it from its own logs, then rebuild against the
+    still-live primary).
+
+    Checked invariants: no phantom bindings ever (every value is one the
+    primary actually wrote — with the bit-flip variant this exercises
+    the CRC framing); everything applied at the replica's last
+    {!Persist.Logger.mark} survives its crash; a crash after
+    [repl.promote.sealed] recovers everything applied at promote time;
+    a promoted replica accepts writes and loses nothing across an
+    immediate second crash; a rebuilt replica re-converges to exact
+    equality with the live primary. *)
+
+type outcome =
+  | Crashed_ok  (** crashed at the armed point; every invariant held. *)
+  | Clean  (** the armed hit was never reached and the full run verified. *)
+  | Violation of string list  (** replication contract broken — the bug list. *)
+
+type case = { point : string; at : int; variant : int; outcome : outcome }
+
+type summary = {
+  cases : case list;
+  crash_points : (string * int) list;
+      (** point name -> number of cases that actually crashed there. *)
+  violations : case list;
+}
+
+val run_case : ?seed:int64 -> point:string -> at:int -> variant:int -> unit -> case
+(** Run the scenario once, armed to crash at the [at]-th hit of [point].
+    [variant] perturbs both simulated disks' seeds; variant 3 also
+    enables the bit-flip corruption model on the replica's disk. *)
+
+val run_sweep :
+  ?seed:int64 -> ?hits:int list -> ?variants:int list -> unit -> summary
+(** Every [repl.*] failpoint x [hits] (default [[1; 2; 5]]) x [variants]
+    (default [[0; 1; 2; 3]]). *)

@@ -62,6 +62,21 @@ type hot = {
   ticks : int ref array; (* per-worker sampling counters; races are benign *)
 }
 
+(* A subscribed replica as the router sees it: transport-agnostic
+   closures (in-process [Repl.Replica.read], or a TCP client's
+   [Repl_read]).  [rh_read] answers [`Stale] when the replica's applied
+   clock is below the caller's floor and [`Down] on transport failure —
+   both fall back to the owning shard. *)
+type replica_handle = {
+  rh_label : string;
+  rh_read :
+    string ->
+    int list ->
+    int64 ->
+    [ `Value of string array option | `Stale | `Down ];
+  rh_applied : unit -> int64;
+}
+
 type t = {
   stores : Kvstore.Store.t array;
   partitioning : partitioning;
@@ -69,6 +84,10 @@ type t = {
   concurrency : concurrency;
   hot : hot option;
   loads : int Atomic.t array; (* shard accesses routed past the cache *)
+  mutable replicas : replica_handle array;
+  rr_cursor : int Atomic.t; (* round-robin over replicas *)
+  offload_served : int Atomic.t;
+  offload_fallback : int Atomic.t;
 }
 
 (* One hash per key per operation: Hotcache's FNV-1a doubles as the
@@ -122,6 +141,10 @@ let create ?(partitioning = Hash) ?(concurrency = Concurrent) ?hot stores =
     concurrency;
     hot;
     loads = Array.init n (fun _ -> Atomic.make 0);
+    replicas = [||];
+    rr_cursor = Atomic.make 0;
+    offload_served = Atomic.make 0;
+    offload_fallback = Atomic.make 0;
   }
 
 let shards t = Array.length t.stores
@@ -257,6 +280,40 @@ let put_columns ?(worker = 0) t key updates =
 
 let remove ?(worker = 0) t key =
   write_op t ~worker key (fun store -> Kvstore.Store.remove ~worker store key)
+
+(* ---- replica read offload ---- *)
+
+let set_replicas t handles = t.replicas <- Array.of_list handles
+
+let replica_count t = Array.length t.replicas
+
+(* Bounded-staleness read through the replica table: round-robin a
+   replica first (the alternative Fig-13 mitigation — a hot shard's read
+   traffic fans across subscribers instead of serializing on the owning
+   partition), fall back to the owning shard when the replica is behind
+   the caller's floor or unreachable.  [floor = 0L] accepts any replica
+   state; a read-your-writes caller passes the version clock it saw. *)
+let get_offload ?(worker = 0) ?(columns = []) ?(floor = 0L) t key =
+  let primary () =
+    match columns with
+    | [] -> get ~worker t key
+    | cols -> get_columns ~worker t key cols
+  in
+  let n = Array.length t.replicas in
+  if n = 0 then primary ()
+  else begin
+    let r = t.replicas.((Atomic.fetch_and_add t.rr_cursor 1 land max_int) mod n) in
+    match r.rh_read key columns floor with
+    | `Value v ->
+        Atomic.incr t.offload_served;
+        v
+    | `Stale | `Down ->
+        Atomic.incr t.offload_fallback;
+        primary ()
+  end
+
+let offload_stats t =
+  (Atomic.get t.offload_served, Atomic.get t.offload_fallback)
 
 (* ---- multi_get fan-out ---- *)
 
@@ -503,6 +560,11 @@ let register_obs t =
   Obs.Registry.gauge reg "shard.cardinal" (fun () -> cardinal t);
   Obs.Registry.gauge reg "shard.imbalance_pct" (fun () ->
       int_of_float (imbalance_pct (shard_loads t)));
+  Obs.Registry.gauge reg "shard.replicas" (fun () -> Array.length t.replicas);
+  Obs.Registry.gauge reg "shard.offload.served" (fun () ->
+      Atomic.get t.offload_served);
+  Obs.Registry.gauge reg "shard.offload.fallback" (fun () ->
+      Atomic.get t.offload_fallback);
   (* Arena occupancy summed across the shard stores, plus process-wide
      GC gauges (the sharded server registers through the router only). *)
   let sum_pools f =

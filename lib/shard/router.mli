@@ -83,6 +83,48 @@ val put_columns : ?worker:int -> t -> string -> (int * string) list -> unit
 
 val remove : ?worker:int -> t -> string -> bool
 
+(** {1 Replica read offload (docs/REPLICATION.md)}
+
+    An alternative mitigation for the Fig-13 hot-shard collapse: instead
+    of caching hot keys in front of the owning partition, fan read
+    traffic across log-shipping replicas.  The table holds
+    transport-agnostic handles (in-process [Repl.Replica.read] closures,
+    or a TCP client's [Repl_read]); {!get_offload} round-robins them and
+    falls back to the owning shard when a replica is behind the caller's
+    staleness floor or unreachable. *)
+
+type replica_handle = {
+  rh_label : string;
+  rh_read :
+    string ->
+    int list ->
+    int64 ->
+    [ `Value of string array option | `Stale | `Down ];
+      (** [rh_read key columns floor]: bounded-staleness read —
+          [`Value] only if the replica's applied clock reached [floor]
+          ([columns = []] means all). *)
+  rh_applied : unit -> int64;  (** the replica's applied version clock. *)
+}
+
+val set_replicas : t -> replica_handle list -> unit
+(** Install (or replace) the replica table.  Not synchronized with
+    in-flight {!get_offload} calls beyond the array swap. *)
+
+val replica_count : t -> int
+
+val get_offload :
+  ?worker:int -> ?columns:int list -> ?floor:int64 -> t -> string ->
+  string array option
+(** Read via the replica table (round-robin), falling back to the owning
+    shard on [`Stale]/[`Down] or when no replicas are installed.
+    [floor] (default [0L] — any replica state is fresh enough) is the
+    client's bounded-staleness cut, e.g. the version clock it last
+    observed for read-your-writes. *)
+
+val offload_stats : t -> int * int
+(** [(served, fallback)]: offload reads answered by a replica vs routed
+    back to the owning shard. *)
+
 val multi_get : ?worker:int -> t -> string array -> string array option array
 (** Cache hits answered up front; misses grouped per shard and served by
     that shard's interleaved {!Kvstore.Store.multi_get} wave (§4.8), with

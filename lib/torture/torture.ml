@@ -326,7 +326,8 @@ let run_case ?(seed = 42L) ~point ~at ~variant () =
   in
   { point; at; variant; outcome }
 
-let run_sweep ?(seed = 42L) ?(hits = [ 1; 2 ]) ?(variants = [ 0; 1; 2 ]) () =
+let run_sweep ?(seed = 42L) ?(hits = [ 1; 2 ]) ?(variants = [ 0; 1; 2 ])
+    ?(filter = fun _ -> true) () =
   let cases =
     List.concat_map
       (fun point ->
@@ -334,7 +335,7 @@ let run_sweep ?(seed = 42L) ?(hits = [ 1; 2 ]) ?(variants = [ 0; 1; 2 ]) () =
           (fun at ->
             List.map (fun variant -> run_case ~seed ~point ~at ~variant ()) variants)
           hits)
-      (Failpoint.names ())
+      (List.filter filter (Failpoint.names ()))
   in
   let crash_points =
     List.fold_left

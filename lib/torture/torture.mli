@@ -38,6 +38,14 @@ val run_case : ?seed:int64 -> point:string -> at:int -> variant:int -> unit -> c
     bytes survive the crash (drop all / keep all / torn). *)
 
 val run_sweep :
-  ?seed:int64 -> ?hits:int list -> ?variants:int list -> unit -> summary
+  ?seed:int64 ->
+  ?hits:int list ->
+  ?variants:int list ->
+  ?filter:(string -> bool) ->
+  unit ->
+  summary
 (** Run every registered failpoint x [hits] (default [[1; 2]]) x
-    [variants] (default [[0; 1; 2]]). *)
+    [variants] (default [[0; 1; 2]]).  [filter] restricts the points
+    swept — other subsystems (replication) register failpoints this
+    script never reaches; sweeping them would only produce [Clean]
+    no-ops. *)
