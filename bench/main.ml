@@ -27,6 +27,7 @@ let experiments =
     ("shard", "sharded tier: skew collapse + hot-key mitigation (Fig 13)", Shard_bench.run);
     ("arena", "off-heap node arena vs boxed baseline: alloc/op, GC, latency tails", Arena.run);
     ("repl", "lib/repl: bootstrap convergence + replica read offload", Repl_bench.run);
+    ("mlp", "pipelined group get vs sequential: modeled + real MLP (E15)", Mlp.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

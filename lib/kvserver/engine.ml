@@ -278,10 +278,11 @@ let execute ~worker backend req =
     resp
   end
 
-(* Get-only batches take the interleaved multi-lookup path (§4.8): one
-   wave-based traversal for the whole message instead of independent
-   descents.  The traversal is shared, so telemetry records the batch as
-   one [lat_us.multiget_batch] sample plus one [ops.get] count per key. *)
+(* Batches made entirely of full-value gets take the software-pipelined
+   group-get path (§4.8, docs/BATCHING.md): one interleaved traversal
+   for the whole message instead of independent descents.  The traversal
+   is shared, so telemetry records the batch as one
+   [lat_us.multiget_batch] sample plus one [ops.get] count per key. *)
 let execute_batch ~worker backend reqs =
   let telemetry = Obs.Registry.is_enabled reg in
   if telemetry then Obs.Registry.incr ~worker batches_counter;
@@ -322,11 +323,12 @@ let handle_frame ~worker backend body =
 
 let is_full_get = function Protocol.Get { columns = []; _ } -> true | _ -> false
 
-(* A run of consecutive get-only frames shares one interleaved multi_get
-   wave (§4.8): the pipelining client sent independent lookups, so the
-   whole window traverses the trie together instead of frame by frame.
-   Telemetry parity with [execute_batch]: one [ops.batches] per frame,
-   one [lat_us.multiget_batch] sample for the shared wave. *)
+(* A run of consecutive full-value-get frames shares one software-
+   pipelined group get (§4.8): the pipelining client sent independent
+   lookups, so the whole window traverses the trie together instead of
+   frame by frame.  Telemetry parity with [execute_batch]: one
+   [ops.batches] per frame, one [lat_us.multiget_batch] sample for the
+   shared traversal. *)
 let execute_get_run ~worker backend frames emit =
   let telemetry = Obs.Registry.is_enabled reg in
   let keys =

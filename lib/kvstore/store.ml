@@ -269,7 +269,7 @@ let multi_get t keys =
     (function
       | Some { scontent = Some c; _ } -> Some (unpack c)
       | Some { scontent = None; _ } | None -> None)
-    (Tree.multi_get t.tree keys)
+    (Tree.multi_get_pipelined t.tree keys)
 
 let select columns requested =
   Array.of_list

@@ -47,8 +47,12 @@ val get_columns : t -> string -> int list -> string array option
 val get_value : t -> string -> value option
 
 val multi_get : t -> string array -> string array option array
-(** Batched full-value gets with interleaved tree descent (§4.8); the
-    network engine uses this for get-only request batches. *)
+(** Batched full-value gets over the software-pipelined group-get path
+    ({!Masstree_core.Tree.multi_get_pipelined}, docs/BATCHING.md): the
+    whole batch's tree descents interleave one node per round with
+    cross-lookup prefetch (§4.8).  The network engine calls this for
+    merged runs of full-value get frames, and the shard router for each
+    shard's slice of a fanned-out batch. *)
 
 val put : ?worker:int -> t -> string -> string array -> unit
 (** Full-value put (replaces all columns). *)

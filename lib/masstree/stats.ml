@@ -12,8 +12,9 @@ type counter =
   | Layer_collapses
   | Slot_reuses
   | Leaf_merges
+  | Pipeline_restarts
 
-let n_counters = 13
+let n_counters = 14
 
 let index = function
   | Gets -> 0
@@ -29,6 +30,7 @@ let index = function
   | Layer_collapses -> 10
   | Slot_reuses -> 11
   | Leaf_merges -> 12
+  | Pipeline_restarts -> 13
 
 let name = function
   | Gets -> "gets"
@@ -44,11 +46,12 @@ let name = function
   | Layer_collapses -> "layer_collapses"
   | Slot_reuses -> "slot_reuses"
   | Leaf_merges -> "leaf_merges"
+  | Pipeline_restarts -> "pipeline_restarts"
 
 let all =
   [ Gets; Puts; Removes; Scans; Splits_border; Splits_interior; Layer_creates;
     Root_retries; Local_retries; Node_deletes; Layer_collapses; Slot_reuses;
-    Leaf_merges ]
+    Leaf_merges; Pipeline_restarts ]
 
 type t = int Atomic.t array
 

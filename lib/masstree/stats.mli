@@ -21,6 +21,7 @@ type counter =
   | Layer_collapses
   | Slot_reuses (* removed slot reused by an insert: the §4.6.5 hazard *)
   | Leaf_merges (* underfull border absorbed its right sibling *)
+  | Pipeline_restarts (* pipelined group-get re-entered from a root in-pipeline *)
 
 val create : unit -> t
 

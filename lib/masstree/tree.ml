@@ -19,6 +19,16 @@ let sp_get_read = Schedpoint.define "tree.get.read"
 let sp_get_advance = Schedpoint.define "tree.get.advance"
 let sp_snapshot_read = Schedpoint.define "tree.snapshot.read"
 let sp_multiget_wave = Schedpoint.define "tree.multiget.wave"
+
+(* Pipelined group-get (docs/BATCHING.md): one point per pipeline round,
+   one at each in-pipeline trie-layer descent, and one at each
+   in-pipeline from-the-root restart — the three control transfers the
+   software pipeline adds over the plain read protocol (whose
+   tree.get.read / tree.get.advance / tree.descend.validate windows the
+   pipeline also hits, per flight). *)
+let sp_pipeline_round = Schedpoint.define "tree.pipeline.round"
+let sp_pipeline_layer = Schedpoint.define "tree.pipeline.layer"
+let sp_pipeline_restart = Schedpoint.define "tree.pipeline.restart"
 let sp_put_slot_written = Schedpoint.define "tree.put.slot_written"
 let sp_put_published = Schedpoint.define "tree.put.published"
 let sp_put_replaced = Schedpoint.define "tree.put.replaced"
@@ -469,6 +479,287 @@ let multi_get t keys =
           | `Value v -> Some v
           | `Notfound -> None
           | `Pending | `Fallback -> fallback f.fkey)
+        flights)
+
+(* ------------------------------------------------------------------ *)
+(* Software-pipelined group get (§4.8, docs/BATCHING.md)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Where [multi_get]'s waves eject a lookup to the sequential path on any
+   turbulence, this state machine keeps every lookup inside the pipeline
+   across layer hops, split chases and from-the-root restarts.  Each live
+   lookup advances exactly one node per round: its next node is computed
+   and *staged* one full round before it is read for real, so the cache
+   misses of up to N staged nodes land in adjacent, independent step
+   calls and overlap in the memory system instead of serializing (see
+   the note below on why the staging round — not an explicit prefetch
+   load — is what buys the overlap in OCaml).  lib/memsim models the
+   resulting stall collapse and `bench mlp` measures it. *)
+
+type 'v pstage =
+  | P_root  (* resolve the current layer's root *)
+  | P_advance  (* position validated; compute and prefetch the next node *)
+  | P_child of 'v node  (* prefetched; validate hand-over-hand, then move *)
+  | P_border of 'v border  (* prefetched border: search, then act *)
+  | P_suffix of 'v border  (* slot found, suffix blob prefetched: confirm *)
+
+type 'v pflight = {
+  qkey : Key.t;
+  mutable qoff : int; (* current layer's byte offset into qkey *)
+  mutable qhi : int;
+  mutable qlo : int;
+  mutable qrem : int;
+  mutable qklen : int;
+  mutable qroot : 'v node ref; (* current layer's root (restart target) *)
+  mutable qnode : 'v node; (* last validated position *)
+  mutable qver : Version.t; (* its stable version *)
+  mutable qstage : 'v pstage;
+  mutable qhit : int; (* search result carried into P_suffix *)
+  mutable qlv : 'v link_or_value; (* extraction carried into P_suffix *)
+  mutable qfuel : int; (* restarts allowed before sequential fallback *)
+  mutable qdone : bool;
+  mutable qresult : [ `Pending | `Fallback | `Value of 'v | `Notfound ];
+}
+
+(* How the "prefetch issue" works without a prefetch instruction.
+   Masstree's C implementation issues non-binding [prefetcht0]s for the
+   next node's lines at each descent step (§4.4); OCaml has no such
+   intrinsic, and measurement on this port shows the obvious substitute
+   — an early demand load whose result is ignored — is actively harmful:
+   the dead load still occupies the ROB until its line arrives, in-order
+   retirement stalls behind it, and the speculation window that would
+   have executed the *other* flights' steps shrinks to nothing (version-
+   word-only touches cost ~15% batch throughput at 2M keys; full-node
+   coverage cost ~20%).  What does deliver the overlap is the stage
+   boundary itself: a flight computes its next node in one round and
+   touches it only in the next, so the demand misses of up to N staged
+   nodes sit in adjacent, independent step calls that out-of-order
+   speculation walks right past.  The one explicit early load we keep is
+   the suffix blob touch below — a single line that the *same* flight
+   dereferences next round, so the load is real work issued early, not a
+   dead read. *)
+
+(* Touch a slot's suffix blob (header + leading bytes) ahead of the
+   suffix comparison.  Race-safe like every pool read: a stale handle
+   pulls bounded garbage that version validation will discard. *)
+let prefetch_suffix b slot =
+  let h = suffix_handle b slot in
+  if h <> 0 then ignore (Sys.opaque_identity (Pool.blob_len b.bpool h))
+
+let multi_get_pipelined t keys =
+  (* Count one get per key, matching the plain path, so obs throughput
+     agrees between batched and unbatched front ends. *)
+  Stats.add t.tstats Stats.Gets (Array.length keys);
+  pinned t (fun () ->
+      let flights =
+        Array.map
+          (fun key ->
+            let rem = String.length key in
+            {
+              qkey = key;
+              qoff = 0;
+              qhi = Key.slice_hi key ~off:0;
+              qlo = Key.slice_lo key ~off:0;
+              qrem = rem;
+              qklen = min rem suffix_len_marker;
+              qroot = t.root;
+              qnode = !(t.root);
+              qver = 0;
+              qstage = P_root;
+              qhit = -1;
+              qlv = Empty;
+              qfuel = 16;
+              qdone = false;
+              qresult = `Pending;
+            })
+          keys
+      in
+      let remaining = ref (Array.length flights) in
+      let finish f r =
+        if not f.qdone then begin
+          f.qdone <- true;
+          f.qresult <- r;
+          decr remaining
+        end
+      in
+      (* Re-enter from the layer-0 root: the pipelined equivalent of
+         raising [Restart] into [get_attempt].  Bounded by per-flight
+         fuel, after which the flight is handed to the sequential path
+         (whose [tree.restart.spin] loop guarantees progress). *)
+      let restart0 f =
+        Stats.incr t.tstats Stats.Root_retries;
+        Stats.incr t.tstats Stats.Pipeline_restarts;
+        Schedpoint.hit sp_pipeline_restart;
+        f.qfuel <- f.qfuel - 1;
+        if f.qfuel <= 0 then finish f `Fallback
+        else begin
+          f.qoff <- 0;
+          f.qhi <- Key.slice_hi f.qkey ~off:0;
+          f.qlo <- Key.slice_lo f.qkey ~off:0;
+          f.qrem <- String.length f.qkey;
+          f.qklen <- min f.qrem suffix_len_marker;
+          f.qroot <- t.root;
+          f.qstage <- P_root
+        end
+      in
+      (* Re-enter from the current layer's root: a split moved
+         responsibility somewhere only the root still reaches
+         (get_revalidate's root-retry, in-pipeline). *)
+      let restart_layer f =
+        Stats.incr t.tstats Stats.Root_retries;
+        Stats.incr t.tstats Stats.Pipeline_restarts;
+        Schedpoint.hit sp_pipeline_restart;
+        f.qfuel <- f.qfuel - 1;
+        if f.qfuel <= 0 then finish f `Fallback else f.qstage <- P_root
+      in
+      (* From a just-validated position, compute and stage the next node;
+         it is read for real one round later, so its cache misses overlap
+         with every other flight's step in between. *)
+      let stage_from f =
+        match f.qnode with
+        | Border b -> f.qstage <- P_border b
+        | Interior i -> (
+            match i.ichild.(child_index i ~hi:f.qhi ~lo:f.qlo) with
+            | None ->
+                (* Torn read during a concurrent shape change. *)
+                let v' = Version.stable (version_of f.qnode) in
+                if Version.vsplit v' <> Version.vsplit f.qver || Version.deleted v'
+                then restart_layer f
+                else begin
+                  Stats.incr t.tstats Stats.Local_retries;
+                  f.qver <- v';
+                  f.qstage <- P_advance
+                end
+            | Some n' -> f.qstage <- P_child n')
+      in
+      let chase_or f b k =
+        (* The border may have split under us: responsibility only moves
+           right, so chase next-pointers by lowkey (get_walk in-pipeline),
+           else [k]. *)
+        match b.bnext with
+        | Some nx when Key.compare_parts f.qhi f.qlo nx.blowhi nx.blowlo >= 0 ->
+            Schedpoint.hit sp_get_advance;
+            f.qnode <- Border nx;
+            f.qstage <- P_border nx
+        | _ -> k ()
+      in
+      (* Common tail of a border read: validate the version snapshot the
+         extraction happened under (the §4.5 reader window, same shape as
+         get_forward — from [P_suffix] the window spans a whole extra
+         round, which only raises the retry rate, never trusts a torn
+         read), then act on the extraction. *)
+      let conclude_border f b v lv ~suffix_ok =
+        Schedpoint.hit sp_get_read;
+        if Version.changed v (Atomic.get b.bversion) then begin
+          Stats.incr t.tstats Stats.Local_retries;
+          let v2 = Version.stable b.bversion in
+          if Version.deleted v2 then restart0 f
+          else begin
+            (* Chase right if covered; otherwise re-read this border
+               next round. *)
+            f.qstage <- P_border b;
+            chase_or f b (fun () -> ())
+          end
+        end
+        else
+          match lv with
+          | Value value when suffix_ok -> finish f (`Value value)
+          | Layer r when f.qrem > 8 ->
+              (* Descend one trie layer without leaving the pipeline. *)
+              Schedpoint.hit sp_pipeline_layer;
+              f.qoff <- f.qoff + 8;
+              f.qhi <- Key.slice_hi f.qkey ~off:f.qoff;
+              f.qlo <- Key.slice_lo f.qkey ~off:f.qoff;
+              f.qrem <- f.qrem - 8;
+              f.qklen <- min f.qrem suffix_len_marker;
+              f.qroot <- r;
+              f.qstage <- P_root
+          | Layer _ -> finish f `Notfound
+          | Value _ | Empty ->
+              (* Not here — but a split that completed before this
+                 (fresh) version snapshot can have moved the key right;
+                 the chase settles it in-pipeline where [multi_get]
+                 falls back. *)
+              chase_or f b (fun () -> finish f `Notfound)
+      in
+      let step_border f b =
+        let v = Version.stable b.bversion in
+        if Version.deleted v then restart0 f
+        else begin
+          let hit = search_hit b (border_perm b) ~hi:f.qhi ~lo:f.qlo ~klen:f.qklen in
+          (* Extract while the snapshot is live, validate before
+             trusting. *)
+          let lv = if hit < 0 then Empty else b.blv.(hit land 0xF) in
+          match lv with
+          | Value _ when f.qrem > 8 ->
+              (* Confirming the hit needs the slot's suffix blob — a
+                 dependent cold line.  Pipeline it: issue its fetch now,
+                 compare and validate next round under snapshot [v]. *)
+              f.qver <- v;
+              f.qhit <- hit;
+              f.qlv <- lv;
+              prefetch_suffix b (hit land 0xF);
+              f.qstage <- P_suffix b
+          | _ ->
+              let suffix_ok =
+                match lv with Value _ -> true | Layer _ | Empty -> false
+              in
+              conclude_border f b v lv ~suffix_ok
+        end
+      in
+      let step f =
+        match f.qstage with
+        | P_root -> (
+            match stable_root f.qroot with
+            | n, v ->
+                f.qnode <- n;
+                f.qver <- v;
+                stage_from f
+            | exception Restart -> restart0 f)
+        | P_advance -> stage_from f
+        | P_child n' ->
+            (* Hand-over-hand: stabilize the child before revalidating
+               the parent, exactly as get_descend. *)
+            let v' = Version.stable (version_of n') in
+            Schedpoint.hit sp_descend_validate;
+            if Version.changed f.qver (Atomic.get (version_of f.qnode)) then begin
+              let v2 = Version.stable (version_of f.qnode) in
+              if Version.vsplit v2 <> Version.vsplit f.qver || Version.deleted v2
+              then restart_layer f
+              else begin
+                Stats.incr t.tstats Stats.Local_retries;
+                f.qver <- v2;
+                f.qstage <- P_advance
+              end
+            end
+            else begin
+              f.qnode <- n';
+              f.qver <- v';
+              stage_from f
+            end
+        | P_border b -> step_border f b
+        | P_suffix b ->
+            let suffix_ok =
+              suffix_matches b (f.qhit land 0xF) f.qkey ~pos:(f.qoff + 8)
+            in
+            conclude_border f b f.qver f.qlv ~suffix_ok
+      in
+      (* Round loop: every pass advances each live flight one node, so
+         all of a round's prefetches are issued before any of the staged
+         nodes is read.  The round budget bounds pathological churn; a
+         flight that outlives it finishes on the sequential path. *)
+      let fuel = ref 256 in
+      while !remaining > 0 && !fuel > 0 do
+        decr fuel;
+        Schedpoint.hit sp_pipeline_round;
+        Array.iter (fun f -> if not f.qdone then step f) flights
+      done;
+      Array.map
+        (fun f ->
+          match f.qresult with
+          | `Value v -> Some v
+          | `Notfound -> None
+          | `Pending | `Fallback -> get_attempt t f.qkey)
         flights)
 
 (* ------------------------------------------------------------------ *)

@@ -26,7 +26,7 @@
     That condition is checked mechanically: every ordering-sensitive step
     of every operation is a named {!Schedpoint} ([tree.descend.validate],
     [tree.put.published], [tree.split.migrated], [tree.remove.unlinked],
-    [tree.merge.migrated], … — 24 in this module, plus the [ver.*],
+    [tree.merge.migrated], … — 27 in this module, plus the [ver.*],
     [epoch.*] and [tree.pool.*] points), and
     [lib/schedsim] replays the scenarios in [Scenario.scenarios] under
     exhaustive and randomized interleavings of those points, validating
@@ -100,6 +100,39 @@ val multi_get : 'v t -> Key.t array -> 'v option array
     hit concurrent splits or layer descents fall back to plain [get].
     Schedule point [tree.multiget.wave] fires between waves, so schedsim
     can land a whole insert burst inside one batch. *)
+
+val multi_get_pipelined : 'v t -> Key.t array -> 'v option array
+(** [multi_get_pipelined t keys] is the software-pipelined group get —
+    semantically [Array.map (get t) keys], structured for memory-level
+    parallelism (docs/BATCHING.md).  Each lookup runs a per-flight state
+    machine (layer root → interior descent → layer hop → border
+    version-validated read → suffix confirmation); one {e round} advances
+    every live flight by one node, and a flight's next node is staged a
+    full round before it is read, so the cache misses of up to
+    [Array.length keys] dependent-load chains land in adjacent,
+    independent steps and overlap in the memory system.  (In this OCaml
+    port the staging round {e is} the prefetch issue: with no non-binding
+    prefetch intrinsic, an early demand load would stall in-order
+    retirement and shrink the very speculation window that produces the
+    overlap — see the note in tree.ml and docs/BATCHING.md §5.)
+
+    Re-entry rule: unlike {!multi_get}, turbulence does {e not} eject a
+    lookup to the sequential path — a trie-layer hop re-enters the
+    pipeline at the sub-layer's root ([tree.pipeline.layer]), a split
+    chase follows next-pointers in-pipeline ([tree.get.advance]), and a
+    deleted node or failed hand-over-hand validation re-enters from the
+    owning layer's (or layer 0's) root ([tree.pipeline.restart], counted
+    in [Stats.Pipeline_restarts]).  Only a flight that exhausts its
+    restart fuel — or outlives the round budget — finishes on plain
+    [get], whose spin-aware retry loop guarantees progress.
+
+    This is the path {!Kvstore.Store.multi_get} serves, so the reactor's
+    cross-frame merged get batches and the shard router's per-shard
+    fan-out both descend pipelined end to end.  Schedule points:
+    [tree.pipeline.round] between rounds plus the plain read protocol's
+    [tree.descend.validate] / [tree.get.read] / [tree.get.advance] per
+    flight, so schedsim interleaves writers both between rounds and
+    inside a flight's §4.5 read window. *)
 
 val scan :
   'v t -> ?start:Key.t -> ?stop:Key.t -> limit:int -> (Key.t -> 'v -> unit) -> int

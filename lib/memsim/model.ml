@@ -14,6 +14,7 @@ module Config = struct
     str_cmp_per8 : float;
     base_compute : float;
     contention_per_core : float;
+    mlp_width : int;
   }
 
   (* Calibration notes.  DRAM latency, clock and the contention slope come
@@ -38,6 +39,11 @@ module Config = struct
       str_cmp_per8 = 14.0;
       base_compute = 350.0;
       contention_per_core = 0.0244;
+      (* Line-fill buffers per core: how many demand misses one core can
+         keep in flight.  ~10 on the paper's era of hardware and still
+         the right order today; `bench mlp` sweeps batch sizes past it to
+         show the saturation knee. *)
+      mlp_width = 10;
     }
 
   let with_superpages c = { c with page_bytes = 2 * 1024 * 1024; tlb_miss = 45.0 }
@@ -158,6 +164,46 @@ let visit t ~node ~lines ~prefetch =
       end
     in
     t.stall <- t.stall +. fetch +. (tlb_miss_probability t *. c.tlb_miss)
+  end
+
+(* Price one round of a software-pipelined group walk: every node in
+   [nodes] is an *independent* fetch (different lookups' next nodes), so
+   the leading DRAM latencies of the round's misses overlap, bounded by
+   the core's MLP width — ceil(misses / width) serialized latency epochs
+   instead of one latency per miss.  Everything that is per-miss but not
+   serialized across the group (line streaming behind the leading
+   latency, the TLB walk) is charged per miss as in {!visit}. *)
+let visit_group t ~nodes ~lines ~prefetch =
+  let c = t.cfg in
+  let bytes = lines * c.line_bytes in
+  let misses = ref 0 in
+  Array.iter
+    (fun node ->
+      t.visits <- t.visits + 1;
+      if Lru.touch t.lru node bytes then begin
+        t.hits <- t.hits + 1;
+        t.stall <- t.stall +. c.llc_hit
+      end
+      else begin
+        incr misses;
+        t.touched_bytes <- t.touched_bytes + bytes;
+        let behind_leading =
+          if prefetch || lines = 1 then float_of_int (lines - 1) *. c.line_transfer
+          else begin
+            (* Without node prefetch, the linear search's later demand
+               misses (~half the lines) stay dependent: only the leading
+               fetch overlaps with the rest of the group. *)
+            let touched = (lines + 1) / 2 in
+            float_of_int (touched - 1) *. c.dram_latency
+          end
+        in
+        t.stall <- t.stall +. behind_leading +. (tlb_miss_probability t *. c.tlb_miss)
+      end)
+    nodes;
+  if !misses > 0 then begin
+    let w = max 1 c.mlp_width in
+    let epochs = (!misses + w - 1) / w in
+    t.stall <- t.stall +. (float_of_int epochs *. c.dram_latency)
   end
 
 let compare_slice t = t.cpu <- t.cpu +. t.cfg.int_cmp

@@ -37,6 +37,10 @@ module Config : sig
     contention_per_core : float;
         (** fractional stall growth per additional active core; calibrated
             so 16 cores cost ~1.37x the 1-core stall, matching §6.5 *)
+    mlp_width : int;
+        (** memory-level parallelism: independent demand misses one core
+            can keep in flight (line-fill buffers, ~10).  Bounds the
+            overlap {!visit_group} models for pipelined group gets. *)
   }
 
   val default : t
@@ -62,6 +66,17 @@ val visit : t -> node:int -> lines:int -> prefetch:bool -> unit
     a miss costs one DRAM latency plus line transfers when [prefetch],
     or one serialized latency per line touched (modeled as half the
     lines, the expected linear-search touch count) otherwise. *)
+
+val visit_group : t -> nodes:int array -> lines:int -> prefetch:bool -> unit
+(** [visit_group sim ~nodes ~lines ~prefetch] prices one round of a
+    software-pipelined group walk: [nodes] are different lookups'
+    {e independent} next nodes, fetched back-to-back, so the round's
+    misses overlap up to [mlp_width] deep — ceil(misses/width) serialized
+    DRAM latencies for the whole round instead of one per miss.  Hits,
+    line streaming and TLB walks are charged per node exactly as
+    {!visit}.  With [mlp_width = 1] this degenerates to {!visit}'s
+    serialized cost, which is what makes sequential-vs-pipelined model
+    comparisons (bench mlp, docs/BATCHING.md) apples-to-apples. *)
 
 val compare_slice : t -> unit
 (** One 8-byte integer comparison. *)

@@ -185,6 +185,74 @@ let masstree_pooled_op sim ~n ~rank ~key_len ?(layer_frac = 0.33)
   masstree_walk sim ~n ~rank ~key_len ~layer_frac ~avg_layer_keys
     ~shared_prefix_layers ~pooled:true op
 
+(* Level-synchronous batched group get over the masstree shape: the same
+   trace {!masstree_walk} replays key by key, re-ordered so round r
+   visits every lookup's level-r node back-to-back — the event order
+   [Tree.multi_get_pipelined] produces — and priced through
+   {!Model.visit_group} so the round's independent fetches overlap up to
+   the configured MLP width.  Node identities are identical to the
+   per-key pooled walk, so a sequential baseline replayed with
+   {!masstree_pooled_op} differs only in fetch overlap. *)
+let masstree_group_get sim ~n ~ranks ~key_lens ?(layer_frac = 0.33)
+    ?(avg_layer_keys = 2.3) ?(shared_prefix_layers = 0) () =
+  let b = Array.length ranks in
+  if b > 0 then begin
+    (* Hot shared-prefix layer chain: every flight hops the same nodes. *)
+    for l = 0 to shared_prefix_layers - 1 do
+      Model.visit_group sim
+        ~nodes:(Array.make b (node_id ~level:(40 + l) ~index:0))
+        ~lines:masstree_node_lines ~prefetch:true;
+      for _ = 1 to b do
+        Model.compare_slice sim
+      done
+    done;
+    (* Layer-0 B+-tree: one grouped visit per level. *)
+    let n0 =
+      max 1
+        (int_of_float
+           (float_of_int n /. (1.0 +. (layer_frac *. (avg_layer_keys -. 1.0)))))
+    in
+    let depth = max 1 (ceil_log ~base:btree_fanout n0) in
+    for level = 0 to depth - 1 do
+      let div = float_of_int btree_fanout ** float_of_int (depth - 1 - level) in
+      let nodes =
+        Array.map
+          (fun rank ->
+            node_id ~level:(8 + level)
+              ~index:(int_of_float (float_of_int (rank mod n0) /. div)))
+          ranks
+      in
+      Model.visit_group sim ~nodes ~lines:masstree_node_lines ~prefetch:true;
+      for _ = 1 to b * (btree_fanout / 2) do
+        Model.compare_slice sim
+      done
+    done;
+    (* Flights whose slice collides continue into a layer-1 border. *)
+    let hops = ref [] in
+    Array.iteri
+      (fun i rank ->
+        if
+          key_lens.(i) > 8
+          && float_of_int (rank land 0xFFFF) /. 65536.0 < layer_frac
+        then
+          hops :=
+            node_id ~level:30 ~index:(rank / max 1 (int_of_float avg_layer_keys))
+            :: !hops)
+      ranks;
+    let hops = Array.of_list !hops in
+    if Array.length hops > 0 then begin
+      Model.visit_group sim ~nodes:hops ~lines:masstree_node_lines ~prefetch:true;
+      Array.iter (fun _ -> Model.compare_slice sim) hops
+    end;
+    (* Values: one cold line per flight, also overlapped. *)
+    Model.visit_group sim
+      ~nodes:(Array.map (fun rank -> value_id ~rank) ranks)
+      ~lines:1 ~prefetch:false;
+    for _ = 1 to b do
+      Model.op_done sim
+    done
+  end
+
 let hash_op sim ~n ~rank ~key_len op =
   ignore n;
   (* ~1.1 probed entries at 30% occupancy; each probe is one line. *)

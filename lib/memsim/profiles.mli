@@ -70,6 +70,26 @@ val masstree_pooled_op :
     instead of paying the GC allocator and its amortized collection work.
     [bench arena] compares this against the measured gap. *)
 
+val masstree_group_get :
+  Model.t ->
+  n:int ->
+  ranks:int array ->
+  key_lens:int array ->
+  ?layer_frac:float ->
+  ?avg_layer_keys:float ->
+  ?shared_prefix_layers:int ->
+  unit ->
+  unit
+(** One software-pipelined group get of a whole batch: the
+    {!masstree_pooled_op} get trace for every rank in [ranks]
+    ([key_lens] parallel), re-ordered level-synchronously — round r
+    visits all lookups' level-r nodes back-to-back — and priced with
+    {!Model.visit_group} so each round's independent fetches overlap up
+    to the configured [mlp_width].  Node identities match the per-key
+    walk exactly; replaying the same ranks through
+    {!masstree_pooled_op} gives the sequential baseline the modeled
+    side of `bench mlp` compares against (docs/BATCHING.md). *)
+
 val masstree_sized_op : Model.t -> n:int -> rank:int -> lines:int -> op -> unit
 (** Node-size ablation (§4.2): a tree whose nodes span [lines] cache
     lines, fanout scaled accordingly ((lines*64)/16 - 1 keys).  The paper

@@ -66,6 +66,17 @@ let multi_get ctx keys =
         ~what:(Printf.sprintf "multi_get %S" key))
     a
 
+let multi_get_pipelined ctx keys =
+  let a = Array.of_list keys in
+  let s = Sched.now () in
+  let rs = Tree.multi_get_pipelined ctx.tree a in
+  let e = Sched.now () in
+  Array.iteri
+    (fun i key ->
+      Oracle.record_read ctx.oracle key rs.(i) ~s ~e ~exclude:(-1)
+        ~what:(Printf.sprintf "multi_get_pipelined %S" key))
+    a
+
 let scan ?start ?stop ?(limit = max_int) ctx =
   let emits = ref [] in
   let s = Sched.now () in
@@ -253,6 +264,45 @@ let scenarios : t list =
           ("writer", fun c -> put c (k 1); put c (k 3); put c (k 5));
           ( "reader",
             fun c -> multi_get c [ k 0; k 1; k 2; k 3; k 4; k 5; k 6 ] );
+        ];
+    };
+    {
+      name = "pipelined-batch-vs-split";
+      descr = "software-pipelined group get races a border split and hops a layer";
+      (* 14 two-apart keys fill one border; the writer's put (k 13) splits
+         it mid-batch.  The prepared lk pair gives the batch a lookup that
+         must hop into a trie layer ([tree.pipeline.layer]); the split's
+         root replacement makes a flight's [stable_root] raise and
+         re-enter the pipeline ([tree.pipeline.restart]). *)
+      prepare =
+        (fun c ->
+          for i = 0 to 13 do prepop c (k (2 * i)) done;
+          prepop c (lk "alpha");
+          prepop c (lk "beta"));
+      tasks =
+        [
+          ("writer", fun c -> put c (k 13));
+          ( "reader",
+            fun c ->
+              multi_get_pipelined c [ k 13; k 20; lk "alpha"; k 9 ] );
+        ];
+    };
+    {
+      name = "coalesce-vs-pipelined-get";
+      descr = "pipelined batch descends into a border being merged away";
+      (* Same prepared shape as the coalesce family: the remover's
+         [remove (k 4)] merges the right sibling into the left, so a
+         pipelined flight can stabilize a border whose version goes
+         deleted under it and must restart from the root in-pipeline. *)
+      prepare =
+        (fun c ->
+          for i = 0 to 19 do prepop c (k i) done;
+          for i = 5 to 13 do preremove c (k i) done);
+      tasks =
+        [
+          ("remover", fun c -> remove c (k 4));
+          ( "reader",
+            fun c -> multi_get_pipelined c [ k 16; k 2; k 14 ] );
         ];
     };
     {

@@ -140,6 +140,31 @@ let prop_remove_heavy_coalesce =
            match Tree.pool_consistency t with Ok () -> true | Error _ -> false
          end)
 
+(* The software-pipelined group get must agree with a sequential loop of
+   point gets on any batch — hits, misses, duplicate keys, empty and
+   singleton batches — across all key shapes (docs/BATCHING.md §4). *)
+let gen_key_mixed =
+  QCheck.Gen.oneof [ gen_key_decimal; gen_key_binary; gen_key_shared_prefix ]
+
+let prop_pipelined_group_get =
+  QCheck.Test.make ~name:"pipelined group get = sequential gets" ~count:150
+    (QCheck.make
+       ~print:(fun (keys, picks) ->
+         Printf.sprintf "keys=[%s] picks=[%s]"
+           (String.concat ";" (List.map (Printf.sprintf "%S") keys))
+           (String.concat ";" (List.map string_of_int picks)))
+       QCheck.Gen.(
+         pair (list_size (0 -- 200) gen_key_mixed) (list_size (0 -- 40) (int_bound 1000))))
+    (fun (keys, picks) ->
+      let t = Tree.create () in
+      (* Insert every other key so batches mix hits with misses. *)
+      List.iteri (fun i k -> if i land 1 = 0 then ignore (Tree.put t k i)) keys;
+      let pool = Array.of_list ("" :: keys) in
+      let batch =
+        Array.of_list (List.map (fun p -> pool.(p mod Array.length pool)) picks)
+      in
+      Tree.multi_get_pipelined t batch = Array.map (Tree.get t) batch)
+
 (* Reverse scan must be the mirror of the forward scan at every bound. *)
 let prop_scan_mirror =
   QCheck.Test.make ~name:"scan_rev mirrors scan" ~count:60
@@ -161,5 +186,6 @@ let suite =
     QCheck_alcotest.to_alcotest ~long:false prop_shared_prefix;
     QCheck_alcotest.to_alcotest ~long:false prop_load_unload;
     QCheck_alcotest.to_alcotest ~long:false prop_remove_heavy_coalesce;
+    QCheck_alcotest.to_alcotest ~long:false prop_pipelined_group_get;
     QCheck_alcotest.to_alcotest ~long:false prop_scan_mirror;
   ]
